@@ -1,0 +1,50 @@
+"""Fig 10: (a) per-PE relay time vs columns; (b) execution time vs length.
+
+(a) cross-checks Eq. 2's TC*C1 line against the discrete-event simulator
+running the actual Fig 9 relay program on a 1-row mesh (QMCPack data).
+(b) is Eq. 3's C/pl + (pl-1)*C2 curve.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.harness import format_table
+from repro.harness.figures import fig10_relay_and_execution
+from repro.wse.cost import PAPER_CYCLE_MODEL
+
+
+def test_fig10(benchmark, record_result):
+    profile = run_once(benchmark, fig10_relay_and_execution)
+    text_a = format_table(
+        ["TC (cols)", "relay/PE (Eq.2: TC*C1)", "relay/PE (simulated)"],
+        list(
+            zip(
+                profile.cols_swept,
+                [round(x) for x in profile.relay_cycles_analytic],
+                [round(x) for x in profile.relay_cycles_simulated],
+            )
+        ),
+        title="Fig 10a: Relay time per PE vs number of columns (QMCPack)",
+    )
+    text_b = format_table(
+        ["pipeline length", "execution cycles per PE (Eq.3)"],
+        list(
+            zip(
+                profile.pipeline_lengths,
+                [round(x) for x in profile.execution_cycles_per_pe],
+            )
+        ),
+        title="Fig 10b: Execution time per PE vs pipeline length",
+    )
+    record_result("fig10_relay_profile", text_a + "\n\n" + text_b)
+
+    # (a) both series are linear in TC.
+    sim = np.asarray(profile.relay_cycles_simulated)
+    cols = np.asarray(profile.cols_swept, dtype=float)
+    slope = np.polyfit(cols, sim, 1)[0]
+    assert abs(slope - PAPER_CYCLE_MODEL.c1_relay) < 0.1 * (
+        PAPER_CYCLE_MODEL.c1_relay
+    )
+    # (b) execution time falls ~1/pl before the forwarding term bites.
+    ex = profile.execution_cycles_per_pe
+    assert ex[1] < ex[0] and ex[2] < ex[1]

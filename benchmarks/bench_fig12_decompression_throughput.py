@@ -1,0 +1,52 @@
+"""Fig 12: decompression throughput.
+
+Paper: CereSZ averages 581.31 GB/s (1.27x its compression average, up to
+920.67 GB/s on RTM) — decompression skips Max/GetLength because the block
+headers pre-record the fixed length.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.harness import format_table
+from repro.harness.figures import (
+    fig11_compression_throughput,
+    fig12_decompression_throughput,
+)
+
+PAPER_AVERAGE = 581.31
+
+
+def test_fig12(benchmark, record_result):
+    bars = run_once(benchmark, fig12_decompression_throughput)
+    text = format_table(
+        ["Dataset", "REL", "Compressor", "GB/s"],
+        [
+            [b.dataset, f"{b.rel:g}", b.compressor,
+             f"{b.throughput_gbs:.2f}"]
+            for b in bars
+        ],
+        title="Fig 12: Decompression throughput (GB/s)",
+    )
+    ceresz = [b.throughput_gbs for b in bars if b.compressor == "CereSZ"]
+    avg = float(np.mean(ceresz))
+    record_result(
+        "fig12_decompression_throughput",
+        text + f"\nCereSZ average: {avg:.2f} GB/s (paper: {PAPER_AVERAGE})",
+    )
+
+    assert 350 <= avg <= 1100
+    # Decompression beats compression per configuration (Figs 11 vs 12).
+    comp = {
+        (b.dataset, b.rel): b.throughput_gbs
+        for b in fig11_compression_throughput()
+        if b.compressor == "CereSZ"
+    }
+    decomp = {
+        (b.dataset, b.rel): b.throughput_gbs
+        for b in bars
+        if b.compressor == "CereSZ"
+    }
+    ratios = [decomp[k] / comp[k] for k in comp]
+    assert all(r > 1.0 for r in ratios)
+    assert 1.1 <= float(np.mean(ratios)) <= 1.45  # paper: ~1.27

@@ -1,0 +1,34 @@
+"""Fig 13: compression throughput of 1/2/4/8-PE pipelines (REL 1e-4).
+
+Paper: the 1-PE pipeline wins on QMCPack and Hurricane; longer pipelines
+lose to the imperfect stage decomposition and the C2 forwarding overhead.
+The bottleneck group used here comes from the *actual* Algorithm 1
+distribution at each length.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import format_table
+from repro.harness.figures import fig13_pipeline_lengths
+
+
+def test_fig13(benchmark, record_result):
+    points = run_once(benchmark, fig13_pipeline_lengths)
+    text = format_table(
+        ["Dataset", "Pipeline", "GB/s"],
+        [
+            [p.dataset, f"{p.pipeline_length}-PE", f"{p.throughput_gbs:.1f}"]
+            for p in points
+        ],
+        title="Fig 13: Compression throughput vs pipeline length (REL 1e-4)",
+    )
+    record_result("fig13_pipeline_length", text)
+
+    for dataset in {p.dataset for p in points}:
+        series = sorted(
+            (p.pipeline_length, p.throughput_gbs)
+            for p in points
+            if p.dataset == dataset
+        )
+        rates = [r for _, r in series]
+        assert rates[0] == max(rates), dataset  # 1-PE optimal
+        assert all(a >= b for a, b in zip(rates, rates[1:])), dataset

@@ -1,0 +1,32 @@
+"""Fig 14: compression throughput vs WSE mesh size (REL 1e-4).
+
+Paper: CESM-ATM and HACC, meshes from 16x16 up to the full usable
+750x994 wafer; quadrupling the PE count roughly quadruples throughput at
+small sizes (their 16x16 -> 32x32 observation).
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness import format_table
+from repro.harness.figures import fig14_wse_sizes
+
+
+def test_fig14(benchmark, record_result):
+    points = run_once(benchmark, fig14_wse_sizes)
+    text = format_table(
+        ["Dataset", "WSE size", "GB/s"],
+        [
+            [p.dataset, f"{p.rows}x{p.cols}", f"{p.throughput_gbs:.2f}"]
+            for p in points
+        ],
+        title="Fig 14: Compression throughput vs WSE size (REL 1e-4)",
+    )
+    record_result("fig14_wse_size", text)
+
+    for dataset in {p.dataset for p in points}:
+        series = [p for p in points if p.dataset == dataset]
+        rates = [p.throughput_gbs for p in series]
+        assert rates == sorted(rates), dataset  # monotone in mesh size
+        # 16x16 -> 32x32 is ~4x (the paper's linearity observation).
+        assert 3.4 <= rates[1] / rates[0] <= 4.2, dataset
+        # Full wafer is the fastest configuration.
+        assert series[-1].rows == 750 and series[-1].cols == 994

@@ -1,0 +1,23 @@
+"""Fig 7: throughput vs number of PE rows (NYX temperature, block 32).
+
+The paper's point: rows run independently, so throughput is exactly linear
+in the row count.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.figures import fig7_row_scaling
+from repro.harness.report import ascii_bar_chart
+
+
+def test_fig7(benchmark, record_result):
+    points = run_once(benchmark, fig7_row_scaling)
+    text = ascii_bar_chart(
+        [f"{p.rows:4d} rows" for p in points],
+        [p.throughput_mbs for p in points],
+        unit=" MB/s",
+        title="Fig 7: Compression throughput vs PE rows (NYX temperature)",
+    )
+    record_result("fig7_row_scaling", text)
+
+    per_row = [p.throughput_mbs / p.rows for p in points]
+    assert max(per_row) / min(per_row) < 1.0001  # strictly linear

@@ -1,0 +1,88 @@
+"""Microbenchmarks of the hot kernels (host-side NumPy implementations).
+
+These are honest wall-clock benchmarks of this library's vectorized Python
+kernels — they measure the *reference implementation*, not the wafer (whose
+performance is modeled, see DESIGN.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro import CereSZ
+from repro.baselines import CuSZ, HuffmanCodec, SZ3, SZp
+from repro.core.blocks import partition_blocks
+from repro.core.encoding import decode_blocks, encode_blocks
+from repro.core.lorenzo import lorenzo_predict, lorenzo_reconstruct
+from repro.core.quantize import dequantize, prequantize
+
+N = 1 << 20  # 1 Mi elements (4 MiB)
+
+
+@pytest.fixture(scope="module")
+def field():
+    rng = np.random.default_rng(0)
+    return np.cumsum(rng.normal(size=N)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def residual_blocks(field):
+    blocks, _ = partition_blocks(prequantize(field, 0.01), 32)
+    return lorenzo_predict(blocks)
+
+
+class TestStageKernels:
+    def test_prequantize(self, benchmark, field):
+        benchmark(prequantize, field, 0.01)
+
+    def test_dequantize(self, benchmark, field):
+        codes = prequantize(field, 0.01)
+        benchmark(dequantize, codes, 0.01)
+
+    def test_lorenzo_predict(self, benchmark, field):
+        blocks, _ = partition_blocks(prequantize(field, 0.01), 32)
+        benchmark(lorenzo_predict, blocks)
+
+    def test_lorenzo_reconstruct(self, benchmark, residual_blocks):
+        benchmark(lorenzo_reconstruct, residual_blocks)
+
+    def test_encode_blocks(self, benchmark, residual_blocks):
+        benchmark(encode_blocks, residual_blocks)
+
+    def test_decode_blocks(self, benchmark, residual_blocks):
+        stream = encode_blocks(residual_blocks)
+        num_blocks = residual_blocks.shape[0]
+        benchmark(decode_blocks, stream, num_blocks, 32)
+
+
+class TestEndToEnd:
+    def test_ceresz_compress(self, benchmark, field):
+        codec = CereSZ()
+        result = benchmark(codec.compress, field, rel=1e-3)
+        assert result.ratio > 1
+
+    def test_ceresz_decompress(self, benchmark, field):
+        codec = CereSZ()
+        stream = codec.compress(field, rel=1e-3).stream
+        benchmark(codec.decompress, stream)
+
+    def test_szp_compress(self, benchmark, field):
+        benchmark(SZp().compress, field, rel=1e-3)
+
+    def test_cusz_compress(self, benchmark, field):
+        benchmark(CuSZ().compress, field, rel=1e-3)
+
+    def test_sz3_compress(self, benchmark, field):
+        benchmark(SZ3().compress, field, rel=1e-3)
+
+
+class TestHuffman:
+    def test_encode(self, benchmark):
+        rng = np.random.default_rng(1)
+        symbols = rng.geometric(0.4, size=N // 4) - 1
+        benchmark(HuffmanCodec().encode, symbols)
+
+    def test_decode(self, benchmark):
+        rng = np.random.default_rng(2)
+        symbols = rng.geometric(0.4, size=65536) - 1
+        stream = HuffmanCodec().encode(symbols)
+        benchmark(HuffmanCodec().decode, stream)

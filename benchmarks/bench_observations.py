@@ -1,0 +1,16 @@
+"""The paper's three Observations, re-derived from our measurements."""
+
+from benchmarks.conftest import run_once
+from repro.harness.observations import all_observations
+
+
+def test_observations(benchmark, record_result):
+    verdicts = run_once(benchmark, all_observations)
+    lines = []
+    for v in verdicts:
+        lines.append(f"Observation {v.observation}: "
+                     f"{'HOLDS' if v.holds else 'FAILS'}")
+        lines.append(f"  claim   : {v.claim}")
+        lines.append(f"  evidence: {v.evidence}")
+        assert v.holds, (v.observation, v.evidence)
+    record_result("observations", "\n".join(lines))

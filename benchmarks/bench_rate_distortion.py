@@ -1,0 +1,62 @@
+"""Rate-distortion curves (paper Section 5.4).
+
+The paper discusses rate-distortion without a dedicated figure: compressors
+sharing the pre-quantization design have the *same PSNR column* and differ
+only in bit rate, so the curve ordering is the ratio ordering. This bench
+regenerates the curves on NYX velocity_x for the pre-quantization family
+plus SZ and asserts that structure.
+"""
+
+from benchmarks.conftest import run_once
+from repro.baselines.base import get_compressor
+from repro.datasets import generate_field
+from repro.harness import format_table
+from repro.metrics.ratedistortion import rate_distortion_curve
+
+BOUNDS = (1e-2, 1e-3, 1e-4)
+CODECS = ("CereSZ", "cuSZp", "cuSZ", "SZ")
+
+
+def _curves():
+    field = generate_field("NYX", 3)  # velocity_x
+    return {
+        name: rate_distortion_curve(get_compressor(name), field, BOUNDS)
+        for name in CODECS
+    }
+
+
+def test_rate_distortion(benchmark, record_result):
+    curves = run_once(benchmark, _curves)
+    rows = []
+    for name, points in curves.items():
+        for rel, p in zip(BOUNDS, points):
+            rows.append(
+                [name, f"{rel:g}", f"{p.bit_rate:.3f}", f"{p.psnr:.2f}"]
+            )
+    record_result(
+        "rate_distortion",
+        format_table(
+            ["Compressor", "REL", "bits/value", "PSNR dB"],
+            rows,
+            title="Rate-distortion on NYX velocity_x (Section 5.4)",
+        ),
+    )
+
+    # Pre-quantization family: identical PSNR at every bound.
+    for i, rel in enumerate(BOUNDS):
+        psnrs = {
+            name: curves[name][i].psnr for name in ("CereSZ", "cuSZp", "cuSZ")
+        }
+        assert max(psnrs.values()) - min(psnrs.values()) < 1e-9, rel
+        # cuSZp's curve sits left of CereSZ's (lower rate, same quality).
+        assert curves["cuSZp"][i].bit_rate < curves["CereSZ"][i].bit_rate
+        # SZ (different predictor) reaches at least the same quality at a
+        # lower rate: the ratio champion.
+        assert curves["SZ"][i].bit_rate < curves["CereSZ"][i].bit_rate
+
+    # Monotone: tighter bound, higher quality, more bits (every codec).
+    for name in CODECS:
+        rates = [p.bit_rate for p in curves[name]]
+        psnrs = [p.psnr for p in curves[name]]
+        assert rates == sorted(rates), name
+        assert psnrs == sorted(psnrs), name

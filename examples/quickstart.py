@@ -1,0 +1,43 @@
+"""Quickstart: compress a scientific field with CereSZ.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import CereSZ
+from repro.metrics import max_abs_error, psnr, ssim
+
+
+def main() -> None:
+    # A synthetic "simulation output": a smooth 2-D field + mild noise.
+    rng = np.random.default_rng(7)
+    y, x = np.mgrid[0:300, 0:400]
+    field = (
+        np.sin(x / 40.0) * np.cos(y / 25.0) * 50.0
+        + 0.05 * rng.standard_normal((300, 400))
+    ).astype(np.float32)
+
+    codec = CereSZ()
+
+    # REL 1e-3: every reconstructed value within 0.1% of the value range
+    # of its original (the paper's evaluation convention).
+    result = codec.compress(field, rel=1e-3)
+    restored = codec.decompress(result.stream)
+
+    print(f"original bytes    : {result.original_bytes}")
+    print(f"compressed bytes  : {result.compressed_bytes}")
+    print(f"compression ratio : {result.ratio:.2f}x")
+    print(f"bit rate          : {result.bit_rate:.2f} bits/value")
+    print(f"error bound (abs) : {result.eps:.6g}")
+    print(f"max actual error  : {max_abs_error(field, restored):.6g}")
+    print(f"zero blocks       : {result.zero_block_fraction:.1%}")
+    print(f"PSNR              : {psnr(field, restored):.2f} dB")
+    print(f"SSIM              : {ssim(field, restored):.6f}")
+
+    assert max_abs_error(field, restored) <= result.eps
+    print("\nerror bound verified: every value within eps of its original")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Exploring the three WSE parallelization strategies on the simulator.
+
+Runs the same data through the paper's three mappings (Fig 6) on a small
+simulated mesh, prints per-PE cycle accounting, and shows Algorithm 1's
+stage distribution plus the maximum feasible pipeline length.
+
+Run:  python examples/wse_mapping_explorer.py
+"""
+
+import numpy as np
+
+from repro import CereSZ
+from repro.core.schedule import (
+    distribute_substages,
+    estimate_fixed_length,
+    max_feasible_pipeline_length,
+)
+from repro.core.stages import compression_substages
+from repro.core.tuning import tune_pipeline_length
+from repro.core.wse_compressor import WSECereSZ
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    data = np.cumsum(rng.normal(size=32 * 48)).astype(np.float32)
+    rel = 1e-3
+
+    reference = CereSZ().compress(data, rel=rel)
+    print(f"input: {data.size} values; reference ratio "
+          f"{reference.ratio:.2f}x\n")
+
+    # --- Algorithm 1: planning the pipeline -------------------------------------
+    fl = estimate_fixed_length(data, reference.eps, fraction=0.05)
+    stages = compression_substages(fl)
+    limit = max_feasible_pipeline_length(stages)
+    print(f"sampled fixed length: {fl} bits -> {len(stages)} sub-stages, "
+          f"max feasible pipeline length {limit}")
+    for pl in (2, 4):
+        dist = distribute_substages(stages, pl)
+        print(f"  pl={pl}: groups {dist.stage_names()}")
+        print(f"        cycles {[round(c) for c in dist.group_cycles]} "
+              f"(imbalance {dist.imbalance:.2f})")
+    print()
+
+    # --- The three mappings, simulated ------------------------------------------
+    configs = [
+        ("rows (Fig 6 left)", dict(rows=4, cols=1, strategy="rows")),
+        (
+            "pipeline (Fig 6 middle)",
+            dict(rows=2, cols=4, strategy="pipeline", pipeline_length=4),
+        ),
+        ("multi-pipeline (Fig 6 right)", dict(rows=2, cols=4, strategy="multi")),
+        (
+            "staged multi (2 pipelines x 2)",
+            dict(rows=2, cols=4, strategy="multi", pipeline_length=2),
+        ),
+    ]
+    print(f"{'strategy':<30} | {'makespan':>9} | {'tasks':>5} | "
+          f"{'imbalance':>9} | identical")
+    print("-" * 72)
+    for label, kwargs in configs:
+        sim = WSECereSZ(**kwargs)
+        result = sim.compress(data, rel=rel)
+        trace = result.report.trace
+        print(
+            f"{label:<30} | {result.makespan_cycles:>9.0f} "
+            f"| {result.report.tasks_run:>5} "
+            f"| {trace.load_imbalance():>9.2f} "
+            f"| {result.stream == reference.stream}"
+        )
+
+    tuned = tune_pipeline_length(data, reference.eps)
+    print(
+        f"\nSection 4.4 tuning: optimal pipeline length "
+        f"{tuned.pipeline_length} "
+        f"({tuned.throughput_gbs:.0f} GB/s modeled on 512x512); sweep: "
+        + ", ".join(f"pl={pl}: {g:.0f}" for pl, g in tuned.sweep)
+    )
+
+    print("\nper-PE relay cycles in the multi-pipeline run (west PEs relay")
+    print("for everyone east of them — the Fig 9 pattern):")
+    sim = WSECereSZ(rows=1, cols=4, strategy="multi")
+    result = sim.compress(data, rel=rel)
+    for t in sorted(result.report.trace.traces, key=lambda t: t.col):
+        bar = "#" * (t.relay_cycles // 200)
+        print(f"  PE(0,{t.col}): relay {t.relay_cycles:>6} {bar}")
+
+
+if __name__ == "__main__":
+    main()

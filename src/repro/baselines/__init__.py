@@ -1,0 +1,36 @@
+"""Reimplementations of the paper's baseline compressors (Section 5.1.3).
+
+All four baselines are error-bounded and prediction-based:
+
+* :class:`~repro.baselines.szp.SZp` — the same block algorithm as CereSZ
+  with 1-byte per-block headers (OpenMP CPU compressor);
+* :class:`~repro.baselines.cuszp.CuSZp` — the SZp format with cuSZp's fused
+  single-kernel GPU execution model;
+* :class:`~repro.baselines.cusz.CuSZ` — N-D Lorenzo prediction +
+  canonical Huffman encoding (GPU);
+* :class:`~repro.baselines.sz3.SZ3` — multi-level interpolation prediction
+  with Huffman + DEFLATE backend (the ratio-oriented CPU compressor).
+
+These are *functional* codecs: Table 5's ratios are measured from the real
+byte streams they produce. Their wall-clock throughput on the paper's
+hardware (A100 / EPYC 7742) is modeled separately in
+:mod:`repro.perf.device`.
+"""
+
+from repro.baselines.base import BaselineCompressor, get_compressor, COMPRESSORS
+from repro.baselines.huffman import HuffmanCodec
+from repro.baselines.szp import SZp
+from repro.baselines.cuszp import CuSZp
+from repro.baselines.cusz import CuSZ
+from repro.baselines.sz3 import SZ3
+
+__all__ = [
+    "BaselineCompressor",
+    "get_compressor",
+    "COMPRESSORS",
+    "HuffmanCodec",
+    "SZp",
+    "CuSZp",
+    "CuSZ",
+    "SZ3",
+]

@@ -1,0 +1,71 @@
+"""Common interface and registry for all compressors in the study."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.core.compressor import CompressionResult
+
+
+@runtime_checkable
+class BaselineCompressor(Protocol):
+    """The interface every compressor (CereSZ included) satisfies.
+
+    ``device`` is the platform the *paper* ran the compressor on — it keys
+    the throughput model in :mod:`repro.perf.device`.
+    """
+
+    name: str
+    device: str
+
+    def compress(
+        self,
+        data: np.ndarray,
+        *,
+        eps: float | None = None,
+        rel: float | None = None,
+    ) -> CompressionResult: ...
+
+    def decompress(self, stream: bytes) -> np.ndarray: ...
+
+
+#: Factories for every compressor evaluated in Table 5 / Figs 11-12.
+#: Populated lazily to avoid import cycles; see :func:`get_compressor`.
+COMPRESSORS: dict[str, type] = {}
+
+
+def register(name: str):
+    """Class decorator adding a compressor to the registry."""
+
+    def deco(cls):
+        COMPRESSORS[name] = cls
+        return cls
+
+    return deco
+
+
+def get_compressor(name: str, **kwargs) -> BaselineCompressor:
+    """Instantiate a registered compressor by its paper name.
+
+    Names: ``CereSZ``, ``SZp``, ``cuSZp``, ``cuSZ``, ``SZ``.
+    """
+    _ensure_registered()
+    try:
+        cls = COMPRESSORS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown compressor {name!r}; known: {sorted(COMPRESSORS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+def _ensure_registered() -> None:
+    # Import for side effects: each module registers its class. Imports are
+    # cached, so this is free after the first call.
+    from repro.baselines import cusz, cuszp, sz3, szp  # noqa: F401
+    from repro.core.compressor import CereSZ
+
+    COMPRESSORS.setdefault("CereSZ", CereSZ)

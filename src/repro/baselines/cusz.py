@@ -1,0 +1,169 @@
+"""cuSZ: N-D Lorenzo prediction + canonical Huffman encoding (Tian et al.).
+
+cuSZ pairs a multi-dimensional Lorenzo predictor with a Huffman encoder over
+the quantization codes; codes outside the codebook radius are stored as raw
+outliers. Two structural consequences show up in the paper's Table 5:
+
+* ratios track CereSZ's closely on rough data (both are first-order
+  predictors), but the N-D predictor wins on multi-dimensional fields;
+* the Huffman floor of one bit per symbol caps the best case near 32x
+  (cuSZ's Table 5 maxima sit at 25-31x) — the same ceiling CereSZ hits via
+  its 4-byte headers, which is why the paper calls their ratios "similar".
+
+Stream layout::
+
+    [ magic "CZL1" ][ ndim u8 ][ dims u64* ][ eps f64 ][ radius u32 ]
+    [ outlier_count u64 ][ outliers (u64 index, i64 code)* ]
+    [ huffman-coded clipped residuals ]
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import CompressionError, FormatError
+from repro.core.compressor import CompressionResult
+from repro.core.lorenzo import lorenzo_predict_nd, lorenzo_reconstruct_nd
+from repro.core.quantize import dequantize, prequantize_verified
+from repro.baselines.base import register
+from repro.baselines.huffman import HuffmanCodec
+
+_MAGIC = b"CZL1"
+_FIXED = struct.Struct("<4sB")
+_DIM = struct.Struct("<Q")
+_EPS_RADIUS = struct.Struct("<dI")
+_OUTLIER_COUNT = struct.Struct("<Q")
+_OUTLIER = np.dtype([("index", "<u8"), ("code", "<i8")])
+
+#: cuSZ's default quantization-code radius (codebook of 2 * radius symbols).
+DEFAULT_RADIUS = 2048
+
+
+@register("cuSZ")
+class CuSZ:
+    """N-D Lorenzo + Huffman error-bounded compressor."""
+
+    name = "cuSZ"
+    device = "A100"
+
+    def __init__(self, radius: int = DEFAULT_RADIUS):
+        if radius <= 0:
+            raise CompressionError(f"codebook radius must be positive: {radius}")
+        self.radius = radius
+        self._huffman = HuffmanCodec()
+
+    def compress(
+        self,
+        data: np.ndarray,
+        *,
+        eps: float | None = None,
+        rel: float | None = None,
+        psnr: float | None = None,
+    ) -> CompressionResult:
+        arr = np.asarray(data)
+        if arr.size == 0:
+            raise CompressionError("cannot compress an empty array")
+        bound = _resolve_bound(arr, eps, rel, psnr)
+        codes, eps_eff = prequantize_verified(arr, bound)
+        residuals = lorenzo_predict_nd(codes).reshape(-1)
+
+        escape = self.radius + 1
+        outside = np.abs(residuals) > self.radius
+        symbols = np.where(outside, escape, residuals)
+        outlier_idx = np.nonzero(outside)[0].astype(np.uint64)
+        outliers = np.zeros(len(outlier_idx), dtype=_OUTLIER)
+        outliers["index"] = outlier_idx
+        outliers["code"] = residuals[outside.nonzero()[0]]
+
+        payload = self._huffman.encode(symbols)
+        parts = [_FIXED.pack(_MAGIC, arr.ndim)]
+        parts.extend(_DIM.pack(d) for d in arr.shape)
+        parts.append(_EPS_RADIUS.pack(eps_eff, self.radius))
+        parts.append(_OUTLIER_COUNT.pack(len(outliers)))
+        parts.append(outliers.tobytes())
+        parts.append(payload)
+        stream = b"".join(parts)
+
+        return CompressionResult(
+            stream=stream,
+            eps=bound,
+            original_bytes=arr.size * 4,
+            shape=tuple(arr.shape),
+            fixed_lengths=np.zeros(0, dtype=np.int64),
+            zero_block_fraction=float(np.mean(residuals == 0)),
+        )
+
+    def decompress(self, stream: bytes) -> np.ndarray:
+        if len(stream) < _FIXED.size:
+            raise FormatError("cuSZ stream shorter than its header")
+        magic, ndim = _FIXED.unpack(stream[: _FIXED.size])
+        if magic != _MAGIC:
+            raise FormatError(f"bad cuSZ magic {magic!r}")
+        pos = _FIXED.size
+        dims = []
+        for _ in range(ndim):
+            chunk = stream[pos : pos + _DIM.size]
+            if len(chunk) < _DIM.size:
+                raise FormatError("cuSZ stream truncated in dims")
+            dims.append(_DIM.unpack(chunk)[0])
+            pos += _DIM.size
+        chunk = stream[pos : pos + _EPS_RADIUS.size]
+        if len(chunk) < _EPS_RADIUS.size:
+            raise FormatError("cuSZ stream truncated before eps/radius")
+        eps_eff, radius = _EPS_RADIUS.unpack(chunk)
+        pos += _EPS_RADIUS.size
+        chunk = stream[pos : pos + _OUTLIER_COUNT.size]
+        if len(chunk) < _OUTLIER_COUNT.size:
+            raise FormatError("cuSZ stream truncated before outliers")
+        (count,) = _OUTLIER_COUNT.unpack(chunk)
+        pos += _OUTLIER_COUNT.size
+        if count * _OUTLIER.itemsize > len(stream) - pos:
+            raise FormatError(
+                f"cuSZ stream cannot hold {count} outlier records"
+            )
+        outliers = np.frombuffer(stream, dtype=_OUTLIER, count=count, offset=pos)
+        pos += count * _OUTLIER.itemsize
+
+        symbols = self._huffman.decode(stream[pos:])
+        shape = tuple(int(d) for d in dims)
+        expected = 1
+        for d in shape:
+            expected *= d
+        if symbols.size != expected:
+            raise FormatError(
+                f"cuSZ payload decoded {symbols.size} codes, shape needs "
+                f"{expected}"
+            )
+        residuals = symbols
+        if count:
+            indices = outliers["index"].astype(np.int64)
+            if indices.size and (indices.min() < 0 or indices.max() >= expected):
+                raise FormatError("cuSZ outlier index out of range")
+            residuals = symbols.copy()
+            residuals[indices] = outliers["code"]
+        codes = lorenzo_reconstruct_nd(residuals.reshape(shape))
+        return dequantize(codes, eps_eff).reshape(shape)
+
+
+def _resolve_bound(
+    arr: np.ndarray,
+    eps: float | None,
+    rel: float | None,
+    psnr: float | None = None,
+) -> float:
+    from repro.core.quantize import (
+        psnr_to_relative,
+        relative_to_absolute,
+        validate_error_bound,
+    )
+    from repro.errors import ErrorBoundError
+
+    if sum(x is not None for x in (eps, rel, psnr)) != 1:
+        raise ErrorBoundError("specify exactly one of eps=, rel=, or psnr=")
+    if psnr is not None:
+        rel = psnr_to_relative(psnr)
+    if eps is not None:
+        return validate_error_bound(eps)
+    return relative_to_absolute(arr, rel)

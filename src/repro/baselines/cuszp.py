@@ -1,0 +1,27 @@
+"""cuSZp: the fused single-kernel GPU compressor (Huang et al., SC'23).
+
+cuSZp shares SZp's byte format — the same pre-quantization, 1D Lorenzo and
+1-byte-header fixed-length encoding — and differs in *execution*: the whole
+pipeline (quantization, prediction, encoding, the parallel scan for block
+offsets, and concatenation) is fused into one GPU kernel. Ratios are
+therefore SZp's ratios; the execution difference lives in the throughput
+model (:mod:`repro.perf.device`), where cuSZp is the fastest GPU baseline —
+the one the paper's headline "4.9x faster" compares CereSZ against.
+"""
+
+from __future__ import annotations
+
+from repro.config import BLOCK_SIZE
+from repro.baselines.base import register
+from repro.baselines.szp import SZp
+
+
+@register("cuSZp")
+class CuSZp(SZp):
+    """cuSZp-format block compressor (SZp layout, A100 execution model)."""
+
+    name = "cuSZp"
+    device = "A100"
+
+    def __init__(self, block_size: int = BLOCK_SIZE):
+        super().__init__(block_size=block_size)

@@ -1,0 +1,368 @@
+"""Canonical Huffman codec.
+
+Substrate for the cuSZ and SZ3 baselines, which Huffman-encode their
+quantization codes (the paper's Section 3 rationale contrasts this against
+CereSZ's fixed-length choice: tree construction is expensive and the
+variable-length output needs a device-level scan to concatenate).
+
+The codec is *canonical*: only the code lengths are stored (as a compact
+symbol table), and codes are reassigned deterministically from lengths at
+decode time. Encoding is vectorized by grouping symbols with equal code
+length; decoding is the standard canonical bit-walk (sequential by nature —
+which is precisely why the paper avoids Huffman on the wafer).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CompressionError, FormatError
+
+_HEADER = struct.Struct("<IIQ")  # num_symbols, max_len, num_values
+
+
+@dataclass(frozen=True)
+class CanonicalCode:
+    """A canonical Huffman code book."""
+
+    symbols: np.ndarray  # int64, sorted by (length, symbol)
+    lengths: np.ndarray  # uint8, same order as symbols
+
+    def __post_init__(self) -> None:
+        if self.symbols.shape != self.lengths.shape:
+            raise CompressionError("symbols/lengths shape mismatch")
+
+    @property
+    def max_length(self) -> int:
+        return int(self.lengths.max(initial=0))
+
+    def codewords(self) -> np.ndarray:
+        """Canonical codeword values aligned with ``symbols``."""
+        values = np.zeros(len(self.symbols), dtype=np.uint64)
+        code = 0
+        prev_len = 0
+        for i, length in enumerate(self.lengths):
+            code <<= int(length) - prev_len
+            values[i] = code
+            code += 1
+            prev_len = int(length)
+        return values
+
+
+def _code_lengths(symbols: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Huffman code lengths via the classic heap construction."""
+    n = len(symbols)
+    if n == 1:
+        return np.array([1], dtype=np.uint8)
+    counter = itertools.count()
+    # Heap entries: (weight, tiebreak, leaf depth bookkeeping as subtree).
+    heap: list[tuple[int, int, list[int]]] = [
+        (int(c), next(counter), [i]) for i, c in enumerate(counts)
+    ]
+    heapq.heapify(heap)
+    depths = np.zeros(n, dtype=np.int64)
+    while len(heap) > 1:
+        w1, _, leaves1 = heapq.heappop(heap)
+        w2, _, leaves2 = heapq.heappop(heap)
+        for leaf in leaves1:
+            depths[leaf] += 1
+        for leaf in leaves2:
+            depths[leaf] += 1
+        heapq.heappush(heap, (w1 + w2, next(counter), leaves1 + leaves2))
+    return depths.astype(np.uint8)
+
+
+def build_code(values: np.ndarray) -> CanonicalCode:
+    """Build a canonical code for the distinct values of ``values``."""
+    arr = np.asarray(values).reshape(-1)
+    if arr.size == 0:
+        raise CompressionError("cannot build a Huffman code for no symbols")
+    symbols, counts = np.unique(arr, return_counts=True)
+    lengths = _code_lengths(symbols, counts)
+    order = np.lexsort((symbols, lengths))
+    return CanonicalCode(
+        symbols=symbols[order].astype(np.int64), lengths=lengths[order]
+    )
+
+
+class HuffmanCodec:
+    """Encode/decode int64 symbol streams with an embedded code book.
+
+    Stream layout::
+
+        [num_symbols u32][max_len u32][num_values u64]
+        [symbol table: num_symbols * (i64 symbol, u8 length)]
+        [padded bit stream]
+    """
+
+    def encode(self, values: np.ndarray) -> bytes:
+        arr = np.asarray(values, dtype=np.int64).reshape(-1)
+        code = build_code(arr)
+        words = code.codewords()
+        # Map each value to its rank in the canonical table.
+        sorter = np.argsort(code.symbols, kind="stable")
+        ranks = sorter[
+            np.searchsorted(code.symbols[sorter], arr)
+        ]
+        lengths = code.lengths[ranks].astype(np.int64)
+        ends = np.cumsum(lengths)
+        total_bits = int(ends[-1]) if arr.size else 0
+        starts = ends - lengths
+
+        bits = np.zeros(total_bits, dtype=np.uint8)
+        vals = words[ranks]
+        # Vectorize by grouping equal code lengths: all symbols of length L
+        # scatter their L bits (MSB first) in one fancy-indexed write.
+        for length in np.unique(lengths):
+            length = int(length)
+            idx = np.nonzero(lengths == length)[0]
+            shifts = np.arange(length - 1, -1, -1, dtype=np.uint64)
+            group_bits = (
+                (vals[idx][:, None] >> shifts[None, :]) & np.uint64(1)
+            ).astype(np.uint8)
+            dest = starts[idx][:, None] + np.arange(length)[None, :]
+            bits[dest] = group_bits
+
+        packed = np.packbits(bits)  # big-endian within bytes (MSB first)
+        table = np.zeros(
+            len(code.symbols), dtype=np.dtype([("sym", "<i8"), ("len", "u1")])
+        )
+        table["sym"] = code.symbols
+        table["len"] = code.lengths
+        header = _HEADER.pack(len(code.symbols), code.max_length, arr.size)
+        return header + table.tobytes() + packed.tobytes()
+
+    def decode(self, stream: bytes) -> np.ndarray:
+        if len(stream) < _HEADER.size:
+            raise FormatError("huffman stream shorter than its header")
+        num_symbols, max_len, num_values = _HEADER.unpack(
+            stream[: _HEADER.size]
+        )
+        if max_len > 64:
+            raise FormatError(f"implausible max code length {max_len}")
+        # Every coded value occupies at least one bit; anything claiming
+        # more values than the payload has bits is corrupt (and would
+        # otherwise trigger an enormous output allocation).
+        if num_values > 8 * len(stream):
+            raise FormatError(
+                f"huffman stream of {len(stream)} bytes cannot hold "
+                f"{num_values} values"
+            )
+        table_dtype = np.dtype([("sym", "<i8"), ("len", "u1")])
+        table_bytes = num_symbols * table_dtype.itemsize
+        if len(stream) < _HEADER.size + table_bytes:
+            raise FormatError("huffman stream truncated in symbol table")
+        table = np.frombuffer(
+            stream, dtype=table_dtype, count=num_symbols, offset=_HEADER.size
+        )
+        lens = table["len"]
+        if lens.size:
+            if int(lens.min()) < 1 or int(lens.max()) > max_len:
+                raise FormatError(
+                    "huffman symbol table holds lengths outside [1, max_len]"
+                )
+            # A realizable prefix-free code satisfies Kraft's inequality;
+            # corrupted tables that violate it would overflow the canonical
+            # codeword construction.
+            kraft = float(np.sum(2.0 ** -lens.astype(np.float64)))
+            if kraft > 1.0 + 1e-9:
+                raise FormatError(
+                    f"huffman symbol table violates Kraft's inequality "
+                    f"({kraft:.3f} > 1)"
+                )
+            if not np.all(np.diff(lens.astype(np.int64)) >= 0):
+                raise FormatError(
+                    "huffman symbol table is not sorted by code length"
+                )
+        code = CanonicalCode(
+            symbols=table["sym"].astype(np.int64), lengths=table["len"].copy()
+        )
+        payload = np.frombuffer(
+            stream, dtype=np.uint8, offset=_HEADER.size + table_bytes
+        )
+        return self._decode_fast(payload, code, num_values, max_len)
+
+    # -- decoding engines ---------------------------------------------------------
+
+    #: Prefix width of the acceleration table (2**W entries).
+    _TABLE_BITS = 12
+
+    @classmethod
+    def _build_prefix_table(
+        cls, code: CanonicalCode, max_len: int
+    ) -> tuple[list, int]:
+        """Multi-symbol acceleration table for W-bit windows.
+
+        Entry ``table[w]`` is ``(symbols, consumed_bits)``: every symbol
+        that decodes *entirely* inside the W-bit window ``w``, greedily, and
+        the bits they consume together. A window whose first code is longer
+        than W gets ``(None, 0)`` — the decoder falls back to the canonical
+        bit-walk for that one symbol. With short codes (the typical skewed
+        quantization-code histogram) one lookup emits several symbols,
+        which is where the speedup over the per-bit walk comes from.
+        """
+        width = min(max_len, cls._TABLE_BITS)
+        # Single-symbol decode helper arrays (canonical).
+        first: dict[int, tuple[int, int]] = {}
+        words = code.codewords()
+        lengths = code.lengths.tolist()
+        sym_vals = code.symbols.tolist()
+        short = [
+            (int(v) << (width - int(l)), (int(v) + 1) << (width - int(l)),
+             int(l), sym_vals[rank])
+            for rank, (l, v) in enumerate(zip(lengths, words.tolist()))
+            if int(l) <= width
+        ]
+        # first-symbol lookup per window: fill by code (later = longer, but
+        # ranges never overlap for a prefix-free code).
+        one = [None] * (1 << width)
+        for lo, hi, length, sym in short:
+            for w in range(lo, hi):
+                one[w] = (length, sym)
+        table: list = [None] * (1 << width)
+        for w in range(1 << width):
+            syms: list[int] = []
+            pos = 0
+            while True:
+                if pos >= width:
+                    break
+                sub = (w << pos) & ((1 << width) - 1)
+                hit = one[sub]
+                if hit is None or pos + hit[0] > width:
+                    break
+                syms.append(hit[1])
+                pos += hit[0]
+            if not syms:
+                table[w] = (None, 0)
+            else:
+                table[w] = (syms, pos)
+        return table, width
+
+    @classmethod
+    def _decode_fast(
+        cls,
+        payload: np.ndarray,
+        code: CanonicalCode,
+        num_values: int,
+        max_len: int,
+    ) -> np.ndarray:
+        """Table-accelerated canonical decode (bit-walk fallback).
+
+        Reads a W-bit window per symbol instead of walking bit by bit;
+        output is identical to :meth:`_decode_bits` by construction, which
+        the test suite asserts on random streams.
+        """
+        if num_values == 0:
+            return np.zeros(0, dtype=np.int64)
+        table, width = cls._build_prefix_table(code, max_len)
+        symbols = code.symbols
+        # Pad so a 4-byte window read never runs off the end.
+        raw = payload.tobytes() + b"\x00\x00\x00\x00"
+        total_bits = payload.size * 8
+        mask = (1 << width) - 1
+
+        # Canonical fallback parameters for codes longer than the table.
+        lengths = code.lengths
+        counts = np.bincount(lengths, minlength=max_len + 1).tolist()
+        first_code = [0] * (max_len + 2)
+        offsets = [0] * (max_len + 1)
+        c = 0
+        rank0 = 0
+        for length in range(1, max_len + 1):
+            first_code[length] = c
+            offsets[length] = rank0
+            c = (c + counts[length]) << 1
+            rank0 += counts[length]
+
+        produced: list[int] = []
+        bitpos = 0
+        append = produced.extend
+        while len(produced) < num_values:
+            if bitpos >= total_bits:
+                raise FormatError(
+                    f"huffman stream exhausted after "
+                    f"{len(produced)}/{num_values} values"
+                )
+            byte0 = bitpos >> 3
+            window32 = int.from_bytes(raw[byte0 : byte0 + 4], "big")
+            window = (window32 >> (32 - width - (bitpos & 7))) & mask
+            syms, consumed = table[window]
+            if syms is not None:
+                append(syms)
+                bitpos += consumed
+                continue
+            # Long code: canonical walk from the current position.
+            value = 0
+            length = 0
+            pos = bitpos
+            while True:
+                if pos >= total_bits:
+                    raise FormatError(
+                        f"huffman stream exhausted after "
+                        f"{len(produced)}/{num_values} values"
+                    )
+                bit = (raw[pos >> 3] >> (7 - (pos & 7))) & 1
+                value = (value << 1) | bit
+                length += 1
+                pos += 1
+                if length > max_len:
+                    raise FormatError(
+                        "huffman decode ran past the longest code"
+                    )
+                rel = value - first_code[length]
+                if 0 <= rel < counts[length]:
+                    produced.append(symbols[offsets[length] + rel])
+                    bitpos = pos
+                    break
+        return np.array(produced[:num_values], dtype=np.int64)
+
+    @staticmethod
+    def _decode_bits(
+        bits: np.ndarray, code: CanonicalCode, num_values: int, max_len: int
+    ) -> np.ndarray:
+        if num_values == 0:
+            return np.zeros(0, dtype=np.int64)
+        # Canonical decode tables: for each length, the first canonical code
+        # value and the rank offset of its first symbol.
+        lengths = code.lengths
+        counts = np.bincount(lengths, minlength=max_len + 1)
+        first_code = np.zeros(max_len + 2, dtype=np.int64)
+        offsets = np.zeros(max_len + 1, dtype=np.int64)
+        c = 0
+        rank = 0
+        for length in range(1, max_len + 1):
+            first_code[length] = c
+            offsets[length] = rank
+            c = (c + int(counts[length])) << 1
+            rank += int(counts[length])
+        symbols = code.symbols
+
+        out = np.empty(num_values, dtype=np.int64)
+        bit_list = bits.tolist()  # python ints: fastest pure-python walk
+        value = 0
+        length = 0
+        produced = 0
+        counts_l = counts.tolist()
+        first_l = first_code.tolist()
+        offsets_l = offsets.tolist()
+        for b in bit_list:
+            value = (value << 1) | b
+            length += 1
+            if length > max_len:
+                raise FormatError("huffman decode ran past the longest code")
+            rel = value - first_l[length]
+            if 0 <= rel < counts_l[length]:
+                out[produced] = symbols[offsets_l[length] + rel]
+                produced += 1
+                if produced == num_values:
+                    return out
+                value = 0
+                length = 0
+        raise FormatError(
+            f"huffman stream exhausted after {produced}/{num_values} values"
+        )

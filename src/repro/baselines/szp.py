@@ -1,0 +1,31 @@
+"""SZp: the OpenMP CPU compressor the paper compares against.
+
+SZp runs the same block algorithm as CereSZ — pre-quantization, 1D Lorenzo,
+fixed-length encoding — but records each block's fixed length in a single
+byte. That one difference is why SZp's best-case ratio is 128x versus
+CereSZ's 32x (paper Section 5.3: CereSZ "allocates 32 bits (or 4 bytes) to
+record the fixed-length ... this block information requires only 1 byte in
+SZp and cuSZp, increasing the theoretical compression ratio upper bound by
+4 times for sparse datasets").
+
+Implementation-wise this is :class:`~repro.core.compressor.CereSZ` with
+``header_width=1``; the subclass pins the identity and the device the paper
+benchmarked it on (one AMD EPYC 7742, 64C/128T).
+"""
+
+from __future__ import annotations
+
+from repro.config import BLOCK_SIZE, SZP_HEADER_BYTES
+from repro.core.compressor import CereSZ
+from repro.baselines.base import register
+
+
+@register("SZp")
+class SZp(CereSZ):
+    """SZp-format block compressor (1-byte fixed-length headers)."""
+
+    name = "SZp"
+    device = "EPYC-7742"
+
+    def __init__(self, block_size: int = BLOCK_SIZE):
+        super().__init__(block_size=block_size, header_width=SZP_HEADER_BYTES)

@@ -1,0 +1,508 @@
+"""``ceresz`` command-line interface.
+
+Subcommands::
+
+    ceresz compress   IN.f32 OUT.csz  --rel 1e-3 | --eps 0.01 | --psnr 80
+    ceresz decompress IN.csz  OUT.f32
+    ceresz extract    IN.csz OUT.f32 --start A --stop B   # random access
+    ceresz info       IN.csz                       # stream header dump
+    ceresz stream     T0.f32 T1.f32 ... --out RUN.cszs --eps E
+    ceresz unstream   RUN.cszs --prefix OUT_
+    ceresz dataset    NAME [--field N] [--out F]   # synthesize a field
+    ceresz table      {1,2,3,4,5}                  # regenerate a paper table
+    ceresz figure     {7,10,11,12,13,14,15}        # regenerate a paper figure
+    ceresz observations                            # the three boxed claims
+    ceresz validate                                # calibration + model audit
+    ceresz reproduce  [--out DIR] [--quick]        # everything + REPORT.md
+    ceresz simulate   IN.f32 --rows R --cols C --strategy multi
+
+Tables and figures print in the same layout the benchmarks log; the
+compress path is the production-style usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import CereSZ, __version__
+from repro.datasets import generate_field, get_dataset, load_f32, save_f32
+from repro.metrics.errorbound import max_abs_error
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ceresz",
+        description="CereSZ reproduction: error-bounded lossy compression "
+        "on a simulated Cerebras CS-2.",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress a raw .f32 field")
+    p.add_argument("input")
+    p.add_argument("output")
+    group = p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--rel", type=float, help="value-range relative bound")
+    group.add_argument("--eps", type=float, help="absolute error bound")
+    group.add_argument(
+        "--psnr", type=float, help="target reconstruction quality in dB"
+    )
+    p.add_argument(
+        "--shape",
+        type=lambda s: tuple(int(d) for d in s.split("x")),
+        help="field shape, e.g. 512x512x512 (default: flat)",
+    )
+
+    p = sub.add_parser("decompress", help="decompress a .csz stream")
+    p.add_argument("input")
+    p.add_argument("output")
+
+    p = sub.add_parser("info", help="describe a compressed stream")
+    p.add_argument("input")
+
+    p = sub.add_parser(
+        "extract",
+        help="random-access: reconstruct one element range of a stream",
+    )
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--start", type=int, required=True)
+    p.add_argument("--stop", type=int, required=True)
+
+    p = sub.add_parser("dataset", help="synthesize a dataset field")
+    p.add_argument("name")
+    p.add_argument("--field", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", help="write raw .f32 here instead of summarizing")
+
+    p = sub.add_parser("table", help="regenerate a paper table")
+    p.add_argument("number", type=int, choices=(1, 2, 3, 4, 5))
+
+    p = sub.add_parser("figure", help="regenerate a paper figure")
+    p.add_argument("number", type=int, choices=(7, 10, 11, 12, 13, 14, 15))
+
+    p = sub.add_parser(
+        "stream", help="frame-compress several .f32 snapshots into one file"
+    )
+    p.add_argument("inputs", nargs="+", help="raw .f32 snapshot files")
+    p.add_argument("--out", required=True)
+    p.add_argument("--eps", type=float, required=True,
+                   help="shared absolute error bound for every frame")
+
+    p = sub.add_parser(
+        "unstream", help="expand a framed stream back into .f32 snapshots"
+    )
+    p.add_argument("input")
+    p.add_argument("--prefix", required=True,
+                   help="output files are <prefix><index>.f32")
+
+    p = sub.add_parser(
+        "observations",
+        help="re-derive the paper's three boxed Observations",
+    )
+
+    p = sub.add_parser(
+        "validate",
+        help="audit the cycle-model calibration and the sim-vs-model fit",
+    )
+
+    p = sub.add_parser(
+        "reproduce",
+        help="regenerate every table, figure, and audit into one folder",
+    )
+    p.add_argument("--out", default="reproduction")
+    p.add_argument(
+        "--quick", action="store_true",
+        help="narrow dataset/field coverage for a fast smoke run",
+    )
+
+    p = sub.add_parser("simulate", help="compress on the WSE simulator")
+    p.add_argument("input")
+    p.add_argument("--rows", type=int, default=2)
+    p.add_argument("--cols", type=int, default=4)
+    p.add_argument(
+        "--strategy", choices=("rows", "pipeline", "multi"), default="multi"
+    )
+    p.add_argument("--pipeline-length", type=int, default=1)
+    p.add_argument("--rel", type=float, default=1e-3)
+    p.add_argument(
+        "--limit-blocks", type=int, default=64,
+        help="simulate only the first N blocks (event-level sim is slow)",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = globals()[f"_cmd_{args.command}"]
+    return handler(args)
+
+
+def _cmd_compress(args) -> int:
+    data = load_f32(args.input, args.shape)
+    codec = CereSZ()
+    result = codec.compress(data, eps=args.eps, rel=args.rel, psnr=args.psnr)
+    with open(args.output, "wb") as fh:
+        fh.write(result.stream)
+    print(
+        f"{args.input}: {result.original_bytes} -> {result.compressed_bytes} "
+        f"bytes (ratio {result.ratio:.2f}, eps {result.eps:g}, "
+        f"zero blocks {result.zero_block_fraction:.1%})"
+    )
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    with open(args.input, "rb") as fh:
+        stream = fh.read()
+    codec = CereSZ()
+    field = codec.decompress(stream)
+    save_f32(args.output, field)
+    print(f"{args.input}: reconstructed {field.size} values -> {args.output}")
+    return 0
+
+
+def _cmd_extract(args) -> int:
+    from repro.core.access import decompress_range
+
+    with open(args.input, "rb") as fh:
+        stream = fh.read()
+    part = decompress_range(stream, args.start, args.stop)
+    save_f32(args.output, part)
+    print(
+        f"{args.input}[{args.start}:{args.stop}] -> {args.output} "
+        f"({part.size} values)"
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    with open(args.input, "rb") as fh:
+        stream = fh.read()
+    header = CereSZ().describe_stream(stream)
+    print(f"shape:        {'x'.join(str(d) for d in header.shape)}")
+    print(f"block size:   {header.block_size}")
+    print(f"header width: {header.header_width} B/block")
+    print(f"eps (eff.):   {header.eps:g}")
+    print(f"constant:     {header.constant}")
+    print(f"stream bytes: {len(stream)}")
+    return 0
+
+
+def _cmd_dataset(args) -> int:
+    info = get_dataset(args.name)
+    field = generate_field(args.name, args.field, seed=args.seed)
+    if args.out:
+        save_f32(args.out, field)
+        print(f"{args.name}[{args.field}] -> {args.out} ({field.nbytes} B)")
+    else:
+        print(
+            f"{args.name}[{args.field}]: shape {field.shape}, domain "
+            f"{info.domain}, min {field.min():.4g}, max {field.max():.4g}, "
+            f"mean {field.mean():.4g}"
+        )
+    return 0
+
+
+def _cmd_table(args) -> int:
+    from repro.harness import (
+        format_table,
+        table1_stage_cycles,
+        table2_prequant_breakdown,
+        table3_encoding_breakdown,
+        table4_datasets,
+        table5_compression_ratio,
+    )
+
+    n = args.number
+    if n == 1:
+        rows = table1_stage_cycles()
+        print(
+            format_table(
+                ["Dataset", "fl", "Pre-Quant.", "Loren. Pred.", "FL Encd.",
+                 "paper (PQ, LP, FL)"],
+                [
+                    [r.dataset, r.fixed_length, r.prequant, r.lorenzo,
+                     r.fl_encode, r.paper]
+                    for r in rows
+                ],
+                title="Table 1: Execution cycles for three steps",
+            )
+        )
+    elif n == 2:
+        rows = table2_prequant_breakdown()
+        print(
+            format_table(
+                ["Dataset", "Pre-Quant.", "Multiplication", "Addition",
+                 "paper"],
+                [
+                    [r.dataset, r.prequant, r.multiplication, r.addition,
+                     r.paper]
+                    for r in rows
+                ],
+                title="Table 2: Breakdown cycles for Pre-Quantization",
+            )
+        )
+    elif n == 3:
+        rows = table3_encoding_breakdown()
+        print(
+            format_table(
+                ["Dataset", "fl", "FL Encd.", "Sign", "Max", "GetLength",
+                 "Bit-shuffle", "paper"],
+                [
+                    [r.dataset, r.fixed_length, r.fl_encode, r.sign, r.max,
+                     r.get_length, r.bit_shuffle, r.paper]
+                    for r in rows
+                ],
+                title="Table 3: Breakdown cycles for Fixed-Length Encoding",
+            )
+        )
+    elif n == 4:
+        rows = table4_datasets()
+        print(
+            format_table(
+                ["Dataset", "No. of Fields", "Dim. per Field (paper)",
+                 "Dim. per Field (synthetic)", "Domain"],
+                [
+                    [r["dataset"], r["num_fields"], r["paper_shape"],
+                     r["synthetic_shape"], r["domain"]]
+                    for r in rows
+                ],
+                title="Table 4: Datasets for evaluating CereSZ",
+            )
+        )
+    else:
+        rows = table5_compression_ratio()
+        print(
+            format_table(
+                ["Compressor", "Dataset", "REL", "range", "avg", "fields"],
+                [
+                    [r.compressor, r.dataset, f"{r.rel:g}",
+                     f"{r.min:.2f}~{r.max:.2f}", f"{r.avg:.2f}",
+                     r.num_fields]
+                    for r in rows
+                ],
+                title="Table 5: Compression ratio (measured streams)",
+            )
+        )
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.harness import (
+        fig7_row_scaling,
+        fig10_relay_and_execution,
+        fig11_compression_throughput,
+        fig12_decompression_throughput,
+        fig13_pipeline_lengths,
+        fig14_wse_sizes,
+        fig15_quality,
+        format_table,
+    )
+    from repro.harness.report import ascii_bar_chart
+
+    n = args.number
+    if n == 7:
+        points = fig7_row_scaling()
+        print(
+            ascii_bar_chart(
+                [f"{p.rows} rows" for p in points],
+                [p.throughput_mbs for p in points],
+                unit=" MB/s",
+                title="Fig 7: Throughput vs PE rows (NYX temperature)",
+            )
+        )
+    elif n == 10:
+        prof = fig10_relay_and_execution()
+        print(
+            format_table(
+                ["TC (cols)", "relay cycles (Eq.2)", "relay cycles (sim)"],
+                list(
+                    zip(
+                        prof.cols_swept,
+                        prof.relay_cycles_analytic,
+                        prof.relay_cycles_simulated,
+                    )
+                ),
+                title="Fig 10a: Relay time per PE vs columns (QMCPack)",
+            )
+        )
+        print()
+        print(
+            format_table(
+                ["pipeline length", "execution cycles per PE (Eq.3)"],
+                list(
+                    zip(prof.pipeline_lengths, prof.execution_cycles_per_pe)
+                ),
+                title="Fig 10b: Execution time per PE vs pipeline length",
+            )
+        )
+    elif n in (11, 12):
+        bars = (
+            fig11_compression_throughput()
+            if n == 11
+            else fig12_decompression_throughput()
+        )
+        print(
+            format_table(
+                ["Dataset", "REL", "Compressor", "GB/s"],
+                [
+                    [b.dataset, f"{b.rel:g}", b.compressor,
+                     f"{b.throughput_gbs:.2f}"]
+                    for b in bars
+                ],
+                title=f"Fig {n}: "
+                + ("Compression" if n == 11 else "Decompression")
+                + " throughput",
+            )
+        )
+    elif n == 13:
+        points = fig13_pipeline_lengths()
+        print(
+            format_table(
+                ["Dataset", "pipeline", "GB/s"],
+                [
+                    [p.dataset, f"{p.pipeline_length}-PE",
+                     f"{p.throughput_gbs:.1f}"]
+                    for p in points
+                ],
+                title="Fig 13: Compression throughput vs pipeline length "
+                "(REL 1e-4)",
+            )
+        )
+    elif n == 14:
+        points = fig14_wse_sizes()
+        print(
+            format_table(
+                ["Dataset", "WSE size", "GB/s"],
+                [
+                    [p.dataset, f"{p.rows}x{p.cols}",
+                     f"{p.throughput_gbs:.1f}"]
+                    for p in points
+                ],
+                title="Fig 14: Compression throughput vs WSE size (REL 1e-4)",
+            )
+        )
+    else:
+        q = fig15_quality()
+        print("Fig 15: data quality on NYX velocity_x, REL 1e-4")
+        print(f"  reconstructions identical: {q.reconstructions_identical}")
+        print(f"  PSNR: CereSZ {q.ceresz_psnr:.2f} dB, cuSZp "
+              f"{q.cuszp_psnr:.2f} dB (paper: {q.paper_psnr} dB)")
+        print(f"  SSIM: CereSZ {q.ceresz_ssim:.4f}, cuSZp {q.cuszp_ssim:.4f} "
+              f"(paper: {q.paper_ssim})")
+        print(f"  ratio: CereSZ {q.ceresz_ratio:.2f} vs cuSZp "
+              f"{q.cuszp_ratio:.2f} (paper: 3.10 vs 3.35)")
+    return 0
+
+
+def _cmd_stream(args) -> int:
+    from repro.core.streaming import FrameWriter
+
+    writer = FrameWriter(eps=args.eps)
+    for path in args.inputs:
+        field = load_f32(path)
+        size = writer.add(field)
+        print(f"{path}: {field.nbytes} -> {size} bytes")
+    with open(args.out, "wb") as fh:
+        fh.write(writer.getvalue())
+    print(
+        f"{writer.num_frames} frames -> {args.out} "
+        f"(aggregate ratio {writer.ratio:.2f}x, eps {args.eps:g})"
+    )
+    return 0
+
+
+def _cmd_unstream(args) -> int:
+    from repro.core.streaming import FrameReader
+
+    with open(args.input, "rb") as fh:
+        reader = FrameReader(fh.read())
+    for i, field in enumerate(reader):
+        out = f"{args.prefix}{i}.f32"
+        save_f32(out, field)
+        print(f"frame {i}: {field.size} values -> {out}")
+    print(f"{reader.num_frames} frames, shared eps {reader.eps:g}")
+    return 0
+
+
+def _cmd_observations(args) -> int:
+    from repro.harness.observations import all_observations
+
+    failures = 0
+    for v in all_observations():
+        status = "HOLDS" if v.holds else "FAILS"
+        print(f"Observation {v.observation}: {status}")
+        print(f"  claim   : {v.claim}")
+        print(f"  evidence: {v.evidence}")
+        failures += 0 if v.holds else 1
+    return failures
+
+
+def _cmd_validate(args) -> int:
+    from repro.perf.calibration import calibration_report, worst_relative_error
+    from repro.perf.validate import (
+        validate_against_simulator,
+        validation_report,
+    )
+
+    print(calibration_report())
+    worst = worst_relative_error()
+    print(f"\nworst calibration residual: {100 * worst:.2f}%")
+
+    rng = np.random.default_rng(0)
+    data = np.cumsum(rng.normal(size=32 * 48)).astype(np.float32)
+    points = validate_against_simulator(data=data, eps=0.05)
+    print()
+    print(validation_report(points))
+    bad = [p for p in points if p.relative_gap > 0.15]
+    return 1 if (worst > 0.015 or bad) else 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.harness.reproduce import reproduce_all
+
+    summary = reproduce_all(args.out, quick=args.quick)
+    print(
+        f"wrote {len(summary.artifacts)} artifacts to {summary.out_dir} "
+        f"in {summary.elapsed_seconds:.1f} s"
+    )
+    for key, value in summary.headline.items():
+        print(f"  {key}: {value}")
+    return 0 if summary.headline["observations_hold"] else 1
+
+
+def _cmd_simulate(args) -> int:
+    from repro.config import BLOCK_SIZE
+    from repro.core.wse_compressor import WSECereSZ
+
+    data = load_f32(args.input)
+    n = min(data.size, args.limit_blocks * BLOCK_SIZE)
+    data = data[:n]
+    sim = WSECereSZ(
+        rows=args.rows,
+        cols=args.cols,
+        strategy=args.strategy,
+        pipeline_length=args.pipeline_length,
+    )
+    result = sim.compress(data, rel=args.rel)
+    report = result.report
+    print(
+        f"simulated {n} values on {args.rows}x{args.cols} mesh "
+        f"({args.strategy}): makespan {report.makespan_cycles:.0f} cycles, "
+        f"{report.events_processed} events, {report.tasks_run} tasks, "
+        f"imbalance {report.trace.load_imbalance():.2f}"
+    )
+    reference = CereSZ().compress(data, rel=args.rel)
+    print(
+        "stream matches reference: "
+        f"{result.stream == reference.stream}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Global constants describing the simulated Cerebras CS-2 system.
+
+All hardware parameters come from the paper (Section 5.1.1):
+
+* the wafer-scale engine exposes a 757 x 996 mesh of processing elements, of
+  which 750 x 994 are usable for computation (the rest route data on/off);
+* each PE owns 48 KB of SRAM and runs at 850 MHz;
+* the fabric moves one 32-bit *wavelet* per hop per cycle;
+* 24 logical channels ("colors") are available per PE;
+* the minimum transfer granularity forces CereSZ to use a 32-bit (4-byte)
+  per-block header, versus the 1-byte header of SZp/cuSZp.
+
+Block-format constants live here too because both the core compressor and the
+baselines share them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# --- Wafer geometry (paper 5.1.1) -------------------------------------------
+WSE_TOTAL_ROWS: int = 757
+WSE_TOTAL_COLS: int = 996
+WSE_USABLE_ROWS: int = 750
+WSE_USABLE_COLS: int = 994
+
+# --- Per-PE resources --------------------------------------------------------
+PE_SRAM_BYTES: int = 48 * 1024
+PE_NUM_COLORS: int = 24
+CLOCK_HZ: float = 850e6  # 850 MHz
+
+# --- Fabric ------------------------------------------------------------------
+WAVELET_BITS: int = 32
+WAVELET_BYTES: int = 4
+HOP_CYCLES: int = 1  # one wavelet moves one hop per clock cycle
+
+# --- CereSZ block format (paper 3 and 5.1.1) ---------------------------------
+BLOCK_SIZE: int = 32  # elements per block; divisible by 16 as required
+ELEMENT_BYTES: int = 4  # single-precision floats
+BLOCK_BYTES: int = BLOCK_SIZE * ELEMENT_BYTES  # 128 B of raw data per block
+
+# CereSZ stores the per-block fixed-length in a full 32-bit word to respect
+# the wafer's message granularity; SZp/cuSZp use a single byte. This is what
+# caps the best-case ratio at 128/4 = 32x for CereSZ vs 128/1 = 128x for SZp
+# (visible in the paper's Table 5 as 31.99 vs 127.94).
+CERESZ_HEADER_BYTES: int = 4
+SZP_HEADER_BYTES: int = 1
+SIGN_BYTES_PER_BLOCK: int = BLOCK_SIZE // 8  # one sign bit per element
+
+MAX_RATIO_CERESZ: float = BLOCK_BYTES / CERESZ_HEADER_BYTES  # 32.0
+MAX_RATIO_SZP: float = BLOCK_BYTES / SZP_HEADER_BYTES  # 128.0
+
+
+@dataclass(frozen=True)
+class WaferConfig:
+    """Geometry of a (sub-)mesh used for one run.
+
+    The paper's headline configuration is 512 x 512 PEs with pipeline
+    length 1; Fig 14 sweeps square meshes from 32x32 up to the full usable
+    750 x 994 wafer.
+    """
+
+    rows: int = 512
+    cols: int = 512
+    clock_hz: float = CLOCK_HZ
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.rows <= WSE_USABLE_ROWS):
+            raise ValueError(
+                f"rows must be in [1, {WSE_USABLE_ROWS}], got {self.rows}"
+            )
+        if not (1 <= self.cols <= WSE_USABLE_COLS):
+            raise ValueError(
+                f"cols must be in [1, {WSE_USABLE_COLS}], got {self.cols}"
+            )
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+
+    @property
+    def num_pes(self) -> int:
+        return self.rows * self.cols
+
+    @property
+    def ingest_bandwidth_bytes_per_s(self) -> float:
+        """Upper bound on data flowing onto the mesh from the west edge.
+
+        One 4-byte wavelet per row per cycle.
+        """
+        return self.rows * WAVELET_BYTES * self.clock_hz
+
+
+#: The configuration used for the headline throughput numbers (Figs 11-12).
+DEFAULT_WAFER = WaferConfig(rows=512, cols=512)
+
+#: The largest usable mesh (right-most point of Fig 14).
+FULL_WAFER = WaferConfig(rows=WSE_USABLE_ROWS, cols=WSE_USABLE_COLS)

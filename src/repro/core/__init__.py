@@ -1,0 +1,63 @@
+"""CereSZ: the paper's block-wise, stage-wise compression algorithm.
+
+The pipeline (paper Section 3) is::
+
+    float32 data
+      | (1) pre-quantization        round(e / 2*eps) -> integers
+      | (2) 1D Lorenzo prediction   first-order difference within a block
+      | (3) fixed-length encoding   sign bits + bit-shuffled payload
+      v compressed bytes
+
+Decompression runs the three steps in reverse; pre-quantization is the only
+lossy step, so the reconstruction error is bounded by ``eps`` everywhere.
+
+Two execution paths share these kernels:
+
+* :class:`repro.core.compressor.CereSZ` — the vectorized NumPy reference
+  (what a host library user calls);
+* :mod:`repro.core.wse_compressor` — the same algorithm executed on the
+  discrete-event WSE simulator via the mapping of Section 4, validated
+  bit-exact against the reference.
+"""
+
+from repro.core.quantize import prequantize, dequantize
+from repro.core.lorenzo import lorenzo_predict, lorenzo_reconstruct
+from repro.core.blocks import partition_blocks, merge_blocks
+from repro.core.encoding import (
+    block_fixed_lengths,
+    encode_blocks,
+    decode_blocks,
+)
+from repro.core.format import StreamHeader, CERESZ_MAGIC
+from repro.core.compressor import CereSZ, CompressionResult
+from repro.core.stages import SubStage, compression_substages, decompression_substages
+from repro.core.schedule import (
+    distribute_substages,
+    max_feasible_pipeline_length,
+    estimate_fixed_length,
+)
+from repro.core.access import block_index, decompress_range
+
+__all__ = [
+    "prequantize",
+    "dequantize",
+    "lorenzo_predict",
+    "lorenzo_reconstruct",
+    "partition_blocks",
+    "merge_blocks",
+    "block_fixed_lengths",
+    "encode_blocks",
+    "decode_blocks",
+    "StreamHeader",
+    "CERESZ_MAGIC",
+    "CereSZ",
+    "CompressionResult",
+    "SubStage",
+    "compression_substages",
+    "decompression_substages",
+    "distribute_substages",
+    "max_feasible_pipeline_length",
+    "estimate_fixed_length",
+    "block_index",
+    "decompress_range",
+]

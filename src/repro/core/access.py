@@ -1,0 +1,87 @@
+"""Random access into CereSZ streams.
+
+Because every block record is self-contained (the paper's block-wise design
+exists precisely so PEs never need neighbours), a reader can decode any
+subrange of a stream without touching the rest of the payload. Only the
+header *scan* is sequential — record sizes are data-dependent — and it
+reads 4 bytes per block, so skipping is cheap even for ranges deep into a
+large field.
+
+This is a host-side library feature the wafer design enables for free:
+post-hoc analysis tools routinely want one slab of a snapshot, not the
+whole reconstruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompressionError, FormatError
+from repro.core.encoding import decode_blocks, scan_record_offsets
+from repro.core.format import StreamHeader
+from repro.core.lorenzo import lorenzo_reconstruct
+from repro.core.quantize import dequantize
+
+
+def decompress_range(
+    stream: bytes, start: int, stop: int
+) -> np.ndarray:
+    """Reconstruct elements ``[start, stop)`` of the flattened field.
+
+    Works only for blocked-1D streams (the CereSZ default): the N-D
+    predictor needs the whole array for its prefix sums, which is exactly
+    the random-access property the paper's block-local design buys.
+    """
+    header, offset = StreamHeader.unpack(stream)
+    if header.predictor != "blocked1d":
+        raise CompressionError(
+            "random access requires the block-local 1-D predictor; "
+            "ND-predicted streams must be decompressed whole"
+        )
+    n = header.num_elements
+    if not (0 <= start <= stop <= n):
+        raise CompressionError(
+            f"range [{start}, {stop}) outside field of {n} elements"
+        )
+    out_dtype = np.float64 if header.dtype == "f8" else np.float32
+    if stop == start:
+        return np.zeros(0, dtype=out_dtype)
+    if header.constant is not None:
+        return np.full(stop - start, header.constant, dtype=out_dtype)
+
+    L = header.block_size
+    first_block = start // L
+    last_block = (stop - 1) // L  # inclusive
+
+    offsets, fls = scan_record_offsets(
+        stream, header.num_blocks, L, header.header_width, start=offset
+    )
+    if last_block >= header.num_blocks:
+        raise FormatError("stream holds fewer blocks than its header claims")
+
+    # Decode just the needed records: build a contiguous sub-stream view
+    # starting at the first wanted block (decode_blocks walks forward).
+    sub_start = int(offsets[first_block])
+    count = last_block - first_block + 1
+    residuals = decode_blocks(stream, count, L, header.header_width, sub_start)
+    codes = lorenzo_reconstruct(residuals)
+    values = dequantize(codes.reshape(-1), header.eps, dtype=out_dtype)
+    lo = start - first_block * L
+    hi = stop - first_block * L
+    return values[lo:hi]
+
+
+def block_index(stream: bytes) -> np.ndarray:
+    """Per-block byte offsets into the stream (an explicit random-access
+    index a caller can cache to skip the header scan on repeated reads)."""
+    header, offset = StreamHeader.unpack(stream)
+    if header.constant is not None:
+        return np.zeros(0, dtype=np.int64)
+    offsets, _ = scan_record_offsets(
+        stream,
+        header.num_blocks,
+        header.block_size,
+        header.header_width,
+        start=offset,
+    )
+    return offsets

@@ -1,0 +1,79 @@
+"""Block partitioning.
+
+CereSZ divides the flattened input into fixed-size blocks of consecutive
+elements (paper Section 3; block size 32 in the evaluated configuration,
+chosen because the fabric moves 16/32-bit units and 32 gave the best ratio).
+A short tail is zero-padded to a full block; the original element count in
+the stream header lets decompression trim the padding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import BLOCK_SIZE
+from repro.errors import CompressionError
+
+
+def validate_block_size(block_size: int) -> int:
+    """Block sizes must be positive multiples of 8.
+
+    Multiples of 8 keep sign/payload bit-packing byte-aligned; the device
+    additionally wants multiples of 16 for its transfer granularity, which
+    the default of 32 satisfies.
+    """
+    block_size = int(block_size)
+    if block_size <= 0 or block_size % 8 != 0:
+        raise CompressionError(
+            f"block size must be a positive multiple of 8, got {block_size}"
+        )
+    return block_size
+
+
+def partition_blocks(
+    data: np.ndarray, block_size: int = BLOCK_SIZE
+) -> tuple[np.ndarray, int]:
+    """Flatten ``data`` and reshape to ``(num_blocks, block_size)``.
+
+    Returns the 2-D block view and the original element count. The tail
+    block, if partial, is padded with zeros (zeros quantize to zero codes,
+    so padding compresses to nothing and never violates the error bound of
+    real elements).
+    """
+    block_size = validate_block_size(block_size)
+    flat = np.asarray(data).reshape(-1)
+    n = flat.size
+    num_blocks = -(-n // block_size) if n else 0
+    padded = np.zeros(num_blocks * block_size, dtype=flat.dtype)
+    padded[:n] = flat
+    return padded.reshape(num_blocks, block_size), n
+
+
+def merge_blocks(blocks: np.ndarray, n: int) -> np.ndarray:
+    """Inverse of :func:`partition_blocks`: flatten and trim padding."""
+    arr = np.asarray(blocks)
+    if arr.ndim != 2:
+        raise CompressionError(
+            f"merge_blocks expects a 2-D block array, got shape {arr.shape}"
+        )
+    flat = arr.reshape(-1)
+    if n > flat.size:
+        raise CompressionError(
+            f"cannot trim to {n} elements, blocks only hold {flat.size}"
+        )
+    return flat[:n]
+
+
+def zero_block_mask(residuals: np.ndarray) -> np.ndarray:
+    """Boolean mask of blocks whose residuals are entirely zero.
+
+    Zero blocks store only their header (fixed length 0) — the paper's
+    explanation for why looser error bounds *increase* throughput
+    (Section 5.2): more zero blocks means less encoding work.
+    """
+    arr = np.asarray(residuals)
+    if arr.ndim != 2:
+        raise CompressionError(
+            f"zero_block_mask expects a 2-D block array, got shape {arr.shape}"
+        )
+    return ~np.any(arr, axis=1)

@@ -1,0 +1,269 @@
+"""The CereSZ compressor: the library's primary public API.
+
+This is the vectorized host reference of the paper's algorithm — the same
+three stages the wafer mapping runs, executed with NumPy over all blocks at
+once. The on-fabric path (:mod:`repro.core.wse_compressor`) is validated to
+produce byte-identical streams.
+
+Example
+-------
+>>> import numpy as np
+>>> from repro import CereSZ
+>>> data = np.cumsum(np.random.default_rng(0).normal(size=4096)).astype(np.float32)
+>>> codec = CereSZ()
+>>> result = codec.compress(data, rel=1e-3)
+>>> restored = codec.decompress(result.stream)
+>>> bool(np.max(np.abs(restored - data)) <= result.eps)
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import BLOCK_SIZE, CERESZ_HEADER_BYTES, SZP_HEADER_BYTES
+from repro.errors import CompressionError, ErrorBoundError, FormatError
+from repro.core.blocks import merge_blocks, partition_blocks, validate_block_size
+from repro.core.encoding import (
+    block_fixed_lengths,
+    decode_blocks,
+    encode_blocks,
+)
+from repro.core.format import StreamHeader, make_header
+from repro.core.lorenzo import lorenzo_predict, lorenzo_reconstruct
+from repro.core.quantize import (
+    dequantize,
+    prequantize_verified,
+    psnr_to_relative,
+    relative_to_absolute,
+    validate_error_bound,
+)
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """Everything a caller wants to know about one compression."""
+
+    stream: bytes
+    eps: float
+    original_bytes: int
+    shape: tuple[int, ...]
+    fixed_lengths: np.ndarray  # per-block, int64
+    zero_block_fraction: float
+
+    @property
+    def compressed_bytes(self) -> int:
+        return len(self.stream)
+
+    @property
+    def ratio(self) -> float:
+        """Compression ratio: original size / compressed size (paper 2.2)."""
+        if self.compressed_bytes == 0:
+            raise CompressionError("empty compressed stream")
+        return self.original_bytes / self.compressed_bytes
+
+    @property
+    def num_elements(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def bit_rate(self) -> float:
+        """Bits stored per original element (the rate-distortion x-axis)."""
+        n = self.num_elements
+        if n == 0:
+            return 0.0
+        return 8.0 * self.compressed_bytes / n
+
+
+class CereSZ:
+    """Error-bounded lossy compressor (pre-quant + 1D Lorenzo + FL encoding).
+
+    Parameters
+    ----------
+    block_size:
+        Elements per independent block; the paper uses 32.
+    header_width:
+        Per-block header bytes: 4 (CereSZ, wafer 32-bit message constraint)
+        or 1 (the SZp container layout, used by the baseline subclasses).
+    """
+
+    name = "CereSZ"
+    #: Platform the paper ran this compressor on (keys the throughput model).
+    device = "CS-2"
+
+    def __init__(
+        self,
+        block_size: int = BLOCK_SIZE,
+        header_width: int = CERESZ_HEADER_BYTES,
+    ):
+        self.block_size = validate_block_size(block_size)
+        if header_width not in (CERESZ_HEADER_BYTES, SZP_HEADER_BYTES):
+            raise FormatError(f"unsupported header width {header_width}")
+        self.header_width = header_width
+
+    # -- compression ---------------------------------------------------------------
+
+    def resolve_error_bound(
+        self,
+        data: np.ndarray,
+        eps: float | None,
+        rel: float | None,
+        psnr: float | None = None,
+    ) -> float | None:
+        """Turn (eps | rel | psnr) into an absolute bound.
+
+        Exactly one of ``eps`` (absolute), ``rel`` (value-range relative,
+        the paper's REL mode), or ``psnr`` (target quality in dB, converted
+        analytically to a REL bound) must be given. Returns ``None`` for a
+        constant field under a relative mode (stored exactly).
+        """
+        given = sum(x is not None for x in (eps, rel, psnr))
+        if given != 1:
+            raise ErrorBoundError(
+                "specify exactly one of eps=, rel=, or psnr="
+            )
+        if psnr is not None:
+            rel = psnr_to_relative(psnr)
+        if eps is not None:
+            return validate_error_bound(eps)
+        arr = np.asarray(data)
+        if arr.size == 0:
+            raise CompressionError("cannot compress an empty array")
+        vmin = float(arr.min())
+        vmax = float(arr.max())
+        if vmax == vmin:
+            return None  # constant field: stored exactly
+        return relative_to_absolute(arr, rel)
+
+    def compress(
+        self,
+        data: np.ndarray,
+        *,
+        eps: float | None = None,
+        rel: float | None = None,
+        psnr: float | None = None,
+    ) -> CompressionResult:
+        """Compress under an absolute bound, a REL bound, or a PSNR target."""
+        arr = np.asarray(data)
+        if arr.size == 0:
+            raise CompressionError("cannot compress an empty array")
+        if not np.issubdtype(arr.dtype, np.floating):
+            raise CompressionError(
+                f"CereSZ compresses floating-point fields, got {arr.dtype}"
+            )
+        bound = self.resolve_error_bound(arr, eps, rel, psnr)
+        out_dtype = np.float64 if arr.dtype == np.float64 else np.float32
+        if bound is None:
+            return self._compress_constant(arr)
+
+        codes, eps_eff, n = self._quantize_blocks(arr, bound, out_dtype)
+        residuals = lorenzo_predict(codes)
+        fl = block_fixed_lengths(residuals)
+        body = encode_blocks(residuals, self.header_width)
+        # The header carries the *effective* bound the codes were quantized
+        # against (slightly inside the requested one, see
+        # :func:`repro.core.quantize.effective_error_bound`) — it is what
+        # reconstruction must multiply by.
+        header = make_header(
+            arr.shape,
+            eps_eff,
+            header_width=self.header_width,
+            block_size=self.block_size,
+            dtype="f8" if out_dtype == np.float64 else "f4",
+        )
+        stream = header.pack() + body
+        zero_frac = float(np.mean(fl == 0)) if fl.size else 0.0
+        return CompressionResult(
+            stream=stream,
+            eps=bound,
+            original_bytes=n * arr.dtype.itemsize,
+            shape=tuple(arr.shape),
+            fixed_lengths=fl,
+            zero_block_fraction=zero_frac,
+        )
+
+    def _quantize_blocks(
+        self, arr: np.ndarray, bound: float, out_dtype=np.float32
+    ) -> tuple[np.ndarray, float, int]:
+        codes, eps_eff = prequantize_verified(arr, bound, dtype=out_dtype)
+        blocks, n = partition_blocks(codes, self.block_size)
+        return blocks, eps_eff, n
+
+    def _compress_constant(self, arr: np.ndarray) -> CompressionResult:
+        value = float(arr.flat[0])
+        header = make_header(
+            arr.shape,
+            0.0,
+            header_width=self.header_width,
+            block_size=self.block_size,
+            constant=value,
+            dtype="f8" if arr.dtype == np.float64 else "f4",
+        )
+        stream = header.pack()
+        return CompressionResult(
+            stream=stream,
+            eps=0.0,
+            original_bytes=arr.size * arr.dtype.itemsize,
+            shape=tuple(arr.shape),
+            fixed_lengths=np.zeros(0, dtype=np.int64),
+            zero_block_fraction=1.0,
+        )
+
+    # -- decompression --------------------------------------------------------------
+
+    def decompress(self, stream: bytes) -> np.ndarray:
+        """Reconstruct the float32 field (original shape restored).
+
+        Dispatches on the stream's predictor flag, so a plain ``CereSZ``
+        instance also decodes :class:`repro.core.nd_variant.CereSZND`
+        streams.
+        """
+        header, offset = StreamHeader.unpack(stream)
+        out_dtype = np.float64 if header.dtype == "f8" else np.float32
+        if header.constant is not None:
+            try:
+                return np.full(header.shape, header.constant, dtype=out_dtype)
+            except MemoryError as exc:
+                raise CompressionError(
+                    f"constant stream describes a {header.shape} field that "
+                    f"does not fit in memory"
+                ) from exc
+        n = header.num_elements
+        # A corrupt header could claim a field far larger than any stream
+        # that block count could encode; reject before allocating.
+        if header.num_blocks * header.header_width > len(stream):
+            raise FormatError(
+                f"stream of {len(stream)} bytes cannot describe "
+                f"{header.num_blocks} blocks"
+            )
+        residuals = decode_blocks(
+            stream,
+            header.num_blocks,
+            header.block_size,
+            header.header_width,
+            start=offset,
+        )
+        if header.predictor == "nd":
+            from repro.core.lorenzo import lorenzo_reconstruct_nd
+
+            flat = merge_blocks(residuals, n)
+            codes = lorenzo_reconstruct_nd(flat.reshape(header.shape))
+            return dequantize(codes, header.eps, dtype=out_dtype).reshape(
+                header.shape
+            )
+        codes = lorenzo_reconstruct(residuals)
+        flat = merge_blocks(codes, n)
+        values = dequantize(flat, header.eps, dtype=out_dtype)
+        return values.reshape(header.shape)
+
+    # -- introspection ----------------------------------------------------------------
+
+    def describe_stream(self, stream: bytes) -> StreamHeader:
+        """Parse and return the global header without decoding payloads."""
+        header, _ = StreamHeader.unpack(stream)
+        return header

@@ -1,0 +1,238 @@
+"""Fixed-length encoding (compression step 3) and its decoder.
+
+Per block the encoder runs the four sub-stages of the paper's Table 3:
+
+``Sign``
+    split residuals into sign bits and magnitudes;
+``Max``
+    find the maximum magnitude;
+``GetLength``
+    its effective bit count *f* — the block's "fixed length";
+``Bit-shuffle``
+    transpose the low *f* bits of all magnitudes into *f* groups of
+    ``L/8`` bytes: byte group *k* holds bit *k* of every element
+    (paper Figure 8).
+
+The on-stream record for a block is::
+
+    [ header: fixed length f ][ L/8 sign bytes ][ f * L/8 payload bytes ]
+
+where the header is 4 bytes for CereSZ (the wafer's 32-bit message
+granularity, Section 5.1.1) or 1 byte for the SZp/cuSZp baselines. A zero
+block (f = 0) stores the header only — no signs, no payload — capping the
+best-case ratio at 32x for CereSZ and 128x for SZp (visible as the 31.99 /
+127.94 ceilings in the paper's Table 5).
+
+Everything is vectorized by grouping blocks with equal fixed length, so the
+encoder performs O(distinct fixed lengths) numpy passes rather than one per
+block. Decoding must walk the headers sequentially (record sizes are data
+dependent) but unpacks payloads group-wise the same way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import CERESZ_HEADER_BYTES, SZP_HEADER_BYTES
+from repro.errors import CompressionError, FormatError
+
+#: Residual magnitudes must fit below 2**63 for the sign/magnitude split;
+#: the quantizer's MAX_QUANT_BITS guard keeps us far away from this anyway.
+_MAX_FL = 63
+
+
+def block_fixed_lengths(residuals: np.ndarray) -> np.ndarray:
+    """The per-block fixed length: effective bits of the max |residual|.
+
+    Returns an int64 array of shape ``(num_blocks,)``; zero blocks get 0.
+    """
+    arr = _as_blocks(residuals)
+    mags = np.abs(arr)
+    maxima = mags.max(axis=1) if arr.size else np.zeros(0, dtype=np.int64)
+    fl = np.zeros(arr.shape[0], dtype=np.int64)
+    nz = maxima > 0
+    if np.any(nz):
+        # float64 log2 is exact for integers below 2**53 (guaranteed by the
+        # quantizer's overflow guard), so floor(log2(m)) + 1 == bit_length(m).
+        fl[nz] = np.floor(np.log2(maxima[nz].astype(np.float64))).astype(np.int64) + 1
+    return fl
+
+
+def record_sizes(
+    fl: np.ndarray, block_size: int, header_bytes: int
+) -> np.ndarray:
+    """Stream bytes of each block record given its fixed length."""
+    fl = np.asarray(fl, dtype=np.int64)
+    sign_bytes = block_size // 8
+    sizes = np.full(fl.shape, header_bytes, dtype=np.int64)
+    nz = fl > 0
+    sizes[nz] += sign_bytes + fl[nz] * (block_size // 8)
+    return sizes
+
+
+def encode_blocks(
+    residuals: np.ndarray, header_bytes: int = CERESZ_HEADER_BYTES
+) -> bytes:
+    """Fixed-length-encode a ``(num_blocks, L)`` residual array.
+
+    ``header_bytes`` selects the CereSZ (4) or SZp (1) header width.
+    """
+    arr = _as_blocks(residuals)
+    _check_header_bytes(header_bytes)
+    num_blocks, block_size = arr.shape
+    if block_size % 8:
+        raise CompressionError("block size must be a multiple of 8")
+    fl = block_fixed_lengths(arr)
+    if header_bytes == SZP_HEADER_BYTES and int(fl.max(initial=0)) > 0xFF:
+        raise FormatError("fixed length does not fit the 1-byte SZp header")
+    if int(fl.max(initial=0)) > _MAX_FL:
+        raise FormatError(f"fixed length exceeds {_MAX_FL} bits")
+
+    sizes = record_sizes(fl, block_size, header_bytes)
+    offsets = np.zeros(num_blocks + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    out = np.zeros(int(offsets[-1]), dtype=np.uint8)
+
+    # Headers (vectorized little-endian write).
+    for byte in range(header_bytes):
+        out[offsets[:-1] + byte] = (fl >> (8 * byte)).astype(np.uint8)
+
+    mags = np.abs(arr).astype(np.uint64)
+    negs = (arr < 0).astype(np.uint8)
+    sign_bytes = block_size // 8
+
+    for f in np.unique(fl):
+        f = int(f)
+        if f == 0:
+            continue
+        idx = np.nonzero(fl == f)[0]
+        # Sign bytes: element j -> bit j%8 of sign byte j//8.
+        packed_signs = np.packbits(
+            negs[idx].reshape(len(idx), sign_bytes, 8), axis=-1, bitorder="little"
+        ).reshape(len(idx), sign_bytes)
+        # Bit-shuffle: byte group k carries bit k of all elements (Fig 8).
+        shifts = np.arange(f, dtype=np.uint64)[None, :, None]
+        bits = ((mags[idx][:, None, :] >> shifts) & 1).astype(np.uint8)
+        payload = np.packbits(
+            bits.reshape(len(idx), f, sign_bytes, 8), axis=-1, bitorder="little"
+        ).reshape(len(idx), f * sign_bytes)
+
+        body = np.concatenate([packed_signs, payload], axis=1)
+        dest = offsets[idx][:, None] + header_bytes + np.arange(body.shape[1])
+        out[dest] = body
+
+    return out.tobytes()
+
+
+def scan_record_offsets(
+    stream: bytes | np.ndarray,
+    num_blocks: int,
+    block_size: int,
+    header_bytes: int = CERESZ_HEADER_BYTES,
+    start: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Walk the headers and return (offsets, fixed lengths) per block.
+
+    This is the sequential part of decoding: record sizes depend on the
+    headers, so offsets are discovered one block at a time — but it is the
+    *only* sequential part, and it reads headers, not payloads.
+    """
+    _check_header_bytes(header_bytes)
+    buf = np.frombuffer(stream, dtype=np.uint8) if isinstance(
+        stream, (bytes, bytearray, memoryview)
+    ) else np.asarray(stream, dtype=np.uint8)
+    if num_blocks < 0:
+        raise FormatError(f"negative block count {num_blocks}")
+    # Every block record is at least one header wide; a block count that
+    # cannot fit the stream indicates corruption and must be rejected
+    # before any O(num_blocks) allocation happens.
+    if num_blocks * header_bytes > max(0, buf.size - start):
+        raise FormatError(
+            f"stream of {buf.size} bytes cannot hold {num_blocks} block "
+            f"records"
+        )
+    sign_bytes = block_size // 8
+    offsets = np.empty(num_blocks, dtype=np.int64)
+    fls = np.empty(num_blocks, dtype=np.int64)
+    pos = start
+    n = buf.size
+    for i in range(num_blocks):
+        if pos + header_bytes > n:
+            raise FormatError(
+                f"stream truncated in header of block {i} "
+                f"(offset {pos}, stream {n} bytes)"
+            )
+        f = 0
+        for byte in range(header_bytes):
+            f |= int(buf[pos + byte]) << (8 * byte)
+        if f > _MAX_FL:
+            raise FormatError(f"block {i}: invalid fixed length {f}")
+        offsets[i] = pos
+        fls[i] = f
+        pos += header_bytes
+        if f:
+            pos += sign_bytes + f * sign_bytes
+    if pos > n:
+        raise FormatError(
+            f"stream truncated in payload of final block (need {pos}, have {n})"
+        )
+    return offsets, fls
+
+
+def decode_blocks(
+    stream: bytes | np.ndarray,
+    num_blocks: int,
+    block_size: int,
+    header_bytes: int = CERESZ_HEADER_BYTES,
+    start: int = 0,
+) -> np.ndarray:
+    """Decode a fixed-length-encoded stream back to int64 residuals."""
+    buf = np.frombuffer(stream, dtype=np.uint8) if isinstance(
+        stream, (bytes, bytearray, memoryview)
+    ) else np.asarray(stream, dtype=np.uint8)
+    offsets, fls = scan_record_offsets(
+        buf, num_blocks, block_size, header_bytes, start
+    )
+    out = np.zeros((num_blocks, block_size), dtype=np.int64)
+    sign_bytes = block_size // 8
+
+    for f in np.unique(fls):
+        f = int(f)
+        if f == 0:
+            continue
+        idx = np.nonzero(fls == f)[0]
+        body_len = sign_bytes + f * sign_bytes
+        src = offsets[idx][:, None] + header_bytes + np.arange(body_len)
+        body = buf[src]  # (g, body_len)
+        sign_part = body[:, :sign_bytes]
+        payload = body[:, sign_bytes:]
+
+        negs = np.unpackbits(sign_part, axis=-1, bitorder="little").astype(bool)
+        bits = np.unpackbits(
+            payload.reshape(len(idx), f, sign_bytes), axis=-1, bitorder="little"
+        ).reshape(len(idx), f, block_size)
+        weights = (np.uint64(1) << np.arange(f, dtype=np.uint64))[None, :, None]
+        mags = (bits.astype(np.uint64) * weights).sum(axis=1).astype(np.int64)
+        mags[negs] = -mags[negs]
+        out[idx] = mags
+
+    return out
+
+
+def _as_blocks(residuals: np.ndarray) -> np.ndarray:
+    arr = np.asarray(residuals)
+    if arr.ndim != 2:
+        raise CompressionError(
+            f"expected a (num_blocks, block_size) array, got shape {arr.shape}"
+        )
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise CompressionError(f"residuals must be integers, got {arr.dtype}")
+    return arr.astype(np.int64, copy=False)
+
+
+def _check_header_bytes(header_bytes: int) -> None:
+    if header_bytes not in (CERESZ_HEADER_BYTES, SZP_HEADER_BYTES):
+        raise FormatError(
+            f"header width must be {CERESZ_HEADER_BYTES} (CereSZ) or "
+            f"{SZP_HEADER_BYTES} (SZp), got {header_bytes}"
+        )

@@ -1,0 +1,169 @@
+"""The CereSZ container format.
+
+A compressed stream is a small self-describing global header followed by the
+per-block records of :mod:`repro.core.encoding`::
+
+    [ magic "CSZ1" ][ version ][ header_width ][ block_size u16 ]
+    [ ndim u8 ][ dims u64 * ndim ][ eps f64 ][ flags u8 ]
+    ( [ constant value f64 ]  when flags & CONSTANT )
+    [ block records ... ]
+
+The global header exists only on the host side — on the wafer each PE sees
+naked block records — but a usable library needs streams that decompress
+without out-of-band metadata. ``header_width`` is the per-block header size:
+4 bytes for CereSZ proper, 1 byte when the container carries the SZp-format
+baseline payload.
+
+A *constant* stream handles the zero-value-range corner: a REL error bound
+on a constant field is undefined (range 0), so the field is stored exactly
+as a single f64 and the flag short-circuits both directions.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import BLOCK_SIZE, CERESZ_HEADER_BYTES
+from repro.errors import FormatError
+
+CERESZ_MAGIC = b"CSZ1"
+FORMAT_VERSION = 1
+
+FLAG_CONSTANT = 0x01
+#: Residuals come from the N-D Lorenzo predictor over the full array
+#: (the paper's "higher dimensional Lorenzo" extension) instead of the
+#: default block-local 1-D difference.
+FLAG_ND_PREDICTOR = 0x02
+#: The reconstructed field is float64 (the stream was built from a float64
+#: input; SDRBench distributes several datasets in double precision).
+FLAG_F64 = 0x04
+
+_FIXED = struct.Struct("<4sBBHB")  # magic, version, header_width, block, ndim
+_EPS_FLAGS = struct.Struct("<dB")
+_DIM = struct.Struct("<Q")
+_CONST = struct.Struct("<d")
+
+
+@dataclass(frozen=True)
+class StreamHeader:
+    """Decoded global header of a CereSZ stream."""
+
+    header_width: int
+    block_size: int
+    shape: tuple[int, ...]
+    eps: float
+    constant: float | None = None
+    predictor: str = "blocked1d"  # or "nd"
+    dtype: str = "f4"  # "f4" or "f8": reconstruction precision
+    version: int = FORMAT_VERSION
+
+    @property
+    def num_elements(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n if self.shape else 0
+
+    @property
+    def num_blocks(self) -> int:
+        return -(-self.num_elements // self.block_size)
+
+    def pack(self) -> bytes:
+        if not (1 <= len(self.shape) <= 255):
+            raise FormatError(f"unsupported ndim {len(self.shape)}")
+        parts = [
+            _FIXED.pack(
+                CERESZ_MAGIC,
+                self.version,
+                self.header_width,
+                self.block_size,
+                len(self.shape),
+            )
+        ]
+        parts.extend(_DIM.pack(d) for d in self.shape)
+        flags = FLAG_CONSTANT if self.constant is not None else 0
+        if self.predictor == "nd":
+            flags |= FLAG_ND_PREDICTOR
+        elif self.predictor != "blocked1d":
+            raise FormatError(f"unknown predictor {self.predictor!r}")
+        if self.dtype == "f8":
+            flags |= FLAG_F64
+        elif self.dtype != "f4":
+            raise FormatError(f"unknown dtype {self.dtype!r}")
+        parts.append(_EPS_FLAGS.pack(self.eps, flags))
+        if self.constant is not None:
+            parts.append(_CONST.pack(self.constant))
+        return b"".join(parts)
+
+    @classmethod
+    def unpack(cls, stream: bytes | memoryview) -> tuple["StreamHeader", int]:
+        """Parse the header; returns (header, offset of first block record)."""
+        buf = bytes(stream[: _FIXED.size])
+        if len(buf) < _FIXED.size:
+            raise FormatError("stream shorter than the fixed header")
+        magic, version, header_width, block_size, ndim = _FIXED.unpack(buf)
+        if magic != CERESZ_MAGIC:
+            raise FormatError(f"bad magic {magic!r}, expected {CERESZ_MAGIC!r}")
+        if version != FORMAT_VERSION:
+            raise FormatError(f"unsupported stream version {version}")
+        if block_size <= 0 or block_size % 8 or block_size > 8192:
+            # 8192 elements = 32 KB of raw data, already beyond what a
+            # 48 KB-SRAM PE could stage; larger values indicate corruption.
+            raise FormatError(f"corrupt block size {block_size}")
+        pos = _FIXED.size
+        dims = []
+        for _ in range(ndim):
+            chunk = bytes(stream[pos : pos + _DIM.size])
+            if len(chunk) < _DIM.size:
+                raise FormatError("stream truncated in shape dims")
+            dims.append(_DIM.unpack(chunk)[0])
+            pos += _DIM.size
+        chunk = bytes(stream[pos : pos + _EPS_FLAGS.size])
+        if len(chunk) < _EPS_FLAGS.size:
+            raise FormatError("stream truncated before eps/flags")
+        eps, flags = _EPS_FLAGS.unpack(chunk)
+        pos += _EPS_FLAGS.size
+        constant = None
+        if flags & FLAG_CONSTANT:
+            chunk = bytes(stream[pos : pos + _CONST.size])
+            if len(chunk) < _CONST.size:
+                raise FormatError("stream truncated in constant value")
+            constant = _CONST.unpack(chunk)[0]
+            pos += _CONST.size
+        header = cls(
+            header_width=header_width,
+            block_size=block_size,
+            shape=tuple(int(d) for d in dims),
+            eps=eps,
+            constant=constant,
+            predictor="nd" if flags & FLAG_ND_PREDICTOR else "blocked1d",
+            dtype="f8" if flags & FLAG_F64 else "f4",
+            version=version,
+        )
+        return header, pos
+
+
+def make_header(
+    shape: tuple[int, ...],
+    eps: float,
+    *,
+    header_width: int = CERESZ_HEADER_BYTES,
+    block_size: int = BLOCK_SIZE,
+    constant: float | None = None,
+    predictor: str = "blocked1d",
+    dtype: str = "f4",
+) -> StreamHeader:
+    """Convenience constructor used by the compressors."""
+    arr_shape = tuple(int(d) for d in np.atleast_1d(np.asarray(shape)).tolist())
+    return StreamHeader(
+        header_width=header_width,
+        block_size=block_size,
+        shape=arr_shape,
+        eps=float(eps),
+        constant=constant,
+        predictor=predictor,
+        dtype=dtype,
+    )

@@ -1,0 +1,585 @@
+"""Mapping CereSZ *decompression* onto the simulated wafer.
+
+The paper's Section 4.2 closes with the decompression mapping: the reverse
+Bit-shuffle splits per byte group, while the prefix sum (reverse Lorenzo)
+and the de-quantization multiply are indivisible; Algorithm 1 distributes
+those sub-stages the same way. This module implements the row-parallel
+decompression program with the wrinkle that makes it interesting on a
+dataflow machine: *compressed records have data-dependent length*, so a PE
+cannot post one fixed-extent receive per block. Instead it receives in two
+phases — the 4-byte header word first (one wavelet), which tells it the
+block's fixed length, then the ``1 + fl`` words of signs and payload.
+Zero blocks (fl = 0) have no second phase at all, which is exactly the
+short-circuit that makes decompression faster at loose bounds.
+
+Record-to-wavelet packing (CereSZ's 32-bit message rule, block size 32):
+
+* word 0: the fixed length (the 4-byte little-endian header);
+* word 1: the 4 sign bytes (absent when fl = 0);
+* words 2..fl+1: one 4-byte bit-plane group each (paper Fig 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+import numpy as np
+
+from repro.config import BLOCK_SIZE, CERESZ_HEADER_BYTES
+from repro.errors import CompressionError
+from repro.core.encoding import scan_record_offsets
+from repro.core.stages import decompression_substages
+from repro.wse.color import ColorAllocator
+from repro.wse.cost import CycleModel, PAPER_CYCLE_MODEL
+from repro.wse.dsd import FabinDsd, Mem1dDsd
+from repro.wse.engine import Engine
+from repro.wse.fabric import Fabric
+from repro.wse.pe import Task, TaskContext
+from repro.wse.wavelet import Direction
+
+
+@dataclass
+class DecompressOutputs:
+    """Host-side collection of reconstructed blocks."""
+
+    blocks: dict[int, np.ndarray] = dataclass_field(default_factory=dict)
+
+    def assemble(self, num_blocks: int, block_size: int) -> np.ndarray:
+        missing = [i for i in range(num_blocks) if i not in self.blocks]
+        if missing:
+            raise CompressionError(
+                f"simulation produced no output for blocks {missing[:8]}"
+                + ("..." if len(missing) > 8 else "")
+            )
+        out = np.empty((num_blocks, block_size), dtype=np.float32)
+        for i in range(num_blocks):
+            out[i] = self.blocks[i]
+        return out
+
+
+def records_to_words(
+    body: bytes, num_blocks: int, block_size: int
+) -> list[tuple[np.ndarray, np.ndarray | None]]:
+    """Split a CereSZ body into per-block (header word, body words).
+
+    Requires the 4-byte-header format with a word-aligned block size.
+    """
+    if block_size % 32:
+        raise CompressionError(
+            "wafer decompression requires a 32-multiple block size "
+            "(word-aligned sign bytes)"
+        )
+    buf = np.frombuffer(body, dtype=np.uint8)
+    offsets, fls = scan_record_offsets(
+        buf, num_blocks, block_size, CERESZ_HEADER_BYTES
+    )
+    out = []
+    sign_words = block_size // 32
+    for off, fl in zip(offsets, fls):
+        header = buf[off : off + 4].view(np.uint32).copy()
+        if fl == 0:
+            out.append((header, None))
+            continue
+        body_bytes = (sign_words + int(fl) * sign_words) * 4
+        start = int(off) + 4
+        words = buf[start : start + body_bytes].view(np.uint32).copy()
+        out.append((header, words))
+    return out
+
+
+def decode_block_from_words(
+    fl: int, words: np.ndarray | None, eps: float, block_size: int
+) -> np.ndarray:
+    """The PE decode kernel: words -> float32 values (exact reference math)."""
+    if fl == 0 or words is None:
+        return np.zeros(block_size, dtype=np.float32)
+    sign_words = block_size // 32
+    raw = words.astype(np.uint32).tobytes()
+    body = np.frombuffer(raw, dtype=np.uint8)
+    signs = np.unpackbits(
+        body[: sign_words * 4], bitorder="little"
+    ).astype(bool)
+    planes = body[sign_words * 4 :].reshape(fl, sign_words * 4)
+    bits = np.unpackbits(planes, axis=-1, bitorder="little")
+    weights = (np.int64(1) << np.arange(fl, dtype=np.int64))[:, None]
+    mags = (bits.astype(np.int64) * weights).sum(axis=0)
+    mags[signs] = -mags[signs]
+    codes = np.cumsum(mags, dtype=np.int64)  # reverse Lorenzo (prefix sum)
+    return (codes.astype(np.float64) * (2.0 * eps)).astype(np.float32)
+
+
+def build_row_parallel_decompress_program(
+    fabric: Fabric,
+    engine: Engine,
+    body: bytes,
+    num_blocks: int,
+    eps: float,
+    *,
+    block_size: int = BLOCK_SIZE,
+    model: CycleModel = PAPER_CYCLE_MODEL,
+) -> DecompressOutputs:
+    """Whole-block decompression on the first PE of each row.
+
+    Block ``i`` goes to row ``i % rows``. Each PE alternates between the
+    ``header`` task (receive one word, learn ``fl``) and the ``body`` task
+    (receive ``1 + fl`` words, decode, emit) — the data-dependent receive
+    chain that fixed-extent compression does not need.
+    """
+    outputs = DecompressOutputs()
+    colors = ColorAllocator()
+    c_in = colors.allocate("input")
+    c_hdr = colors.allocate("header_ready")
+    c_body = colors.allocate("body_ready")
+
+    packed = records_to_words(body, num_blocks, block_size)
+    sign_words = block_size // 32
+
+    for row in range(fabric.rows):
+        pe = fabric.pe(row, 0)
+        fabric.set_route(row, 0, c_in, Direction.WEST, Direction.RAMP)
+        pe.alloc_buffer("hdr", np.zeros(1, dtype=np.int64))
+        pe.alloc_buffer(
+            "body", np.zeros(sign_words * (1 + 63), dtype=np.int64)
+        )
+        my_blocks = list(range(row, num_blocks, fabric.rows))
+        progress = {"next": 0}
+
+        def make_decode_and_emit(my_blocks=my_blocks, progress=progress):
+            def decode_and_emit(
+                ctx: TaskContext, fl: int, words: np.ndarray | None
+            ) -> None:
+                idx = my_blocks[progress["next"]]
+                progress["next"] += 1
+                zero = fl == 0
+                for stage in decompression_substages(fl, block_size, model):
+                    if zero and not stage.name.startswith("dequant"):
+                        continue  # zero path: flag + dequant only
+                    ctx.spend(stage.cycles)
+                if zero:
+                    ctx.spend(model.zero_flag.cycles(block_size))
+                outputs.blocks[idx] = decode_block_from_words(
+                    fl, words, eps, block_size
+                )
+                if progress["next"] < len(my_blocks):
+                    ctx.activate(c_in)
+                else:
+                    ctx.halt()
+
+            return decode_and_emit
+
+        decode_and_emit = make_decode_and_emit()
+
+        def make_recv_header():
+            def recv_header(ctx: TaskContext) -> None:
+                ctx.mov32(
+                    Mem1dDsd("hdr"),
+                    FabinDsd(c_in, extent=1),
+                    on_complete=c_hdr,
+                )
+
+            return recv_header
+
+        def make_on_header(decode=decode_and_emit):
+            def on_header(ctx: TaskContext) -> None:
+                fl = int(ctx.buffer("hdr")[0])
+                if fl == 0:
+                    # Zero block: no body follows; decode is trivial.
+                    decode(ctx, fl, None)
+                else:
+                    ctx.mov32(
+                        Mem1dDsd("body", length=sign_words * (1 + fl)),
+                        FabinDsd(c_in, extent=sign_words * (1 + fl)),
+                        on_complete=c_body,
+                    )
+
+            return on_header
+
+        def make_on_body(decode=decode_and_emit):
+            def on_body(ctx: TaskContext) -> None:
+                fl = int(ctx.buffer("hdr")[0])
+                words = (
+                    ctx.buffer("body")[: sign_words * (1 + fl)]
+                    .astype(np.uint32)
+                    .copy()
+                )
+                decode(ctx, fl, words)
+
+            return on_body
+
+        pe.bind_task(c_in, Task("recv_header", make_recv_header()))
+        pe.bind_task(c_hdr, Task("on_header", make_on_header()))
+        pe.bind_task(c_body, Task("on_body", make_on_body()))
+        if my_blocks:
+            engine.schedule_activation(pe, c_in.id, 0.0)
+
+    # Feed rows: header word, then (if any) the body words.
+    per_row_time = [0.0] * fabric.rows
+    for i, (header, words) in enumerate(packed):
+        row = i % fabric.rows
+        engine.inject(
+            row, 0, c_in, header.astype(np.uint32), at=per_row_time[row]
+        )
+        per_row_time[row] += 1
+        if words is not None:
+            engine.inject(
+                row, 0, c_in, words.astype(np.uint32), at=per_row_time[row]
+            )
+            per_row_time[row] += words.size
+    return outputs
+
+
+# --- pipeline-parallel decompression (Algorithm 1 over reverse sub-stages) ---
+
+_D_PHASES = ("encoded", "mags", "signed", "codes", "values")
+
+
+@dataclass
+class DecompressState:
+    """One block's state between decompression pipeline sub-stages.
+
+    Starts as the raw record (fixed length, sign bytes, bit-plane words);
+    per-bit unshuffle stages accumulate magnitudes, then signs are applied,
+    the prefix sum reverses Lorenzo, and the de-quantization multiply
+    produces values.
+    """
+
+    phase: str
+    block_size: int
+    fl: int
+    values: np.ndarray  # mags -> residuals -> codes -> float values
+    signs: np.ndarray  # uint8 sign bytes (block_size / 8)
+    planes: np.ndarray  # uint32 bit-plane words, fl entries
+    bits_done: int = 0
+
+    def to_array(self) -> np.ndarray:
+        header = np.array(
+            [
+                _D_PHASES.index(self.phase),
+                self.block_size,
+                self.fl,
+                self.bits_done,
+            ],
+            dtype=np.float64,
+        )
+        return np.concatenate(
+            [
+                header,
+                np.asarray(self.values, dtype=np.float64),
+                self.signs.astype(np.float64),
+                self.planes.astype(np.float64),
+            ]
+        )
+
+    @classmethod
+    def from_array(cls, arr: np.ndarray) -> "DecompressState":
+        phase = _D_PHASES[int(arr[0])]
+        block_size = int(arr[1])
+        fl = int(arr[2])
+        bits_done = int(arr[3])
+        pos = 4
+        values = arr[pos : pos + block_size].copy()
+        pos += block_size
+        sign_bytes = block_size // 8
+        signs = arr[pos : pos + sign_bytes].astype(np.uint8)
+        pos += sign_bytes
+        planes = arr[pos : pos + fl].astype(np.uint32)
+        return cls(
+            phase=phase,
+            block_size=block_size,
+            fl=fl,
+            values=values,
+            signs=signs,
+            planes=planes,
+            bits_done=bits_done,
+        )
+
+    @classmethod
+    def from_record(
+        cls, fl: int, words: np.ndarray | None, block_size: int
+    ) -> "DecompressState":
+        sign_words = block_size // 32
+        if fl == 0 or words is None:
+            return cls(
+                phase="signed",  # nothing to unshuffle or sign-restore
+                block_size=block_size,
+                fl=0,
+                values=np.zeros(block_size, dtype=np.float64),
+                signs=np.zeros(block_size // 8, dtype=np.uint8),
+                planes=np.zeros(0, dtype=np.uint32),
+            )
+        raw = words.astype(np.uint32).tobytes()
+        body = np.frombuffer(raw, dtype=np.uint8)
+        return cls(
+            phase="encoded",
+            block_size=block_size,
+            fl=fl,
+            values=np.zeros(block_size, dtype=np.float64),
+            signs=body[: sign_words * 4].copy(),
+            planes=words[sign_words:].astype(np.uint32).copy(),
+        )
+
+
+def run_decompress_substage(
+    stage, state: DecompressState, eps: float
+) -> DecompressState:
+    """Execute one reverse sub-stage's semantics (mirror of run_substage)."""
+    name = stage.name
+    if name.startswith("unshuffle_bit_"):
+        if state.phase not in ("encoded", "mags"):
+            raise CompressionError(f"{name} applied to {state.phase}")
+        k = int(name.rsplit("_", 1)[1])
+        if k < state.fl:
+            plane = int(state.planes[k])
+            plane_bytes = np.frombuffer(
+                np.uint32(plane).tobytes(), dtype=np.uint8
+            )
+            bits = np.unpackbits(plane_bytes, bitorder="little").astype(
+                np.int64
+            )
+            state.values += bits.astype(np.float64) * float(1 << k)
+            state.bits_done += 1
+        state.phase = "mags"
+    elif name == "sign_restore":
+        if state.phase not in ("encoded", "mags", "signed"):
+            raise CompressionError(f"sign_restore applied to {state.phase}")
+        if state.fl:
+            negs = np.unpackbits(state.signs, bitorder="little").astype(bool)
+            state.values = np.where(negs, -state.values, state.values)
+        state.phase = "signed"
+    elif name == "prefix_sum":
+        if state.phase != "signed":
+            raise CompressionError(f"prefix_sum applied to {state.phase}")
+        state.values = np.cumsum(state.values.astype(np.int64)).astype(
+            np.float64
+        )
+        state.phase = "codes"
+    elif name == "dequant_mult":
+        if state.phase != "codes":
+            raise CompressionError(f"dequant_mult applied to {state.phase}")
+        state.values = state.values * (2.0 * eps)
+        state.phase = "values"
+    else:
+        raise CompressionError(f"unknown decompression sub-stage {name!r}")
+    return state
+
+
+def finalize_decompressed(state: DecompressState) -> np.ndarray:
+    if state.phase != "values":
+        raise CompressionError(
+            f"block not fully decompressed (phase {state.phase!r})"
+        )
+    return state.values.astype(np.float32)
+
+
+def build_pipeline_decompress_program(
+    fabric: Fabric,
+    engine: Engine,
+    body: bytes,
+    num_blocks: int,
+    eps: float,
+    distribution,
+    *,
+    block_size: int = BLOCK_SIZE,
+    model: CycleModel = PAPER_CYCLE_MODEL,
+) -> DecompressOutputs:
+    """One decompression pipeline per row (Algorithm 1 stage groups).
+
+    The head PE of each row performs the two-phase header/body receive and
+    runs the first stage group; intermediate :class:`DecompressState`
+    travels east; the last group's PE emits the reconstructed block. Zero
+    blocks enter the pipeline pre-collapsed (phase "signed") so later PEs
+    only pay the prefix-sum and de-quantization stages, exactly like the
+    device's fast path.
+    """
+    from repro.core.mapping import substage_cycles
+    from repro.wse.dsd import FaboutDsd
+
+    pl = distribution.length
+    if pl > fabric.cols:
+        raise CompressionError(
+            f"decompression pipeline of {pl} stages needs {pl} columns"
+        )
+    outputs = DecompressOutputs()
+    colors = ColorAllocator()
+    c_in = colors.allocate("input")
+    c_hdr = colors.allocate("header_ready")
+    c_body = colors.allocate("body_ready")
+    c_go = colors.allocate("compute")
+    c_fwd = [colors.allocate(f"fwd{p}") for p in range(2)]
+
+    packed = records_to_words(body, num_blocks, block_size)
+    sign_words = block_size // 32
+    max_fl = max((int(h[0]) for h, _ in packed), default=0)
+    state_len = 4 + block_size + block_size // 8 + max_fl
+
+    for row in range(fabric.rows):
+        my_blocks = list(range(row, num_blocks, fabric.rows))
+        fabric.set_route(row, 0, c_in, Direction.WEST, Direction.RAMP)
+        for col in range(pl):
+            pe = fabric.pe(row, col)
+            group = distribution.groups[col]
+            is_first = col == 0
+            is_last = col == pl - 1
+            recv_color = c_in if is_first else c_fwd[(col - 1) % 2]
+            send_color = None if is_last else c_fwd[col % 2]
+            if not is_first:
+                fabric.set_route(
+                    row, col, recv_color, Direction.WEST, Direction.RAMP
+                )
+            if send_color is not None:
+                fabric.set_route(
+                    row, col, send_color, Direction.RAMP, Direction.EAST
+                )
+                fabric.set_route(
+                    row, col + 1, send_color, Direction.WEST, Direction.RAMP
+                )
+            if is_first:
+                pe.alloc_buffer("hdr", np.zeros(1, dtype=np.int64))
+                pe.alloc_buffer(
+                    "body", np.zeros(sign_words * (1 + 63), dtype=np.int64)
+                )
+            else:
+                pe.alloc_buffer(
+                    "stage_in", np.zeros(state_len, dtype=np.float64)
+                )
+            progress = {"done": 0}
+
+            def make_process(
+                group=group,
+                is_last=is_last,
+                send_color=send_color,
+                recv_color=recv_color,
+                my_blocks=my_blocks,
+                progress=progress,
+            ):
+                def process(ctx: TaskContext, state: DecompressState) -> None:
+                    for stage in group:
+                        if stage.name.startswith("unshuffle_bit_"):
+                            k = int(stage.name.rsplit("_", 1)[1])
+                            if k >= state.fl:
+                                ctx.spend(model.task_dispatch)
+                                continue
+                        if state.fl == 0 and stage.name in (
+                            "sign_restore",
+                        ):
+                            ctx.spend(model.task_dispatch)
+                            continue
+                        if state.phase == "signed" and stage.name.startswith(
+                            "unshuffle"
+                        ):
+                            ctx.spend(model.task_dispatch)
+                            continue
+                        state = run_decompress_substage(stage, state, eps)
+                        ctx.spend(stage.cycles)
+                    idx = my_blocks[progress["done"]]
+                    progress["done"] += 1
+                    if is_last:
+                        outputs.blocks[idx] = finalize_decompressed(state)
+                    else:
+                        vec = state.to_array()
+                        padded = np.zeros(state_len, dtype=np.float64)
+                        padded[: vec.size] = vec
+                        ctx.spend(model.forward_block_cycles(block_size))
+                        ctx.send(send_color, padded)
+                    if progress["done"] < len(my_blocks):
+                        ctx.activate(recv_color)
+                    else:
+                        ctx.halt()
+
+                return process
+
+            process = make_process()
+
+            if is_first:
+
+                def make_recv_header():
+                    def recv_header(ctx: TaskContext) -> None:
+                        ctx.mov32(
+                            Mem1dDsd("hdr"),
+                            FabinDsd(c_in, extent=1),
+                            on_complete=c_hdr,
+                        )
+
+                    return recv_header
+
+                def make_on_header(process=process):
+                    def on_header(ctx: TaskContext) -> None:
+                        fl = int(ctx.buffer("hdr")[0])
+                        if fl == 0:
+                            state = DecompressState.from_record(
+                                0, None, block_size
+                            )
+                            process(ctx, state)
+                        else:
+                            ctx.mov32(
+                                Mem1dDsd(
+                                    "body", length=sign_words * (1 + fl)
+                                ),
+                                FabinDsd(
+                                    c_in, extent=sign_words * (1 + fl)
+                                ),
+                                on_complete=c_body,
+                            )
+
+                    return on_header
+
+                def make_on_body(process=process):
+                    def on_body(ctx: TaskContext) -> None:
+                        fl = int(ctx.buffer("hdr")[0])
+                        words = (
+                            ctx.buffer("body")[: sign_words * (1 + fl)]
+                            .astype(np.uint32)
+                            .copy()
+                        )
+                        state = DecompressState.from_record(
+                            fl, words, block_size
+                        )
+                        process(ctx, state)
+
+                    return on_body
+
+                pe.bind_task(c_in, Task("recv_header", make_recv_header()))
+                pe.bind_task(c_hdr, Task("on_header", make_on_header()))
+                pe.bind_task(c_body, Task("on_body", make_on_body()))
+            else:
+
+                def make_recv_state(
+                    recv_color=recv_color,
+                ):
+                    def recv_state(ctx: TaskContext) -> None:
+                        ctx.mov32(
+                            Mem1dDsd("stage_in"),
+                            FabinDsd(recv_color, extent=state_len),
+                            on_complete=c_go,
+                        )
+
+                    return recv_state
+
+                def make_on_state(process=process):
+                    def on_state(ctx: TaskContext) -> None:
+                        state = DecompressState.from_array(
+                            ctx.buffer("stage_in")
+                        )
+                        process(ctx, state)
+
+                    return on_state
+
+                pe.bind_task(recv_color, Task("recv_state", make_recv_state()))
+                pe.bind_task(c_go, Task("on_state", make_on_state()))
+
+            if my_blocks:
+                engine.schedule_activation(pe, recv_color.id, 0.0)
+
+    per_row_time = [0.0] * fabric.rows
+    for i, (header, words) in enumerate(packed):
+        row = i % fabric.rows
+        engine.inject(
+            row, 0, c_in, header.astype(np.uint32), at=per_row_time[row]
+        )
+        per_row_time[row] += 1
+        if words is not None:
+            engine.inject(
+                row, 0, c_in, words.astype(np.uint32), at=per_row_time[row]
+            )
+            per_row_time[row] += words.size
+    return outputs

@@ -1,0 +1,112 @@
+"""CereSZ-ND: the higher-dimensional Lorenzo variant.
+
+The paper (Section 3, step 2) notes that CereSZ *can* support
+multi-dimensional Lorenzo prediction — which aggregates more spatial
+information and improves the ratio — but ships the 1-D block-local form
+because it needs only the preceding point and keeps memory access
+coalesced. This module implements the extension: the same container and
+fixed-length block encoding, with residuals produced by the N-D Lorenzo
+operator over the whole array.
+
+What changes and what does not:
+
+* *Ratio*: on multi-dimensional fields the N-D residuals are narrower and
+  blocks no longer carry an absolute "leader" value, so many more blocks
+  hit the zero-block fast path — ratios rise toward the 32x cap.
+* *Mapping*: decompression now needs the N-D prefix-sum reconstruction
+  over the full array, which is **not** block-local — this variant cannot
+  run block-parallel on the wafer without inter-PE communication. That is
+  precisely the trade the paper declines; CereSZ-ND is a host-side
+  extension, and its existence documents the cost of the wafer's
+  constraint.
+
+Streams are tagged with the ND-predictor flag so either compressor's
+``decompress`` reconstructs correctly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import BLOCK_SIZE, CERESZ_HEADER_BYTES
+from repro.errors import CompressionError
+from repro.core.blocks import merge_blocks, partition_blocks
+from repro.core.compressor import CereSZ, CompressionResult
+from repro.core.encoding import (
+    block_fixed_lengths,
+    decode_blocks,
+    encode_blocks,
+)
+from repro.core.format import StreamHeader, make_header
+from repro.core.lorenzo import lorenzo_predict_nd, lorenzo_reconstruct_nd
+from repro.core.quantize import dequantize, prequantize_verified
+
+
+class CereSZND(CereSZ):
+    """CereSZ with full-array N-D Lorenzo prediction (host-side extension)."""
+
+    name = "CereSZ-ND"
+    device = "CS-2"
+
+    def compress(
+        self,
+        data: np.ndarray,
+        *,
+        eps: float | None = None,
+        rel: float | None = None,
+    ) -> CompressionResult:
+        arr = np.asarray(data)
+        if arr.size == 0:
+            raise CompressionError("cannot compress an empty array")
+        if not np.issubdtype(arr.dtype, np.floating):
+            raise CompressionError(
+                f"CereSZ-ND compresses floating-point fields, got {arr.dtype}"
+            )
+        bound = self.resolve_error_bound(arr, eps, rel)
+        out_dtype = np.float64 if arr.dtype == np.float64 else np.float32
+        if bound is None:
+            return self._compress_constant(arr)
+
+        codes, eps_eff = prequantize_verified(arr, bound, dtype=out_dtype)
+        residuals_nd = lorenzo_predict_nd(codes.reshape(arr.shape))
+        blocks, n = partition_blocks(residuals_nd, self.block_size)
+        fl = block_fixed_lengths(blocks)
+        body = encode_blocks(blocks, self.header_width)
+        header = make_header(
+            arr.shape,
+            eps_eff,
+            header_width=self.header_width,
+            block_size=self.block_size,
+            predictor="nd",
+            dtype="f8" if out_dtype == np.float64 else "f4",
+        )
+        stream = header.pack() + body
+        return CompressionResult(
+            stream=stream,
+            eps=bound,
+            original_bytes=n * arr.dtype.itemsize,
+            shape=tuple(arr.shape),
+            fixed_lengths=fl,
+            zero_block_fraction=float(np.mean(fl == 0)) if fl.size else 0.0,
+        )
+
+    def decompress(self, stream: bytes) -> np.ndarray:
+        header, offset = StreamHeader.unpack(stream)
+        out_dtype = np.float64 if header.dtype == "f8" else np.float32
+        if header.constant is not None:
+            return np.full(header.shape, header.constant, dtype=out_dtype)
+        if header.predictor != "nd":
+            # A blocked-1D stream: defer to the base reconstruction.
+            return super().decompress(stream)
+        residual_blocks = decode_blocks(
+            stream,
+            header.num_blocks,
+            header.block_size,
+            header.header_width,
+            start=offset,
+        )
+        flat = merge_blocks(residual_blocks, header.num_elements)
+        codes = lorenzo_reconstruct_nd(flat.reshape(header.shape))
+        return dequantize(codes, header.eps, dtype=out_dtype).reshape(
+            header.shape
+        )

@@ -1,0 +1,150 @@
+"""Pipeline load balancing: the paper's Algorithm 1 and its helpers.
+
+Given the sub-stage list for one block and a pipeline of *m* PEs, the greedy
+balancer fills PE groups in stage order until each group reaches the ideal
+share ``C / m`` of the total runtime ``C``; the last group takes whatever
+remains. The pipeline's throughput is set by its *bottleneck* group, so the
+quality of a distribution is ``max_group / (C / m)`` (1.0 = perfect).
+
+Two further results from Section 4.2 live here:
+
+* the maximum feasible pipeline length is ``floor(C / t1)`` where ``t1`` is
+  the longest indivisible sub-stage (Multiplication in practice) — a longer
+  pipeline cannot help because that stage alone already exceeds the ideal
+  share;
+* the distribution depends on the data only through the fixed length, which
+  is estimated before launch by quantizing a 5 % random sample of blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import BLOCK_SIZE
+from repro.errors import ScheduleError
+from repro.core.blocks import partition_blocks
+from repro.core.encoding import block_fixed_lengths
+from repro.core.lorenzo import lorenzo_predict
+from repro.core.quantize import prequantize
+from repro.core.stages import SubStage, total_cycles
+
+
+@dataclass(frozen=True)
+class StageDistribution:
+    """Result of distributing sub-stages across a pipeline."""
+
+    groups: tuple[tuple[SubStage, ...], ...]
+
+    @property
+    def length(self) -> int:
+        return len(self.groups)
+
+    @property
+    def group_cycles(self) -> tuple[float, ...]:
+        return tuple(sum(s.cycles for s in g) for g in self.groups)
+
+    @property
+    def bottleneck_cycles(self) -> float:
+        """Runtime of the slowest group — the pipeline's rate limiter."""
+        return max(self.group_cycles)
+
+    @property
+    def total(self) -> float:
+        return sum(self.group_cycles)
+
+    @property
+    def imbalance(self) -> float:
+        """bottleneck / ideal share; 1.0 means a perfectly even split."""
+        ideal = self.total / self.length
+        return self.bottleneck_cycles / ideal if ideal else 1.0
+
+    def stage_names(self) -> list[list[str]]:
+        return [[s.name for s in g] for g in self.groups]
+
+
+def distribute_substages(
+    stages: list[SubStage], num_pes: int
+) -> StageDistribution:
+    """Algorithm 1: evenly distribute sub-stages across ``num_pes`` PEs.
+
+    Groups are filled in stage order (stages must execute in sequence on
+    consecutive PEs, so no reordering is possible); a group stops accepting
+    stages once its accumulated runtime reaches ``C / num_pes``; the final
+    group absorbs the remainder.
+    """
+    if num_pes <= 0:
+        raise ScheduleError(f"pipeline needs at least one PE, got {num_pes}")
+    if not stages:
+        raise ScheduleError("no sub-stages to distribute")
+    if num_pes > len(stages):
+        raise ScheduleError(
+            f"pipeline of {num_pes} PEs longer than the {len(stages)} "
+            f"sub-stages available"
+        )
+    if num_pes == 1:
+        return StageDistribution(groups=(tuple(stages),))
+
+    target = total_cycles(stages) / num_pes
+    groups: list[tuple[SubStage, ...]] = []
+    current: list[SubStage] = []
+    current_cycles = 0.0
+    remaining = list(stages)
+
+    for gi in range(num_pes - 1):
+        later_groups = num_pes - 1 - gi  # groups still to fill after this one
+        current = []
+        current_cycles = 0.0
+        while remaining and current_cycles < target:
+            # Never drain so far that a later group would go empty; the
+            # num_pes <= len(stages) precondition keeps this satisfiable.
+            if current and len(remaining) <= later_groups:
+                break
+            current.append(remaining.pop(0))
+            current_cycles += current[-1].cycles
+        groups.append(tuple(current))
+    groups.append(tuple(remaining))
+    return StageDistribution(groups=tuple(groups))
+
+
+def max_feasible_pipeline_length(stages: list[SubStage]) -> int:
+    """``floor(C / t1)``: beyond this, the longest stage is the bottleneck."""
+    if not stages:
+        raise ScheduleError("no sub-stages")
+    t1 = max(s.cycles for s in stages)
+    if t1 <= 0:
+        raise ScheduleError("all sub-stages have zero cycles")
+    return max(1, int(total_cycles(stages) // t1))
+
+
+def estimate_fixed_length(
+    data: np.ndarray,
+    eps: float,
+    *,
+    block_size: int = BLOCK_SIZE,
+    fraction: float = 0.05,
+    seed: int = 0,
+) -> int:
+    """Estimate the dominant fixed length from a 5 % sample of blocks.
+
+    The paper samples 5 % of the data points to approximate the fixed
+    length "for various configurations, allowing for an estimation of the
+    total execution time C" (end of Section 4.2). We sample whole blocks
+    (a block is the unit the length belongs to) and return the *maximum*
+    sampled fixed length — the conservative choice, since undersizing the
+    shuffle stage count would leave bits with no pipeline stage to run on.
+    """
+    if not (0 < fraction <= 1):
+        raise ScheduleError(f"sample fraction outside (0, 1]: {fraction}")
+    codes = prequantize(np.asarray(data), eps)
+    blocks, _ = partition_blocks(codes, block_size)
+    num_blocks = blocks.shape[0]
+    if num_blocks == 0:
+        raise ScheduleError("no blocks to sample")
+    rng = np.random.default_rng(seed)
+    sample = max(1, int(round(num_blocks * fraction)))
+    idx = rng.choice(num_blocks, size=min(sample, num_blocks), replace=False)
+    residuals = lorenzo_predict(blocks[np.sort(idx)])
+    fl = block_fixed_lengths(residuals)
+    return int(fl.max(initial=0))

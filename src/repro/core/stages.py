@@ -1,0 +1,129 @@
+"""Sub-stage decomposition of the compression/decompression pipeline.
+
+To balance a pipeline across PEs, the paper splits the three coarse steps
+into finer sub-stages (Section 4.2):
+
+* Pre-Quantization -> Multiplication + Addition (Table 2);
+* Lorenzo prediction stays whole (cheap: one subtraction per element);
+* Fixed-Length Encoding -> Sign + Max + GetLength + Bit-shuffle (Table 3),
+  and the Bit-shuffle — whose cost is proportional to the fixed length —
+  further splits into independent 1-bit shuffles.
+
+Decompression mirrors this: per-byte bit-unshuffles, an *indivisible*
+prefix sum (reverse Lorenzo), and an indivisible de-quantization multiply.
+
+Each :class:`SubStage` carries its calibrated cycle cost so the greedy
+balancer (:mod:`repro.core.schedule`, the paper's Algorithm 1) can fill PE
+groups by runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import BLOCK_SIZE
+from repro.errors import ScheduleError
+from repro.wse.cost import CycleModel, PAPER_CYCLE_MODEL
+
+
+@dataclass(frozen=True)
+class SubStage:
+    """One indivisible unit of pipeline work for a single data block."""
+
+    name: str
+    cycles: float
+    #: Coarse step this sub-stage belongs to ("prequant", "lorenzo",
+    #: "encode" — or their decompression mirrors).
+    step: str
+    divisible_from: str | None = None  # parent stage it was split out of
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ScheduleError(f"sub-stage {self.name} has negative cycles")
+
+
+def compression_substages(
+    fl: int,
+    block_size: int = BLOCK_SIZE,
+    model: CycleModel = PAPER_CYCLE_MODEL,
+) -> list[SubStage]:
+    """The ordered sub-stage list for compressing one block.
+
+    ``fl`` is the (estimated) fixed length: it determines how many 1-bit
+    shuffle sub-stages exist. In practice ``fl`` comes from the 5 % sampling
+    estimator (:func:`repro.core.schedule.estimate_fixed_length`) since the
+    distribution must be fixed before data arrives.
+    """
+    if fl < 0:
+        raise ScheduleError(f"negative fixed length {fl}")
+    stages = [
+        SubStage(
+            "multiplication",
+            model.multiplication.cycles(block_size),
+            "prequant",
+            divisible_from="prequant",
+        ),
+        SubStage(
+            "addition",
+            model.addition.cycles(block_size),
+            "prequant",
+            divisible_from="prequant",
+        ),
+        SubStage("lorenzo", model.lorenzo.cycles(block_size), "lorenzo"),
+        SubStage("sign", model.sign.cycles(block_size), "encode", "encode"),
+        SubStage("max", model.max.cycles(block_size), "encode", "encode"),
+        SubStage(
+            "get_length", model.get_length.cycles(block_size), "encode", "encode"
+        ),
+    ]
+    per_bit = model.bit_shuffle.cycles(block_size, 1)
+    for k in range(fl):
+        stages.append(
+            SubStage(f"shuffle_bit_{k}", per_bit, "encode", "bit_shuffle")
+        )
+    return stages
+
+
+def decompression_substages(
+    fl: int,
+    block_size: int = BLOCK_SIZE,
+    model: CycleModel = PAPER_CYCLE_MODEL,
+) -> list[SubStage]:
+    """The ordered sub-stage list for decompressing one block.
+
+    The reverse Bit-shuffle splits per encoded byte group; the prefix sum
+    and the de-quantization multiply are indivisible (paper Section 4.2:
+    "Reversing Lorenzo Prediction ... cannot be further divided. Similarly,
+    the reverse Pre-Quantization step ... remains indivisible").
+    """
+    if fl < 0:
+        raise ScheduleError(f"negative fixed length {fl}")
+    stages: list[SubStage] = []
+    per_bit = model.bit_unshuffle.cycles(block_size, 1)
+    for k in range(fl):
+        stages.append(
+            SubStage(f"unshuffle_bit_{k}", per_bit, "decode", "bit_unshuffle")
+        )
+    stages.append(
+        SubStage("sign_restore", model.sign_restore.cycles(block_size), "decode")
+    )
+    stages.append(
+        SubStage("prefix_sum", model.prefix_sum.cycles(block_size), "unlorenzo")
+    )
+    stages.append(
+        SubStage("dequant_mult", model.dequant_mult.cycles(block_size), "dequant")
+    )
+    return stages
+
+
+def total_cycles(stages: list[SubStage]) -> float:
+    """The paper's C: summed runtime of all sub-stages for one block."""
+    return sum(s.cycles for s in stages)
+
+
+def coarse_step_cycles(stages: list[SubStage]) -> dict[str, float]:
+    """Aggregate cycles per coarse step (regenerates Tables 1-3 rows)."""
+    out: dict[str, float] = {}
+    for s in stages:
+        out[s.step] = out.get(s.step, 0.0) + s.cycles
+    return out

@@ -1,0 +1,145 @@
+"""Framed streaming for in-situ compression pipelines.
+
+The paper's motivating applications (RTM snapshot streams, LCLS detector
+output) compress a *sequence* of fields, not one array. This module frames
+per-snapshot CereSZ streams into a single append-only byte stream:
+
+* frames share one **absolute** error bound fixed up front — a REL bound
+  recomputed per snapshot would make the guarantee drift with each frame's
+  value range, which is wrong for time-series analysis;
+* each frame is length-prefixed, so readers can skip without decoding, and
+  carries its own self-describing CereSZ stream (shape may vary between
+  frames, e.g. adaptive-mesh output).
+
+Frame layout::
+
+    [ magic "CSZS" ][ version u8 ][ eps f64 ][ frame count u64 ]
+    repeated: [ frame length u64 ][ CereSZ stream ]
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.core.compressor import CereSZ
+from repro.core.quantize import validate_error_bound
+
+STREAM_MAGIC = b"CSZS"
+STREAM_VERSION = 1
+
+_HEAD = struct.Struct("<4sBdQ")
+_FRAME = struct.Struct("<Q")
+
+
+class FrameWriter:
+    """Accumulates compressed snapshot frames under one absolute bound."""
+
+    def __init__(self, eps: float, codec: CereSZ | None = None):
+        self.eps = validate_error_bound(eps)
+        self.codec = codec or CereSZ()
+        self._frames: list[bytes] = []
+        self._raw_bytes = 0
+
+    def add(self, field: np.ndarray) -> int:
+        """Compress one snapshot; returns its frame's compressed size."""
+        result = self.codec.compress(field, eps=self.eps)
+        self._frames.append(result.stream)
+        self._raw_bytes += result.original_bytes
+        return len(result.stream)
+
+    @property
+    def num_frames(self) -> int:
+        return len(self._frames)
+
+    @property
+    def compressed_bytes(self) -> int:
+        return sum(len(f) for f in self._frames) + _HEAD.size + (
+            _FRAME.size * len(self._frames)
+        )
+
+    @property
+    def ratio(self) -> float:
+        if self._raw_bytes == 0:
+            raise FormatError("no frames added yet")
+        return self._raw_bytes / self.compressed_bytes
+
+    def getvalue(self) -> bytes:
+        """Serialize the container."""
+        out = io.BytesIO()
+        out.write(
+            _HEAD.pack(
+                STREAM_MAGIC, STREAM_VERSION, self.eps, len(self._frames)
+            )
+        )
+        for frame in self._frames:
+            out.write(_FRAME.pack(len(frame)))
+            out.write(frame)
+        return out.getvalue()
+
+
+class FrameReader:
+    """Iterates the snapshots of a framed stream."""
+
+    def __init__(self, data: bytes, codec: CereSZ | None = None):
+        if len(data) < _HEAD.size:
+            raise FormatError("framed stream shorter than its header")
+        magic, version, eps, count = _HEAD.unpack(data[: _HEAD.size])
+        if magic != STREAM_MAGIC:
+            raise FormatError(f"bad framed-stream magic {magic!r}")
+        if version != STREAM_VERSION:
+            raise FormatError(f"unsupported framed-stream version {version}")
+        # Each frame costs at least its length prefix; a frame count the
+        # stream cannot hold is corruption, not a very long stream.
+        if count * _FRAME.size > len(data) - _HEAD.size:
+            raise FormatError(
+                f"framed stream of {len(data)} bytes cannot hold {count} "
+                f"frames"
+            )
+        self.eps = eps
+        self.num_frames = count
+        self._data = data
+        self._codec = codec or CereSZ()
+
+    def frames(self) -> Iterator[bytes]:
+        """Yield raw per-snapshot CereSZ streams without decoding."""
+        pos = _HEAD.size
+        for i in range(self.num_frames):
+            chunk = self._data[pos : pos + _FRAME.size]
+            if len(chunk) < _FRAME.size:
+                raise FormatError(f"framed stream truncated at frame {i}")
+            (length,) = _FRAME.unpack(chunk)
+            pos += _FRAME.size
+            frame = self._data[pos : pos + length]
+            if len(frame) < length:
+                raise FormatError(f"frame {i} truncated")
+            pos += length
+            yield frame
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        for frame in self.frames():
+            yield self._codec.decompress(frame)
+
+    def __len__(self) -> int:
+        return self.num_frames
+
+
+def compress_stream(
+    fields: Iterable[np.ndarray], eps: float, codec: CereSZ | None = None
+) -> bytes:
+    """One-shot convenience: frame-compress an iterable of snapshots."""
+    writer = FrameWriter(eps, codec)
+    for field in fields:
+        writer.add(field)
+    return writer.getvalue()
+
+
+def decompress_stream(
+    data: bytes, codec: CereSZ | None = None
+) -> list[np.ndarray]:
+    """One-shot convenience: decode every snapshot of a framed stream."""
+    return list(FrameReader(data, codec))

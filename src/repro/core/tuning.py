@@ -1,0 +1,158 @@
+"""Pipeline-length selection (paper Section 4.4).
+
+The paper's analysis says pipeline length 1 is optimal *if* two assumptions
+hold: the data generation rate can saturate all TC pipelines, and one PE's
+48 KB SRAM holds the whole compression working set. When either fails, a
+longer pipeline is mandatory, and "the optimal configuration can be easily
+obtained by tuning" — this module is that tuning:
+
+* :func:`pipeline_working_set` — bytes a stage group needs resident on one
+  PE (input block + serialized inter-stage state + output record);
+* :func:`min_feasible_pipeline_length` — the shortest pipeline whose
+  largest per-PE working set fits the SRAM budget;
+* :func:`tune_pipeline_length` — sweep feasible lengths through the wafer
+  model and return the throughput-optimal configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import BLOCK_SIZE, PE_SRAM_BYTES, WaferConfig
+from repro.errors import ScheduleError
+from repro.core.schedule import distribute_substages
+from repro.core.stages import compression_substages
+from repro.wse.cost import CycleModel, PAPER_CYCLE_MODEL
+
+#: Bytes reserved per PE for code, the runtime, and routing state — the
+#: fraction of the 48 KB not available for data buffers.
+DEFAULT_CODE_RESERVE = 12 * 1024
+
+
+def pipeline_working_set(
+    fl: int,
+    pipeline_length: int,
+    block_size: int = BLOCK_SIZE,
+    model: CycleModel = PAPER_CYCLE_MODEL,
+) -> int:
+    """Worst per-PE buffer bytes for a pipeline of the given length.
+
+    A PE holds: the incoming payload (a raw block for the head PE, the
+    serialized inter-stage state elsewhere — the larger of the two bounds
+    every position), its working copy, and the outgoing payload. State
+    grows with the planned fixed length (each 1-bit shuffle adds a byte
+    group), so tight bounds raise the memory pressure — exactly the paper's
+    "intermediate data" concern.
+    """
+    if pipeline_length < 1:
+        raise ScheduleError(f"pipeline length must be >= 1: {pipeline_length}")
+    stages = compression_substages(fl, block_size, model)
+    if pipeline_length > len(stages):
+        raise ScheduleError(
+            f"pipeline of {pipeline_length} PEs longer than the "
+            f"{len(stages)} sub-stages"
+        )
+    # Serialized PipelineState: header(5) + values + signs + fl byte groups,
+    # in float64 words on the simulated fabric (i32 pairs on the device).
+    sign_bytes = block_size // 8
+    state_words = 5 + block_size + sign_bytes + fl * sign_bytes
+    state_bytes = state_words * 8
+    raw_bytes = block_size * 8  # float64 staging of the raw block
+    per_pe = max(raw_bytes, state_bytes)
+    # Input buffer + working copy + output buffer.
+    return 3 * per_pe
+
+
+def min_feasible_pipeline_length(
+    fl: int,
+    *,
+    block_size: int = BLOCK_SIZE,
+    sram_bytes: int = PE_SRAM_BYTES,
+    code_reserve: int = DEFAULT_CODE_RESERVE,
+    model: CycleModel = PAPER_CYCLE_MODEL,
+) -> int:
+    """Shortest pipeline whose working set fits the SRAM budget.
+
+    For the paper's configuration (L = 32) this is 1 — the entire
+    compression fits one PE, which is why Fig 13 finds pl = 1 optimal. For
+    larger blocks or tighter bounds the working set grows and splitting
+    becomes mandatory.
+
+    Note the working set here shrinks only weakly with the pipeline length
+    (every PE still stages the serialized state), so infeasibility at
+    length 1 usually means infeasibility at any length for this block
+    size — the resolution is a smaller block, which the function reports
+    in its error.
+    """
+    budget = sram_bytes - code_reserve
+    if budget <= 0:
+        raise ScheduleError("code reserve exceeds the SRAM capacity")
+    stages = compression_substages(fl, block_size, model)
+    for pl in range(1, len(stages) + 1):
+        if pipeline_working_set(fl, pl, block_size, model) <= budget:
+            return pl
+    raise ScheduleError(
+        f"no pipeline length fits block size {block_size} at fixed length "
+        f"{fl} within {budget} bytes; reduce the block size"
+    )
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of the Section 4.4 sweep."""
+
+    pipeline_length: int
+    throughput_gbs: float
+    feasible_lengths: tuple[int, ...]
+    sweep: tuple[tuple[int, float], ...]  # (length, GB/s) pairs
+
+
+def tune_pipeline_length(
+    data: np.ndarray,
+    eps: float,
+    *,
+    wafer: WaferConfig | None = None,
+    max_length: int = 8,
+    block_size: int = BLOCK_SIZE,
+    sram_bytes: int = PE_SRAM_BYTES,
+    model: CycleModel = PAPER_CYCLE_MODEL,
+) -> TuningResult:
+    """Pick the throughput-optimal feasible pipeline length for ``data``.
+
+    Sweeps lengths from the SRAM-mandated minimum up to ``max_length``
+    (the paper: "the number of sub-stages ... is limited, usually less
+    than 10, [so] the optimal configuration can be easily obtained by
+    tuning") through the wafer throughput model.
+    """
+    from repro.perf.wafer import measure_workload, wafer_throughput
+
+    wafer = wafer or WaferConfig(rows=512, cols=512)
+    workload = measure_workload(data, eps, block_size=block_size)
+    fl = max(workload.representative_fl, 1)
+    floor = min_feasible_pipeline_length(
+        fl, block_size=block_size, sram_bytes=sram_bytes, model=model
+    )
+    stages = compression_substages(fl, block_size, model)
+    ceiling = min(max_length, len(stages), wafer.cols)
+    if floor > ceiling:
+        raise ScheduleError(
+            f"minimum feasible length {floor} exceeds the sweep ceiling "
+            f"{ceiling}"
+        )
+    sweep = []
+    for pl in range(floor, ceiling + 1):
+        # Skip lengths Algorithm 1 cannot realize with non-empty groups.
+        distribute_substages(stages, pl)
+        perf = wafer_throughput(
+            workload, wafer, pipeline_length=pl, model=model
+        )
+        sweep.append((pl, perf.throughput_gbs))
+    best_pl, best_gbs = max(sweep, key=lambda item: item[1])
+    return TuningResult(
+        pipeline_length=best_pl,
+        throughput_gbs=best_gbs,
+        feasible_lengths=tuple(pl for pl, _ in sweep),
+        sweep=tuple(sweep),
+    )

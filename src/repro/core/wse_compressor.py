@@ -1,0 +1,266 @@
+"""CereSZ executed end-to-end on the WSE simulator.
+
+:class:`WSECereSZ` compresses through one of the three Section-4 mappings
+on a real (small) simulated mesh and returns both the compressed stream —
+byte-identical to the NumPy reference — and the simulation report with
+per-PE cycle accounting. This is the validation path for the mapping logic:
+if relay counting, stage distribution, or dataflow triggering were wrong,
+records would interleave or go missing and the stream equality would break.
+
+Meshes here are test-scale (a few rows/columns); wafer-scale *throughput*
+comes from the analytic model (:mod:`repro.perf.wafer`), which this module's
+simulations are used to validate at small scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import BLOCK_SIZE
+from repro.errors import CompressionError, ScheduleError
+from repro.core.blocks import partition_blocks
+from repro.core.compressor import CereSZ, CompressionResult
+from repro.core.format import make_header
+from repro.core.mapping import (
+    ProgramOutputs,
+    build_multi_pipeline_program,
+    build_pipeline_program,
+    build_row_parallel_program,
+    build_staged_multi_pipeline_program,
+)
+from repro.core.quantize import prequantize_verified
+from repro.core.schedule import distribute_substages, estimate_fixed_length
+from repro.core.stages import compression_substages, decompression_substages
+from repro.wse.cost import CycleModel, PAPER_CYCLE_MODEL
+from repro.wse.engine import Engine, SimulationReport
+from repro.wse.fabric import Fabric
+
+STRATEGIES = ("rows", "pipeline", "multi")
+
+
+@dataclass(frozen=True)
+class WSECompressionResult:
+    """A reference-compatible result plus the simulation's cycle report."""
+
+    result: CompressionResult
+    report: SimulationReport
+
+    @property
+    def stream(self) -> bytes:
+        return self.result.stream
+
+    @property
+    def makespan_cycles(self) -> float:
+        return self.report.makespan_cycles
+
+
+class WSECereSZ:
+    """CereSZ running on the discrete-event wafer simulator."""
+
+    name = "CereSZ/WSE-sim"
+    device = "CS-2"
+
+    def __init__(
+        self,
+        rows: int = 4,
+        cols: int = 4,
+        *,
+        strategy: str = "multi",
+        pipeline_length: int = 1,
+        block_size: int = BLOCK_SIZE,
+        model: CycleModel = PAPER_CYCLE_MODEL,
+    ):
+        if strategy not in STRATEGIES:
+            raise ScheduleError(
+                f"strategy must be one of {STRATEGIES}, got {strategy!r}"
+            )
+        if strategy == "pipeline" and pipeline_length > cols:
+            raise ScheduleError(
+                f"pipeline length {pipeline_length} exceeds {cols} columns"
+            )
+        if strategy == "multi" and pipeline_length > cols:
+            raise ScheduleError(
+                f"pipeline length {pipeline_length} exceeds {cols} columns"
+            )
+        self.rows = rows
+        self.cols = cols
+        self.strategy = strategy
+        self.pipeline_length = pipeline_length
+        self.block_size = block_size
+        self.model = model
+        self._reference = CereSZ(block_size=block_size)
+
+    def compress(
+        self,
+        data: np.ndarray,
+        *,
+        eps: float | None = None,
+        rel: float | None = None,
+    ) -> WSECompressionResult:
+        """Compress on the simulated mesh; stream matches the reference."""
+        arr = np.asarray(data)
+        bound = self._reference.resolve_error_bound(arr, eps, rel)
+        if bound is None:
+            raise CompressionError(
+                "constant fields bypass the wafer (stored exactly by the "
+                "host); use the reference CereSZ for them"
+            )
+        # Quantize on the host only to learn eps_eff; the wafer kernels
+        # redo the arithmetic from the raw floats.
+        _, eps_eff = prequantize_verified(arr, bound)
+        raw_blocks, n = partition_blocks(
+            arr.astype(np.float64), self.block_size
+        )
+
+        fabric = Fabric(self.rows, self.cols)
+        engine = Engine(fabric)
+        outputs = self._build(fabric, engine, raw_blocks, eps_eff)
+        report = engine.run()
+
+        body = outputs.stream(raw_blocks.shape[0])
+        header = make_header(
+            arr.shape,
+            eps_eff,
+            header_width=self._reference.header_width,
+            block_size=self.block_size,
+        )
+        stream = header.pack() + body
+        result = CompressionResult(
+            stream=stream,
+            eps=bound,
+            original_bytes=n * 4,
+            shape=tuple(arr.shape),
+            fixed_lengths=np.zeros(0, dtype=np.int64),
+            zero_block_fraction=0.0,
+        )
+        return WSECompressionResult(result=result, report=report)
+
+    def decompress(self, stream: bytes) -> np.ndarray:
+        """Streams are format-identical to the reference; decode with it."""
+        return self._reference.decompress(stream)
+
+    def decompress_on_wafer(
+        self, stream: bytes
+    ) -> tuple[np.ndarray, SimulationReport]:
+        """Decompress on the simulated mesh.
+
+        Uses the compressor's configured ``strategy``: ``"rows"`` maps
+        whole-block decompression onto the first PE of each row,
+        ``"pipeline"`` distributes the reverse sub-stages with Algorithm 1
+        over ``pipeline_length`` columns (the paper's Section 4.2
+        decompression mapping). Returns the reconstructed field and the
+        simulation report; values are identical to :meth:`decompress`.
+        """
+        from repro.core.format import StreamHeader
+        from repro.core.mapping_decompress import (
+            build_pipeline_decompress_program,
+            build_row_parallel_decompress_program,
+            records_to_words,
+        )
+        from repro.core.stages import decompression_substages
+
+        header, offset = StreamHeader.unpack(stream)
+        if header.constant is not None:
+            raise CompressionError(
+                "constant streams bypass the wafer; use decompress()"
+            )
+        if header.header_width != 4:
+            raise CompressionError(
+                "wafer decompression handles the CereSZ 4-byte-header format"
+            )
+        fabric = Fabric(self.rows, self.cols)
+        engine = Engine(fabric)
+        if self.strategy == "pipeline":
+            packed = records_to_words(
+                stream[offset:], header.num_blocks, header.block_size
+            )
+            max_fl = max((int(h[0]) for h, _ in packed), default=0)
+            stages = decompression_substages(
+                max_fl, header.block_size, self.model
+            )
+            dist = distribute_substages(
+                stages, min(self.pipeline_length, len(stages))
+            )
+            outputs = build_pipeline_decompress_program(
+                fabric,
+                engine,
+                stream[offset:],
+                header.num_blocks,
+                header.eps,
+                dist,
+                block_size=header.block_size,
+                model=self.model,
+            )
+        else:
+            outputs = build_row_parallel_decompress_program(
+                fabric,
+                engine,
+                stream[offset:],
+                header.num_blocks,
+                header.eps,
+                block_size=header.block_size,
+                model=self.model,
+            )
+        report = engine.run()
+        blocks = outputs.assemble(header.num_blocks, header.block_size)
+        flat = blocks.reshape(-1)[: header.num_elements]
+        return flat.reshape(header.shape), report
+
+    # -- internals ------------------------------------------------------------------
+
+    def _build(
+        self,
+        fabric: Fabric,
+        engine: Engine,
+        raw_blocks: np.ndarray,
+        eps_eff: float,
+    ) -> ProgramOutputs:
+        if self.strategy == "rows":
+            return build_row_parallel_program(
+                fabric, engine, raw_blocks, eps_eff, model=self.model
+            )
+        if self.strategy == "pipeline":
+            fl = _plan_fixed_length(raw_blocks, eps_eff, self.block_size)
+            stages = compression_substages(fl, self.block_size, self.model)
+            dist = distribute_substages(
+                stages, min(self.pipeline_length, len(stages))
+            )
+            return build_pipeline_program(
+                fabric, engine, raw_blocks, eps_eff, dist, model=self.model
+            )
+        if self.pipeline_length == 1:
+            return build_multi_pipeline_program(
+                fabric,
+                engine,
+                raw_blocks,
+                eps_eff,
+                pipeline_length=1,
+                model=self.model,
+            )
+        # Fig 6 right in full generality: several staged pipelines per row.
+        fl = _plan_fixed_length(raw_blocks, eps_eff, self.block_size)
+        stages = compression_substages(fl, self.block_size, self.model)
+        dist = distribute_substages(
+            stages, min(self.pipeline_length, len(stages))
+        )
+        return build_staged_multi_pipeline_program(
+            fabric, engine, raw_blocks, eps_eff, dist, model=self.model
+        )
+
+
+def _plan_fixed_length(
+    raw_blocks: np.ndarray, eps_eff: float, block_size: int
+) -> int:
+    """Plan the shuffle stage count from the data (conservative maximum).
+
+    The paper estimates this by 5 % sampling before launch
+    (:func:`repro.core.schedule.estimate_fixed_length`); planning here uses
+    the full input so the simulated pipeline is provably sufficient — an
+    undersized plan would silently truncate high bits.
+    """
+    fl = estimate_fixed_length(
+        raw_blocks.reshape(-1), eps_eff, block_size=block_size, fraction=1.0
+    )
+    return max(fl, 1)

@@ -1,0 +1,30 @@
+"""Synthetic stand-ins for the six SDRBench datasets of the paper's Table 4.
+
+The real datasets (CESM-ATM, Hurricane-ISABEL, QMCPack, NYX, RTM, HACC) are
+multi-gigabyte scientific archives we cannot ship or download. Each synthetic
+generator reproduces the *statistical character* that drives compression
+behaviour — dimensionality, smoothness spectrum, noise floor, sparsity, and
+field-to-field diversity — at a laptop-friendly scale, deterministically
+from a seed. Table 4's metadata (field counts, true dimensions, domain) is
+kept verbatim in :mod:`repro.datasets.registry` for the harness.
+"""
+
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetInfo,
+    dataset_names,
+    get_dataset,
+)
+from repro.datasets.synthetic import generate_field, iter_fields
+from repro.datasets.io import load_f32, save_f32
+
+__all__ = [
+    "DATASETS",
+    "DatasetInfo",
+    "dataset_names",
+    "get_dataset",
+    "generate_field",
+    "iter_fields",
+    "load_f32",
+    "save_f32",
+]

@@ -1,0 +1,40 @@
+"""Raw ``.f32`` field I/O.
+
+SDRBench distributes fields as headerless little-endian float32 binaries
+(e.g. ``velocity_x.f32``); these helpers read/write that convention so users
+with the real datasets can feed them straight into the compressors.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+
+def save_f32(path: str | os.PathLike, field: np.ndarray) -> None:
+    """Write ``field`` as a headerless little-endian float32 binary."""
+    arr = np.asarray(field, dtype="<f4")
+    arr.tofile(os.fspath(path))
+
+
+def load_f32(
+    path: str | os.PathLike, shape: tuple[int, ...] | None = None
+) -> np.ndarray:
+    """Read a headerless float32 binary, optionally reshaping.
+
+    Raises :class:`DatasetError` when the byte count does not match the
+    requested shape — the classic silent-corruption mode of raw binaries.
+    """
+    data = np.fromfile(os.fspath(path), dtype="<f4")
+    if shape is None:
+        return data
+    expected = int(np.prod(shape))
+    if data.size != expected:
+        raise DatasetError(
+            f"{os.fspath(path)}: holds {data.size} float32 values, "
+            f"shape {shape} needs {expected}"
+        )
+    return data.reshape(shape)

@@ -1,0 +1,122 @@
+"""Dataset metadata: the paper's Table 4, plus our synthetic scaling.
+
+``paper_shape`` records the true dimensions the paper evaluated (per field);
+``synthetic_shape`` is the scaled-down shape our generators produce so that
+the full experiment matrix runs in minutes on a laptop. Scaling preserves
+dimensionality and aspect character; compression ratios depend on local
+smoothness statistics, not on absolute extent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class DatasetInfo:
+    """One row of the paper's Table 4 plus generator parameters."""
+
+    name: str
+    num_fields: int
+    paper_shape: tuple[int, ...]
+    synthetic_shape: tuple[int, ...]
+    domain: str
+    #: Generator family key understood by :mod:`repro.datasets.synthetic`.
+    generator: str
+    #: Representative fixed length the paper profiled for this dataset
+    #: (Table 3 reports 17 / 13 / 12 for CESM-ATM / HACC / QMCPack).
+    profiled_fixed_length: int | None = None
+
+    @property
+    def elements_per_field(self) -> int:
+        n = 1
+        for d in self.synthetic_shape:
+            n *= d
+        return n
+
+    @property
+    def bytes_per_field(self) -> int:
+        return self.elements_per_field * 4
+
+
+DATASETS: dict[str, DatasetInfo] = {
+    info.name: info
+    for info in [
+        DatasetInfo(
+            name="CESM-ATM",
+            num_fields=79,
+            paper_shape=(1800, 3600),
+            synthetic_shape=(450, 900),
+            domain="Climate Simulation",
+            generator="climate2d",
+            profiled_fixed_length=17,
+        ),
+        DatasetInfo(
+            name="Hurricane",
+            num_fields=13,
+            paper_shape=(100, 500, 500),
+            synthetic_shape=(25, 125, 125),
+            domain="Weather Simulation",
+            generator="weather3d",
+        ),
+        DatasetInfo(
+            name="QMCPack",
+            num_fields=2,
+            paper_shape=(33120, 69, 69),
+            synthetic_shape=(288, 69, 69),
+            domain="Quantum Monte Carlo",
+            generator="orbital3d",
+            profiled_fixed_length=12,
+        ),
+        DatasetInfo(
+            name="NYX",
+            num_fields=6,
+            paper_shape=(512, 512, 512),
+            synthetic_shape=(96, 96, 96),
+            domain="Cosmic Simulation",
+            generator="cosmo3d",
+        ),
+        DatasetInfo(
+            name="RTM",
+            num_fields=36,
+            paper_shape=(449, 449, 235),
+            synthetic_shape=(112, 112, 60),
+            domain="Seismic Imaging",
+            generator="wavefield3d",
+        ),
+        DatasetInfo(
+            name="HACC",
+            num_fields=6,
+            paper_shape=(280_953_867,),
+            synthetic_shape=(2_097_152,),
+            domain="Cosmic Simulation",
+            generator="particles1d",
+            profiled_fixed_length=13,
+        ),
+    ]
+}
+
+#: NYX field names (the paper's Fig 15 visualizes ``velocity_x``).
+NYX_FIELDS = (
+    "baryon_density",
+    "dark_matter_density",
+    "temperature",
+    "velocity_x",
+    "velocity_y",
+    "velocity_z",
+)
+
+
+def dataset_names() -> list[str]:
+    return list(DATASETS)
+
+
+def get_dataset(name: str) -> DatasetInfo:
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; known: {sorted(DATASETS)}"
+        ) from None

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch a single base class. The WSE simulator raises its own branch of the
+hierarchy (:class:`FabricError` and subclasses) because fabric-configuration
+mistakes (bad routing, SRAM overflow, color exhaustion) are programming errors
+of the *simulated program*, not of the host library, and tests assert on them
+specifically.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CompressionError(ReproError):
+    """A compressor could not encode or decode the given payload."""
+
+
+class FormatError(CompressionError):
+    """A compressed byte stream is malformed or truncated."""
+
+
+class ErrorBoundError(ReproError):
+    """An invalid error bound was supplied (non-positive or non-finite)."""
+
+
+class DatasetError(ReproError):
+    """A dataset name or field is unknown, or generation parameters are bad."""
+
+
+class FabricError(ReproError):
+    """Base class for WSE simulator errors."""
+
+
+class RoutingError(FabricError):
+    """A color route is missing, conflicting, or leaves the mesh."""
+
+
+class MemoryError_(FabricError):
+    """A PE exceeded its 48 KB SRAM budget.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class ColorExhaustedError(FabricError):
+    """More than the 24 available colors were requested on one PE."""
+
+
+class DeadlockError(FabricError):
+    """The discrete-event engine ran out of events with tasks still pending."""
+
+
+class TaskError(FabricError):
+    """A simulated task misbehaved (double-bind, unknown activation, ...)."""
+
+
+class ScheduleError(ReproError):
+    """Sub-stage distribution over PEs is infeasible (Algorithm 1)."""
+
+
+class ModelError(ReproError):
+    """A performance-model query was outside the calibrated domain."""

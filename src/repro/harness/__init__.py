@@ -1,0 +1,55 @@
+"""Experiment harness: one function per table/figure of the paper.
+
+Every public function returns structured rows *and* can render the same
+ASCII table the benchmarks print, so results are consumable both
+programmatically (tests assert on them) and visually (bench logs read like
+the paper's tables). The experiment-to-module map lives in DESIGN.md; the
+paper-vs-measured record the harness produces is summarized in
+EXPERIMENTS.md.
+"""
+
+from repro.harness.tables import (
+    table1_stage_cycles,
+    table2_prequant_breakdown,
+    table3_encoding_breakdown,
+    table4_datasets,
+    table5_compression_ratio,
+)
+from repro.harness.figures import (
+    fig7_row_scaling,
+    fig10_relay_and_execution,
+    fig11_compression_throughput,
+    fig12_decompression_throughput,
+    fig13_pipeline_lengths,
+    fig14_wse_sizes,
+    fig15_quality,
+)
+from repro.harness.observations import (
+    Verdict,
+    all_observations,
+    observation1_throughput,
+    observation2_ratio,
+    observation3_quality,
+)
+from repro.harness.report import format_table
+
+__all__ = [
+    "table1_stage_cycles",
+    "table2_prequant_breakdown",
+    "table3_encoding_breakdown",
+    "table4_datasets",
+    "table5_compression_ratio",
+    "fig7_row_scaling",
+    "fig10_relay_and_execution",
+    "fig11_compression_throughput",
+    "fig12_decompression_throughput",
+    "fig13_pipeline_lengths",
+    "fig14_wse_sizes",
+    "fig15_quality",
+    "format_table",
+    "Verdict",
+    "all_observations",
+    "observation1_throughput",
+    "observation2_ratio",
+    "observation3_quality",
+]

@@ -1,0 +1,230 @@
+"""Regeneration of the paper's Tables 1-5.
+
+Tables 1-3 (per-stage cycle profiles) come from the calibrated cycle model
+evaluated at the fixed lengths measured from the synthetic datasets — the
+paper's numbers are the calibration source, so agreement there validates
+bookkeeping, while the *fixed lengths* themselves are genuinely measured.
+Table 4 is the dataset registry. Table 5 is fully measured: every ratio is
+``original/compressed`` of a real byte stream produced by the reimplemented
+codec on the synthetic field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import BLOCK_SIZE
+from repro.core.quantize import relative_to_absolute
+from repro.datasets import DATASETS, iter_fields
+from repro.baselines.base import get_compressor
+from repro.metrics.ratio import summarize_ratios
+from repro.perf.wafer import measure_workload
+from repro.wse.cost import CycleModel, PAPER_CYCLE_MODEL
+
+#: Datasets the paper profiles in Tables 1-3, with the encoding lengths it
+#: reports there (17 / 13 / 12).
+PROFILED_DATASETS = ("CESM-ATM", "HACC", "QMCPack")
+
+#: The REL bounds of the evaluation (Section 5.2).
+REL_BOUNDS = (1e-2, 1e-3, 1e-4)
+
+#: Paper values for side-by-side printing.
+PAPER_TABLE1 = {
+    "CESM-ATM": (6051, 975, 37124),
+    "HACC": (6101, 975, 29181),
+    "QMCPack": (6111, 975, 27188),
+}
+PAPER_TABLE2 = {
+    "CESM-ATM": (6051, 5078, 1033),
+    "HACC": (6101, 5081, 1038),
+    "QMCPack": (6111, 5063, 1049),
+}
+PAPER_TABLE3 = {
+    "CESM-ATM": (37124, 1044, 1037, 1386, 33609),
+    "HACC": (29181, 1041, 1032, 1370, 25675),
+    "QMCPack": (27188, 1048, 1041, 1385, 23694),
+}
+
+#: Field caps for the full experiment matrix (keeps Table 5 minutes-fast;
+#: pass ``field_limit=None`` for every field).
+DEFAULT_FIELD_LIMITS = {
+    "CESM-ATM": 8,
+    "Hurricane": 13,
+    "QMCPack": 2,
+    "NYX": 6,
+    "RTM": 10,
+    "HACC": 6,
+}
+
+
+def _profiled_fl(dataset: str, *, seed: int = 0) -> int:
+    """The max fixed length of the dataset's first field at REL 1e-4.
+
+    This is our analogue of the paper's profiled encoding length (their
+    Table 3 footnote: 17/13/12 for CESM-ATM/HACC/QMCPack).
+    """
+    name, arr = next(iter(iter_fields(dataset, limit=1, seed=seed)))
+    eps = relative_to_absolute(arr, 1e-4)
+    return measure_workload(arr, eps).representative_fl
+
+
+@dataclass(frozen=True)
+class StageCycleRow:
+    dataset: str
+    fixed_length: int
+    prequant: float
+    lorenzo: float
+    fl_encode: float
+    paper: tuple[float, float, float]
+
+
+def table1_stage_cycles(
+    *, model: CycleModel = PAPER_CYCLE_MODEL, seed: int = 0
+) -> list[StageCycleRow]:
+    """Table 1: execution cycles of the three steps for one data block."""
+    rows = []
+    for dataset in PROFILED_DATASETS:
+        fl = _profiled_fl(dataset, seed=seed)
+        rows.append(
+            StageCycleRow(
+                dataset=dataset,
+                fixed_length=fl,
+                prequant=model.prequant_cycles(BLOCK_SIZE),
+                lorenzo=model.lorenzo.cycles(BLOCK_SIZE),
+                fl_encode=model.encode_cycles(fl, BLOCK_SIZE),
+                paper=PAPER_TABLE1[dataset],
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class PrequantRow:
+    dataset: str
+    prequant: float
+    multiplication: float
+    addition: float
+    paper: tuple[float, float, float]
+
+
+def table2_prequant_breakdown(
+    *, model: CycleModel = PAPER_CYCLE_MODEL
+) -> list[PrequantRow]:
+    """Table 2: Multiplication / Addition split of pre-quantization."""
+    return [
+        PrequantRow(
+            dataset=dataset,
+            prequant=model.prequant_cycles(BLOCK_SIZE),
+            multiplication=model.multiplication.cycles(BLOCK_SIZE),
+            addition=model.addition.cycles(BLOCK_SIZE),
+            paper=PAPER_TABLE2[dataset],
+        )
+        for dataset in PROFILED_DATASETS
+    ]
+
+
+@dataclass(frozen=True)
+class EncodingRow:
+    dataset: str
+    fixed_length: int
+    fl_encode: float
+    sign: float
+    max: float
+    get_length: float
+    bit_shuffle: float
+    paper: tuple[float, float, float, float, float]
+
+
+def table3_encoding_breakdown(
+    *, model: CycleModel = PAPER_CYCLE_MODEL, seed: int = 0
+) -> list[EncodingRow]:
+    """Table 3: Sign / Max / GetLength / Bit-shuffle split of encoding."""
+    rows = []
+    for dataset in PROFILED_DATASETS:
+        fl = _profiled_fl(dataset, seed=seed)
+        rows.append(
+            EncodingRow(
+                dataset=dataset,
+                fixed_length=fl,
+                fl_encode=model.encode_cycles(fl, BLOCK_SIZE),
+                sign=model.sign.cycles(BLOCK_SIZE),
+                max=model.max.cycles(BLOCK_SIZE),
+                get_length=model.get_length.cycles(BLOCK_SIZE),
+                bit_shuffle=model.bit_shuffle.cycles(BLOCK_SIZE, fl),
+                paper=PAPER_TABLE3[dataset],
+            )
+        )
+    return rows
+
+
+def table4_datasets() -> list[dict]:
+    """Table 4: the dataset inventory, paper dims and synthetic dims."""
+    return [
+        {
+            "dataset": info.name,
+            "num_fields": info.num_fields,
+            "paper_shape": "x".join(str(d) for d in info.paper_shape),
+            "synthetic_shape": "x".join(str(d) for d in info.synthetic_shape),
+            "domain": info.domain,
+        }
+        for info in DATASETS.values()
+    ]
+
+
+@dataclass(frozen=True)
+class RatioRow:
+    compressor: str
+    dataset: str
+    rel: float
+    min: float
+    avg: float
+    max: float
+    num_fields: int
+
+
+#: Table 5 compressor order, as in the paper.
+TABLE5_COMPRESSORS = ("CereSZ", "SZp", "cuSZp", "SZ", "cuSZ")
+
+
+def table5_compression_ratio(
+    *,
+    compressors=TABLE5_COMPRESSORS,
+    datasets=tuple(DATASETS),
+    rel_bounds=REL_BOUNDS,
+    field_limit: int | None = -1,
+    seed: int = 0,
+) -> list[RatioRow]:
+    """Table 5: measured compression ratios (range and avg over fields).
+
+    ``field_limit=-1`` uses :data:`DEFAULT_FIELD_LIMITS`; ``None`` uses all
+    fields of every dataset.
+    """
+    rows = []
+    for dataset in datasets:
+        limit = (
+            DEFAULT_FIELD_LIMITS.get(dataset)
+            if field_limit == -1
+            else field_limit
+        )
+        fields = list(iter_fields(dataset, limit=limit, seed=seed))
+        for name in compressors:
+            codec = get_compressor(name)
+            for rel in rel_bounds:
+                ratios = [
+                    codec.compress(arr, rel=rel).ratio for _, arr in fields
+                ]
+                lo, avg, hi = summarize_ratios(ratios)
+                rows.append(
+                    RatioRow(
+                        compressor=name,
+                        dataset=dataset,
+                        rel=rel,
+                        min=lo,
+                        avg=avg,
+                        max=hi,
+                        num_fields=len(fields),
+                    )
+                )
+    return rows

@@ -1,0 +1,29 @@
+"""Quality and efficiency metrics for lossy compression (paper Section 5.1.4).
+
+* throughput — bytes of original data per second (computed by the perf
+  models, reported by the harness);
+* compression ratio and bit rate — :mod:`repro.metrics.ratio`;
+* PSNR and SSIM — :mod:`repro.metrics.quality`;
+* error-bound verification — :mod:`repro.metrics.errorbound`.
+"""
+
+from repro.metrics.quality import psnr, ssim, nrmse
+from repro.metrics.ratio import compression_ratio, bit_rate
+from repro.metrics.errorbound import max_abs_error, check_error_bound
+from repro.metrics.ratedistortion import rate_distortion_curve, RatePoint
+from repro.metrics.visualize import error_map, slice_of, write_pgm
+
+__all__ = [
+    "psnr",
+    "ssim",
+    "nrmse",
+    "compression_ratio",
+    "bit_rate",
+    "max_abs_error",
+    "check_error_bound",
+    "rate_distortion_curve",
+    "RatePoint",
+    "error_map",
+    "slice_of",
+    "write_pgm",
+]

@@ -1,0 +1,45 @@
+"""Pointwise error-bound verification.
+
+The defining contract of an error-bounded compressor: every reconstructed
+value is within ``eps`` of its original. These helpers compare in float64 so
+the check itself never introduces rounding slack.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """The largest pointwise |original - reconstructed| (float64)."""
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ReproError(
+            f"shape mismatch: original {a.shape} vs reconstructed {b.shape}"
+        )
+    if a.size == 0:
+        raise ReproError("error bound check on empty arrays")
+    return float(np.max(np.abs(a - b)))
+
+
+def check_error_bound(
+    original: np.ndarray, reconstructed: np.ndarray, eps: float
+) -> bool:
+    """True iff every point honors the absolute bound ``eps``."""
+    if eps < 0:
+        raise ReproError(f"negative error bound {eps}")
+    return max_abs_error(original, reconstructed) <= eps
+
+
+def violation_count(
+    original: np.ndarray, reconstructed: np.ndarray, eps: float
+) -> int:
+    """Number of points exceeding the bound (0 for a compliant stream)."""
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ReproError("shape mismatch in violation_count")
+    return int(np.count_nonzero(np.abs(a - b) > eps))

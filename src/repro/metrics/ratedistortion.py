@@ -1,0 +1,57 @@
+"""Rate-distortion analysis (paper Section 5.4).
+
+A rate-distortion curve plots reconstruction quality (PSNR or SSIM) against
+bit rate (bits per element). Compressors that share the pre-quantization
+design (CereSZ, cuSZp, FZ-GPU, cuSZ) produce *identical* reconstructions at
+a given error bound, so their curves differ only horizontally — by their
+ratios. The paper's Observation 3: CereSZ's curve is slightly right-shifted
+(compromised) versus cuSZp because of the 4-byte block headers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.quality import psnr, ssim
+from repro.metrics.ratio import bit_rate
+
+
+@dataclass(frozen=True)
+class RatePoint:
+    """One point of a rate-distortion curve."""
+
+    eps: float
+    bit_rate: float
+    psnr: float
+    ssim: float | None = None
+
+
+def rate_distortion_curve(
+    compressor,
+    data: np.ndarray,
+    rel_bounds,
+    *,
+    with_ssim: bool = False,
+) -> list[RatePoint]:
+    """Sweep REL bounds and collect (bit rate, PSNR[, SSIM]) points.
+
+    ``compressor`` is anything with the :class:`repro.core.compressor.CereSZ`
+    interface (``compress(data, rel=...)`` returning an object with
+    ``stream``/``eps``, and ``decompress``).
+    """
+    arr = np.asarray(data)
+    points: list[RatePoint] = []
+    for rel in rel_bounds:
+        result = compressor.compress(arr, rel=rel)
+        restored = compressor.decompress(result.stream)
+        points.append(
+            RatePoint(
+                eps=result.eps,
+                bit_rate=bit_rate(arr.size, len(result.stream)),
+                psnr=psnr(arr, restored),
+                ssim=ssim(arr, restored) if with_ssim else None,
+            )
+        )
+    return points

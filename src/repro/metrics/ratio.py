@@ -1,0 +1,36 @@
+"""Compression efficiency: ratio and bit rate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def compression_ratio(original_bytes: int, compressed_bytes: int) -> float:
+    """``size_original / size_compressed`` (paper Section 5.1.4)."""
+    if original_bytes <= 0:
+        raise ReproError(f"non-positive original size {original_bytes}")
+    if compressed_bytes <= 0:
+        raise ReproError(f"non-positive compressed size {compressed_bytes}")
+    return original_bytes / compressed_bytes
+
+
+def bit_rate(num_elements: int, compressed_bytes: int) -> float:
+    """Bits stored per original element (rate-distortion x-axis).
+
+    For float32 inputs, ``bit_rate == 32 / ratio``.
+    """
+    if num_elements <= 0:
+        raise ReproError(f"non-positive element count {num_elements}")
+    if compressed_bytes < 0:
+        raise ReproError(f"negative compressed size {compressed_bytes}")
+    return 8.0 * compressed_bytes / num_elements
+
+
+def summarize_ratios(ratios) -> tuple[float, float, float]:
+    """(min, mean, max) — the "range" and "avg" columns of Table 5."""
+    arr = np.asarray(list(ratios), dtype=np.float64)
+    if arr.size == 0:
+        raise ReproError("no ratios to summarize")
+    return float(arr.min()), float(arr.mean()), float(arr.max())

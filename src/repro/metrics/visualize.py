@@ -1,0 +1,69 @@
+"""Minimal visualization output (no plotting dependencies).
+
+The paper's Fig 15 compares slice renderings of the original and the
+reconstructions. This module renders 2-D fields to binary PGM (portable
+graymap) — viewable everywhere, writable with nothing but numpy — so the
+Fig 15 bench can emit actual images alongside its metrics.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def normalize_to_bytes(field: np.ndarray) -> np.ndarray:
+    """Scale a 2-D field linearly to uint8 [0, 255]."""
+    arr = np.asarray(field, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ReproError(f"expected a 2-D slice, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ReproError("cannot render an empty slice")
+    lo = float(arr.min())
+    hi = float(arr.max())
+    if hi == lo:
+        return np.zeros(arr.shape, dtype=np.uint8)
+    scaled = (arr - lo) * (255.0 / (hi - lo))
+    return np.clip(np.round(scaled), 0, 255).astype(np.uint8)
+
+
+def write_pgm(path: str | os.PathLike, field: np.ndarray) -> None:
+    """Write a 2-D field as a binary (P5) PGM image."""
+    pixels = normalize_to_bytes(field)
+    rows, cols = pixels.shape
+    header = f"P5\n{cols} {rows}\n255\n".encode("ascii")
+    with open(os.fspath(path), "wb") as fh:
+        fh.write(header)
+        fh.write(pixels.tobytes())
+
+
+def slice_of(field: np.ndarray, axis: int = 0, index: int | None = None) -> np.ndarray:
+    """Extract a 2-D slice from a 3-D field (middle plane by default).
+
+    Mirrors the paper's Fig 15 convention ("3-th dim and 200-th panel"):
+    pick an axis and a plane index.
+    """
+    arr = np.asarray(field)
+    if arr.ndim != 3:
+        raise ReproError(f"slice_of expects a 3-D field, got {arr.shape}")
+    if not (0 <= axis < 3):
+        raise ReproError(f"axis must be 0..2, got {axis}")
+    if index is None:
+        index = arr.shape[axis] // 2
+    if not (0 <= index < arr.shape[axis]):
+        raise ReproError(
+            f"plane {index} outside axis {axis} of extent {arr.shape[axis]}"
+        )
+    return np.take(arr, index, axis=axis)
+
+
+def error_map(original: np.ndarray, reconstructed: np.ndarray) -> np.ndarray:
+    """Absolute pointwise error, for rendering difference images."""
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ReproError("shape mismatch in error_map")
+    return np.abs(a - b)

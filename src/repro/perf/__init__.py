@@ -1,0 +1,65 @@
+"""Performance models: wafer-scale throughput and baseline device throughput.
+
+Two model families regenerate the paper's performance results:
+
+* :mod:`repro.perf.model` / :mod:`repro.perf.wafer` — the paper's own
+  analytic model (Section 4.3/4.4, Eqs 2-4) fed by the calibrated cycle
+  model and by per-block statistics measured from the actual data. These
+  produce CereSZ's curves (Figs 7, 10, 13, 14) and bars (Figs 11-12).
+* :mod:`repro.perf.device` — calibrated throughput models for the CPU/GPU
+  baselines (the paper measured them on an EPYC 7742 and an A100).
+
+Fidelity note (DESIGN.md): these are *models*, validated for shape against
+the paper, driven by real per-block workloads from the synthetic data — not
+silicon measurements.
+"""
+
+from repro.perf.model import (
+    PipelinePerformance,
+    relay_cycles_per_round,
+    compute_cycles_per_round,
+    round_cycles,
+    eq4_total_cycles,
+)
+from repro.perf.wafer import (
+    BlockWorkload,
+    measure_workload,
+    wafer_throughput,
+    row_scaling_curve,
+    wse_size_curve,
+    pipeline_length_curve,
+)
+from repro.perf.device import DEVICE_MODELS, DeviceThroughputModel, device_throughput
+from repro.perf.calibration import (
+    calibration_report,
+    calibration_residuals,
+    worst_relative_error,
+)
+from repro.perf.validate import (
+    ValidationPoint,
+    validate_against_simulator,
+    validation_report,
+)
+
+__all__ = [
+    "PipelinePerformance",
+    "relay_cycles_per_round",
+    "compute_cycles_per_round",
+    "round_cycles",
+    "eq4_total_cycles",
+    "BlockWorkload",
+    "measure_workload",
+    "wafer_throughput",
+    "row_scaling_curve",
+    "wse_size_curve",
+    "pipeline_length_curve",
+    "DEVICE_MODELS",
+    "DeviceThroughputModel",
+    "device_throughput",
+    "calibration_report",
+    "calibration_residuals",
+    "worst_relative_error",
+    "ValidationPoint",
+    "validate_against_simulator",
+    "validation_report",
+]

@@ -1,0 +1,115 @@
+"""Calibration audit: cycle-model constants vs the paper's profiled values.
+
+The cycle model's constants are *fit* to the paper's Tables 1-3; this
+module recomputes the residuals of that fit so the claim is checkable
+rather than asserted. A healthy calibration keeps every relative residual
+within the cross-dataset scatter of the paper's own measurements (~1 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import BLOCK_SIZE
+from repro.wse.cost import CycleModel, PAPER_CYCLE_MODEL
+
+#: Paper Table 2 — (multiplication, addition) per dataset.
+PAPER_PREQUANT = {
+    "CESM-ATM": (5078.0, 1033.0),
+    "HACC": (5081.0, 1038.0),
+    "QMCPack": (5063.0, 1049.0),
+}
+
+#: Paper Table 3 — (sign, max, get_length, bit_shuffle, fl) per dataset.
+PAPER_ENCODING = {
+    "CESM-ATM": (1044.0, 1037.0, 1386.0, 33609.0, 17),
+    "HACC": (1041.0, 1032.0, 1370.0, 25675.0, 13),
+    "QMCPack": (1048.0, 1041.0, 1385.0, 23694.0, 12),
+}
+
+#: Paper Table 1 — Lorenzo prediction (identical across datasets).
+PAPER_LORENZO = 975.0
+
+
+@dataclass(frozen=True)
+class Residual:
+    """One constant's fit against one paper measurement."""
+
+    constant: str
+    dataset: str
+    paper: float
+    model: float
+
+    @property
+    def relative_error(self) -> float:
+        return abs(self.model - self.paper) / self.paper
+
+
+def calibration_residuals(
+    model: CycleModel = PAPER_CYCLE_MODEL,
+) -> list[Residual]:
+    """Every (constant, dataset) pair of Tables 1-3 vs the model."""
+    residuals: list[Residual] = []
+    for dataset, (mult, add) in PAPER_PREQUANT.items():
+        residuals.append(
+            Residual(
+                "multiplication", dataset, mult,
+                model.multiplication.cycles(BLOCK_SIZE),
+            )
+        )
+        residuals.append(
+            Residual(
+                "addition", dataset, add, model.addition.cycles(BLOCK_SIZE)
+            )
+        )
+    for dataset, (sign, mx, gl, shuffle, fl) in PAPER_ENCODING.items():
+        residuals.append(
+            Residual("sign", dataset, sign, model.sign.cycles(BLOCK_SIZE))
+        )
+        residuals.append(
+            Residual("max", dataset, mx, model.max.cycles(BLOCK_SIZE))
+        )
+        residuals.append(
+            Residual(
+                "get_length", dataset, gl,
+                model.get_length.cycles(BLOCK_SIZE),
+            )
+        )
+        residuals.append(
+            Residual(
+                "bit_shuffle", dataset, shuffle,
+                model.bit_shuffle.cycles(BLOCK_SIZE, fl),
+            )
+        )
+    for dataset in PAPER_PREQUANT:
+        residuals.append(
+            Residual(
+                "lorenzo", dataset, PAPER_LORENZO,
+                model.lorenzo.cycles(BLOCK_SIZE),
+            )
+        )
+    return residuals
+
+
+def worst_relative_error(model: CycleModel = PAPER_CYCLE_MODEL) -> float:
+    """The largest relative residual across all calibrated constants."""
+    return max(r.relative_error for r in calibration_residuals(model))
+
+
+def calibration_report(model: CycleModel = PAPER_CYCLE_MODEL) -> str:
+    """Human-readable residual table."""
+    from repro.harness.report import format_table
+
+    rows = [
+        [r.constant, r.dataset, r.paper, round(r.model, 1),
+         f"{100 * r.relative_error:.2f}%"]
+        for r in sorted(
+            calibration_residuals(model),
+            key=lambda r: (r.constant, r.dataset),
+        )
+    ]
+    return format_table(
+        ["constant", "dataset", "paper cycles", "model cycles", "residual"],
+        rows,
+        title="Cycle-model calibration vs paper Tables 1-3",
+    )

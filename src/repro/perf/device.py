@@ -1,0 +1,102 @@
+"""Calibrated throughput models for the CPU/GPU baseline compressors.
+
+We do not have the paper's A100 or EPYC 7742 (nor would Python timings of
+our reimplementations say anything about CUDA kernels), so baseline bars in
+Figs 11-12 come from analytic models calibrated to the magnitudes the paper
+and the baselines' own publications report:
+
+=========  =========================  ======================================
+Baseline   Base rate (comp / decomp)  Behaviour modeled
+=========  =========================  ======================================
+cuSZp      104 / 131 GB/s               fused single kernel, memory-bound;
+                                      faster when zero blocks skip encoding
+cuSZ       22 / 30 GB/s               Huffman codebook construction and the
+                                      multi-kernel pipeline dominate
+SZp        2.6 / 3.4 GB/s             OpenMP on 64 cores, memory-bound
+SZ         0.28 / 0.42 GB/s           single-pass tree + DEFLATE, <1 GB/s
+                                      as the paper notes in Section 5.3
+=========  =========================  ======================================
+
+The zero-block speedup term mirrors the paper's Section 5.2 explanation for
+why SZp/cuSZp (same encoding) also get faster at looser bounds. CereSZ's
+own throughput never comes from this module — it comes from the wafer model
+fed by the cycle model (:mod:`repro.perf.wafer`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class DeviceThroughputModel:
+    """Analytic throughput of one baseline on its evaluation device."""
+
+    name: str
+    device: str
+    compress_gbs: float
+    decompress_gbs: float
+    #: Fractional speedup at 100% zero blocks (0 = insensitive).
+    zero_block_gain: float
+
+    def throughput_gbs(self, direction: str, zero_fraction: float) -> float:
+        if direction not in ("compress", "decompress"):
+            raise ModelError(
+                f"direction must be compress|decompress: {direction}"
+            )
+        if not (0.0 <= zero_fraction <= 1.0):
+            raise ModelError(f"zero fraction outside [0, 1]: {zero_fraction}")
+        base = (
+            self.compress_gbs if direction == "compress" else self.decompress_gbs
+        )
+        return base * (1.0 + self.zero_block_gain * zero_fraction)
+
+
+DEVICE_MODELS: dict[str, DeviceThroughputModel] = {
+    m.name: m
+    for m in [
+        DeviceThroughputModel(
+            name="cuSZp",
+            device="A100",
+            compress_gbs=104.0,
+            decompress_gbs=131.0,
+            zero_block_gain=0.5,
+        ),
+        DeviceThroughputModel(
+            name="cuSZ",
+            device="A100",
+            compress_gbs=22.0,
+            decompress_gbs=30.0,
+            zero_block_gain=0.25,
+        ),
+        DeviceThroughputModel(
+            name="SZp",
+            device="EPYC-7742",
+            compress_gbs=2.6,
+            decompress_gbs=3.4,
+            zero_block_gain=0.9,
+        ),
+        DeviceThroughputModel(
+            name="SZ",
+            device="EPYC-7742",
+            compress_gbs=0.28,
+            decompress_gbs=0.42,
+            zero_block_gain=0.4,
+        ),
+    ]
+}
+
+
+def device_throughput(
+    name: str, direction: str, zero_fraction: float
+) -> float:
+    """Throughput (GB/s) of baseline ``name`` on its paper device."""
+    try:
+        model = DEVICE_MODELS[name]
+    except KeyError:
+        raise ModelError(
+            f"no device model for {name!r}; known: {sorted(DEVICE_MODELS)}"
+        ) from None
+    return model.throughput_gbs(direction, zero_fraction)

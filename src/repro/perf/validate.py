@@ -1,0 +1,181 @@
+"""Cross-validation of the analytic model against the discrete-event sim.
+
+DESIGN.md's fidelity claim rests on two legs: the cycle model is calibrated
+to the paper's tables (audited by :mod:`repro.perf.calibration`), and the
+pipeline model's *structure* matches what the simulator actually does at
+small scale. This module runs the real on-wafer programs on small meshes
+and compares their makespans with the analytic prediction for the same
+configuration, reporting the discrepancy per point.
+
+Agreement is expected within ~15 %: the simulator carries real effects the
+steady-state model abstracts away (pipeline fill, activation latency,
+tail rounds), all of which shrink as the run grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import BLOCK_SIZE
+from repro.core.wse_compressor import WSECereSZ
+from repro.perf.model import round_cycles
+from repro.wse.cost import CycleModel, PAPER_CYCLE_MODEL
+
+
+@dataclass(frozen=True)
+class ValidationPoint:
+    """One sim-vs-model comparison."""
+
+    strategy: str
+    rows: int
+    cols: int
+    blocks: int
+    simulated_cycles: float
+    predicted_cycles: float
+
+    @property
+    def relative_gap(self) -> float:
+        return abs(self.simulated_cycles - self.predicted_cycles) / (
+            self.predicted_cycles
+        )
+
+
+def _predict_rows(
+    blocks_per_pe: int, block_cycles: float
+) -> float:
+    """Strategy 'rows': one PE per row processes its blocks back-to-back."""
+    return blocks_per_pe * block_cycles
+
+
+def _predict_multi(
+    rounds: int, cols: int, block_cycles: float, model: CycleModel
+) -> float:
+    """Strategy 'multi': serialized relay + compute per round (Eq. 4)."""
+    per_round = round_cycles(
+        cols, block_cycles, 1, model, overlapped=False
+    )
+    fill = cols * model.c1_relay
+    return rounds * per_round + fill
+
+
+def _predict_staged(
+    rounds: int,
+    cols: int,
+    pipeline_length: int,
+    block_cycles: float,
+    bottleneck_fraction: float,
+    model: CycleModel,
+) -> float:
+    """Staged pipelines: Eq. 4 with the Algorithm 1 bottleneck and C2."""
+    per_round = round_cycles(
+        cols,
+        block_cycles,
+        pipeline_length,
+        model,
+        overlapped=False,
+        bottleneck_fraction=bottleneck_fraction,
+    )
+    fill = cols * model.c1_relay + block_cycles
+    return rounds * per_round + fill
+
+
+def validate_against_simulator(
+    *,
+    data: np.ndarray,
+    eps: float,
+    model: CycleModel = PAPER_CYCLE_MODEL,
+) -> list[ValidationPoint]:
+    """Run both strategies on small meshes and score the model.
+
+    ``data`` should hold a few dozen blocks — enough for steady state to
+    mean something, small enough for event-level simulation.
+    """
+    from repro.perf.wafer import measure_workload
+
+    workload = measure_workload(data, eps)
+    block_cycles = workload.mean_cycles("compress", model)
+    points: list[ValidationPoint] = []
+
+    for rows in (1, 2, 4):
+        sim = WSECereSZ(rows=rows, cols=1, strategy="rows", model=model)
+        result = sim.compress(data, eps=eps)
+        blocks_per_pe = -(-workload.num_blocks // rows)
+        points.append(
+            ValidationPoint(
+                strategy="rows",
+                rows=rows,
+                cols=1,
+                blocks=workload.num_blocks,
+                simulated_cycles=result.makespan_cycles,
+                predicted_cycles=_predict_rows(blocks_per_pe, block_cycles),
+            )
+        )
+
+    for cols in (2, 4):
+        sim = WSECereSZ(rows=1, cols=cols, strategy="multi", model=model)
+        result = sim.compress(data, eps=eps)
+        rounds = -(-workload.num_blocks // cols)
+        points.append(
+            ValidationPoint(
+                strategy="multi",
+                rows=1,
+                cols=cols,
+                blocks=workload.num_blocks,
+                simulated_cycles=result.makespan_cycles,
+                predicted_cycles=_predict_multi(
+                    rounds, cols, block_cycles, model
+                ),
+            )
+        )
+
+    from repro.core.schedule import distribute_substages
+    from repro.core.stages import compression_substages
+
+    for cols, pl in ((4, 2), (6, 2)):
+        sim = WSECereSZ(
+            rows=1, cols=cols, strategy="multi", pipeline_length=pl,
+            model=model,
+        )
+        result = sim.compress(data, eps=eps)
+        pipelines = cols // pl
+        rounds = -(-workload.num_blocks // pipelines)
+        stages = compression_substages(
+            max(workload.representative_fl, 1), workload.block_size, model
+        )
+        dist = distribute_substages(stages, pl)
+        frac = dist.bottleneck_cycles / dist.total
+        points.append(
+            ValidationPoint(
+                strategy=f"staged(pl={pl})",
+                rows=1,
+                cols=cols,
+                blocks=workload.num_blocks,
+                simulated_cycles=result.makespan_cycles,
+                predicted_cycles=_predict_staged(
+                    rounds, cols, pl, block_cycles, frac, model
+                ),
+            )
+        )
+    return points
+
+
+def validation_report(points: list[ValidationPoint]) -> str:
+    from repro.harness.report import format_table
+
+    return format_table(
+        ["strategy", "mesh", "blocks", "simulated", "predicted", "gap"],
+        [
+            [
+                p.strategy,
+                f"{p.rows}x{p.cols}",
+                p.blocks,
+                round(p.simulated_cycles),
+                round(p.predicted_cycles),
+                f"{100 * p.relative_gap:.1f}%",
+            ]
+            for p in points
+        ],
+        title="Analytic model vs discrete-event simulator (compression)",
+    )

@@ -1,0 +1,77 @@
+"""Logical fabric channels ("colors").
+
+The CS-2 fabric multiplexes traffic over 24 logical channels per PE
+(paper Section 2.1). A program allocates colors, configures each PE's router
+with the color's input/output directions, and binds tasks to colors so that
+arriving data (or an explicit ``activate``) triggers computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import PE_NUM_COLORS
+from repro.errors import ColorExhaustedError
+
+
+@dataclass(frozen=True)
+class Color:
+    """A named logical channel.
+
+    Identity is the integer ``id``; ``name`` exists for readable traces and
+    error messages only.
+    """
+
+    id: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.id < PE_NUM_COLORS):
+            raise ColorExhaustedError(
+                f"color id {self.id} outside the {PE_NUM_COLORS} available "
+                f"hardware colors"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or "color"
+        return f"<{label}#{self.id}>"
+
+
+class ColorAllocator:
+    """Hands out distinct colors, enforcing the hardware limit of 24.
+
+    One allocator is shared per program: the same color id must mean the same
+    logical channel on every PE it traverses, exactly as on the device.
+    """
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._by_name: dict[str, Color] = {}
+
+    def allocate(self, name: str = "") -> Color:
+        """Allocate a fresh color, optionally registering it under ``name``."""
+        if self._next >= PE_NUM_COLORS:
+            raise ColorExhaustedError(
+                f"program requested more than {PE_NUM_COLORS} colors"
+            )
+        if name and name in self._by_name:
+            raise ColorExhaustedError(f"color name already allocated: {name!r}")
+        color = Color(self._next, name)
+        self._next += 1
+        if name:
+            self._by_name[name] = color
+        return color
+
+    def __getitem__(self, name: str) -> Color:
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    @property
+    def allocated(self) -> int:
+        return self._next
+
+    @property
+    def remaining(self) -> int:
+        return PE_NUM_COLORS - self._next

@@ -1,0 +1,89 @@
+"""Data Structure Descriptors (DSDs).
+
+On the CS-2, DSDs describe where data lives — a strided region of local
+memory, or a fabric endpoint on some color — and vector operations such as
+``@mov32`` consume a source DSD and a destination DSD (paper Figure 4). The
+simulator mirrors the three kinds used by the paper's kernels:
+
+``Mem1dDsd``
+    a view into a named PE-local buffer (``mem1d_dsd`` in CSL),
+``FabinDsd``
+    receive ``extent`` wavelets on a color (``fabin_dsd``),
+``FaboutDsd``
+    send ``extent`` wavelets on a color (``fabout_dsd``).
+
+DSDs are plain descriptions; :class:`repro.wse.engine.Engine` gives them
+meaning when a task issues a transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TaskError
+from repro.wse.color import Color
+
+
+@dataclass(frozen=True)
+class Mem1dDsd:
+    """A 1-D window into a PE-local buffer.
+
+    ``buffer`` names an array registered on the owning PE; ``offset`` and
+    ``length`` select the window (length ``None`` means "to the end").
+    """
+
+    buffer: str
+    offset: int = 0
+    length: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise TaskError(f"mem1d dsd with negative offset: {self}")
+        if self.length is not None and self.length < 0:
+            raise TaskError(f"mem1d dsd with negative length: {self}")
+
+    def resolve(self, storage: dict[str, np.ndarray]) -> np.ndarray:
+        """Return the referenced view (never a copy)."""
+        try:
+            arr = storage[self.buffer]
+        except KeyError:
+            raise TaskError(f"mem1d dsd names unknown buffer {self.buffer!r}")
+        stop = None if self.length is None else self.offset + self.length
+        view = arr[self.offset : stop]
+        if self.length is not None and view.size != self.length:
+            raise TaskError(
+                f"mem1d dsd window [{self.offset}:{stop}] exceeds buffer "
+                f"{self.buffer!r} of size {arr.size}"
+            )
+        return view
+
+
+@dataclass(frozen=True)
+class FabinDsd:
+    """Receive ``extent`` wavelets from the fabric on ``color``."""
+
+    color: Color
+    extent: int
+    input_queue: int = 0
+
+    def __post_init__(self) -> None:
+        if self.extent <= 0:
+            raise TaskError(f"fabin dsd with non-positive extent: {self}")
+
+
+@dataclass(frozen=True)
+class FaboutDsd:
+    """Send ``extent`` wavelets to the fabric on ``color``."""
+
+    color: Color
+    extent: int
+    output_queue: int = 0
+
+    def __post_init__(self) -> None:
+        if self.extent <= 0:
+            raise TaskError(f"fabout dsd with non-positive extent: {self}")
+
+
+Dsd = Mem1dDsd | FabinDsd | FaboutDsd

@@ -1,0 +1,364 @@
+"""Discrete-event execution engine for the WSE simulator.
+
+The engine gives DSDs and tasks their dataflow semantics:
+
+* a task bound to a color runs when the color is activated, one task at a
+  time per PE (each PE is an independent sequential processor);
+* ``mov32`` transfers are asynchronous: receives post a pending descriptor
+  that is matched against arriving fabric data, sends resolve the color's
+  static route and schedule an arrival at the destination PE, and either
+  side may activate a completion color (the data-triggering mechanism of the
+  paper's Figure 4);
+* fabric timing charges one cycle per wavelet injected plus one cycle per
+  hop traversed; compute timing is charged explicitly by tasks through
+  :meth:`TaskContext.spend` using the calibrated cost model.
+
+Time is measured in clock cycles as a float (stage costs are calibrated
+means, not integers). The engine is deterministic: ties are broken by event
+sequence number.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.config import HOP_CYCLES
+from repro.errors import DeadlockError, TaskError
+from repro.wse.color import Color
+from repro.wse.dsd import Dsd, FabinDsd, FaboutDsd, Mem1dDsd
+from repro.wse.fabric import Fabric
+from repro.wse.pe import ProcessingElement, TaskContext
+from repro.wse.trace import TraceRecorder
+from repro.wse.wavelet import Direction, wavelet_count
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Result of :meth:`Engine.run`."""
+
+    makespan_cycles: float
+    events_processed: int
+    tasks_run: int
+    trace: TraceRecorder
+
+
+@dataclass
+class _PendingRecv:
+    dst: Mem1dDsd
+    extent: int
+    on_complete: Color | None
+    posted_at: float
+
+
+@dataclass
+class _PendingRelay:
+    out_color: Color
+    extent: int
+    on_complete: Color | None
+    posted_at: float
+    charge_relay: bool
+
+
+@dataclass
+class _Event:
+    kind: str
+    pe: ProcessingElement | None = None
+    color_id: int = -1
+    data: np.ndarray | None = None
+    payload: dict = field(default_factory=dict)
+
+
+class Engine:
+    """Runs a configured :class:`Fabric` until quiescence."""
+
+    def __init__(self, fabric: Fabric, *, max_events: int = 50_000_000):
+        self.fabric = fabric
+        self.max_events = max_events
+        self._queue: list[tuple[float, int, _Event]] = []
+        self._seq = itertools.count()
+        self._ids = itertools.count()
+        self._recv: dict[tuple[int, int, int], deque[_PendingRecv]] = {}
+        self._relay: dict[tuple[int, int, int], deque[_PendingRelay]] = {}
+        self._scratch: dict[tuple[int, int], list[str]] = {}
+        self._events_processed = 0
+        self._now = 0.0
+
+    # -- public API -----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def fresh_id(self) -> int:
+        return next(self._ids)
+
+    def inject(
+        self,
+        row: int,
+        col: int,
+        color: Color,
+        data: np.ndarray,
+        at: float = 0.0,
+        *,
+        from_direction: Direction = Direction.WEST,
+    ) -> None:
+        """Feed data onto the mesh as if arriving from off-wafer.
+
+        The wafer edge PEs route data on and off the WSE (paper 5.1.1);
+        ``inject`` models the on-wafer side of that boundary: the array
+        appears at PE (row, col) on ``color`` at cycle ``at`` plus the
+        injection time of ``len(data)`` wavelets.
+        """
+        arr = np.asarray(data)
+        arrive = at + wavelet_count(arr) * HOP_CYCLES
+        self._push(arrive, _Event("deliver", self.fabric.pe(row, col), color.id, arr))
+
+    def send_from(
+        self,
+        row: int,
+        col: int,
+        color: Color,
+        data: np.ndarray,
+        at: float = 0.0,
+    ) -> None:
+        """Send ``data`` along ``color``'s route starting at PE (row, col).
+
+        Unlike :meth:`inject` (which drops data straight into a PE's inbox,
+        modeling the off-wafer edge), this resolves the static route from
+        the source PE's RAMP — the data traverses the fabric and arrives at
+        whichever PE the route terminates on, after injection and hop
+        latency. It models a producer PE whose send is driven by the host
+        (e.g. a generator kernel outside the simulated program).
+        """
+        pe = self.fabric.pe(row, col)
+        self._send(pe, color, np.asarray(data), at, None, False)
+
+    def schedule_activation(
+        self, pe: ProcessingElement, color_id: int, at: float
+    ) -> None:
+        self._push(at, _Event("activate", pe, color_id))
+
+    def note_scratch(self, pe: ProcessingElement, name: str) -> None:
+        """Mark ``name`` as a transmit scratch buffer to free on send."""
+        self._scratch.setdefault(pe.coord, []).append(name)
+
+    def submit_transfer(
+        self,
+        pe: ProcessingElement,
+        dst: Dsd,
+        src: Dsd,
+        now: float,
+        on_complete: Color | None,
+        *,
+        relay: bool = False,
+    ) -> None:
+        """Interpret a ``mov32`` issued by a task on ``pe`` at cycle ``now``."""
+        if isinstance(dst, Mem1dDsd) and isinstance(src, FabinDsd):
+            key = (pe.row, pe.col, src.color.id)
+            self._recv.setdefault(key, deque()).append(
+                _PendingRecv(dst, src.extent, on_complete, now)
+            )
+            self._push(now, _Event("match", pe, src.color.id))
+        elif isinstance(dst, FaboutDsd) and isinstance(src, Mem1dDsd):
+            data = np.array(src.resolve(pe.buffers), copy=True)
+            if data.size != dst.extent:
+                raise TaskError(
+                    f"PE{pe.coord}: fabout extent {dst.extent} != source "
+                    f"window size {data.size}"
+                )
+            self._send(pe, dst.color, data, now, on_complete, relay)
+            self._free_scratch(pe, src.buffer)
+        elif isinstance(dst, FaboutDsd) and isinstance(src, FabinDsd):
+            key = (pe.row, pe.col, src.color.id)
+            self._relay.setdefault(key, deque()).append(
+                _PendingRelay(dst.color, src.extent, on_complete, now, relay)
+            )
+            self._push(now, _Event("match", pe, src.color.id))
+        elif isinstance(dst, Mem1dDsd) and isinstance(src, Mem1dDsd):
+            target = dst.resolve(pe.buffers)
+            source = src.resolve(pe.buffers)
+            if target.size != source.size:
+                raise TaskError(
+                    f"PE{pe.coord}: local copy size mismatch "
+                    f"{source.size} -> {target.size}"
+                )
+            target[:] = source
+            if on_complete is not None:
+                self._push(now, _Event("activate", pe, on_complete.id))
+        else:
+            raise TaskError(
+                f"unsupported mov32 combination: {type(src).__name__} -> "
+                f"{type(dst).__name__}"
+            )
+
+    def run(
+        self,
+        *,
+        allow_pending: bool = False,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> SimulationReport:
+        """Process events until quiescence (or ``stop_when`` returns True).
+
+        With ``allow_pending=False`` (the default), finishing with unmatched
+        pending receives raises :class:`DeadlockError` — on the device that
+        state is a silent hang.
+        """
+        while self._queue:
+            if self._events_processed >= self.max_events:
+                raise DeadlockError(
+                    f"event budget exhausted after {self.max_events} events "
+                    f"(livelock?)"
+                )
+            time, _, event = heapq.heappop(self._queue)
+            self._now = max(self._now, time)
+            self._events_processed += 1
+            self._dispatch(time, event)
+            if stop_when is not None and stop_when():
+                break
+        if not allow_pending:
+            stuck = [
+                key
+                for key, queue in self._recv.items()
+                if queue
+            ] + [key for key, queue in self._relay.items() if queue]
+            if stuck:
+                desc = ", ".join(
+                    f"PE({r},{c}) color {cid}" for r, c, cid in sorted(stuck)
+                )
+                raise DeadlockError(
+                    f"simulation quiesced with unmatched pending receives: {desc}"
+                )
+        trace = TraceRecorder()
+        tasks_run = 0
+        for pe in self.fabric:
+            trace.record(pe)
+            tasks_run += pe.tasks_run
+        trace.events_processed = self._events_processed
+        makespan = max((pe.busy_until for pe in self.fabric), default=0.0)
+        return SimulationReport(
+            makespan_cycles=makespan,
+            events_processed=self._events_processed,
+            tasks_run=tasks_run,
+            trace=trace,
+        )
+
+    # -- internals --------------------------------------------------------------------
+
+    def _push(self, time: float, event: _Event) -> None:
+        heapq.heappush(self._queue, (time, next(self._seq), event))
+
+    def _dispatch(self, time: float, event: _Event) -> None:
+        if event.kind == "deliver":
+            event.pe.deliver(event.color_id, event.data)
+            self._push(time, _Event("match", event.pe, event.color_id))
+        elif event.kind == "match":
+            self._match(event.pe, event.color_id, time)
+        elif event.kind == "activate":
+            event.pe.activate(event.color_id)
+            self._push(max(time, event.pe.busy_until), _Event("task", event.pe))
+        elif event.kind == "task":
+            self._run_task(event.pe, time)
+        else:  # pragma: no cover - defensive
+            raise TaskError(f"unknown event kind {event.kind!r}")
+
+    def _match(self, pe: ProcessingElement, color_id: int, time: float) -> None:
+        """Pair arrived data with pending receives/relays, FIFO."""
+        key = (pe.row, pe.col, color_id)
+        while True:
+            relays = self._relay.get(key)
+            recvs = self._recv.get(key)
+            # Relays posted before receives are matched first in posting order.
+            candidates: list[tuple[float, str]] = []
+            if relays:
+                candidates.append((relays[0].posted_at, "relay"))
+            if recvs:
+                candidates.append((recvs[0].posted_at, "recv"))
+            if not candidates:
+                return
+            data = pe.take_delivery(color_id)
+            if data is None:
+                return
+            candidates.sort()
+            _, which = candidates[0]
+            if which == "relay":
+                pending = relays.popleft()
+                if data.size != pending.extent:
+                    raise TaskError(
+                        f"PE{pe.coord}: relay on color {color_id} expected "
+                        f"{pending.extent} wavelets, got {data.size}"
+                    )
+                self._send(
+                    pe,
+                    pending.out_color,
+                    data,
+                    max(time, pending.posted_at),
+                    pending.on_complete,
+                    pending.charge_relay,
+                )
+            else:
+                pending = recvs.popleft()
+                if data.size != pending.extent:
+                    raise TaskError(
+                        f"PE{pe.coord}: receive on color {color_id} expected "
+                        f"{pending.extent} wavelets, got {data.size}"
+                    )
+                target = pending.dst.resolve(pe.buffers)
+                if target.size != data.size:
+                    raise TaskError(
+                        f"PE{pe.coord}: receive buffer window holds "
+                        f"{target.size} elements, data has {data.size}"
+                    )
+                target[:] = data.astype(target.dtype, copy=False)
+                if pending.on_complete is not None:
+                    done = max(time, pending.posted_at)
+                    self._push(
+                        done, _Event("activate", pe, pending.on_complete.id)
+                    )
+
+    def _send(
+        self,
+        pe: ProcessingElement,
+        color: Color,
+        data: np.ndarray,
+        now: float,
+        on_complete: Color | None,
+        charge_relay: bool,
+    ) -> None:
+        route = self.fabric.resolve(pe.row, pe.col, color)
+        inject_cycles = wavelet_count(data) * HOP_CYCLES
+        if charge_relay:
+            pe.relay_cycles += inject_cycles
+        arrive = now + inject_cycles + route.hops * HOP_CYCLES
+        dest = self.fabric.pe(*route.destination)
+        self._push(arrive, _Event("deliver", dest, color.id, data))
+        if on_complete is not None:
+            self._push(now + inject_cycles, _Event("activate", pe, on_complete.id))
+
+    def _run_task(self, pe: ProcessingElement, time: float) -> None:
+        if pe.halted or not pe.pending:
+            return
+        if time < pe.busy_until:
+            self._push(pe.busy_until, _Event("task", pe))
+            return
+        color_id = pe.pending.popleft()
+        task = pe.tasks.get(color_id)
+        if task is None:  # pragma: no cover - activate() already guards
+            raise TaskError(f"PE{pe.coord}: no task bound to color {color_id}")
+        ctx = TaskContext(self, pe, time)
+        task.fn(ctx)
+        pe.busy_until = time + ctx.cycles_spent
+        pe.tasks_run += 1
+        if pe.pending and not pe.halted:
+            self._push(pe.busy_until, _Event("task", pe))
+
+    def _free_scratch(self, pe: ProcessingElement, name: str) -> None:
+        names = self._scratch.get(pe.coord)
+        if names and name in names:
+            names.remove(name)
+            pe.free_buffer(name)

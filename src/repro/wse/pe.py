@@ -1,0 +1,243 @@
+"""Processing elements and the data-triggered task model.
+
+A PE owns a router, 48 KB of SRAM, named local buffers (numpy arrays), and a
+set of *tasks*, each bound to a color (``@bind_task`` in CSL). A task runs
+when its color is *activated* — explicitly via ``@activate`` or implicitly
+when an asynchronous transfer targeting that activation color completes.
+Each PE has its own program counter, so tasks on different PEs execute
+independently; within one PE tasks are serialized, which the engine models
+with a single ``busy_until`` horizon per PE.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.errors import TaskError
+from repro.wse.color import Color
+from repro.wse.dsd import Dsd, FabinDsd, FaboutDsd, Mem1dDsd
+from repro.wse.memory import SramAllocator
+from repro.wse.router import Router
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.wse.engine import Engine
+
+
+@dataclass(frozen=True)
+class Task:
+    """A named unit of PE code bound to a color."""
+
+    name: str
+    fn: Callable[["TaskContext"], None]
+
+
+@dataclass
+class ProcessingElement:
+    """State of one mesh node."""
+
+    row: int
+    col: int
+    router: Router = field(default_factory=Router)
+    sram: SramAllocator = field(default_factory=SramAllocator)
+    buffers: dict[str, np.ndarray] = field(default_factory=dict)
+    tasks: dict[int, Task] = field(default_factory=dict)
+    pending: deque[int] = field(default_factory=deque)  # activated colors
+    inbox: dict[int, deque[np.ndarray]] = field(default_factory=dict)
+    busy_until: float = 0.0
+    compute_cycles: int = 0
+    relay_cycles: int = 0
+    tasks_run: int = 0
+    halted: bool = False
+
+    @property
+    def coord(self) -> tuple[int, int]:
+        return (self.row, self.col)
+
+    # -- program construction -------------------------------------------------
+
+    def bind_task(self, color: Color, task: Task) -> None:
+        """Bind ``task`` to ``color`` (one task per color per PE)."""
+        if color.id in self.tasks:
+            raise TaskError(
+                f"PE{self.coord}: color {color} already bound to task "
+                f"{self.tasks[color.id].name!r}"
+            )
+        self.tasks[color.id] = task
+
+    def alloc_buffer(self, name: str, array: np.ndarray) -> np.ndarray:
+        """Register a local buffer, charging its bytes against SRAM."""
+        arr = np.ascontiguousarray(array)
+        self.sram.alloc(name, arr.nbytes)
+        self.buffers[name] = arr
+        return arr
+
+    def free_buffer(self, name: str) -> None:
+        self.sram.release(name)
+        del self.buffers[name]
+
+    # -- runtime ---------------------------------------------------------------
+
+    def activate(self, color_id: int) -> None:
+        """Queue ``color_id`` for execution (idempotent per occurrence).
+
+        Unknown colors error: activating a color with no bound task is a
+        lost wakeup on the device.
+        """
+        if color_id not in self.tasks:
+            raise TaskError(
+                f"PE{self.coord}: activation of color {color_id} with no "
+                f"bound task"
+            )
+        self.pending.append(color_id)
+
+    def deliver(self, color_id: int, data: np.ndarray) -> None:
+        """Fabric data for ``color_id`` arrived at this PE's RAMP."""
+        self.inbox.setdefault(color_id, deque()).append(data)
+
+    def take_delivery(self, color_id: int) -> np.ndarray | None:
+        queue = self.inbox.get(color_id)
+        if not queue:
+            return None
+        return queue.popleft()
+
+    def has_work(self) -> bool:
+        return bool(self.pending) and not self.halted
+
+
+class TaskContext:
+    """The API surface a running task sees (the CSL builtins analogue).
+
+    A fresh context is created by the engine for every task execution; the
+    current simulated time advances through :meth:`spend`.
+    """
+
+    def __init__(self, engine: "Engine", pe: ProcessingElement, now: float):
+        self._engine = engine
+        self._pe = pe
+        self._start = now
+        self._spent = 0
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def pe(self) -> ProcessingElement:
+        return self._pe
+
+    @property
+    def coord(self) -> tuple[int, int]:
+        return self._pe.coord
+
+    @property
+    def now(self) -> float:
+        """Current simulated cycle (start of task + cycles spent so far)."""
+        return self._start + self._spent
+
+    @property
+    def cycles_spent(self) -> int:
+        return self._spent
+
+    # -- compute -----------------------------------------------------------------
+
+    def spend(self, cycles: int | float, *, relay: bool = False) -> None:
+        """Charge compute (or relay) cycles to this PE.
+
+        The cost model (:mod:`repro.wse.cost`) decides *how many* cycles an
+        operation takes; tasks report them here so the engine can keep the
+        PE busy for that long.
+        """
+        cycles = int(round(cycles))
+        if cycles < 0:
+            raise TaskError("cannot spend negative cycles")
+        self._spent += cycles
+        if relay:
+            self._pe.relay_cycles += cycles
+        else:
+            self._pe.compute_cycles += cycles
+
+    # -- buffers -----------------------------------------------------------------
+
+    def buffer(self, name: str) -> np.ndarray:
+        try:
+            return self._pe.buffers[name]
+        except KeyError:
+            raise TaskError(f"PE{self.coord}: unknown buffer {name!r}")
+
+    def alloc_buffer(self, name: str, array: np.ndarray) -> np.ndarray:
+        return self._pe.alloc_buffer(name, array)
+
+    def free_buffer(self, name: str) -> None:
+        self._pe.free_buffer(name)
+
+    # -- dataflow ------------------------------------------------------------------
+
+    def activate(self, color: Color) -> None:
+        """``@activate``: queue another task on this PE after this one ends."""
+        self._engine.schedule_activation(self._pe, color.id, self.now)
+
+    def mov32(
+        self,
+        dst: Dsd,
+        src: Dsd,
+        *,
+        on_complete: Color | None = None,
+        relay: bool = False,
+    ) -> None:
+        """``@mov32``: asynchronous DSD-to-DSD move.
+
+        Supported combinations (the ones the paper's kernels use):
+
+        * ``Mem1dDsd <- FabinDsd``: receive from fabric into local memory;
+        * ``FaboutDsd <- Mem1dDsd``: send local memory to the fabric;
+        * ``FaboutDsd <- FabinDsd``: pure relay, fabric to fabric
+          (Fig 9's forwarding pattern);
+        * ``Mem1dDsd <- Mem1dDsd``: local copy.
+
+        ``on_complete`` names the color activated when the move finishes —
+        this is the data-triggering mechanism of the paper's Figure 4.
+        """
+        self._engine.submit_transfer(
+            self._pe, dst, src, self.now, on_complete, relay=relay
+        )
+
+    def send(
+        self,
+        color: Color,
+        array: np.ndarray,
+        *,
+        on_complete: Color | None = None,
+        relay: bool = False,
+    ) -> None:
+        """Convenience: send a whole array on ``color`` from a scratch DSD."""
+        name = f"__tx_{color.id}_{self._engine.fresh_id()}"
+        self._pe.alloc_buffer(name, np.asarray(array))
+        # Register the scratch buffer first: the engine frees it as soon as
+        # the transfer below captures the data.
+        self._engine.note_scratch(self._pe, name)
+        self.mov32(
+            FaboutDsd(color=color, extent=_extent_of(array)),
+            Mem1dDsd(buffer=name),
+            on_complete=on_complete,
+            relay=relay,
+        )
+
+    def recv(self, color: Color, extent: int, into: str, on_complete: Color) -> None:
+        """Convenience: receive ``extent`` wavelets into buffer ``into``."""
+        self.mov32(
+            Mem1dDsd(buffer=into),
+            FabinDsd(color=color, extent=extent),
+            on_complete=on_complete,
+        )
+
+    def halt(self) -> None:
+        """Stop scheduling tasks on this PE (end of program)."""
+        self._pe.halted = True
+
+
+def _extent_of(array: np.ndarray) -> int:
+    # DSD extents count *elements*; the engine charges fabric time in
+    # wavelets (a float64 element costs two 32-bit wavelets).
+    return int(np.asarray(array).size)

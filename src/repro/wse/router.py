@@ -1,0 +1,97 @@
+"""Per-PE fabric routers.
+
+Each PE's router forwards wavelets by color: a :class:`RouteRule` declares,
+for one color, which directions the router accepts wavelets from and which
+single direction it forwards them to. This mirrors the CSL model in the
+paper's Figure 3 where PE1 routes a color ``RAMP -> EAST`` and PE2 routes it
+``WEST -> RAMP``.
+
+The simulated router is deliberately strict: a wavelet arriving on a color
+with no rule, or from a direction the rule does not accept, raises
+:class:`~repro.errors.RoutingError` instead of being dropped — misrouted
+traffic on real hardware is a silent hang, and tests want it loud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RoutingError
+from repro.wse.color import Color
+from repro.wse.wavelet import Direction
+
+
+@dataclass(frozen=True)
+class RouteRule:
+    """Routing entry for one color on one PE."""
+
+    color: Color
+    inputs: frozenset[Direction]
+    output: Direction
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise RoutingError(f"route for {self.color} has no input direction")
+        if self.output in self.inputs and self.output is not Direction.RAMP:
+            raise RoutingError(
+                f"route for {self.color} reflects wavelets back "
+                f"{self.output.value} -> {self.output.value}"
+            )
+
+    @classmethod
+    def make(
+        cls,
+        color: Color,
+        inputs: Direction | tuple[Direction, ...] | list[Direction],
+        output: Direction,
+    ) -> "RouteRule":
+        if isinstance(inputs, Direction):
+            inputs = (inputs,)
+        return cls(color=color, inputs=frozenset(inputs), output=output)
+
+
+@dataclass
+class Router:
+    """The routing table of a single PE."""
+
+    rules: dict[int, RouteRule] = field(default_factory=dict)
+
+    def set_route(self, rule: RouteRule) -> None:
+        """Install a rule; re-installing a different rule for a color errors.
+
+        On the device the router configuration for a color is fixed per
+        program load, so a conflicting double configuration is a bug.
+        """
+        existing = self.rules.get(rule.color.id)
+        if existing is not None and existing != rule:
+            raise RoutingError(
+                f"conflicting routes for {rule.color}: {existing} vs {rule}"
+            )
+        self.rules[rule.color.id] = rule
+
+    def route(self, color_id: int, arriving_from: Direction) -> Direction:
+        """Direction a wavelet on ``color_id`` leaves this PE.
+
+        ``arriving_from`` is the direction the wavelet *enters* the router
+        from — ``RAMP`` when the local processor injects it.
+        """
+        rule = self.rules.get(color_id)
+        if rule is None:
+            raise RoutingError(
+                f"no route configured for color {color_id} "
+                f"(arriving from {arriving_from.value})"
+            )
+        if arriving_from not in rule.inputs:
+            accepted = sorted(d.value for d in rule.inputs)
+            raise RoutingError(
+                f"color {color_id}: wavelet arrived from "
+                f"{arriving_from.value}, route only accepts {accepted}"
+            )
+        return rule.output
+
+    def has_route(self, color_id: int) -> bool:
+        return color_id in self.rules
+
+    def accepts(self, color_id: int, arriving_from: Direction) -> bool:
+        rule = self.rules.get(color_id)
+        return rule is not None and arriving_from in rule.inputs

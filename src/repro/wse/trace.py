@@ -1,0 +1,97 @@
+"""Execution traces and profiling helpers.
+
+The paper measures runtime with the per-PE hardware cycle counters and
+reports the *maximum* cycles across PEs (Section 5.1.1). The trace recorder
+mirrors that: it collects per-PE busy/compute/relay cycles and task counts
+from a finished simulation so tests and benchmarks can ask the same
+questions the paper's profiling sections do (Tables 1-3, Fig 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import CLOCK_HZ
+from repro.wse.pe import ProcessingElement
+
+
+@dataclass(frozen=True)
+class PETrace:
+    """Cycle accounting of one PE at the end of a run."""
+
+    row: int
+    col: int
+    compute_cycles: int
+    relay_cycles: int
+    tasks_run: int
+    finished_at: float  # simulated cycle when this PE last went idle
+
+    @property
+    def total_cycles(self) -> int:
+        return self.compute_cycles + self.relay_cycles
+
+
+@dataclass
+class TraceRecorder:
+    """Collects :class:`PETrace` rows and answers aggregate queries."""
+
+    traces: list[PETrace] = field(default_factory=list)
+    events_processed: int = 0
+
+    def record(self, pe: ProcessingElement) -> None:
+        self.traces.append(
+            PETrace(
+                row=pe.row,
+                col=pe.col,
+                compute_cycles=pe.compute_cycles,
+                relay_cycles=pe.relay_cycles,
+                tasks_run=pe.tasks_run,
+                finished_at=pe.busy_until,
+            )
+        )
+
+    # -- the paper's aggregates ----------------------------------------------------
+
+    @property
+    def makespan_cycles(self) -> float:
+        """Cycles until the last PE finished (the paper's timing rule)."""
+        if not self.traces:
+            return 0.0
+        return max(t.finished_at for t in self.traces)
+
+    def makespan_seconds(self, clock_hz: float = CLOCK_HZ) -> float:
+        return self.makespan_cycles / clock_hz
+
+    def throughput_bytes_per_s(
+        self, payload_bytes: int, clock_hz: float = CLOCK_HZ
+    ) -> float:
+        """Throughput as the paper computes it: original size / makespan."""
+        seconds = self.makespan_seconds(clock_hz)
+        if seconds <= 0:
+            raise ZeroDivisionError("simulation produced a zero makespan")
+        return payload_bytes / seconds
+
+    def max_compute_cycles(self) -> int:
+        return max((t.compute_cycles for t in self.traces), default=0)
+
+    def total_relay_cycles(self) -> int:
+        return sum(t.relay_cycles for t in self.traces)
+
+    def per_row(self) -> dict[int, list[PETrace]]:
+        rows: dict[int, list[PETrace]] = {}
+        for t in self.traces:
+            rows.setdefault(t.row, []).append(t)
+        return rows
+
+    def busiest_pe(self) -> PETrace:
+        if not self.traces:
+            raise ValueError("no traces recorded")
+        return max(self.traces, key=lambda t: t.total_cycles)
+
+    def load_imbalance(self) -> float:
+        """max/mean busy cycles across PEs that did any work (>= 1.0)."""
+        busy = [t.total_cycles for t in self.traces if t.total_cycles > 0]
+        if not busy:
+            return 1.0
+        mean = sum(busy) / len(busy)
+        return max(busy) / mean if mean else 1.0

@@ -1,0 +1,122 @@
+"""Wavelets and cardinal dataflow directions.
+
+A *wavelet* is the fabric's 32-bit message unit (paper Section 2.1): a PE can
+exchange one wavelet with a neighbor per clock cycle. The simulator usually
+moves whole arrays per event for efficiency, but the array payloads are
+accounted as ``len(payload)`` wavelets for cycle costing, and single-wavelet
+control messages use this class directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+
+class Direction(enum.Enum):
+    """The five cardinal dataflow directions of a PE.
+
+    ``RAMP`` is the internal link between the fabric router and the local
+    processor; the other four point at the mesh neighbors.
+    """
+
+    RAMP = "ramp"
+    EAST = "east"
+    WEST = "west"
+    NORTH = "north"
+    SOUTH = "south"
+
+    @property
+    def opposite(self) -> "Direction":
+        """The direction a wavelet *arrives from* after leaving this way."""
+        return _OPPOSITE[self]
+
+    @property
+    def delta(self) -> tuple[int, int]:
+        """(row, col) offset of the neighbor in this direction.
+
+        Row 0 is the north edge and column 0 the west edge, matching the
+        paper's figures where data flows in from the west.
+        """
+        return _DELTA[self]
+
+
+_OPPOSITE = {
+    Direction.RAMP: Direction.RAMP,
+    Direction.EAST: Direction.WEST,
+    Direction.WEST: Direction.EAST,
+    Direction.NORTH: Direction.SOUTH,
+    Direction.SOUTH: Direction.NORTH,
+}
+
+_DELTA = {
+    Direction.RAMP: (0, 0),
+    Direction.EAST: (0, 1),
+    Direction.WEST: (0, -1),
+    Direction.NORTH: (-1, 0),
+    Direction.SOUTH: (1, 0),
+}
+
+
+@dataclass(frozen=True)
+class Wavelet:
+    """A single 32-bit fabric message on one color.
+
+    ``payload`` is stored as a Python int restricted to 32 bits; helper
+    constructors pack/unpack numpy scalars. ``meta`` carries simulator-only
+    annotations (e.g. the originating PE for traces) and never affects
+    simulated behaviour.
+    """
+
+    color: int
+    payload: int
+    meta: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.color < 64):
+            raise ValueError(f"color id out of range: {self.color}")
+        if not (-(2**31) <= self.payload < 2**32):
+            raise ValueError(f"payload does not fit in 32 bits: {self.payload}")
+
+    @classmethod
+    def from_f32(cls, color: int, value: float) -> "Wavelet":
+        """Pack a single-precision float into a wavelet."""
+        raw = int(np.float32(value).view(np.uint32))
+        return cls(color=color, payload=raw)
+
+    def as_f32(self) -> float:
+        """Unpack the payload as a single-precision float."""
+        return float(np.uint32(self.payload & 0xFFFFFFFF).view(np.float32))
+
+    @classmethod
+    def from_i32(cls, color: int, value: int) -> "Wavelet":
+        """Pack a signed 32-bit integer into a wavelet."""
+        raw = int(np.int64(value).astype(np.int32))
+        return cls(color=color, payload=raw)
+
+    def as_i32(self) -> int:
+        """Unpack the payload as a signed 32-bit integer."""
+        return int(np.uint32(self.payload & 0xFFFFFFFF).view(np.int32))
+
+
+def wavelet_count(payload: np.ndarray | bytes | int) -> int:
+    """Number of 32-bit wavelets needed to carry ``payload``.
+
+    Arrays are counted element-wise after conversion to a 32-bit dtype
+    (the fabric's minimum granularity, paper Section 5.1.1); byte strings
+    are rounded up to whole words; an int means "this many elements".
+    """
+    if isinstance(payload, int):
+        if payload < 0:
+            raise ValueError("wavelet_count of a negative element count")
+        return payload
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        return (len(payload) + 3) // 4
+    arr = np.asarray(payload)
+    if arr.dtype.itemsize <= 4:
+        return int(arr.size)
+    # 64-bit payloads occupy two wavelets each.
+    return int(arr.size) * ((arr.dtype.itemsize + 3) // 4)

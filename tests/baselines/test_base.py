@@ -1,0 +1,89 @@
+"""Tests for the compressor registry and interface conformance."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.baselines.base import BaselineCompressor, get_compressor
+
+
+ALL_NAMES = ("CereSZ", "SZp", "cuSZp", "cuSZ", "SZ")
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_all_paper_compressors_registered(self, name):
+        codec = get_compressor(name)
+        assert codec.name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ReproError, match="unknown compressor"):
+            get_compressor("gzip")
+
+    def test_instances_are_fresh(self):
+        assert get_compressor("SZp") is not get_compressor("SZp")
+
+
+class TestProtocolConformance:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_satisfies_protocol(self, name):
+        assert isinstance(get_compressor(name), BaselineCompressor)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_device_attribution(self, name):
+        codec = get_compressor(name)
+        assert codec.device in ("CS-2", "A100", "EPYC-7742")
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_uniform_compress_interface(self, name, smooth_field):
+        codec = get_compressor(name)
+        result = codec.compress(smooth_field, rel=1e-3)
+        assert result.original_bytes == smooth_field.nbytes
+        assert result.ratio > 1.0
+        back = codec.decompress(result.stream)
+        assert back.shape == smooth_field.shape
+
+
+class TestCrossCompressorProperties:
+    def test_prequant_family_reconstructions_identical(self, smooth_field):
+        """CereSZ / SZp / cuSZp / cuSZ quantize identically (paper Obs 3)."""
+        outs = []
+        for name in ("CereSZ", "SZp", "cuSZp", "cuSZ"):
+            codec = get_compressor(name)
+            result = codec.compress(smooth_field, rel=1e-3)
+            outs.append(codec.decompress(result.stream))
+        for other in outs[1:]:
+            assert np.array_equal(outs[0], other)
+
+    def test_table5_ordering_on_smooth_2d(self, field_2d):
+        """SZ > {cuSZ, SZp} >= CereSZ on a smooth 2-D field."""
+        ratios = {
+            name: get_compressor(name).compress(field_2d, rel=1e-3).ratio
+            for name in ALL_NAMES
+        }
+        assert ratios["SZ"] > ratios["cuSZ"]
+        assert ratios["SZ"] > ratios["SZp"]
+        assert ratios["SZp"] >= ratios["CereSZ"]
+        assert ratios["cuSZp"] == pytest.approx(ratios["SZp"])
+
+
+class TestPsnrTargetUniformity:
+    """Every codec accepts a PSNR target and hits it (uniform interface)."""
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_target_achieved(self, name, rng):
+        from repro.metrics.quality import psnr as measure
+
+        data = np.cumsum(rng.normal(size=32 * 600)).astype(np.float32)
+        codec = get_compressor(name)
+        result = codec.compress(data, psnr=70.0)
+        got = measure(data, codec.decompress(result.stream))
+        assert got == pytest.approx(70.0, abs=0.8), name
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_psnr_exclusive_with_other_modes(self, name, smooth_field):
+        from repro.errors import ErrorBoundError
+
+        codec = get_compressor(name)
+        with pytest.raises(ErrorBoundError):
+            codec.compress(smooth_field, psnr=70.0, rel=1e-3)

@@ -1,0 +1,123 @@
+"""Tests for the cuSZ baseline (N-D Lorenzo + Huffman)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import CompressionError, ErrorBoundError, FormatError
+from repro.baselines import CuSZ
+from repro.metrics.errorbound import check_error_bound
+
+
+class TestRoundTrip:
+    def test_1d(self, smooth_field):
+        codec = CuSZ()
+        result = codec.compress(smooth_field, rel=1e-3)
+        back = codec.decompress(result.stream)
+        assert back.shape == smooth_field.shape
+        assert check_error_bound(smooth_field, back, result.eps)
+
+    def test_2d(self, field_2d):
+        codec = CuSZ()
+        result = codec.compress(field_2d, rel=1e-3)
+        back = codec.decompress(result.stream)
+        assert back.shape == field_2d.shape
+        assert check_error_bound(field_2d, back, result.eps)
+
+    def test_3d(self, field_3d):
+        codec = CuSZ()
+        result = codec.compress(field_3d, rel=1e-3)
+        back = codec.decompress(result.stream)
+        assert check_error_bound(field_3d, back, result.eps)
+
+    def test_absolute_bound(self, smooth_field):
+        codec = CuSZ()
+        result = codec.compress(smooth_field, eps=0.5)
+        back = codec.decompress(result.stream)
+        assert check_error_bound(smooth_field, back, 0.5)
+
+    @given(
+        data=hnp.arrays(
+            np.float32,
+            st.tuples(st.integers(2, 12), st.integers(2, 12)),
+            elements=st.floats(
+                -1e4, 1e4, width=32, allow_nan=False, allow_infinity=False
+            ),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property_2d(self, data):
+        codec = CuSZ()
+        if float(data.max()) == float(data.min()):
+            return  # REL undefined on constants; CereSZ handles that case
+        try:
+            result = codec.compress(data, rel=1e-3)
+        except ErrorBoundError:
+            return  # bound below float32 resolution: correct refusal
+        back = codec.decompress(result.stream)
+        assert check_error_bound(data, back, result.eps)
+
+
+class TestOutliers:
+    def test_outliers_beyond_radius_survive(self):
+        codec = CuSZ(radius=4)
+        data = np.zeros(64, dtype=np.float32)
+        data[10] = 1000.0  # residual blows past radius 4
+        result = codec.compress(data, eps=0.5)
+        back = codec.decompress(result.stream)
+        assert check_error_bound(data, back, 0.5)
+
+    def test_all_outliers(self):
+        codec = CuSZ(radius=1)
+        rng = np.random.default_rng(0)
+        data = (rng.normal(size=128) * 1e4).astype(np.float32)
+        result = codec.compress(data, eps=0.01)
+        back = codec.decompress(result.stream)
+        assert check_error_bound(data, back, 0.01)
+
+
+class TestStructure:
+    def test_nd_lorenzo_beats_1d_blocked_on_2d_data(self, field_2d):
+        """Why cuSZ can out-compress CereSZ on multi-dimensional fields."""
+        from repro import CereSZ
+
+        cusz = CuSZ().compress(field_2d, rel=1e-3)
+        ceresz = CereSZ().compress(field_2d, rel=1e-3)
+        assert cusz.ratio > ceresz.ratio
+
+    def test_huffman_floor_caps_ratio_near_32(self):
+        """One bit per symbol minimum = the ~31x Table 5 ceiling."""
+        data = np.zeros(32 * 4096, dtype=np.float32)
+        data[0] = 1.0
+        result = CuSZ().compress(data, rel=1e-2)
+        assert 25 <= result.ratio <= 33
+
+    def test_zero_fraction_reported(self, sparse_field):
+        result = CuSZ().compress(sparse_field, rel=1e-2)
+        assert result.zero_block_fraction > 0.9
+
+
+class TestValidation:
+    def test_bad_radius(self):
+        with pytest.raises(CompressionError):
+            CuSZ(radius=0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompressionError):
+            CuSZ().compress(np.zeros(0, dtype=np.float32), rel=1e-3)
+
+    def test_both_bounds_rejected(self, smooth_field):
+        with pytest.raises(ErrorBoundError):
+            CuSZ().compress(smooth_field, eps=1.0, rel=1e-3)
+
+    def test_bad_magic(self, smooth_field):
+        stream = bytearray(CuSZ().compress(smooth_field, eps=1.0).stream)
+        stream[:4] = b"XXXX"
+        with pytest.raises(FormatError, match="magic"):
+            CuSZ().decompress(bytes(stream))
+
+    def test_truncated_stream(self):
+        with pytest.raises(FormatError):
+            CuSZ().decompress(b"CZ")

@@ -1,0 +1,160 @@
+"""Tests for the canonical Huffman codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import CompressionError, FormatError
+from repro.baselines.huffman import CanonicalCode, HuffmanCodec, build_code
+
+
+class TestBuildCode:
+    def test_single_symbol_gets_one_bit(self):
+        code = build_code(np.array([7, 7, 7]))
+        assert code.symbols.tolist() == [7]
+        assert code.lengths.tolist() == [1]
+
+    def test_frequent_symbols_get_shorter_codes(self):
+        values = np.array([0] * 1000 + [1] * 10 + [2] * 10 + [3] * 5)
+        code = build_code(values)
+        lengths = dict(zip(code.symbols.tolist(), code.lengths.tolist()))
+        assert lengths[0] < lengths[3]
+
+    def test_lengths_satisfy_kraft_equality(self):
+        rng = np.random.default_rng(0)
+        values = rng.geometric(0.4, size=2000)
+        code = build_code(values)
+        kraft = sum(2.0 ** -int(l) for l in code.lengths)
+        assert kraft == pytest.approx(1.0)
+
+    def test_codewords_are_prefix_free(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(-20, 20, size=500)
+        code = build_code(values)
+        words = code.codewords()
+        entries = sorted(
+            (int(l), int(w)) for l, w in zip(code.lengths, words)
+        )
+        for i, (l1, w1) in enumerate(entries):
+            for l2, w2 in entries[i + 1 :]:
+                # w1 (length l1) must not prefix w2 (length l2 >= l1).
+                assert (w2 >> (l2 - l1)) != w1
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompressionError):
+            build_code(np.zeros(0, dtype=np.int64))
+
+
+class TestCodecRoundTrip:
+    @pytest.mark.parametrize(
+        "values",
+        [
+            [5],
+            [1, 1, 1, 1],
+            [0, 1, 0, 1, 0, 1],
+            [-3, 0, 3, 0, 0, 0, 7],
+            list(range(-50, 50)),
+        ],
+    )
+    def test_small_cases(self, values):
+        codec = HuffmanCodec()
+        arr = np.array(values, dtype=np.int64)
+        assert np.array_equal(codec.decode(codec.encode(arr)), arr)
+
+    def test_geometric_distribution(self):
+        rng = np.random.default_rng(2)
+        values = (rng.geometric(0.3, size=20000) - 1) * rng.choice(
+            [-1, 1], size=20000
+        )
+        codec = HuffmanCodec()
+        assert np.array_equal(codec.decode(codec.encode(values)), values)
+
+    def test_compresses_skewed_data(self):
+        values = np.zeros(10000, dtype=np.int64)
+        values[::100] = 5
+        codec = HuffmanCodec()
+        stream = codec.encode(values)
+        assert len(stream) < values.nbytes / 4
+
+    def test_large_symbol_values(self):
+        values = np.array([2**50, -(2**50), 0, 0], dtype=np.int64)
+        codec = HuffmanCodec()
+        assert np.array_equal(codec.decode(codec.encode(values)), values)
+
+    @given(
+        hnp.arrays(
+            np.int64,
+            st.integers(1, 400),
+            elements=st.integers(-(2**30), 2**30),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_property(self, values):
+        codec = HuffmanCodec()
+        assert np.array_equal(codec.decode(codec.encode(values)), values)
+
+
+class TestCodecErrors:
+    def test_truncated_header(self):
+        with pytest.raises(FormatError):
+            HuffmanCodec().decode(b"\x00\x01")
+
+    def test_truncated_table(self):
+        codec = HuffmanCodec()
+        stream = codec.encode(np.arange(10))
+        with pytest.raises(FormatError):
+            codec.decode(stream[:20])
+
+    def test_truncated_payload(self):
+        codec = HuffmanCodec()
+        stream = codec.encode(np.arange(64))
+        with pytest.raises(FormatError, match="exhausted"):
+            codec.decode(stream[:-4])
+
+    def test_canonical_code_shape_mismatch(self):
+        with pytest.raises(CompressionError):
+            CanonicalCode(
+                symbols=np.arange(3), lengths=np.array([1, 2], dtype=np.uint8)
+            )
+
+
+class TestDecoderEquivalence:
+    """The table-accelerated decoder must match the canonical bit-walk."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_fast_equals_bitwalk(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 4000))
+        values = rng.zipf(1.4, size=n).astype(np.int64) * rng.choice(
+            [-1, 1], size=n
+        )
+        codec = HuffmanCodec()
+        stream = codec.encode(values)
+        code = build_code(values)
+        payload = np.frombuffer(
+            stream, dtype=np.uint8, offset=16 + len(code.symbols) * 9
+        )
+        walk = HuffmanCodec._decode_bits(
+            np.unpackbits(payload), code, n, code.max_length
+        )
+        fast = codec.decode(stream)
+        assert np.array_equal(fast, walk)
+        assert np.array_equal(fast, values)
+
+    def test_long_codes_hit_the_fallback(self):
+        """A very skewed alphabet produces codes beyond the 12-bit table."""
+        values = np.concatenate(
+            [np.zeros(1 << 16, dtype=np.int64), np.arange(5000)]
+        )
+        codec = HuffmanCodec()
+        code = build_code(values)
+        assert code.max_length > HuffmanCodec._TABLE_BITS  # fallback engaged
+        assert np.array_equal(codec.decode(codec.encode(values)), values)
+
+    def test_truncated_stream_still_detected(self):
+        codec = HuffmanCodec()
+        stream = codec.encode(np.arange(256))
+        with pytest.raises(FormatError, match="exhausted"):
+            codec.decode(stream[:-8])

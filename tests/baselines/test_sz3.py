@@ -1,0 +1,139 @@
+"""Tests for the SZ3 baseline (multi-level interpolation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import CereSZ
+from repro.errors import CompressionError, ErrorBoundError, FormatError
+from repro.baselines import SZ3
+from repro.metrics.errorbound import check_error_bound
+
+
+class TestRoundTrip:
+    def test_1d(self, smooth_field):
+        codec = SZ3()
+        result = codec.compress(smooth_field, rel=1e-3)
+        back = codec.decompress(result.stream)
+        assert back.shape == smooth_field.shape
+        assert check_error_bound(smooth_field, back, result.eps)
+
+    def test_2d(self, field_2d):
+        codec = SZ3()
+        result = codec.compress(field_2d, rel=1e-3)
+        back = codec.decompress(result.stream)
+        assert back.shape == field_2d.shape
+        assert check_error_bound(field_2d, back, result.eps)
+
+    def test_3d(self, field_3d):
+        codec = SZ3()
+        result = codec.compress(field_3d, rel=1e-4)
+        back = codec.decompress(result.stream)
+        assert check_error_bound(field_3d, back, result.eps)
+
+    def test_rough_field(self, rough_field):
+        codec = SZ3()
+        result = codec.compress(rough_field, rel=1e-4)
+        back = codec.decompress(result.stream)
+        assert check_error_bound(rough_field, back, result.eps)
+
+    def test_tiny_arrays(self):
+        codec = SZ3()
+        for n in (1, 2, 3, 5, 65):
+            data = np.linspace(0, 1, n).astype(np.float32)
+            if n == 1:
+                data[0] = 0.5
+                result = codec.compress(data, eps=0.01)
+            else:
+                result = codec.compress(data, rel=1e-3)
+            back = codec.decompress(result.stream)
+            assert check_error_bound(data, back, result.eps), n
+
+    def test_odd_shapes(self):
+        codec = SZ3()
+        rng = np.random.default_rng(0)
+        for shape in [(7,), (13, 3), (5, 9, 11), (65, 2)]:
+            data = np.cumsum(
+                rng.normal(size=int(np.prod(shape)))
+            ).reshape(shape).astype(np.float32)
+            result = codec.compress(data, rel=1e-3)
+            back = codec.decompress(result.stream)
+            assert back.shape == shape
+            assert check_error_bound(data, back, result.eps), shape
+
+    @given(
+        data=hnp.arrays(
+            np.float32,
+            st.integers(1, 200),
+            elements=st.floats(
+                -1e4, 1e4, width=32, allow_nan=False, allow_infinity=False
+            ),
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, data):
+        codec = SZ3()
+        try:
+            if data.size > 1 and float(data.max()) != float(data.min()):
+                result = codec.compress(data, rel=1e-3)
+            else:
+                result = codec.compress(data, eps=0.01)
+        except ErrorBoundError:
+            # Legitimate refusal: the requested bound is below the float32
+            # resolution at this magnitude (e.g. subnormal-range data).
+            return
+        back = codec.decompress(result.stream)
+        assert check_error_bound(data, back, result.eps)
+
+
+class TestRatioCharacter:
+    def test_dominates_ceresz_on_smooth_data(self, field_2d):
+        """Table 5: SZ tops every ratio column by a wide margin."""
+        sz = SZ3().compress(field_2d, rel=1e-2)
+        ceresz = CereSZ().compress(field_2d, rel=1e-2)
+        assert sz.ratio > 2 * ceresz.ratio
+
+    def test_huge_ratio_on_very_smooth_field(self):
+        x = np.linspace(0, 2 * np.pi, 200_000).astype(np.float32)
+        data = np.sin(x)
+        result = SZ3().compress(data, rel=1e-3)
+        assert result.ratio > 100  # SZ reaches 1e2-1e5 in Table 5
+
+    def test_ratio_decreases_with_tighter_bound(self, field_2d):
+        r = [SZ3().compress(field_2d, rel=rel).ratio for rel in (1e-2, 1e-3, 1e-4)]
+        assert r[0] > r[1] > r[2]
+
+
+class TestValidation:
+    def test_bad_levels(self):
+        with pytest.raises(CompressionError):
+            SZ3(levels=0)
+        with pytest.raises(CompressionError):
+            SZ3(levels=99)
+
+    def test_levels_affect_anchor_overhead(self, smooth_field):
+        shallow = SZ3(levels=2).compress(smooth_field, rel=1e-3)
+        deep = SZ3(levels=6).compress(smooth_field, rel=1e-3)
+        # Fewer levels = denser anchor grid = bigger stream.
+        assert shallow.compressed_bytes > deep.compressed_bytes
+
+    def test_empty_rejected(self):
+        with pytest.raises(CompressionError):
+            SZ3().compress(np.zeros(0, dtype=np.float32), rel=1e-3)
+
+    def test_both_bounds_rejected(self, smooth_field):
+        with pytest.raises(ErrorBoundError):
+            SZ3().compress(smooth_field, eps=0.1, rel=1e-3)
+
+    def test_bad_magic(self, smooth_field):
+        stream = bytearray(SZ3().compress(smooth_field, eps=1.0).stream)
+        stream[:4] = b"ZZZZ"
+        with pytest.raises(FormatError, match="magic"):
+            SZ3().decompress(bytes(stream))
+
+    def test_truncated(self, smooth_field):
+        stream = SZ3().compress(smooth_field, eps=1.0).stream
+        with pytest.raises(FormatError):
+            SZ3().decompress(stream[: len(stream) // 2])

@@ -1,0 +1,68 @@
+"""Tests for the SZp and cuSZp baselines (shared block format)."""
+
+import numpy as np
+import pytest
+
+from repro import CereSZ
+from repro.baselines import CuSZp, SZp
+from repro.metrics.errorbound import check_error_bound
+
+
+class TestSZp:
+    def test_round_trip(self, smooth_field):
+        codec = SZp()
+        result = codec.compress(smooth_field, rel=1e-3)
+        back = codec.decompress(result.stream)
+        assert check_error_bound(smooth_field, back, result.eps)
+
+    def test_identity(self):
+        codec = SZp()
+        assert codec.name == "SZp"
+        assert codec.device == "EPYC-7742"
+        assert codec.header_width == 1
+
+    def test_ratio_cap_is_128(self, rng):
+        field = np.zeros(32 * 400, dtype=np.float32)
+        field[0] = 100.0  # establish a range
+        result = SZp().compress(field, rel=1e-2)
+        assert 100 < result.ratio <= 128.5
+
+    def test_beats_ceresz_on_sparse(self, sparse_field):
+        szp = SZp().compress(sparse_field, rel=1e-2)
+        ceresz = CereSZ().compress(sparse_field, rel=1e-2)
+        assert szp.ratio > ceresz.ratio
+
+    def test_same_reconstruction_as_ceresz(self, smooth_field):
+        """Paper 5.4: all pre-quantization compressors reconstruct alike."""
+        szp = SZp()
+        ceresz = CereSZ()
+        b1 = szp.decompress(szp.compress(smooth_field, rel=1e-3).stream)
+        b2 = ceresz.decompress(
+            ceresz.compress(smooth_field, rel=1e-3).stream
+        )
+        assert np.array_equal(b1, b2)
+
+
+class TestCuSZp:
+    def test_round_trip(self, rough_field):
+        codec = CuSZp()
+        result = codec.compress(rough_field, rel=1e-4)
+        back = codec.decompress(result.stream)
+        assert check_error_bound(rough_field, back, result.eps)
+
+    def test_identity(self):
+        codec = CuSZp()
+        assert codec.name == "cuSZp"
+        assert codec.device == "A100"
+
+    def test_identical_streams_to_szp(self, smooth_field):
+        """cuSZp differs from SZp in execution, not in format."""
+        s1 = SZp().compress(smooth_field, rel=1e-3).stream
+        s2 = CuSZp().compress(smooth_field, rel=1e-3).stream
+        assert s1 == s2
+
+    def test_cross_decode(self, smooth_field):
+        """An SZp stream decodes with a cuSZp instance and vice versa."""
+        stream = SZp().compress(smooth_field, rel=1e-3).stream
+        back = CuSZp().decompress(stream)
+        assert back.shape == smooth_field.shape

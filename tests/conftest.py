@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import CereSZ
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def smooth_field(rng) -> np.ndarray:
+    """A 1-D random walk: smooth enough to compress well (float32)."""
+    return np.cumsum(rng.normal(size=4096)).astype(np.float32)
+
+
+@pytest.fixture
+def rough_field(rng) -> np.ndarray:
+    """White noise: the adversarial case for a Lorenzo predictor."""
+    return (100.0 * rng.standard_normal(4096)).astype(np.float32)
+
+
+@pytest.fixture
+def sparse_field(rng) -> np.ndarray:
+    """Mostly zeros with a few spikes: exercises the zero-block path."""
+    field = np.zeros(4096, dtype=np.float32)
+    idx = rng.choice(4096, size=40, replace=False)
+    field[idx] = rng.normal(size=40).astype(np.float32) * 50
+    return field
+
+
+@pytest.fixture
+def field_2d(rng) -> np.ndarray:
+    base = np.add.outer(
+        np.sin(np.linspace(0, 4, 64)), np.cos(np.linspace(0, 7, 96))
+    )
+    return (base * 10 + 0.01 * rng.standard_normal((64, 96))).astype(
+        np.float32
+    )
+
+
+@pytest.fixture
+def field_3d(rng) -> np.ndarray:
+    z = np.linspace(-1, 1, 24)[:, None, None]
+    y = np.linspace(-1, 1, 20)[None, :, None]
+    x = np.linspace(-1, 1, 28)[None, None, :]
+    return (np.exp(-(x * x + y * y + z * z) * 3.0) * 100).astype(np.float32)
+
+
+@pytest.fixture
+def codec() -> CereSZ:
+    return CereSZ()

@@ -1,0 +1,104 @@
+"""Tests for block partitioning and zero-block detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CompressionError
+from repro.core.blocks import (
+    merge_blocks,
+    partition_blocks,
+    validate_block_size,
+    zero_block_mask,
+)
+
+
+class TestValidateBlockSize:
+    @pytest.mark.parametrize("good", [8, 16, 32, 64, 128])
+    def test_accepts_multiples_of_8(self, good):
+        assert validate_block_size(good) == good
+
+    @pytest.mark.parametrize("bad", [0, -8, 7, 12, 33])
+    def test_rejects_others(self, bad):
+        with pytest.raises(CompressionError):
+            validate_block_size(bad)
+
+
+class TestPartition:
+    def test_exact_multiple(self):
+        blocks, n = partition_blocks(np.arange(64), 32)
+        assert blocks.shape == (2, 32)
+        assert n == 64
+
+    def test_tail_padding_with_zeros(self):
+        blocks, n = partition_blocks(np.ones(40), 32)
+        assert blocks.shape == (2, 32)
+        assert n == 40
+        assert not blocks[1, 8:].any()
+        assert blocks[1, :8].all()
+
+    def test_flattens_nd_input(self):
+        blocks, n = partition_blocks(np.ones((4, 16)), 32)
+        assert blocks.shape == (2, 32)
+        assert n == 64
+
+    def test_single_element(self):
+        blocks, n = partition_blocks(np.array([5.0]), 32)
+        assert blocks.shape == (1, 32)
+        assert blocks[0, 0] == 5.0
+        assert n == 1
+
+    def test_preserves_dtype(self):
+        blocks, _ = partition_blocks(np.arange(8, dtype=np.int64), 8)
+        assert blocks.dtype == np.int64
+
+    def test_empty_input(self):
+        blocks, n = partition_blocks(np.zeros(0), 32)
+        assert blocks.shape == (0, 32)
+        assert n == 0
+
+
+class TestMerge:
+    def test_round_trip(self):
+        data = np.arange(100, dtype=np.float32)
+        blocks, n = partition_blocks(data, 32)
+        assert np.array_equal(merge_blocks(blocks, n), data)
+
+    def test_trims_padding(self):
+        blocks, n = partition_blocks(np.arange(33), 32)
+        assert merge_blocks(blocks, n).size == 33
+
+    def test_rejects_overlong_trim(self):
+        blocks, _ = partition_blocks(np.arange(32), 32)
+        with pytest.raises(CompressionError):
+            merge_blocks(blocks, 100)
+
+    def test_requires_2d(self):
+        with pytest.raises(CompressionError):
+            merge_blocks(np.arange(8), 8)
+
+    @given(
+        n=st.integers(1, 500),
+        block=st.sampled_from([8, 16, 32, 64]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_property(self, n, block):
+        data = np.arange(n, dtype=np.float64) + 0.5
+        blocks, count = partition_blocks(data, block)
+        assert count == n
+        assert np.array_equal(merge_blocks(blocks, count), data)
+
+
+class TestZeroBlockMask:
+    def test_identifies_zero_blocks(self):
+        blocks = np.array([[0, 0, 0], [0, 1, 0], [0, 0, 0]], dtype=np.int64)
+        assert zero_block_mask(blocks).tolist() == [True, False, True]
+
+    def test_negative_values_are_nonzero(self):
+        blocks = np.array([[0, -1, 0]], dtype=np.int64)
+        assert zero_block_mask(blocks).tolist() == [False]
+
+    def test_requires_2d(self):
+        with pytest.raises(CompressionError):
+            zero_block_mask(np.zeros(8, dtype=np.int64))

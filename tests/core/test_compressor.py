@@ -1,0 +1,201 @@
+"""Tests for the CereSZ public compressor."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro import CereSZ
+from repro.config import MAX_RATIO_CERESZ, MAX_RATIO_SZP
+from repro.errors import CompressionError, ErrorBoundError, FormatError
+from repro.metrics.errorbound import check_error_bound, max_abs_error
+
+
+class TestRoundTrip:
+    def test_smooth_field(self, codec, smooth_field):
+        result = codec.compress(smooth_field, rel=1e-3)
+        back = codec.decompress(result.stream)
+        assert back.shape == smooth_field.shape
+        assert check_error_bound(smooth_field, back, result.eps)
+
+    def test_rough_field(self, codec, rough_field):
+        result = codec.compress(rough_field, rel=1e-4)
+        back = codec.decompress(result.stream)
+        assert check_error_bound(rough_field, back, result.eps)
+
+    def test_sparse_field_hits_ratio_cap(self, codec, sparse_field):
+        result = codec.compress(sparse_field, rel=1e-2)
+        back = codec.decompress(result.stream)
+        assert check_error_bound(sparse_field, back, result.eps)
+        assert result.zero_block_fraction > 0.5
+        assert result.ratio > 8  # zero blocks dominate the stream
+
+    def test_2d_shape_restored(self, codec, field_2d):
+        result = codec.compress(field_2d, rel=1e-3)
+        back = codec.decompress(result.stream)
+        assert back.shape == field_2d.shape
+        assert check_error_bound(field_2d, back, result.eps)
+
+    def test_3d_shape_restored(self, codec, field_3d):
+        result = codec.compress(field_3d, rel=1e-3)
+        back = codec.decompress(result.stream)
+        assert back.shape == field_3d.shape
+        assert check_error_bound(field_3d, back, result.eps)
+
+    def test_absolute_bound_mode(self, codec, smooth_field):
+        result = codec.compress(smooth_field, eps=0.25)
+        back = codec.decompress(result.stream)
+        assert result.eps == 0.25
+        assert max_abs_error(smooth_field, back) <= 0.25
+
+    def test_single_element(self, codec):
+        data = np.array([3.14], dtype=np.float32)
+        result = codec.compress(data, eps=0.01)
+        back = codec.decompress(result.stream)
+        assert abs(back[0] - data[0]) <= 0.01
+
+    def test_partial_tail_block(self, codec):
+        data = np.linspace(0, 1, 47).astype(np.float32)
+        result = codec.compress(data, eps=0.001)
+        back = codec.decompress(result.stream)
+        assert back.size == 47
+        assert check_error_bound(data, back, result.eps)
+
+    def test_float64_input_accepted(self, codec):
+        data = np.linspace(0, 1, 64)
+        result = codec.compress(data, eps=0.01)
+        back = codec.decompress(result.stream)
+        assert check_error_bound(data, back, result.eps)
+
+    @given(
+        data=hnp.arrays(
+            np.float32,
+            st.integers(1, 300),
+            elements=st.floats(
+                -1e4, 1e4, width=32, allow_nan=False, allow_infinity=False
+            ),
+        ),
+        rel=st.sampled_from([1e-2, 1e-3, 1e-4]),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_bound_property(self, data, rel):
+        codec = CereSZ()
+        if float(data.max()) == float(data.min()):
+            result = codec.compress(data, rel=rel)
+            assert np.array_equal(codec.decompress(result.stream), data)
+            return
+        try:
+            result = codec.compress(data, rel=rel)
+        except ErrorBoundError:
+            return  # bound below float32 resolution: correct refusal
+        back = codec.decompress(result.stream)
+        assert check_error_bound(data, back, result.eps)
+
+
+class TestConstantFields:
+    def test_exact_reconstruction(self, codec):
+        data = np.full((7, 9), -2.5, dtype=np.float32)
+        result = codec.compress(data, rel=1e-3)
+        back = codec.decompress(result.stream)
+        assert np.array_equal(back, data)
+
+    def test_high_ratio(self, codec):
+        data = np.full(10000, 1.0, dtype=np.float32)
+        result = codec.compress(data, rel=1e-3)
+        assert result.ratio > 500
+
+    def test_zero_field(self, codec):
+        data = np.zeros(100, dtype=np.float32)
+        result = codec.compress(data, rel=1e-2)
+        assert np.array_equal(codec.decompress(result.stream), data)
+
+
+class TestValidation:
+    def test_both_bounds_rejected(self, codec, smooth_field):
+        with pytest.raises(ErrorBoundError):
+            codec.compress(smooth_field, eps=0.1, rel=1e-3)
+
+    def test_neither_bound_rejected(self, codec, smooth_field):
+        with pytest.raises(ErrorBoundError):
+            codec.compress(smooth_field)
+
+    def test_empty_rejected(self, codec):
+        with pytest.raises(CompressionError):
+            codec.compress(np.zeros(0, dtype=np.float32), rel=1e-3)
+
+    def test_integer_input_rejected(self, codec):
+        with pytest.raises(CompressionError):
+            codec.compress(np.arange(10), rel=1e-3)
+
+    def test_bad_header_width_rejected(self):
+        with pytest.raises(FormatError):
+            CereSZ(header_width=3)
+
+    def test_bad_block_size_rejected(self):
+        with pytest.raises(CompressionError):
+            CereSZ(block_size=20)
+
+    def test_garbage_stream_rejected(self, codec):
+        with pytest.raises(FormatError):
+            codec.decompress(b"not a ceresz stream at all")
+
+
+class TestResultMetadata:
+    def test_ratio_and_bit_rate(self, codec, smooth_field):
+        result = codec.compress(smooth_field, rel=1e-3)
+        assert result.ratio == pytest.approx(
+            result.original_bytes / len(result.stream)
+        )
+        assert result.bit_rate == pytest.approx(32.0 / result.ratio, rel=0.01)
+
+    def test_fixed_lengths_cover_all_blocks(self, codec, smooth_field):
+        result = codec.compress(smooth_field, rel=1e-3)
+        assert result.fixed_lengths.size == -(-smooth_field.size // 32)
+
+    def test_zero_fraction_consistency(self, codec, sparse_field):
+        result = codec.compress(sparse_field, rel=1e-2)
+        assert result.zero_block_fraction == pytest.approx(
+            float(np.mean(result.fixed_lengths == 0))
+        )
+
+    def test_describe_stream(self, codec, smooth_field):
+        result = codec.compress(smooth_field, rel=1e-3)
+        header = codec.describe_stream(result.stream)
+        assert header.shape == smooth_field.shape
+        assert header.block_size == 32
+        # The header stores the effective bound, slightly inside eps.
+        assert 0 < header.eps <= result.eps
+
+
+class TestHeaderWidthVariants:
+    def test_szp_format_round_trip(self, smooth_field):
+        codec = CereSZ(header_width=1)
+        result = codec.compress(smooth_field, rel=1e-3)
+        back = codec.decompress(result.stream)
+        assert check_error_bound(smooth_field, back, result.eps)
+
+    def test_szp_beats_ceresz_on_sparse_data(self, sparse_field):
+        """The 1-byte headers lift the ratio cap from 32x to 128x."""
+        r4 = CereSZ(header_width=4).compress(sparse_field, rel=1e-2)
+        r1 = CereSZ(header_width=1).compress(sparse_field, rel=1e-2)
+        assert r1.ratio > r4.ratio
+        assert r4.ratio <= MAX_RATIO_CERESZ + 1
+        assert r1.ratio <= MAX_RATIO_SZP + 1
+
+    def test_identical_reconstructions_across_widths(self, smooth_field):
+        """Header width changes bytes, never values (same quantization)."""
+        r4 = CereSZ(header_width=4).compress(smooth_field, rel=1e-3)
+        r1 = CereSZ(header_width=1).compress(smooth_field, rel=1e-3)
+        b4 = CereSZ().decompress(r4.stream)
+        b1 = CereSZ().decompress(r1.stream)
+        assert np.array_equal(b4, b1)
+
+
+class TestBlockSizeVariants:
+    @pytest.mark.parametrize("block_size", [8, 16, 32, 64])
+    def test_round_trip_various_blocks(self, smooth_field, block_size):
+        codec = CereSZ(block_size=block_size)
+        result = codec.compress(smooth_field, rel=1e-3)
+        back = codec.decompress(result.stream)
+        assert check_error_bound(smooth_field, back, result.eps)

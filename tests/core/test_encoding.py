@@ -1,0 +1,219 @@
+"""Tests for fixed-length encoding: the paper's step 3 and Fig 8."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.config import CERESZ_HEADER_BYTES, SZP_HEADER_BYTES
+from repro.errors import CompressionError, FormatError
+from repro.core.encoding import (
+    block_fixed_lengths,
+    decode_blocks,
+    encode_blocks,
+    record_sizes,
+    scan_record_offsets,
+)
+
+
+class TestFixedLengths:
+    def test_matches_bit_length(self):
+        blocks = np.array([[0, 1, 2, 3, 8, -8, 5, 7]], dtype=np.int64)
+        assert block_fixed_lengths(blocks)[0] == 4  # max |.| = 8 -> 4 bits
+
+    def test_paper_fig5_example(self):
+        """Fig 5(b): max abs 8 -> fixed length 4."""
+        residuals = np.array([[4, 2, -3, 0, 1, 8, -6, 2]], dtype=np.int64)
+        assert block_fixed_lengths(residuals)[0] == 4
+
+    def test_zero_block_length_zero(self):
+        assert block_fixed_lengths(np.zeros((1, 8), dtype=np.int64))[0] == 0
+
+    def test_exact_powers_of_two(self):
+        for k in range(1, 45):
+            blocks = np.array([[2**k] + [0] * 7], dtype=np.int64)
+            assert block_fixed_lengths(blocks)[0] == k + 1, k
+            blocks = np.array([[2**k - 1] + [0] * 7], dtype=np.int64)
+            assert block_fixed_lengths(blocks)[0] == k
+
+    def test_per_block_independence(self):
+        blocks = np.array([[1] * 8, [255] * 8, [0] * 8], dtype=np.int64)
+        assert block_fixed_lengths(blocks).tolist() == [1, 8, 0]
+
+    @given(
+        hnp.arrays(
+            np.int64,
+            st.tuples(st.integers(1, 10), st.integers(8, 8)),
+            elements=st.integers(-(2**45), 2**45),
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_python_bit_length(self, blocks):
+        fls = block_fixed_lengths(blocks)
+        for row, fl in zip(blocks, fls):
+            assert fl == int(np.max(np.abs(row))).bit_length()
+
+
+class TestRecordSizes:
+    def test_zero_block_is_header_only(self):
+        sizes = record_sizes(np.array([0]), 32, CERESZ_HEADER_BYTES)
+        assert sizes[0] == 4
+
+    def test_nonzero_block_layout(self):
+        # header + signs (L/8) + fl * L/8
+        sizes = record_sizes(np.array([5]), 32, CERESZ_HEADER_BYTES)
+        assert sizes[0] == 4 + 4 + 5 * 4
+
+    def test_szp_header_width(self):
+        sizes = record_sizes(np.array([0, 3]), 32, SZP_HEADER_BYTES)
+        assert sizes.tolist() == [1, 1 + 4 + 12]
+
+    def test_format_ratio_caps(self):
+        """The 31.99x / 127.94x ceilings of the paper's Table 5."""
+        raw = 32 * 4
+        assert raw / record_sizes(np.array([0]), 32, 4)[0] == 32.0
+        assert raw / record_sizes(np.array([0]), 32, 1)[0] == 128.0
+
+
+class TestEncodeDecode:
+    def test_paper_fig5_byte_count(self):
+        """Fig 5: 8 floats (32 B) -> 6 B with a 1-byte header.
+
+        Header 1 + signs 1 + 4 bits x 8 elements = 4 payload bytes.
+        """
+        residuals = np.array([[4, 2, -3, 0, 1, 8, -6, 2]], dtype=np.int64)
+        stream = encode_blocks(residuals, SZP_HEADER_BYTES)
+        assert len(stream) == 6
+
+    def test_round_trip_basic(self):
+        residuals = np.array(
+            [[4, 2, -3, 0, 1, 8, -6, 2], [0] * 8, [-1] * 8], dtype=np.int64
+        )
+        stream = encode_blocks(residuals)
+        out = decode_blocks(stream, 3, 8)
+        assert np.array_equal(out, residuals)
+
+    def test_round_trip_szp_header(self):
+        residuals = np.array([[100, -100] * 16], dtype=np.int64)
+        stream = encode_blocks(residuals, SZP_HEADER_BYTES)
+        out = decode_blocks(stream, 1, 32, SZP_HEADER_BYTES)
+        assert np.array_equal(out, residuals)
+
+    def test_zero_blocks_store_header_only(self):
+        residuals = np.zeros((10, 32), dtype=np.int64)
+        stream = encode_blocks(residuals)
+        assert len(stream) == 10 * 4
+
+    def test_mixed_fixed_lengths(self):
+        rng = np.random.default_rng(0)
+        residuals = np.concatenate(
+            [
+                rng.integers(-3, 4, size=(5, 32)),
+                rng.integers(-1000, 1001, size=(5, 32)),
+                np.zeros((5, 32), dtype=np.int64),
+            ]
+        )
+        stream = encode_blocks(residuals)
+        assert np.array_equal(decode_blocks(stream, 15, 32), residuals)
+
+    def test_large_magnitudes(self):
+        residuals = np.array([[2**44, -(2**44)] + [0] * 30], dtype=np.int64)
+        stream = encode_blocks(residuals)
+        assert np.array_equal(decode_blocks(stream, 1, 32), residuals)
+
+    def test_bit_shuffle_layout(self):
+        """Byte group k holds bit k of all elements (paper Fig 8)."""
+        # One block of 8 where only element 3 is nonzero, value 1 (fl=1):
+        residuals = np.zeros((1, 8), dtype=np.int64)
+        residuals[0, 3] = 1
+        stream = encode_blocks(residuals, SZP_HEADER_BYTES)
+        # [header=1][signs=0][bit0 byte: element 3 -> bit 3 = 0x08]
+        assert stream == bytes([1, 0, 0x08])
+
+    def test_sign_bit_layout(self):
+        residuals = np.zeros((1, 8), dtype=np.int64)
+        residuals[0, 5] = -1
+        stream = encode_blocks(residuals, SZP_HEADER_BYTES)
+        # [header=1][signs: bit 5 -> 0x20][payload bit0: element 5 -> 0x20]
+        assert stream == bytes([1, 0x20, 0x20])
+
+    def test_empty_block_array(self):
+        residuals = np.zeros((0, 32), dtype=np.int64)
+        assert encode_blocks(residuals) == b""
+        assert decode_blocks(b"", 0, 32).shape == (0, 32)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(CompressionError):
+            encode_blocks(np.zeros((1, 8), dtype=np.float32))
+
+    def test_rejects_1d(self):
+        with pytest.raises(CompressionError):
+            encode_blocks(np.zeros(8, dtype=np.int64))
+
+    def test_rejects_bad_header_width(self):
+        with pytest.raises(FormatError):
+            encode_blocks(np.zeros((1, 8), dtype=np.int64), header_bytes=2)
+
+    def test_szp_header_overflow(self):
+        # fl 256 cannot fit a single byte... but fl > 63 is rejected first.
+        residuals = np.array([[2**60] + [0] * 7], dtype=np.int64)
+        stream = encode_blocks(residuals)  # 4-byte header handles fl=61
+        assert np.array_equal(decode_blocks(stream, 1, 8), residuals)
+
+    @given(
+        blocks=hnp.arrays(
+            np.int64,
+            st.tuples(st.integers(1, 12), st.sampled_from([8, 16, 32])),
+            elements=st.integers(-(2**45), 2**45),
+        ),
+        header=st.sampled_from([1, 4]),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip_property(self, blocks, header):
+        stream = encode_blocks(blocks, header)
+        out = decode_blocks(
+            stream, blocks.shape[0], blocks.shape[1], header
+        )
+        assert np.array_equal(out, blocks)
+
+
+class TestScanAndErrors:
+    def test_scan_offsets(self):
+        residuals = np.array([[0] * 8, [1] * 8, [0] * 8], dtype=np.int64)
+        stream = encode_blocks(residuals, SZP_HEADER_BYTES)
+        offsets, fls = scan_record_offsets(stream, 3, 8, SZP_HEADER_BYTES)
+        assert offsets.tolist() == [0, 1, 4]
+        assert fls.tolist() == [0, 1, 0]
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(FormatError, match="truncated|cannot hold"):
+            decode_blocks(b"\x01", 1, 8)  # CereSZ header needs 4 bytes
+
+    def test_block_count_beyond_stream_raises(self):
+        """The pre-allocation guard against corrupt block counts."""
+        with pytest.raises(FormatError, match="cannot hold"):
+            decode_blocks(b"\x00" * 16, 10**9, 8)
+
+    def test_truncated_payload_raises(self):
+        residuals = np.array([[7] * 8], dtype=np.int64)
+        stream = encode_blocks(residuals)
+        with pytest.raises(FormatError, match="truncated"):
+            decode_blocks(stream[:-1], 1, 8)
+
+    def test_corrupt_fixed_length_raises(self):
+        bad = bytes([200, 0, 0, 0])  # fl = 200 > 63
+        with pytest.raises(FormatError, match="invalid fixed length"):
+            decode_blocks(bad, 1, 8)
+
+    def test_missing_second_block_raises(self):
+        residuals = np.array([[1] * 8], dtype=np.int64)
+        stream = encode_blocks(residuals)
+        with pytest.raises(FormatError):
+            decode_blocks(stream, 2, 8)
+
+    def test_start_offset(self):
+        residuals = np.array([[3] * 8], dtype=np.int64)
+        stream = b"\xde\xad" + encode_blocks(residuals)
+        out = decode_blocks(stream, 1, 8, start=2)
+        assert np.array_equal(out, residuals)

@@ -1,0 +1,104 @@
+"""Tests for the stream container format."""
+
+import pytest
+
+from repro.errors import FormatError
+from repro.core.format import (
+    CERESZ_MAGIC,
+    FORMAT_VERSION,
+    StreamHeader,
+    make_header,
+)
+
+
+class TestHeaderRoundTrip:
+    def test_basic(self):
+        h = make_header((512, 512), 0.01)
+        packed = h.pack()
+        out, offset = StreamHeader.unpack(packed)
+        assert out == h
+        assert offset == len(packed)
+
+    def test_1d_shape(self):
+        h = make_header((1000,), 1e-5)
+        out, _ = StreamHeader.unpack(h.pack())
+        assert out.shape == (1000,)
+
+    def test_3d_shape(self):
+        h = make_header((100, 500, 500), 2.5)
+        out, _ = StreamHeader.unpack(h.pack())
+        assert out.shape == (100, 500, 500)
+
+    def test_constant_flag(self):
+        h = make_header((10,), 0.0, constant=3.75)
+        out, _ = StreamHeader.unpack(h.pack())
+        assert out.constant == 3.75
+
+    def test_no_constant_by_default(self):
+        h = make_header((10,), 0.1)
+        out, _ = StreamHeader.unpack(h.pack())
+        assert out.constant is None
+
+    def test_szp_header_width(self):
+        h = make_header((10,), 0.1, header_width=1)
+        out, _ = StreamHeader.unpack(h.pack())
+        assert out.header_width == 1
+
+    def test_unpack_ignores_trailing_payload(self):
+        h = make_header((10,), 0.1)
+        stream = h.pack() + b"payload-bytes"
+        out, offset = StreamHeader.unpack(stream)
+        assert out == h
+        assert stream[offset:] == b"payload-bytes"
+
+
+class TestHeaderProperties:
+    def test_num_elements(self):
+        assert make_header((4, 5, 6), 0.1).num_elements == 120
+
+    def test_num_blocks_rounds_up(self):
+        h = make_header((33,), 0.1, block_size=32)
+        assert h.num_blocks == 2
+
+    def test_version_constant(self):
+        assert make_header((1,), 0.1).version == FORMAT_VERSION
+
+
+class TestHeaderErrors:
+    def test_bad_magic(self):
+        stream = bytearray(make_header((10,), 0.1).pack())
+        stream[:4] = b"NOPE"
+        with pytest.raises(FormatError, match="magic"):
+            StreamHeader.unpack(bytes(stream))
+
+    def test_bad_version(self):
+        stream = bytearray(make_header((10,), 0.1).pack())
+        stream[4] = 99
+        with pytest.raises(FormatError, match="version"):
+            StreamHeader.unpack(bytes(stream))
+
+    def test_truncated_fixed_part(self):
+        with pytest.raises(FormatError, match="shorter"):
+            StreamHeader.unpack(CERESZ_MAGIC)
+
+    def test_truncated_dims(self):
+        stream = make_header((10, 20), 0.1).pack()
+        with pytest.raises(FormatError, match="dims"):
+            StreamHeader.unpack(stream[:10])
+
+    def test_truncated_eps(self):
+        stream = make_header((10,), 0.1).pack()
+        with pytest.raises(FormatError, match="eps"):
+            StreamHeader.unpack(stream[:-5])
+
+    def test_truncated_constant(self):
+        stream = make_header((10,), 0.0, constant=1.0).pack()
+        with pytest.raises(FormatError, match="constant"):
+            StreamHeader.unpack(stream[:-4])
+
+    def test_corrupt_block_size(self):
+        stream = bytearray(make_header((10,), 0.1).pack())
+        stream[6] = 7  # block_size low byte -> 7, not a multiple of 8
+        stream[7] = 0
+        with pytest.raises(FormatError, match="block size"):
+            StreamHeader.unpack(bytes(stream))

@@ -1,0 +1,116 @@
+"""Tests for 1D (and N-D) Lorenzo prediction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import CompressionError
+from repro.core.lorenzo import (
+    lorenzo_predict,
+    lorenzo_predict_nd,
+    lorenzo_reconstruct,
+    lorenzo_reconstruct_nd,
+)
+
+
+class TestLorenzo1D:
+    def test_paper_semantics(self):
+        """(p1, p2-p1, ..., pL - p(L-1)) within each block."""
+        blocks = np.array([[4, 6, 3, 3]], dtype=np.int64)
+        out = lorenzo_predict(blocks)
+        assert out.tolist() == [[4, 2, -3, 0]]
+
+    def test_first_element_stored_verbatim(self):
+        blocks = np.array([[7, 7], [-5, -5]], dtype=np.int64)
+        out = lorenzo_predict(blocks)
+        assert out[:, 0].tolist() == [7, -5]
+
+    def test_blocks_are_independent(self):
+        """No leakage across block boundaries (the WSE mapping's premise)."""
+        a = np.array([[1, 2], [100, 101]], dtype=np.int64)
+        b = np.array([[1, 2], [-3, -2]], dtype=np.int64)
+        assert np.array_equal(lorenzo_predict(a)[0], lorenzo_predict(b)[0])
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.integers(-1000, 1000, size=(50, 32))
+        assert np.array_equal(
+            lorenzo_reconstruct(lorenzo_predict(blocks)), blocks
+        )
+
+    def test_reconstruct_is_prefix_sum(self):
+        residuals = np.array([[1, 1, 1, 1]], dtype=np.int64)
+        assert lorenzo_reconstruct(residuals).tolist() == [[1, 2, 3, 4]]
+
+    def test_constant_block_residuals_are_zero_after_leader(self):
+        blocks = np.full((1, 8), 9, dtype=np.int64)
+        out = lorenzo_predict(blocks)
+        assert out[0, 0] == 9
+        assert not out[0, 1:].any()
+
+    def test_requires_2d(self):
+        with pytest.raises(CompressionError):
+            lorenzo_predict(np.arange(8))
+        with pytest.raises(CompressionError):
+            lorenzo_reconstruct(np.arange(8))
+
+    def test_input_not_mutated(self):
+        blocks = np.array([[1, 2, 3]], dtype=np.int64)
+        original = blocks.copy()
+        lorenzo_predict(blocks)
+        assert np.array_equal(blocks, original)
+
+    @given(
+        hnp.arrays(
+            np.int64,
+            st.tuples(st.integers(1, 20), st.integers(1, 64)),
+            elements=st.integers(-(2**40), 2**40),
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip_property(self, blocks):
+        assert np.array_equal(
+            lorenzo_reconstruct(lorenzo_predict(blocks)), blocks
+        )
+
+
+class TestLorenzoND:
+    def test_1d_matches_flat_diff(self):
+        arr = np.array([3, 5, 4], dtype=np.int64)
+        assert lorenzo_predict_nd(arr).tolist() == [3, 2, -1]
+
+    def test_2d_residuals_vanish_on_bilinear_field(self):
+        """The 2-D Lorenzo operator annihilates planar (affine) data."""
+        y, x = np.mgrid[0:8, 0:9]
+        plane = (3 * y + 5 * x + 7).astype(np.int64)
+        res = lorenzo_predict_nd(plane)
+        assert not res[1:, 1:].any()
+
+    def test_round_trip_2d(self):
+        rng = np.random.default_rng(1)
+        arr = rng.integers(-50, 50, size=(13, 17))
+        assert np.array_equal(
+            lorenzo_reconstruct_nd(lorenzo_predict_nd(arr)), arr
+        )
+
+    def test_round_trip_3d(self):
+        rng = np.random.default_rng(2)
+        arr = rng.integers(-50, 50, size=(5, 6, 7))
+        assert np.array_equal(
+            lorenzo_reconstruct_nd(lorenzo_predict_nd(arr)), arr
+        )
+
+    @given(
+        hnp.arrays(
+            np.int64,
+            st.tuples(st.integers(1, 8), st.integers(1, 8), st.integers(1, 8)),
+            elements=st.integers(-(2**20), 2**20),
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_property_3d(self, arr):
+        assert np.array_equal(
+            lorenzo_reconstruct_nd(lorenzo_predict_nd(arr)), arr
+        )

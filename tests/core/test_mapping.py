@@ -1,0 +1,182 @@
+"""Tests for pipeline state, sub-stage execution, and record assembly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompressionError
+from repro.core.encoding import encode_blocks
+from repro.core.mapping import (
+    PipelineState,
+    finalize_record,
+    run_substage,
+    substage_cycles,
+)
+from repro.core.stages import compression_substages
+from repro.wse.cost import PAPER_CYCLE_MODEL
+
+
+def fresh_state(values, eps=0.1):
+    arr = np.asarray(values, dtype=np.float64)
+    return PipelineState(phase="raw", block_size=arr.size, values=arr)
+
+
+def run_all(values, eps, fl_plan=64):
+    state = fresh_state(values)
+    for stage in compression_substages(fl_plan, len(values)):
+        state = run_substage(stage, state, eps)
+    return state
+
+
+class TestStageSemantics:
+    def test_full_pipeline_matches_reference_encoder(self):
+        rng = np.random.default_rng(0)
+        data = np.cumsum(rng.normal(size=32))
+        eps = 0.05
+        state = run_all(data, eps)
+        record = finalize_record(state)
+
+        from repro.core.quantize import prequantize
+        from repro.core.lorenzo import lorenzo_predict
+
+        codes = prequantize(data, eps).reshape(1, -1)
+        residuals = lorenzo_predict(codes)
+        assert record == encode_blocks(residuals)
+
+    def test_zero_block_record(self):
+        state = run_all(np.zeros(32), 0.1)
+        record = finalize_record(state)
+        assert record == b"\x00\x00\x00\x00"  # fl=0 header only
+
+    def test_multiplication_then_addition_is_quantization(self):
+        state = fresh_state([0.83] * 8)
+        stages = compression_substages(64, 8)
+        state = run_substage(stages[0], state, 0.01)  # multiplication
+        assert state.phase == "scaled"
+        state = run_substage(stages[1], state, 0.01)  # addition
+        assert state.phase == "codes"
+        assert state.values[0] == 42  # round(0.83 / 0.02)
+
+    def test_stage_order_enforced(self):
+        state = fresh_state(np.ones(8))
+        stages = compression_substages(2, 8)
+        with pytest.raises(CompressionError):
+            run_substage(stages[2], state, 0.1)  # lorenzo before quantize
+
+    def test_sign_stage_splits_magnitude_and_sign(self):
+        state = fresh_state(np.arange(8) - 4.0)
+        eps = 0.5
+        for stage in compression_substages(64, 8)[:4]:  # through sign
+            state = run_substage(stage, state, eps)
+        assert state.phase == "mags"
+        assert (state.values >= 0).all()
+        assert state.signs is not None
+
+    def test_idle_shuffle_bits_do_nothing(self):
+        """Planned bits beyond the block's fl are no-ops (schedule sized
+        for the sampled max)."""
+        state = run_all([1.0] * 32, 0.1, fl_plan=20)
+        assert state.bits_done == state.fl < 20
+
+    def test_finalize_requires_completed_state(self):
+        with pytest.raises(CompressionError):
+            finalize_record(fresh_state(np.ones(8)))
+
+
+class TestStateSerialization:
+    def test_round_trip_raw(self):
+        state = fresh_state(np.arange(32, dtype=np.float64))
+        back = PipelineState.from_array(state.to_array())
+        assert back.phase == "raw"
+        assert np.array_equal(back.values, state.values)
+
+    def test_round_trip_mid_encode(self):
+        state = run_all(np.linspace(-5, 5, 32), 0.01, fl_plan=64)
+        vec = state.to_array()
+        back = PipelineState.from_array(vec)
+        assert back.phase == state.phase
+        assert back.fl == state.fl
+        assert back.max_mag == state.max_mag
+        assert back.bits_done == state.bits_done
+        assert np.array_equal(back.signs, state.signs)
+        for a, b in zip(back.shuffled, state.shuffled):
+            assert np.array_equal(a, b)
+
+    def test_serialized_record_equals_direct_record(self):
+        state = run_all(np.linspace(-5, 5, 32), 0.01)
+        back = PipelineState.from_array(state.to_array())
+        assert finalize_record(back) == finalize_record(state)
+
+    def test_padding_tolerated(self):
+        """Fabric buffers are fixed-extent; trailing zeros must parse."""
+        state = run_all(np.linspace(0, 1, 32), 0.01)
+        vec = state.to_array()
+        padded = np.zeros(vec.size + 40)
+        padded[: vec.size] = vec
+        back = PipelineState.from_array(padded)
+        assert finalize_record(back) == finalize_record(state)
+
+
+class TestSubstageCycles:
+    def test_regular_stage_uses_declared_cycles(self):
+        stages = compression_substages(4)
+        mult = stages[0]
+        assert substage_cycles(mult, None, PAPER_CYCLE_MODEL, 32) == (
+            mult.cycles
+        )
+
+    def test_idle_shuffle_is_nearly_free(self):
+        stages = compression_substages(8)
+        bit7 = stages[-1]
+        busy = substage_cycles(bit7, 8, PAPER_CYCLE_MODEL, 32)
+        idle = substage_cycles(bit7, 3, PAPER_CYCLE_MODEL, 32)
+        assert idle < busy / 50
+
+    def test_active_shuffle_charges_per_bit_cost(self):
+        stages = compression_substages(8)
+        bit0 = stages[6]
+        assert substage_cycles(bit0, 8, PAPER_CYCLE_MODEL, 32) == (
+            pytest.approx(PAPER_CYCLE_MODEL.bit_shuffle.cycles(32, 1))
+        )
+
+
+class TestArbitraryPipelineSplits:
+    """Property: any contiguous split of the sub-stage chain produces the
+    reference record (the state machine is split-point agnostic)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_split_points(self, seed):
+        import numpy as np
+        from repro.core.quantize import prequantize
+        from repro.core.lorenzo import lorenzo_predict
+
+        rng = np.random.default_rng(seed)
+        data = np.cumsum(rng.normal(size=32))
+        eps = 0.05
+        stages = compression_substages(64, 32)
+        # Reference record.
+        codes = prequantize(data, eps).reshape(1, -1)
+        expected = encode_blocks(lorenzo_predict(codes))
+
+        # Random contiguous grouping, serialized through PipelineState
+        # between groups (exactly what the fabric does).
+        cuts = sorted(
+            rng.choice(
+                np.arange(1, len(stages)),
+                size=rng.integers(1, 5),
+                replace=False,
+            ).tolist()
+        )
+        bounds = [0, *cuts, len(stages)]
+        state = fresh_state(data)
+        for lo, hi in zip(bounds, bounds[1:]):
+            # Serialize across the "fabric" boundary.
+            state = PipelineState.from_array(state.to_array())
+            for stage in stages[lo:hi]:
+                fl_known = state.fl
+                if stage.name.startswith("shuffle_bit_") and (
+                    fl_known is not None
+                    and int(stage.name.rsplit("_", 1)[1]) >= fl_known
+                ):
+                    continue
+                state = run_substage(stage, state, eps)
+        assert finalize_record(state) == expected

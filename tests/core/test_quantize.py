@@ -1,0 +1,189 @@
+"""Tests for pre-quantization: the only lossy step, hence the bound proofs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import CompressionError, ErrorBoundError
+from repro.core.quantize import (
+    MAX_QUANT_BITS,
+    dequantize,
+    effective_error_bound,
+    prequantize,
+    prequantize_verified,
+    relative_to_absolute,
+    validate_error_bound,
+)
+
+
+class TestValidateErrorBound:
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects_bad_bounds(self, bad):
+        with pytest.raises(ErrorBoundError):
+            validate_error_bound(bad)
+
+    def test_accepts_positive(self):
+        assert validate_error_bound(0.5) == 0.5
+
+
+class TestPrequantize:
+    def test_paper_example(self):
+        """Paper Section 3: eps=0.01 maps 0.83 -> round(0.83/0.02) = 42.
+
+        (The paper's prose says eps=0.1 but computes with 0.01; we follow
+        the arithmetic: 0.83 / 0.02 = 41.5 -> 42.)
+        """
+        codes = prequantize(np.array([0.83]), 0.01)
+        assert codes[0] == 42
+        recon = dequantize(codes, 0.01)
+        assert abs(recon[0] - 0.83) <= 0.01
+
+    def test_exact_arithmetic_bound(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=1000) * 100
+        for eps in (1e-3, 0.1, 7.0):
+            codes = prequantize(data, eps)
+            recon = codes.astype(np.float64) * 2 * eps
+            assert np.max(np.abs(recon - data)) <= eps
+
+    def test_zero_maps_to_zero(self):
+        assert prequantize(np.zeros(5), 0.1).tolist() == [0] * 5
+
+    def test_half_boundary_rounds_up(self):
+        # floor(x + 0.5) convention: exactly 0.5 -> 1.
+        assert prequantize(np.array([0.1]), 0.1)[0] == 1
+
+    def test_negative_values(self):
+        codes = prequantize(np.array([-0.83]), 0.01)
+        assert codes[0] == -41  # floor(-41.5 + 0.5) = -41
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(CompressionError, match="non-finite"):
+            prequantize(np.array([1.0, np.inf]), 0.1)
+        with pytest.raises(CompressionError, match="non-finite"):
+            prequantize(np.array([np.nan]), 0.1)
+
+    def test_overflow_guard(self):
+        with pytest.raises(CompressionError, match="overflow"):
+            prequantize(np.array([1e30]), 1e-9)
+
+    def test_shape_preserved(self):
+        codes = prequantize(np.ones((3, 4)), 0.1)
+        assert codes.shape == (3, 4)
+        assert codes.dtype == np.int64
+
+    @given(
+        data=hnp.arrays(
+            np.float32,
+            st.integers(1, 200),
+            elements=st.floats(
+                -1e6, 1e6, width=32, allow_nan=False, allow_infinity=False
+            ),
+        ),
+        eps=st.floats(1e-4, 1e3),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bound_property_exact(self, data, eps):
+        codes = prequantize(data.astype(np.float64), eps)
+        recon = codes.astype(np.float64) * 2 * eps
+        # The mathematical bound is <= eps in real arithmetic; evaluating
+        # the reconstruction in float64 can add a few ulps of the *value*
+        # at exact-tie points, hence the spacing-based slack. The
+        # user-facing guarantee (the float32 round trip through
+        # prequantize_verified) is tested strictly above.
+        slack = 4 * float(np.spacing(np.max(np.abs(data.astype(np.float64))) + eps))
+        assert np.max(np.abs(recon - data.astype(np.float64))) <= eps + slack
+
+
+class TestPrequantizeVerified:
+    def test_float32_round_trip_bound(self):
+        rng = np.random.default_rng(1)
+        data = (rng.normal(size=5000) * 1000).astype(np.float32)
+        eps = 0.377  # a bound that trips the unverified path's corner case
+        codes, eps_eff = prequantize_verified(data, eps)
+        recon = dequantize(codes, eps_eff).astype(np.float64)
+        assert np.max(np.abs(recon - data.astype(np.float64))) <= eps
+        assert 0 < eps_eff < eps
+
+    @given(
+        data=hnp.arrays(
+            np.float32,
+            st.integers(1, 100),
+            elements=st.floats(
+                -1e5, 1e5, width=32, allow_nan=False, allow_infinity=False
+            ),
+        ),
+        rel=st.floats(1e-4, 0.3),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_float32_bound_property(self, data, rel):
+        peak = float(np.max(np.abs(data)))
+        eps = rel * max(peak, 1e-3)
+        codes, eps_eff = prequantize_verified(data, eps)
+        recon = dequantize(codes, eps_eff).astype(np.float64)
+        assert np.max(np.abs(recon - data.astype(np.float64))) <= eps
+
+    def test_below_float32_resolution_raises(self):
+        data = np.array([1e8], dtype=np.float32)
+        with pytest.raises(ErrorBoundError, match="resolution"):
+            prequantize_verified(data, 1e-9)
+
+
+class TestEffectiveErrorBound:
+    def test_shrinks_the_bound(self):
+        data = np.array([100.0])
+        eff = effective_error_bound(data, 0.5)
+        assert 0 < eff < 0.5
+
+    def test_margin_grows_with_magnitude(self):
+        small = effective_error_bound(np.array([1.0]), 0.5)
+        large = effective_error_bound(np.array([1e6]), 0.5)
+        assert large < small
+
+    def test_empty_data_passthrough(self):
+        assert effective_error_bound(np.zeros(0), 0.5) == 0.5
+
+
+class TestDequantize:
+    def test_formula(self):
+        out = dequantize(np.array([3]), 0.05)
+        assert out[0] == pytest.approx(0.3)
+
+    def test_output_dtype(self):
+        assert dequantize(np.array([1]), 0.1).dtype == np.float32
+        assert dequantize(np.array([1]), 0.1, dtype=np.float64).dtype == (
+            np.float64
+        )
+
+
+class TestRelativeToAbsolute:
+    def test_range_based(self):
+        data = np.array([0.0, 10.0])
+        assert relative_to_absolute(data, 1e-2) == pytest.approx(0.1)
+
+    def test_offset_invariant(self):
+        a = np.array([0.0, 10.0])
+        b = a + 500.0
+        assert relative_to_absolute(a, 1e-3) == pytest.approx(
+            relative_to_absolute(b, 1e-3)
+        )
+
+    def test_constant_field_rejected(self):
+        with pytest.raises(ErrorBoundError, match="zero value range"):
+            relative_to_absolute(np.full(10, 3.0), 1e-3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ErrorBoundError):
+            relative_to_absolute(np.zeros(0), 1e-3)
+
+    @pytest.mark.parametrize("bad", [0.0, -1e-3, float("inf")])
+    def test_bad_rel_rejected(self, bad):
+        with pytest.raises(ErrorBoundError):
+            relative_to_absolute(np.array([0.0, 1.0]), bad)
+
+
+def test_max_quant_bits_is_float64_safe():
+    """The guard must keep codes in float64's exact-integer territory."""
+    assert MAX_QUANT_BITS <= 52

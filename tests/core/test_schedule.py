@@ -1,0 +1,171 @@
+"""Tests for Algorithm 1 and the pipeline-planning helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.core.schedule import (
+    distribute_substages,
+    estimate_fixed_length,
+    max_feasible_pipeline_length,
+)
+from repro.core.stages import SubStage, compression_substages, total_cycles
+
+
+def make_stages(cycles):
+    return [
+        SubStage(f"s{i}", float(c), "encode") for i, c in enumerate(cycles)
+    ]
+
+
+class TestDistribute:
+    def test_single_group_gets_everything(self):
+        stages = make_stages([1, 2, 3])
+        dist = distribute_substages(stages, 1)
+        assert dist.length == 1
+        assert dist.group_cycles == (6.0,)
+
+    def test_even_split(self):
+        stages = make_stages([10, 10, 10, 10])
+        dist = distribute_substages(stages, 2)
+        assert dist.group_cycles == (20.0, 20.0)
+        assert dist.imbalance == 1.0
+
+    def test_order_preserved(self):
+        """Stages execute in sequence: groups must be contiguous runs."""
+        stages = make_stages([5, 1, 7, 2, 9, 3])
+        dist = distribute_substages(stages, 3)
+        flattened = [s.name for g in dist.groups for s in g]
+        assert flattened == [s.name for s in stages]
+
+    def test_every_stage_assigned_exactly_once(self):
+        stages = compression_substages(13)
+        dist = distribute_substages(stages, 5)
+        names = [s.name for g in dist.groups for s in g]
+        assert sorted(names) == sorted(s.name for s in stages)
+
+    def test_no_empty_groups(self):
+        stages = compression_substages(17)
+        for m in range(1, len(stages) + 1):
+            dist = distribute_substages(stages, m)
+            assert all(len(g) >= 1 for g in dist.groups), m
+
+    def test_greedy_fill_rule(self):
+        """Paper Alg 1: fill group until it reaches C/m, then move on."""
+        stages = make_stages([4, 4, 4, 100])
+        dist = distribute_substages(stages, 2)
+        # Target C/m = 56; the first group keeps taking until >= 56.
+        assert [s.name for s in dist.groups[0]] == ["s0", "s1", "s2"]
+        assert [s.name for s in dist.groups[1]] == ["s3"]
+
+    def test_bottleneck_reporting(self):
+        stages = make_stages([30, 10, 10])
+        dist = distribute_substages(stages, 2)
+        assert dist.bottleneck_cycles == max(dist.group_cycles)
+        assert dist.imbalance >= 1.0
+
+    def test_pipeline_longer_than_stages_rejected(self):
+        with pytest.raises(ScheduleError, match="longer"):
+            distribute_substages(make_stages([1, 2]), 3)
+
+    def test_zero_pes_rejected(self):
+        with pytest.raises(ScheduleError):
+            distribute_substages(make_stages([1]), 0)
+
+    def test_empty_stages_rejected(self):
+        with pytest.raises(ScheduleError):
+            distribute_substages([], 1)
+
+    def test_stage_names_helper(self):
+        dist = distribute_substages(make_stages([1, 1]), 2)
+        assert dist.stage_names() == [["s0"], ["s1"]]
+
+    @given(
+        cycles=st.lists(st.floats(1.0, 1e4), min_size=1, max_size=30),
+        data=st.data(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_distribution_invariants(self, cycles, data):
+        stages = make_stages(cycles)
+        m = data.draw(st.integers(1, len(stages)))
+        dist = distribute_substages(stages, m)
+        # 1. Exactly m groups, all non-empty.
+        assert dist.length == m
+        assert all(g for g in dist.groups)
+        # 2. Concatenation reproduces the input order.
+        assert [s.name for g in dist.groups for s in g] == [
+            s.name for s in stages
+        ]
+        # 3. Total work preserved.
+        assert dist.total == pytest.approx(total_cycles(stages))
+        # 4. Bottleneck at least the ideal share.
+        assert dist.bottleneck_cycles >= dist.total / m - 1e-9
+
+
+class TestMaxFeasibleLength:
+    def test_formula(self):
+        stages = make_stages([50, 25, 25])  # C=100, t1=50 -> floor 2
+        assert max_feasible_pipeline_length(stages) == 2
+
+    def test_uniform_stages(self):
+        stages = make_stages([10] * 8)
+        assert max_feasible_pipeline_length(stages) == 8
+
+    def test_at_least_one(self):
+        stages = make_stages([100.0])
+        assert max_feasible_pipeline_length(stages) == 1
+
+    def test_paper_configuration(self):
+        """With Multiplication dominating, the feasible length is C/t1."""
+        stages = compression_substages(17)
+        limit = max_feasible_pipeline_length(stages)
+        mult = next(s for s in stages if s.name == "multiplication")
+        assert limit == int(total_cycles(stages) // mult.cycles)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ScheduleError):
+            max_feasible_pipeline_length([])
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ScheduleError):
+            max_feasible_pipeline_length(make_stages([0.0, 0.0]))
+
+
+class TestEstimateFixedLength:
+    def test_full_sample_is_exact_max(self, smooth_field):
+        from repro.core.blocks import partition_blocks
+        from repro.core.encoding import block_fixed_lengths
+        from repro.core.lorenzo import lorenzo_predict
+        from repro.core.quantize import prequantize
+
+        eps = 0.01
+        est = estimate_fixed_length(smooth_field, eps, fraction=1.0)
+        blocks, _ = partition_blocks(prequantize(smooth_field, eps), 32)
+        truth = int(block_fixed_lengths(lorenzo_predict(blocks)).max())
+        assert est == truth
+
+    def test_sample_never_exceeds_truth(self, smooth_field):
+        eps = 0.01
+        full = estimate_fixed_length(smooth_field, eps, fraction=1.0)
+        sampled = estimate_fixed_length(smooth_field, eps, fraction=0.05)
+        assert sampled <= full
+
+    def test_deterministic_in_seed(self, smooth_field):
+        a = estimate_fixed_length(smooth_field, 0.01, seed=7)
+        b = estimate_fixed_length(smooth_field, 0.01, seed=7)
+        assert a == b
+
+    def test_five_percent_close_on_homogeneous_data(self, rng):
+        """On i.i.d. blocks the 5% sample finds the max fl almost surely."""
+        data = (rng.standard_normal(32 * 2000) * 100).astype(np.float32)
+        full = estimate_fixed_length(data, 0.5, fraction=1.0)
+        sampled = estimate_fixed_length(data, 0.5, fraction=0.05)
+        assert abs(full - sampled) <= 1
+
+    def test_bad_fraction_rejected(self, smooth_field):
+        with pytest.raises(ScheduleError):
+            estimate_fixed_length(smooth_field, 0.01, fraction=0.0)
+        with pytest.raises(ScheduleError):
+            estimate_fixed_length(smooth_field, 0.01, fraction=1.5)

@@ -1,0 +1,91 @@
+"""Tests for the sub-stage decomposition (paper Section 4.2)."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.core.stages import (
+    SubStage,
+    coarse_step_cycles,
+    compression_substages,
+    decompression_substages,
+    total_cycles,
+)
+from repro.wse.cost import PAPER_CYCLE_MODEL
+
+
+class TestCompressionSubstages:
+    def test_stage_order(self):
+        names = [s.name for s in compression_substages(2)]
+        assert names == [
+            "multiplication",
+            "addition",
+            "lorenzo",
+            "sign",
+            "max",
+            "get_length",
+            "shuffle_bit_0",
+            "shuffle_bit_1",
+        ]
+
+    def test_shuffle_count_tracks_fl(self):
+        for fl in (0, 1, 13, 17):
+            stages = compression_substages(fl)
+            shuffles = [s for s in stages if s.name.startswith("shuffle")]
+            assert len(shuffles) == fl
+
+    def test_total_matches_block_cost(self):
+        for fl in (1, 12, 17):
+            stages = compression_substages(fl)
+            expected = PAPER_CYCLE_MODEL.compress_block_cycles(fl)
+            assert total_cycles(stages) == pytest.approx(expected)
+
+    def test_multiplication_is_longest_substage(self):
+        """Section 4.2: Multiplication bottlenecks the pipeline."""
+        stages = compression_substages(17)
+        longest = max(stages, key=lambda s: s.cycles)
+        assert longest.name == "multiplication"
+
+    def test_coarse_aggregation_matches_table1(self):
+        stages = compression_substages(17)
+        coarse = coarse_step_cycles(stages)
+        assert coarse["prequant"] == pytest.approx(6114, rel=0.02)
+        assert coarse["lorenzo"] == pytest.approx(975)
+        assert coarse["encode"] == pytest.approx(37124, rel=0.02)
+
+    def test_negative_fl_rejected(self):
+        with pytest.raises(ScheduleError):
+            compression_substages(-1)
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ScheduleError):
+            SubStage("bad", -1.0, "encode")
+
+
+class TestDecompressionSubstages:
+    def test_no_max_or_getlength(self):
+        """The header pre-knows fl, so decompression skips Max/GetLength."""
+        names = [s.name for s in decompression_substages(5)]
+        assert "max" not in names
+        assert "get_length" not in names
+
+    def test_contains_prefix_sum_and_dequant(self):
+        names = [s.name for s in decompression_substages(3)]
+        assert "prefix_sum" in names
+        assert "dequant_mult" in names
+
+    def test_unshuffle_count_tracks_fl(self):
+        stages = decompression_substages(9)
+        unshuffles = [s for s in stages if s.name.startswith("unshuffle")]
+        assert len(unshuffles) == 9
+
+    def test_total_matches_block_cost(self):
+        for fl in (1, 12, 17):
+            stages = decompression_substages(fl)
+            expected = PAPER_CYCLE_MODEL.decompress_block_cycles(fl)
+            assert total_cycles(stages) == pytest.approx(expected)
+
+    def test_cheaper_than_compression(self):
+        for fl in (4, 12, 20):
+            comp = total_cycles(compression_substages(fl))
+            decomp = total_cycles(decompression_substages(fl))
+            assert decomp < comp

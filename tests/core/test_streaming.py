@@ -1,0 +1,94 @@
+"""Tests for the framed streaming API."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.core.streaming import (
+    FrameReader,
+    FrameWriter,
+    compress_stream,
+    decompress_stream,
+)
+
+
+@pytest.fixture
+def snapshots(rng):
+    base = np.cumsum(rng.normal(size=500)).astype(np.float32)
+    return [
+        (base + 0.1 * t * np.sin(np.arange(500) / 20)).astype(np.float32)
+        for t in range(6)
+    ]
+
+
+class TestRoundTrip:
+    def test_all_frames_recovered(self, snapshots):
+        data = compress_stream(snapshots, eps=0.01)
+        out = decompress_stream(data)
+        assert len(out) == len(snapshots)
+        for original, restored in zip(snapshots, out):
+            assert np.max(np.abs(restored - original)) <= 0.01
+
+    def test_shared_absolute_bound(self, snapshots):
+        reader = FrameReader(compress_stream(snapshots, eps=0.25))
+        assert reader.eps == 0.25
+
+    def test_varying_shapes_between_frames(self, rng):
+        fields = [
+            rng.normal(size=(8, 8)).astype(np.float32),
+            rng.normal(size=100).astype(np.float32),
+            rng.normal(size=(4, 5, 6)).astype(np.float32),
+        ]
+        out = decompress_stream(compress_stream(fields, eps=0.01))
+        assert [o.shape for o in out] == [(8, 8), (100,), (4, 5, 6)]
+
+    def test_empty_stream(self):
+        data = FrameWriter(eps=0.1).getvalue()
+        assert decompress_stream(data) == []
+
+    def test_incremental_writer(self, snapshots):
+        writer = FrameWriter(eps=0.01)
+        sizes = [writer.add(s) for s in snapshots]
+        assert writer.num_frames == len(snapshots)
+        assert all(s > 0 for s in sizes)
+        assert writer.ratio > 1.0
+
+
+class TestFrameAccess:
+    def test_frames_are_standalone_ceresz_streams(self, snapshots):
+        from repro import CereSZ
+
+        reader = FrameReader(compress_stream(snapshots, eps=0.01))
+        frames = list(reader.frames())
+        assert len(frames) == len(snapshots)
+        first = CereSZ().decompress(frames[0])
+        assert np.max(np.abs(first - snapshots[0])) <= 0.01
+
+    def test_len(self, snapshots):
+        reader = FrameReader(compress_stream(snapshots, eps=0.01))
+        assert len(reader) == len(snapshots)
+
+
+class TestErrors:
+    def test_bad_magic(self, snapshots):
+        data = bytearray(compress_stream(snapshots, eps=0.01))
+        data[:4] = b"XXXX"
+        with pytest.raises(FormatError, match="magic"):
+            FrameReader(bytes(data))
+
+    def test_truncated_header(self):
+        with pytest.raises(FormatError, match="shorter"):
+            FrameReader(b"CS")
+
+    def test_truncated_frame(self, snapshots):
+        data = compress_stream(snapshots, eps=0.01)
+        with pytest.raises(FormatError, match="truncated"):
+            decompress_stream(data[:-10])
+
+    def test_ratio_before_frames(self):
+        with pytest.raises(FormatError):
+            FrameWriter(eps=0.1).ratio
+
+    def test_invalid_eps(self):
+        with pytest.raises(Exception):
+            FrameWriter(eps=-1.0)

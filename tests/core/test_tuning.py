@@ -1,0 +1,86 @@
+"""Tests for pipeline-length tuning (paper Section 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ScheduleError
+from repro.config import WaferConfig
+from repro.core.tuning import (
+    min_feasible_pipeline_length,
+    pipeline_working_set,
+    tune_pipeline_length,
+)
+
+
+class TestWorkingSet:
+    def test_grows_with_block_size(self):
+        small = pipeline_working_set(10, 1, block_size=32)
+        large = pipeline_working_set(10, 1, block_size=256)
+        assert large > small
+
+    def test_grows_with_fixed_length(self):
+        narrow = pipeline_working_set(4, 1)
+        wide = pipeline_working_set(30, 1)
+        assert wide > narrow
+
+    def test_paper_configuration_fits_one_pe(self):
+        """L = 32 fits comfortably — the premise of Fig 13's pl = 1."""
+        from repro.config import PE_SRAM_BYTES
+
+        ws = pipeline_working_set(32, 1, block_size=32)
+        assert ws < PE_SRAM_BYTES // 3
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ScheduleError):
+            pipeline_working_set(4, 0)
+        with pytest.raises(ScheduleError):
+            pipeline_working_set(2, 100)
+
+
+class TestMinFeasibleLength:
+    def test_default_block_is_one(self):
+        assert min_feasible_pipeline_length(17) == 1
+
+    def test_tiny_sram_forces_failure_with_guidance(self):
+        with pytest.raises(ScheduleError, match="reduce the block size"):
+            min_feasible_pipeline_length(
+                32, block_size=4096, sram_bytes=16 * 1024
+            )
+
+    def test_code_reserve_validated(self):
+        with pytest.raises(ScheduleError, match="code reserve"):
+            min_feasible_pipeline_length(
+                4, sram_bytes=1024, code_reserve=4096
+            )
+
+
+class TestTune:
+    @pytest.fixture(scope="class")
+    def data(self):
+        rng = np.random.default_rng(0)
+        return np.cumsum(rng.normal(size=32 * 500)).astype(np.float32)
+
+    def test_paper_answer_is_length_one(self, data):
+        """Fig 13: the 1-PE pipeline wins at the paper's configuration."""
+        result = tune_pipeline_length(data, eps=0.05)
+        assert result.pipeline_length == 1
+
+    def test_sweep_is_monotone_decreasing(self, data):
+        result = tune_pipeline_length(data, eps=0.05, max_length=6)
+        rates = [gbs for _, gbs in result.sweep]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_feasible_lengths_start_at_floor(self, data):
+        result = tune_pipeline_length(data, eps=0.05, max_length=4)
+        assert result.feasible_lengths[0] == 1
+        assert result.feasible_lengths == (1, 2, 3, 4)
+
+    def test_narrow_wafer_caps_the_sweep(self, data):
+        result = tune_pipeline_length(
+            data, eps=0.05, wafer=WaferConfig(rows=4, cols=2), max_length=8
+        )
+        assert max(result.feasible_lengths) <= 2
+
+    def test_best_throughput_reported(self, data):
+        result = tune_pipeline_length(data, eps=0.05)
+        assert result.throughput_gbs == max(g for _, g in result.sweep)

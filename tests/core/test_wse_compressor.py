@@ -1,0 +1,199 @@
+"""Integration tests: CereSZ on the simulated wafer == the reference.
+
+These are the paper's Section 4 validation: the three parallelization
+strategies must produce byte-identical streams to the vectorized host
+compressor, across mesh shapes, block counts (full and partial rounds),
+and pipeline lengths.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CereSZ
+from repro.errors import CompressionError, ScheduleError
+from repro.core.wse_compressor import WSECereSZ
+
+
+@pytest.fixture(scope="module")
+def walk():
+    rng = np.random.default_rng(42)
+    return np.cumsum(rng.normal(size=1024)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def reference(walk):
+    return CereSZ().compress(walk, rel=1e-3)
+
+
+class TestRowStrategy:
+    @pytest.mark.parametrize("rows", [1, 2, 3, 5])
+    def test_bit_exact(self, walk, reference, rows):
+        sim = WSECereSZ(rows=rows, cols=1, strategy="rows")
+        result = sim.compress(walk, rel=1e-3)
+        assert result.stream == reference.stream
+
+    def test_rows_speed_up_linearly(self, walk):
+        """Twice the rows -> roughly half the makespan (Fig 7's claim)."""
+        m1 = WSECereSZ(rows=1, cols=1, strategy="rows").compress(
+            walk, rel=1e-3
+        )
+        m4 = WSECereSZ(rows=4, cols=1, strategy="rows").compress(
+            walk, rel=1e-3
+        )
+        speedup = m1.makespan_cycles / m4.makespan_cycles
+        assert 3.3 <= speedup <= 4.2
+
+    def test_decompress_round_trip(self, walk):
+        sim = WSECereSZ(rows=2, cols=1, strategy="rows")
+        result = sim.compress(walk, rel=1e-3)
+        back = sim.decompress(result.stream)
+        err = np.max(np.abs(back.astype(np.float64) - walk.astype(np.float64)))
+        assert err <= result.result.eps
+
+
+class TestPipelineStrategy:
+    @pytest.mark.parametrize("pl", [1, 2, 3, 4, 6])
+    def test_bit_exact(self, walk, reference, pl):
+        sim = WSECereSZ(
+            rows=2, cols=max(pl, 2), strategy="pipeline", pipeline_length=pl
+        )
+        result = sim.compress(walk, rel=1e-3)
+        assert result.stream == reference.stream
+
+    def test_pipeline_beats_single_pe_on_makespan(self, walk):
+        """A pipeline overlaps stages, so it finishes earlier than one PE."""
+        single = WSECereSZ(rows=1, cols=1, strategy="rows").compress(
+            walk, rel=1e-3
+        )
+        piped = WSECereSZ(
+            rows=1, cols=4, strategy="pipeline", pipeline_length=4
+        ).compress(walk, rel=1e-3)
+        assert piped.makespan_cycles < single.makespan_cycles
+
+    def test_too_long_pipeline_rejected(self):
+        with pytest.raises(ScheduleError):
+            WSECereSZ(rows=1, cols=2, strategy="pipeline", pipeline_length=4)
+
+
+class TestMultiPipelineStrategy:
+    @pytest.mark.parametrize("rows,cols", [(1, 2), (1, 5), (2, 3), (3, 4)])
+    def test_bit_exact(self, walk, reference, rows, cols):
+        sim = WSECereSZ(rows=rows, cols=cols, strategy="multi")
+        result = sim.compress(walk, rel=1e-3)
+        assert result.stream == reference.stream
+
+    @pytest.mark.parametrize("n", [32, 33, 100, 32 * 7 + 5])
+    def test_partial_rounds_and_tails(self, n):
+        rng = np.random.default_rng(n)
+        data = np.cumsum(rng.normal(size=n)).astype(np.float32)
+        ref = CereSZ().compress(data, eps=0.05)
+        sim = WSECereSZ(rows=2, cols=3, strategy="multi")
+        assert sim.compress(data, eps=0.05).stream == ref.stream
+
+    def test_more_columns_reduce_makespan(self, walk):
+        m2 = WSECereSZ(rows=1, cols=2, strategy="multi").compress(
+            walk, rel=1e-3
+        )
+        m8 = WSECereSZ(rows=1, cols=8, strategy="multi").compress(
+            walk, rel=1e-3
+        )
+        assert m8.makespan_cycles < m2.makespan_cycles
+
+    def test_relay_cycles_concentrate_on_west_pes(self, walk):
+        """PE i relays the blocks of everyone east of it (Fig 9)."""
+        sim = WSECereSZ(rows=1, cols=4, strategy="multi")
+        result = sim.compress(walk, rel=1e-3)
+        relay_by_col = {
+            t.col: t.relay_cycles for t in result.report.trace.traces
+        }
+        assert relay_by_col[0] > relay_by_col[1] > relay_by_col[2]
+        assert relay_by_col[3] == 0
+
+    def test_longer_pipeline_than_mesh_rejected(self):
+        with pytest.raises(ScheduleError):
+            WSECereSZ(rows=1, cols=4, strategy="multi", pipeline_length=8)
+
+
+class TestStagedMultiPipeline:
+    """Fig 6 right in full generality: P staged pipelines per row."""
+
+    @pytest.mark.parametrize(
+        "rows,cols,pl", [(1, 4, 2), (2, 6, 2), (1, 6, 3), (2, 8, 4), (1, 9, 3)]
+    )
+    def test_bit_exact(self, walk, reference, rows, cols, pl):
+        sim = WSECereSZ(
+            rows=rows, cols=cols, strategy="multi", pipeline_length=pl
+        )
+        assert sim.compress(walk, rel=1e-3).stream == reference.stream
+
+    def test_tail_rounds_with_relay_only_duty(self):
+        """The head of pipeline 0 must keep relaying after its own blocks
+        are done (the regression behind the P=3 deadlock)."""
+        rng = np.random.default_rng(3)
+        data = np.cumsum(rng.normal(size=32 * 32)).astype(np.float32)
+        ref = CereSZ().compress(data, eps=0.05)
+        sim = WSECereSZ(rows=1, cols=6, strategy="multi", pipeline_length=2)
+        assert sim.compress(data, eps=0.05).stream == ref.stream
+
+    def test_unused_trailing_columns_tolerated(self, walk, reference):
+        # cols=7, pl=2 -> 3 pipelines over 6 columns, one idle column.
+        sim = WSECereSZ(rows=1, cols=7, strategy="multi", pipeline_length=2)
+        assert sim.compress(walk, rel=1e-3).stream == reference.stream
+
+    def test_stage_pes_carry_relay_load_too(self, walk):
+        """Raw blocks pass through stage PEs, not only heads (Fig 9a)."""
+        sim = WSECereSZ(rows=1, cols=6, strategy="multi", pipeline_length=2)
+        result = sim.compress(walk, rel=1e-3)
+        relay = {
+            t.col: t.relay_cycles for t in result.report.trace.traces
+        }
+        assert relay[1] > 0  # stage PE of pipeline 0 relays for pipelines east
+        assert relay[0] >= relay[2] >= relay[4]  # west relays most
+        assert relay[5] == 0  # last stage of the last pipeline relays nothing
+
+    def test_more_pipelines_reduce_makespan(self, walk):
+        two = WSECereSZ(
+            rows=1, cols=4, strategy="multi", pipeline_length=2
+        ).compress(walk, rel=1e-3)
+        four = WSECereSZ(
+            rows=1, cols=8, strategy="multi", pipeline_length=2
+        ).compress(walk, rel=1e-3)
+        assert four.makespan_cycles < two.makespan_cycles
+
+
+class TestValidation:
+    def test_unknown_strategy(self):
+        with pytest.raises(ScheduleError):
+            WSECereSZ(strategy="magic")
+
+    def test_constant_field_redirected_to_host(self):
+        sim = WSECereSZ(rows=1, cols=1, strategy="rows")
+        with pytest.raises(CompressionError, match="constant"):
+            sim.compress(np.full(64, 2.0, dtype=np.float32), rel=1e-3)
+
+    def test_different_error_bounds_still_bit_exact(self, walk):
+        for rel in (1e-2, 1e-4):
+            ref = CereSZ().compress(walk, rel=rel)
+            sim = WSECereSZ(rows=2, cols=2, strategy="multi")
+            assert sim.compress(walk, rel=rel).stream == ref.stream
+
+    def test_2d_field_bit_exact(self, field_2d):
+        ref = CereSZ().compress(field_2d, rel=1e-3)
+        sim = WSECereSZ(rows=2, cols=2, strategy="multi")
+        assert sim.compress(field_2d, rel=1e-3).stream == ref.stream
+
+
+class TestFig13AtSimulatorScale:
+    """The Fig 13 ordering — shorter pipelines win — must already be
+    visible in the discrete-event simulator on a fixed small mesh."""
+
+    def test_makespan_grows_with_pipeline_length(self):
+        rng = np.random.default_rng(13)
+        data = np.cumsum(rng.normal(size=32 * 36)).astype(np.float32)
+        makespans = []
+        for pl in (1, 2, 3):
+            sim = WSECereSZ(
+                rows=1, cols=6, strategy="multi", pipeline_length=pl
+            )
+            makespans.append(sim.compress(data, eps=0.05).makespan_cycles)
+        assert makespans[0] < makespans[1] < makespans[2]

@@ -1,0 +1,40 @@
+"""Tests for raw .f32 I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError
+from repro.datasets.io import load_f32, save_f32
+
+
+class TestF32IO:
+    def test_round_trip_flat(self, tmp_path):
+        data = np.linspace(-1, 1, 100).astype(np.float32)
+        path = tmp_path / "field.f32"
+        save_f32(path, data)
+        assert np.array_equal(load_f32(path), data)
+
+    def test_round_trip_shaped(self, tmp_path):
+        data = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+        path = tmp_path / "field.f32"
+        save_f32(path, data)
+        out = load_f32(path, shape=(2, 3, 4))
+        assert np.array_equal(out, data)
+
+    def test_file_size_is_headerless(self, tmp_path):
+        path = tmp_path / "field.f32"
+        save_f32(path, np.zeros(10, dtype=np.float32))
+        assert path.stat().st_size == 40
+
+    def test_shape_mismatch_raises(self, tmp_path):
+        path = tmp_path / "field.f32"
+        save_f32(path, np.zeros(10, dtype=np.float32))
+        with pytest.raises(DatasetError, match="needs"):
+            load_f32(path, shape=(3, 4))
+
+    def test_float64_input_downcast(self, tmp_path):
+        path = tmp_path / "field.f32"
+        save_f32(path, np.array([1.5, 2.5]))
+        out = load_f32(path)
+        assert out.dtype == np.dtype("<f4")
+        assert out.tolist() == [1.5, 2.5]

@@ -1,0 +1,71 @@
+"""Tests for the dataset registry (paper Table 4)."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.datasets.registry import (
+    DATASETS,
+    NYX_FIELDS,
+    dataset_names,
+    get_dataset,
+)
+
+
+class TestTable4Integrity:
+    def test_six_datasets(self):
+        assert len(DATASETS) == 6
+
+    def test_paper_field_counts(self):
+        counts = {name: info.num_fields for name, info in DATASETS.items()}
+        assert counts == {
+            "CESM-ATM": 79,
+            "Hurricane": 13,
+            "QMCPack": 2,
+            "NYX": 6,
+            "RTM": 36,
+            "HACC": 6,
+        }
+
+    def test_paper_shapes(self):
+        assert DATASETS["CESM-ATM"].paper_shape == (1800, 3600)
+        assert DATASETS["NYX"].paper_shape == (512, 512, 512)
+        assert DATASETS["HACC"].paper_shape == (280_953_867,)
+
+    def test_domains(self):
+        assert DATASETS["RTM"].domain == "Seismic Imaging"
+        assert DATASETS["QMCPack"].domain == "Quantum Monte Carlo"
+
+    def test_synthetic_shapes_preserve_dimensionality(self):
+        for info in DATASETS.values():
+            assert len(info.synthetic_shape) == len(info.paper_shape)
+
+    def test_synthetic_fields_are_block_friendly(self):
+        """Fields must hold at least a few hundred 32-element blocks."""
+        for info in DATASETS.values():
+            assert info.elements_per_field >= 300 * 32
+
+    def test_profiled_fixed_lengths(self):
+        """Table 3's encoding lengths: CESM 17, HACC 13, QMCPack 12."""
+        assert DATASETS["CESM-ATM"].profiled_fixed_length == 17
+        assert DATASETS["HACC"].profiled_fixed_length == 13
+        assert DATASETS["QMCPack"].profiled_fixed_length == 12
+
+    def test_bytes_per_field(self):
+        info = DATASETS["NYX"]
+        assert info.bytes_per_field == info.elements_per_field * 4
+
+    def test_nyx_field_names(self):
+        assert "velocity_x" in NYX_FIELDS
+        assert len(NYX_FIELDS) == 6
+
+
+class TestLookup:
+    def test_names(self):
+        assert set(dataset_names()) == set(DATASETS)
+
+    def test_get(self):
+        assert get_dataset("NYX").name == "NYX"
+
+    def test_unknown_raises(self):
+        with pytest.raises(DatasetError, match="unknown dataset"):
+            get_dataset("EXAALT")

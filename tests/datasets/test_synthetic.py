@@ -1,0 +1,132 @@
+"""Tests for the synthetic field generators."""
+
+import numpy as np
+import pytest
+
+from repro import CereSZ
+from repro.errors import DatasetError
+from repro.datasets import DATASETS, generate_field, iter_fields
+from repro.datasets.synthetic import field_name
+
+
+class TestBasics:
+    @pytest.mark.parametrize("dataset", sorted(DATASETS))
+    def test_shape_and_dtype(self, dataset):
+        field = generate_field(dataset, 0)
+        assert field.shape == DATASETS[dataset].synthetic_shape
+        assert field.dtype == np.float32
+
+    @pytest.mark.parametrize("dataset", sorted(DATASETS))
+    def test_all_finite(self, dataset):
+        assert np.all(np.isfinite(generate_field(dataset, 0)))
+
+    @pytest.mark.parametrize("dataset", sorted(DATASETS))
+    def test_deterministic(self, dataset):
+        a = generate_field(dataset, 1, seed=3)
+        b = generate_field(dataset, 1, seed=3)
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("dataset", sorted(DATASETS))
+    def test_seed_changes_data(self, dataset):
+        a = generate_field(dataset, 0, seed=0)
+        b = generate_field(dataset, 0, seed=1)
+        assert not np.array_equal(a, b)
+
+    @pytest.mark.parametrize("dataset", sorted(DATASETS))
+    def test_fields_differ(self, dataset):
+        a = generate_field(dataset, 0)
+        b = generate_field(dataset, 1)
+        assert not np.array_equal(a, b)
+
+    def test_out_of_range_field_index(self):
+        with pytest.raises(DatasetError, match="out of range"):
+            generate_field("QMCPack", 2)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            generate_field("MADEUP", 0)
+
+    @pytest.mark.parametrize("dataset", sorted(DATASETS))
+    def test_nonconstant(self, dataset):
+        field = generate_field(dataset, 0)
+        assert float(field.max()) > float(field.min())
+
+
+class TestIterFields:
+    def test_limit(self):
+        fields = list(iter_fields("CESM-ATM", limit=3))
+        assert len(fields) == 3
+
+    def test_limit_capped_at_dataset_size(self):
+        fields = list(iter_fields("QMCPack", limit=10))
+        assert len(fields) == 2
+
+    def test_names_are_unique(self):
+        names = [n for n, _ in iter_fields("RTM", limit=6)]
+        assert len(set(names)) == 6
+
+    def test_nyx_uses_real_field_names(self):
+        names = [n for n, _ in iter_fields("NYX")]
+        assert "velocity_x" in names
+        assert "baryon_density" in names
+
+    def test_field_name_helper(self):
+        assert field_name("NYX", 3) == "velocity_x"
+        assert field_name("HACC", 1) == "hacc_f01"
+
+
+class TestDatasetCharacter:
+    """Each generator must show the statistical traits Table 5 relies on."""
+
+    def test_rtm_early_snapshots_sparser_than_late(self):
+        codec = CereSZ()
+        early = codec.compress(generate_field("RTM", 0), rel=1e-3)
+        late = codec.compress(generate_field("RTM", 35), rel=1e-3)
+        assert early.zero_block_fraction > late.zero_block_fraction
+        assert early.ratio > late.ratio
+
+    def test_nyx_density_is_positive_and_skewed(self):
+        density = generate_field("NYX", 0)  # baryon_density
+        assert float(density.min()) > 0
+        assert float(np.mean(density)) < float(density.max()) / 20
+
+    def test_nyx_velocity_is_zero_mean(self):
+        vx = generate_field("NYX", 3)
+        assert abs(float(vx.mean())) < 0.2 * float(vx.std())
+
+    def test_hacc_positions_are_nondecreasing_in_trend(self):
+        xx = generate_field("HACC", 0)
+        # Cluster-sorted storage: long-range trend is monotone even though
+        # local jitter is not.
+        coarse = xx[:: len(xx) // 100]
+        assert np.all(np.diff(coarse.astype(np.float64)) > -1.0)
+
+    def test_hacc_is_least_compressible(self):
+        """HACC sits at the bottom of Table 5's CereSZ column."""
+        codec = CereSZ()
+        hacc = np.mean(
+            [codec.compress(a, rel=1e-3).ratio for _, a in iter_fields("HACC", limit=4)]
+        )
+        rtm = np.mean(
+            [codec.compress(a, rel=1e-3).ratio for _, a in iter_fields("RTM", limit=4)]
+        )
+        assert hacc < rtm
+
+    def test_qmcpack_orbital_decays_radially(self):
+        orb = generate_field("QMCPack", 0)
+        center = np.abs(orb[orb.shape[0] // 2 - 2 : orb.shape[0] // 2 + 2]).mean()
+        corner = np.abs(orb[:4, :4, :4]).mean()
+        assert center > 5 * corner
+
+    def test_ratio_falls_with_tighter_bound_everywhere(self):
+        codec = CereSZ()
+        for dataset in sorted(DATASETS):
+            field = generate_field(dataset, 0)
+            r = [codec.compress(field, rel=rel).ratio for rel in (1e-2, 1e-3, 1e-4)]
+            assert r[0] > r[1] > r[2], dataset
+
+    def test_ceresz_ratio_within_format_cap(self):
+        codec = CereSZ()
+        for dataset in sorted(DATASETS):
+            ratio = codec.compress(generate_field(dataset, 0), rel=1e-2).ratio
+            assert ratio <= 32.5, dataset

@@ -1,0 +1,32 @@
+"""Tests for the paper's three Observations (the boxed claims)."""
+
+import pytest
+
+from repro.harness.observations import (
+    all_observations,
+    observation2_ratio,
+    observation3_quality,
+)
+
+
+class TestObservations:
+    def test_observation2_holds(self):
+        v = observation2_ratio()
+        assert v.holds, v.evidence
+        assert v.evidence["SZp"] == pytest.approx(v.evidence["cuSZp"])
+
+    def test_observation3_holds(self):
+        v = observation3_quality()
+        assert v.holds, v.evidence
+        assert v.evidence["reconstructions_identical"]
+        assert v.evidence["ratio_cuszp"] > v.evidence["ratio_ceresz"]
+
+    @pytest.mark.slow
+    def test_all_observations_hold(self):
+        verdicts = all_observations()
+        assert [v.observation for v in verdicts] == [1, 2, 3]
+        for v in verdicts:
+            assert v.holds, (v.observation, v.evidence)
+        # Observation 1's headline numbers in the paper's territory.
+        ev = verdicts[0].evidence
+        assert ev["decompress_avg_gbs"] > ev["compress_avg_gbs"]

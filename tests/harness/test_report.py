@@ -1,0 +1,49 @@
+"""Tests for the plain-text rendering helpers."""
+
+from repro.harness.report import ascii_bar_chart, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["a", "long_header"], [[1, 2], [333, 4]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        widths = {len(line) for line in lines[1:]}
+        assert len(widths) == 1  # all rows padded to equal width
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159], [1e-9], [123456.0]])
+        assert "3.14" in text
+        assert "1e-09" in text
+        assert "1.23e+05" in text
+
+    def test_zero_renders_bare(self):
+        assert "0" in format_table(["x"], [[0.0]])
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestAsciiBarChart:
+    def test_bars_scale_to_peak(self):
+        text = ascii_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title_and_units(self):
+        text = ascii_bar_chart(
+            ["x"], [3.0], unit=" GB/s", title="Chart"
+        )
+        assert text.startswith("Chart")
+        assert "3.00 GB/s" in text
+
+    def test_zero_values(self):
+        text = ascii_bar_chart(["a"], [0.0])
+        assert "#" not in text
+
+    def test_empty(self):
+        assert ascii_bar_chart([], [], title="t") == "t"

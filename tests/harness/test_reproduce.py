@@ -1,0 +1,44 @@
+"""Tests for the one-command reproduction runbook."""
+
+import pytest
+
+from repro.harness.reproduce import reproduce_all
+
+
+@pytest.fixture(scope="module")
+def summary(tmp_path_factory):
+    out = tmp_path_factory.mktemp("repro")
+    return reproduce_all(out, quick=True)
+
+
+class TestReproduceAll:
+    def test_every_artifact_written(self, summary):
+        expected = {
+            "table1.txt", "table2.txt", "table3.txt", "table4.txt",
+            "table5.txt", "fig7.txt", "fig10.txt", "fig11.txt",
+            "fig12.txt", "fig13.txt", "fig14.txt", "fig15.txt",
+            "calibration.txt", "model_validation.txt", "observations.txt",
+            "REPORT.md",
+        }
+        assert set(summary.artifacts) == expected
+        for name in expected:
+            path = summary.out_dir / name
+            assert path.exists() and path.stat().st_size > 0, name
+
+    def test_headline_sane(self, summary):
+        h = summary.headline
+        assert h["observations_hold"]
+        assert 200 <= h["compress_avg_gbs"] <= 1100
+        assert h["decompress_avg_gbs"] > h["compress_avg_gbs"]
+        assert h["fig15_psnr_db"] == pytest.approx(84.77, abs=0.1)
+        assert h["worst_model_gap"] < 0.15
+
+    def test_report_is_markdown_with_paper_columns(self, summary):
+        text = (summary.out_dir / "REPORT.md").read_text()
+        assert "| headline | paper | this run |" in text
+        assert "457.35" in text  # paper compression average for comparison
+
+    def test_observations_artifact_reports_holds(self, summary):
+        text = (summary.out_dir / "observations.txt").read_text()
+        assert text.count("HOLDS") == 3
+        assert "FAILS" not in text

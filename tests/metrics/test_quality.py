@@ -1,0 +1,112 @@
+"""Tests for PSNR / SSIM / NRMSE."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.quality import nrmse, psnr, ssim
+
+
+@pytest.fixture
+def image(rng):
+    base = np.add.outer(
+        np.sin(np.linspace(0, 3, 48)), np.cos(np.linspace(0, 5, 64))
+    )
+    return (base * 100).astype(np.float32)
+
+
+class TestPSNR:
+    def test_identical_is_infinite(self, image):
+        assert psnr(image, image) == float("inf")
+
+    def test_known_value(self):
+        """Uniform error e on range r: PSNR = 20 log10(r / e)."""
+        original = np.array([0.0, 1.0] * 500)
+        recon = original + 0.01
+        assert psnr(original, recon) == pytest.approx(40.0)
+
+    def test_smaller_error_higher_psnr(self, image, rng):
+        noisy1 = image + rng.normal(scale=0.1, size=image.shape)
+        noisy2 = image + rng.normal(scale=1.0, size=image.shape)
+        assert psnr(image, noisy1) > psnr(image, noisy2)
+
+    def test_quantization_psnr_formula(self, rng):
+        """Uniform quantization at eps gives ~ 20log10(r/eps) + 10.79 dB.
+
+        (MSE of uniform error on [-eps, eps] is eps^2/3; this is exactly
+        why the paper's Fig 15 PSNR of 84.77 dB at REL 1e-4 is reproducible
+        from the error bound alone.)
+        """
+        data = rng.uniform(0, 1, size=200_000)
+        eps = 1e-4
+        codes = np.round(data / (2 * eps))
+        recon = codes * 2 * eps
+        expected = 20 * np.log10(1.0 / eps) + 10 * np.log10(3)  # = 84.77 dB
+        assert psnr(data, recon) == pytest.approx(expected, abs=0.2)
+
+    def test_shape_mismatch(self, image):
+        with pytest.raises(ReproError):
+            psnr(image, image[:-1])
+
+    def test_constant_field_rejected(self):
+        with pytest.raises(ReproError):
+            psnr(np.ones(10), np.ones(10) * 1.001)
+
+
+class TestSSIM:
+    def test_identical_is_one(self, image):
+        assert ssim(image, image) == pytest.approx(1.0)
+
+    def test_small_noise_near_one(self, image, rng):
+        noisy = image + rng.normal(scale=1e-3, size=image.shape).astype(
+            np.float32
+        )
+        assert ssim(image, noisy) > 0.999
+
+    def test_structural_destruction_lowers_ssim(self, image, rng):
+        shuffled = rng.permutation(image.reshape(-1)).reshape(image.shape)
+        assert ssim(image, shuffled) < 0.5
+
+    def test_monotone_in_noise(self, image, rng):
+        a = ssim(image, image + rng.normal(scale=0.5, size=image.shape))
+        b = ssim(image, image + rng.normal(scale=5.0, size=image.shape))
+        assert a > b
+
+    def test_works_in_3d(self, field_3d, rng):
+        noisy = field_3d + 0.01 * rng.standard_normal(field_3d.shape).astype(
+            np.float32
+        )
+        assert 0.9 < ssim(field_3d, noisy) <= 1.0
+
+    def test_works_in_1d(self, rng):
+        sig = np.sin(np.linspace(0, 20, 500))
+        assert ssim(sig, sig) == pytest.approx(1.0)
+
+    def test_window_larger_than_field_rejected(self):
+        with pytest.raises(ReproError):
+            ssim(np.ones((3, 3)) * np.arange(3), np.ones((3, 3)), window=7)
+
+    def test_bad_window_rejected(self, image):
+        with pytest.raises(ReproError):
+            ssim(image, image, window=1)
+
+    def test_constant_field_rejected(self):
+        with pytest.raises(ReproError):
+            ssim(np.ones((10, 10)), np.ones((10, 10)))
+
+
+class TestNRMSE:
+    def test_zero_for_identical(self, image):
+        assert nrmse(image, image) == 0.0
+
+    def test_known_value(self):
+        original = np.array([0.0, 2.0])
+        recon = np.array([1.0, 1.0])
+        assert nrmse(original, recon) == pytest.approx(0.5)
+
+    def test_range_normalization(self):
+        a = np.array([0.0, 1.0, 0.5])
+        b10 = a * 10
+        assert nrmse(a, a + 0.01) == pytest.approx(
+            nrmse(b10, b10 + 0.1)
+        )

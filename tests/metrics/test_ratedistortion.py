@@ -1,0 +1,41 @@
+"""Tests for rate-distortion curves (paper Section 5.4)."""
+
+import pytest
+
+from repro import CereSZ
+from repro.baselines import CuSZp
+from repro.metrics.ratedistortion import rate_distortion_curve
+
+
+class TestRateDistortion:
+    def test_curve_shape(self, smooth_field):
+        points = rate_distortion_curve(
+            CereSZ(), smooth_field, [1e-2, 1e-3, 1e-4]
+        )
+        assert len(points) == 3
+        # Tighter bound -> more bits and higher PSNR.
+        rates = [p.bit_rate for p in points]
+        psnrs = [p.psnr for p in points]
+        assert rates[0] < rates[1] < rates[2]
+        assert psnrs[0] < psnrs[1] < psnrs[2]
+
+    def test_with_ssim(self, smooth_field):
+        points = rate_distortion_curve(
+            CereSZ(), smooth_field, [1e-2, 1e-4], with_ssim=True
+        )
+        assert all(p.ssim is not None for p in points)
+        assert points[0].ssim <= points[1].ssim
+
+    def test_ssim_skipped_by_default(self, smooth_field):
+        points = rate_distortion_curve(CereSZ(), smooth_field, [1e-3])
+        assert points[0].ssim is None
+
+    def test_cuszp_curve_left_of_ceresz(self, sparse_field):
+        """Paper Obs 3: same PSNR at each bound, cuSZp at lower bit rate —
+        CereSZ's curve is 'slightly compromised'."""
+        bounds = [1e-2, 1e-3]
+        ours = rate_distortion_curve(CereSZ(), sparse_field, bounds)
+        theirs = rate_distortion_curve(CuSZp(), sparse_field, bounds)
+        for a, b in zip(ours, theirs):
+            assert a.psnr == pytest.approx(b.psnr, abs=1e-6)
+            assert b.bit_rate < a.bit_rate

@@ -1,0 +1,90 @@
+"""Tests for ratio/bit-rate helpers and error-bound verification."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.errorbound import (
+    check_error_bound,
+    max_abs_error,
+    violation_count,
+)
+from repro.metrics.ratio import bit_rate, compression_ratio, summarize_ratios
+
+
+class TestCompressionRatio:
+    def test_formula(self):
+        assert compression_ratio(1000, 250) == 4.0
+
+    def test_expansion_is_below_one(self):
+        assert compression_ratio(100, 200) == 0.5
+
+    @pytest.mark.parametrize("o,c", [(0, 10), (-1, 10), (10, 0), (10, -5)])
+    def test_invalid_sizes(self, o, c):
+        with pytest.raises(ReproError):
+            compression_ratio(o, c)
+
+
+class TestBitRate:
+    def test_formula(self):
+        # 1000 float32 elements stored in 500 bytes = 4 bits/elem.
+        assert bit_rate(1000, 500) == 4.0
+
+    def test_reciprocal_of_ratio_for_f32(self):
+        ratio = compression_ratio(4000, 500)
+        assert bit_rate(1000, 500) == pytest.approx(32.0 / ratio)
+
+    def test_invalid(self):
+        with pytest.raises(ReproError):
+            bit_rate(0, 10)
+        with pytest.raises(ReproError):
+            bit_rate(10, -1)
+
+
+class TestSummarize:
+    def test_min_mean_max(self):
+        lo, avg, hi = summarize_ratios([1.0, 2.0, 6.0])
+        assert (lo, avg, hi) == (1.0, 3.0, 6.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            summarize_ratios([])
+
+
+class TestErrorBound:
+    def test_max_abs_error(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([1.1, 1.8, 3.0])
+        assert max_abs_error(a, b) == pytest.approx(0.2)
+
+    def test_check_pass_and_fail(self):
+        a = np.zeros(5)
+        b = np.full(5, 0.099)
+        assert check_error_bound(a, b, 0.1)
+        assert not check_error_bound(a, b, 0.05)
+
+    def test_boundary_inclusive(self):
+        assert check_error_bound(np.zeros(2), np.full(2, 0.1), 0.1)
+
+    def test_violation_count(self):
+        a = np.zeros(4)
+        b = np.array([0.0, 0.2, 0.05, 0.3])
+        assert violation_count(a, b, 0.1) == 2
+
+    def test_float64_comparison(self):
+        """The check itself must not add float32 slack."""
+        a = np.array([1e8], dtype=np.float32)
+        b = np.array([1e8 + 64], dtype=np.float32)
+        assert max_abs_error(a, b) == pytest.approx(64.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            max_abs_error(np.zeros(3), np.zeros(4))
+
+    def test_negative_eps_rejected(self):
+        with pytest.raises(ReproError):
+            check_error_bound(np.zeros(2), np.zeros(2), -0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            max_abs_error(np.zeros(0), np.zeros(0))

@@ -1,0 +1,75 @@
+"""Tests for the PGM visualization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.visualize import (
+    error_map,
+    normalize_to_bytes,
+    slice_of,
+    write_pgm,
+)
+
+
+class TestNormalize:
+    def test_full_range(self):
+        out = normalize_to_bytes(np.array([[0.0, 1.0], [0.5, 1.0]]))
+        assert out.dtype == np.uint8
+        assert out.min() == 0
+        assert out.max() == 255
+
+    def test_constant_field_is_black(self):
+        out = normalize_to_bytes(np.full((3, 3), 7.0))
+        assert not out.any()
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ReproError):
+            normalize_to_bytes(np.zeros(5))
+
+    def test_monotone(self):
+        field = np.array([[1.0, 2.0, 3.0]])
+        out = normalize_to_bytes(field)
+        assert out[0, 0] < out[0, 1] < out[0, 2]
+
+
+class TestWritePgm:
+    def test_valid_p5_file(self, tmp_path, rng):
+        path = tmp_path / "img.pgm"
+        field = rng.normal(size=(10, 14))
+        write_pgm(path, field)
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n14 10\n255\n")
+        assert len(data) == len(b"P5\n14 10\n255\n") + 10 * 14
+
+
+class TestSliceOf:
+    def test_middle_plane_default(self):
+        field = np.arange(4 * 5 * 6).reshape(4, 5, 6)
+        sl = slice_of(field, axis=0)
+        assert np.array_equal(sl, field[2])
+
+    def test_explicit_axis_and_index(self):
+        field = np.arange(4 * 5 * 6).reshape(4, 5, 6)
+        sl = slice_of(field, axis=2, index=3)
+        assert np.array_equal(sl, field[:, :, 3])
+
+    def test_bounds(self):
+        field = np.zeros((2, 2, 2))
+        with pytest.raises(ReproError):
+            slice_of(field, axis=3)
+        with pytest.raises(ReproError):
+            slice_of(field, axis=0, index=5)
+        with pytest.raises(ReproError):
+            slice_of(np.zeros((2, 2)))
+
+
+class TestErrorMap:
+    def test_absolute_difference(self):
+        a = np.array([[1.0, -2.0]])
+        b = np.array([[1.5, -1.0]])
+        assert error_map(a, b).tolist() == [[0.5, 1.0]]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ReproError):
+            error_map(np.zeros((2, 2)), np.zeros((3, 2)))

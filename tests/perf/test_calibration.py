@@ -1,0 +1,50 @@
+"""Tests for the calibration audit against the paper's tables."""
+
+import pytest
+
+from repro.perf.calibration import (
+    calibration_report,
+    calibration_residuals,
+    worst_relative_error,
+)
+from repro.wse.cost import CycleModel
+
+
+class TestCalibration:
+    def test_all_pairs_covered(self):
+        residuals = calibration_residuals()
+        constants = {r.constant for r in residuals}
+        assert constants == {
+            "multiplication",
+            "addition",
+            "lorenzo",
+            "sign",
+            "max",
+            "get_length",
+            "bit_shuffle",
+        }
+        datasets = {r.dataset for r in residuals}
+        assert datasets == {"CESM-ATM", "HACC", "QMCPack"}
+
+    def test_fit_within_measurement_scatter(self):
+        """Every constant within 1.5% of every paper measurement."""
+        assert worst_relative_error() < 0.015
+
+    def test_lorenzo_is_exact(self):
+        for r in calibration_residuals():
+            if r.constant == "lorenzo":
+                assert r.relative_error == 0.0
+
+    def test_detuned_model_shows_up(self):
+        """The audit must actually detect a miscalibrated model."""
+        bad = CycleModel(
+            lorenzo=CycleModel().lorenzo.__class__(
+                "lorenzo", per_element=2000.0 / 32
+            )
+        )
+        assert worst_relative_error(bad) > 0.5
+
+    def test_report_renders(self):
+        text = calibration_report()
+        assert "bit_shuffle" in text
+        assert "residual" in text

@@ -1,0 +1,53 @@
+"""Tests for the baseline device throughput models."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.perf.device import DEVICE_MODELS, device_throughput
+
+
+class TestDeviceModels:
+    def test_all_baselines_modeled(self):
+        assert set(DEVICE_MODELS) == {"cuSZp", "cuSZ", "SZp", "SZ"}
+
+    def test_paper_speed_ordering(self):
+        """cuSZp > cuSZ > SZp > SZ at any zero fraction."""
+        for z in (0.0, 0.5, 1.0):
+            rates = [
+                device_throughput(name, "compress", z)
+                for name in ("cuSZp", "cuSZ", "SZp", "SZ")
+            ]
+            assert all(a > b for a, b in zip(rates, rates[1:])), z
+
+    def test_sz_below_one_gbs(self):
+        """Paper 5.3: SZ throughput 'routinely less than 1 GB/s'."""
+        assert device_throughput("SZ", "compress", 0.5) < 1.0
+
+    def test_decompression_faster(self):
+        for name in DEVICE_MODELS:
+            assert device_throughput(name, "decompress", 0.3) > (
+                device_throughput(name, "compress", 0.3)
+            )
+
+    def test_zero_blocks_speed_up_block_compressors(self):
+        """Same eb->throughput trend as CereSZ (paper 5.2 on SZp/cuSZp)."""
+        for name in ("cuSZp", "SZp"):
+            assert device_throughput(name, "compress", 0.9) > (
+                device_throughput(name, "compress", 0.1)
+            )
+
+    def test_devices(self):
+        assert DEVICE_MODELS["cuSZp"].device == "A100"
+        assert DEVICE_MODELS["SZ"].device == "EPYC-7742"
+
+    def test_unknown_model(self):
+        with pytest.raises(ModelError):
+            device_throughput("zstd", "compress", 0.0)
+
+    def test_invalid_direction(self):
+        with pytest.raises(ModelError):
+            device_throughput("SZ", "sideways", 0.0)
+
+    def test_invalid_zero_fraction(self):
+        with pytest.raises(ModelError):
+            device_throughput("SZ", "compress", 1.5)

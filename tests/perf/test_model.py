@@ -1,0 +1,111 @@
+"""Tests for the paper's analytic pipeline model (Eqs 2-4)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.perf.model import (
+    compute_cycles_per_round,
+    eq4_total_cycles,
+    relay_cycles_per_round,
+    round_cycles,
+)
+from repro.wse.cost import PAPER_CYCLE_MODEL
+
+
+class TestEq2Relay:
+    def test_linear_in_columns(self):
+        """Eq 2: relay time per PE is TC * C1 (Fig 10a's line)."""
+        r1 = relay_cycles_per_round(100)
+        r2 = relay_cycles_per_round(200)
+        assert r2 == pytest.approx(2 * r1)
+
+    def test_constant_is_c1(self):
+        assert relay_cycles_per_round(1) == PAPER_CYCLE_MODEL.c1_relay
+
+    def test_scales_with_payload_words(self):
+        full = relay_cycles_per_round(64, relay_words=32)
+        half = relay_cycles_per_round(64, relay_words=16)
+        assert full == pytest.approx(2 * half)
+
+    def test_invalid_cols(self):
+        with pytest.raises(ModelError):
+            relay_cycles_per_round(0)
+
+
+class TestEq3Compute:
+    def test_single_pe_is_full_block(self):
+        assert compute_cycles_per_round(1000.0, 1) == 1000.0
+
+    def test_ideal_split_plus_forwarding(self):
+        c2 = PAPER_CYCLE_MODEL.c2_forward
+        assert compute_cycles_per_round(1000.0, 4) == pytest.approx(
+            250.0 + 3 * c2
+        )
+
+    def test_bottleneck_fraction_override(self):
+        out = compute_cycles_per_round(1000.0, 4, bottleneck_fraction=0.4)
+        assert out == pytest.approx(400.0 + 3 * PAPER_CYCLE_MODEL.c2_forward)
+
+    def test_inversely_proportional_then_rising(self):
+        """Fig 10b: C/pl falls, pl*C2 rises; a minimum exists."""
+        values = [compute_cycles_per_round(30000.0, pl) for pl in range(1, 12)]
+        assert values[1] < values[0]  # splitting helps at first
+        # Eventually forwarding overhead wins.
+        assert values[-1] > min(values)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelError):
+            compute_cycles_per_round(100.0, 0)
+        with pytest.raises(ModelError):
+            compute_cycles_per_round(-1.0, 1)
+        with pytest.raises(ModelError):
+            compute_cycles_per_round(100.0, 2, bottleneck_fraction=1.5)
+
+
+class TestRoundCycles:
+    def test_serialized_is_sum(self):
+        relay = relay_cycles_per_round(64)
+        compute = compute_cycles_per_round(5000.0, 1)
+        assert round_cycles(64, 5000.0, 1, overlapped=False) == pytest.approx(
+            relay + compute
+        )
+
+    def test_overlapped_is_max(self):
+        out = round_cycles(64, 5000.0, 1, overlapped=True)
+        assert out == pytest.approx(
+            max(relay_cycles_per_round(64), 5000.0)
+        )
+
+    def test_overlapped_never_exceeds_serialized(self):
+        for tc in (8, 64, 512):
+            for c in (1000.0, 50000.0):
+                assert round_cycles(tc, c, 1, overlapped=True) <= (
+                    round_cycles(tc, c, 1, overlapped=False)
+                )
+
+
+class TestEq4Total:
+    def test_rounds_scale_with_blocks(self):
+        t1 = eq4_total_cycles(1000, 10, 10, 5000.0, 1)
+        t2 = eq4_total_cycles(2000, 10, 10, 5000.0, 1)
+        assert t2 > t1
+
+    def test_more_rows_fewer_cycles(self):
+        t1 = eq4_total_cycles(10000, 4, 16, 5000.0, 1)
+        t2 = eq4_total_cycles(10000, 16, 16, 5000.0, 1)
+        assert t2 < t1
+
+    def test_includes_fill_latency(self):
+        """Even one block pays the pipeline-fill time."""
+        total = eq4_total_cycles(1, 1, 64, 5000.0, 1)
+        assert total > 64 * PAPER_CYCLE_MODEL.c1_relay
+
+    def test_pipeline_longer_than_cols_rejected(self):
+        with pytest.raises(ModelError):
+            eq4_total_cycles(100, 1, 4, 5000.0, 8)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelError):
+            eq4_total_cycles(0, 1, 1, 100.0, 1)
+        with pytest.raises(ModelError):
+            eq4_total_cycles(1, 0, 1, 100.0, 1)

@@ -1,0 +1,41 @@
+"""Tests for the sim-vs-model cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.perf.validate import validate_against_simulator, validation_report
+
+
+@pytest.fixture(scope="module")
+def points():
+    rng = np.random.default_rng(0)
+    data = np.cumsum(rng.normal(size=32 * 48)).astype(np.float32)
+    return validate_against_simulator(data=data, eps=0.05)
+
+
+class TestValidation:
+    def test_covers_all_strategies(self, points):
+        strategies = {p.strategy for p in points}
+        assert strategies == {"rows", "multi", "staged(pl=2)"}
+
+    def test_model_matches_simulator(self, points):
+        """The structural claim of DESIGN.md: agreement within ~15%."""
+        for p in points:
+            assert p.relative_gap < 0.15, (p.strategy, p.rows, p.cols)
+
+    def test_rows_strategy_tight(self, points):
+        """No fabric contention in 'rows': agreement should be ~2%."""
+        for p in points:
+            if p.strategy == "rows":
+                assert p.relative_gap < 0.03
+
+    def test_simulated_scaling_is_linear_in_rows(self, points):
+        rows_points = {p.rows: p for p in points if p.strategy == "rows"}
+        s1 = rows_points[1].simulated_cycles
+        s4 = rows_points[4].simulated_cycles
+        assert 3.5 <= s1 / s4 <= 4.3
+
+    def test_report_renders(self, points):
+        text = validation_report(points)
+        assert "simulated" in text
+        assert "multi" in text

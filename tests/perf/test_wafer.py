@@ -1,0 +1,131 @@
+"""Tests for the wafer-scale throughput estimator."""
+
+import numpy as np
+import pytest
+
+from repro.config import WaferConfig
+from repro.errors import ModelError
+from repro.core.quantize import relative_to_absolute
+from repro.perf.wafer import (
+    measure_workload,
+    pipeline_length_curve,
+    row_scaling_curve,
+    wafer_throughput,
+    wse_size_curve,
+)
+
+WAFER = WaferConfig(rows=512, cols=512)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    rng = np.random.default_rng(0)
+    smooth = np.cumsum(rng.normal(size=32 * 2000)).astype(np.float32)
+    out = {}
+    for rel in (1e-2, 1e-4):
+        eps = relative_to_absolute(smooth, rel)
+        out[rel] = measure_workload(smooth, eps)
+    return out
+
+
+class TestMeasureWorkload:
+    def test_block_count(self, workloads):
+        assert workloads[1e-2].num_blocks == 2000
+
+    def test_zero_fraction_rises_with_looser_bound(self, workloads):
+        assert workloads[1e-2].zero_fraction >= workloads[1e-4].zero_fraction
+
+    def test_fl_rises_with_tighter_bound(self, workloads):
+        assert (
+            workloads[1e-4].representative_fl
+            > workloads[1e-2].representative_fl
+        )
+
+    def test_mean_cycles_mixture(self, workloads):
+        """The mean must sit between the zero-path and max-fl costs."""
+        from repro.wse.cost import PAPER_CYCLE_MODEL as M
+
+        w = workloads[1e-2]
+        mean = w.mean_cycles("compress")
+        assert M.compress_block_cycles(0, zero=True) <= mean
+        assert mean <= M.compress_block_cycles(w.representative_fl)
+
+    def test_decompress_mean_below_compress(self, workloads):
+        w = workloads[1e-4]
+        assert w.mean_cycles("decompress") < w.mean_cycles("compress")
+
+    def test_invalid_direction(self, workloads):
+        with pytest.raises(ModelError):
+            workloads[1e-2].mean_cycles("sideways")
+
+    def test_compressed_words_within_format_bounds(self, workloads):
+        w = workloads[1e-4]
+        words = w.mean_compressed_words()
+        assert 1.0 <= words <= 2 + w.block_size  # header .. worst case
+
+
+class TestWaferThroughput:
+    def test_decompression_faster(self, workloads):
+        w = workloads[1e-4]
+        comp = wafer_throughput(w, WAFER, direction="compress")
+        decomp = wafer_throughput(w, WAFER, direction="decompress")
+        assert decomp.throughput_gbs > comp.throughput_gbs
+
+    def test_looser_bound_faster(self, workloads):
+        loose = wafer_throughput(workloads[1e-2], WAFER)
+        tight = wafer_throughput(workloads[1e-4], WAFER)
+        assert loose.throughput_gbs > tight.throughput_gbs
+
+    def test_headline_range(self, workloads):
+        """512x512, pl=1 must land in the paper's GB/s territory."""
+        perf = wafer_throughput(workloads[1e-4], WAFER)
+        assert 200 <= perf.throughput_gbs <= 1100
+
+    def test_overlapped_at_least_serialized(self, workloads):
+        w = workloads[1e-4]
+        ser = wafer_throughput(w, WAFER, overlapped=False)
+        ovl = wafer_throughput(w, WAFER, overlapped=True)
+        assert ovl.throughput_gbs >= ser.throughput_gbs
+
+    def test_invalid_direction(self, workloads):
+        with pytest.raises(ModelError):
+            wafer_throughput(workloads[1e-2], WAFER, direction="bad")
+
+
+class TestCurves:
+    def test_row_scaling_is_linear(self, workloads):
+        """Fig 7: throughput strictly proportional to row count."""
+        curve = row_scaling_curve(workloads[1e-4], [64, 128, 256, 512])
+        rates = [p.throughput_bytes_per_s for p in curve]
+        per_row = [r / p.rows for r, p in zip(rates, curve)]
+        assert max(per_row) / min(per_row) == pytest.approx(1.0, rel=1e-9)
+
+    def test_pipeline_length_one_is_best(self, workloads):
+        """Fig 13: the 1-PE pipeline wins."""
+        curve = pipeline_length_curve(
+            workloads[1e-4], [1, 2, 4, 8], WAFER
+        )
+        rates = [p.throughput_gbs for p in curve]
+        assert rates[0] == max(rates)
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_wse_size_monotone(self, workloads):
+        """Fig 14: more PEs, more throughput."""
+        curve = wse_size_curve(workloads[1e-4], [16, 32, 64, 128, 256])
+        rates = [p.throughput_gbs for p in curve]
+        assert all(a < b for a, b in zip(rates, rates[1:]))
+
+    def test_wse_size_near_linear_at_small_sizes(self, workloads):
+        """Fig 14's observation: 32x32 is ~4x the 16x16 throughput."""
+        curve = wse_size_curve(workloads[1e-4], [16, 32])
+        ratio = curve[1].throughput_gbs / curve[0].throughput_gbs
+        assert 3.5 <= ratio <= 4.2
+
+    def test_rectangular_full_wafer_accepted(self, workloads):
+        curve = wse_size_curve(workloads[1e-4], [(750, 994)])
+        assert curve[0].rows == 750
+        assert curve[0].total_cols == 994
+
+    def test_pipeline_longer_than_stages_raises(self, workloads):
+        with pytest.raises(ModelError):
+            pipeline_length_curve(workloads[1e-2], [100], WAFER)

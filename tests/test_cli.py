@@ -1,0 +1,141 @@
+"""Tests for the ``ceresz`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.io import load_f32, save_f32
+
+
+@pytest.fixture
+def field_file(tmp_path, rng):
+    path = tmp_path / "field.f32"
+    data = np.cumsum(rng.normal(size=2048)).astype(np.float32)
+    save_f32(path, data)
+    return path, data
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compress_requires_one_bound(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compress", "a", "b"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compress", "a", "b", "--rel", "1e-3", "--eps", "0.1"]
+            )
+
+    def test_shape_parsing(self):
+        args = build_parser().parse_args(
+            ["compress", "a", "b", "--rel", "1e-3", "--shape", "4x5x6"]
+        )
+        assert args.shape == (4, 5, 6)
+
+
+class TestCompressDecompress:
+    def test_round_trip(self, tmp_path, field_file, capsys):
+        path, data = field_file
+        csz = tmp_path / "out.csz"
+        out = tmp_path / "back.f32"
+        assert main([
+            "compress", str(path), str(csz), "--rel", "1e-3"
+        ]) == 0
+        printed = capsys.readouterr().out
+        assert "ratio" in printed
+        assert main(["decompress", str(csz), str(out)]) == 0
+        back = load_f32(out)
+        assert back.shape == data.shape
+        rng_span = float(data.max() - data.min())
+        assert np.max(np.abs(back - data)) <= 1e-3 * rng_span
+
+    def test_absolute_bound(self, tmp_path, field_file):
+        path, data = field_file
+        csz = tmp_path / "out.csz"
+        assert main([
+            "compress", str(path), str(csz), "--eps", "0.5"
+        ]) == 0
+
+    def test_info(self, tmp_path, field_file, capsys):
+        path, _ = field_file
+        csz = tmp_path / "out.csz"
+        main(["compress", str(path), str(csz), "--rel", "1e-3"])
+        assert main(["info", str(csz)]) == 0
+        out = capsys.readouterr().out
+        assert "block size:   32" in out
+
+
+class TestDataset:
+    def test_summary(self, capsys):
+        assert main(["dataset", "QMCPack"]) == 0
+        out = capsys.readouterr().out
+        assert "Quantum Monte Carlo" in out
+
+    def test_write_field(self, tmp_path):
+        out = tmp_path / "f.f32"
+        assert main(["dataset", "HACC", "--field", "1", "--out", str(out)]) == 0
+        assert out.stat().st_size > 0
+
+
+class TestSimulate:
+    def test_simulate_reports_match(self, field_file, capsys):
+        path, _ = field_file
+        assert main([
+            "simulate", str(path), "--rows", "2", "--cols", "3",
+            "--limit-blocks", "16",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "stream matches reference: True" in out
+
+    def test_pipeline_strategy(self, field_file, capsys):
+        path, _ = field_file
+        assert main([
+            "simulate", str(path), "--rows", "1", "--cols", "4",
+            "--strategy", "pipeline", "--pipeline-length", "4",
+            "--limit-blocks", "8",
+        ]) == 0
+        assert "True" in capsys.readouterr().out
+
+
+class TestStreaming:
+    def test_stream_unstream_round_trip(self, tmp_path, rng):
+        a = rng.normal(size=300).astype(np.float32)
+        b = (rng.normal(size=300) * 2).astype(np.float32)
+        pa, pb = tmp_path / "a.f32", tmp_path / "b.f32"
+        save_f32(pa, a)
+        save_f32(pb, b)
+        arch = tmp_path / "arch.cszs"
+        assert main([
+            "stream", str(pa), str(pb), "--out", str(arch), "--eps", "0.01"
+        ]) == 0
+        assert main([
+            "unstream", str(arch), "--prefix", str(tmp_path / "out_")
+        ]) == 0
+        out0 = load_f32(tmp_path / "out_0.f32")
+        out1 = load_f32(tmp_path / "out_1.f32")
+        assert np.max(np.abs(out0 - a)) <= 0.01
+        assert np.max(np.abs(out1 - b)) <= 0.01
+
+
+class TestTablesAndFigures:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_tables_print(self, n, capsys):
+        assert main(["table", str(n)]) == 0
+        assert "Table" in capsys.readouterr().out
+
+    def test_fig7(self, capsys):
+        assert main(["figure", "7"]) == 0
+        assert "Fig 7" in capsys.readouterr().out
+
+    def test_fig13(self, capsys):
+        assert main(["figure", "13"]) == 0
+        out = capsys.readouterr().out
+        assert "1-PE" in out
+
+    def test_fig15(self, capsys):
+        assert main(["figure", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "PSNR" in out
+        assert "identical: True" in out

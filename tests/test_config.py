@@ -1,0 +1,74 @@
+"""Tests for hardware constants and wafer configurations."""
+
+import pytest
+
+from repro.config import (
+    BLOCK_BYTES,
+    BLOCK_SIZE,
+    CLOCK_HZ,
+    DEFAULT_WAFER,
+    FULL_WAFER,
+    MAX_RATIO_CERESZ,
+    MAX_RATIO_SZP,
+    PE_NUM_COLORS,
+    PE_SRAM_BYTES,
+    WSE_TOTAL_COLS,
+    WSE_TOTAL_ROWS,
+    WSE_USABLE_COLS,
+    WSE_USABLE_ROWS,
+    WaferConfig,
+)
+
+
+class TestPaperConstants:
+    def test_wafer_geometry(self):
+        """Paper 5.1.1: 757x996 total, 750x994 usable."""
+        assert (WSE_TOTAL_ROWS, WSE_TOTAL_COLS) == (757, 996)
+        assert (WSE_USABLE_ROWS, WSE_USABLE_COLS) == (750, 994)
+
+    def test_pe_resources(self):
+        assert PE_SRAM_BYTES == 48 * 1024
+        assert PE_NUM_COLORS == 24
+        assert CLOCK_HZ == 850e6
+
+    def test_block_format(self):
+        assert BLOCK_SIZE == 32
+        assert BLOCK_SIZE % 16 == 0  # the fabric's transfer-unit rule
+        assert BLOCK_BYTES == 128
+
+    def test_ratio_caps(self):
+        """The Table 5 ceilings: 32x (CereSZ) vs 128x (SZp)."""
+        assert MAX_RATIO_CERESZ == 32.0
+        assert MAX_RATIO_SZP == 128.0
+
+
+class TestWaferConfig:
+    def test_defaults(self):
+        assert DEFAULT_WAFER.rows == DEFAULT_WAFER.cols == 512
+        assert FULL_WAFER.rows == 750
+        assert FULL_WAFER.cols == 994
+
+    def test_num_pes(self):
+        assert WaferConfig(rows=4, cols=8).num_pes == 32
+
+    def test_ingest_bandwidth(self):
+        """One 4-byte wavelet per row per cycle at the west edge."""
+        cfg = WaferConfig(rows=100, cols=1)
+        assert cfg.ingest_bandwidth_bytes_per_s == pytest.approx(
+            100 * 4 * 850e6
+        )
+
+    def test_reported_throughput_under_ingest_cap(self):
+        """The paper's peak (920.67 GB/s) fits the fabric's feed limit."""
+        assert DEFAULT_WAFER.ingest_bandwidth_bytes_per_s > 920.67e9
+
+    @pytest.mark.parametrize(
+        "rows,cols", [(0, 10), (10, 0), (751, 10), (10, 995), (-1, -1)]
+    )
+    def test_out_of_range_rejected(self, rows, cols):
+        with pytest.raises(ValueError):
+            WaferConfig(rows=rows, cols=cols)
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(ValueError):
+            WaferConfig(rows=1, cols=1, clock_hz=0)

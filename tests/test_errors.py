@@ -1,0 +1,61 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in (
+            "CompressionError",
+            "FormatError",
+            "ErrorBoundError",
+            "DatasetError",
+            "FabricError",
+            "RoutingError",
+            "MemoryError_",
+            "ColorExhaustedError",
+            "DeadlockError",
+            "TaskError",
+            "ScheduleError",
+            "ModelError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_format_errors_are_compression_errors(self):
+        """Catching CompressionError must also catch malformed streams."""
+        assert issubclass(errors.FormatError, errors.CompressionError)
+
+    def test_fabric_branch(self):
+        for name in (
+            "RoutingError",
+            "MemoryError_",
+            "ColorExhaustedError",
+            "DeadlockError",
+            "TaskError",
+        ):
+            assert issubclass(getattr(errors, name), errors.FabricError), name
+
+    def test_memory_error_does_not_shadow_builtin(self):
+        assert errors.MemoryError_ is not MemoryError
+        with pytest.raises(errors.MemoryError_):
+            raise errors.MemoryError_("sram")
+
+    def test_single_except_catches_all_library_failures(self):
+        import numpy as np
+
+        from repro import CereSZ
+
+        caught = 0
+        for bad_call in (
+            lambda: CereSZ().compress(np.zeros(0, dtype=np.float32), rel=1e-3),
+            lambda: CereSZ().decompress(b"garbage"),
+            lambda: CereSZ().compress(np.ones(4, dtype=np.float32)),
+        ):
+            try:
+                bad_call()
+            except errors.ReproError:
+                caught += 1
+        assert caught == 3

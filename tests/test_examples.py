@@ -1,0 +1,40 @@
+"""Smoke tests: every shipped example must run to completion.
+
+Examples are documentation that executes; letting them rot is worse than
+not having them. Each runs in a subprocess with the repo's interpreter and
+must exit 0 with its expected closing output.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": "error bound verified",
+    "climate_insitu.py": "framed archive",
+    "rtm_seismic_stream.py": "2,800 TB",
+    "wse_mapping_explorer.py": "relay",
+    "compressor_shootout.py": "rate-distortion",
+}
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script,expected", sorted(CASES.items()))
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout, (script, result.stdout[-500:])
+
+
+def test_every_example_has_a_smoke_test():
+    shipped = {p.name for p in EXAMPLES.glob("*.py")}
+    assert shipped == set(CASES), shipped.symmetric_difference(set(CASES))

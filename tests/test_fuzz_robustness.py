@@ -1,0 +1,87 @@
+"""Failure injection: corrupted streams must fail *controlled*.
+
+Every decoder in the library must respond to a corrupted or truncated
+stream either by raising an exception from the :mod:`repro.errors`
+hierarchy or by returning garbage values — never by escaping with a raw
+``IndexError`` / ``ValueError`` / ``ZeroDivisionError`` from deep inside
+numpy. Silent low-level crashes are how corrupted archives take down
+analysis pipelines.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CereSZ, ReproError
+from repro.baselines import CuSZ, SZ3, SZp
+from repro.baselines.huffman import HuffmanCodec
+
+
+def _fuzz_decode(decode, stream: bytes, rng, *, rounds: int) -> None:
+    """Bit-flip, truncate and extend the stream; decode must stay tame."""
+    arr = np.frombuffer(stream, dtype=np.uint8).copy()
+    for _ in range(rounds):
+        corrupted = arr.copy()
+        mode = rng.integers(0, 3)
+        if mode == 0 and len(corrupted) > 0:  # flip random bytes
+            idx = rng.integers(0, len(corrupted), size=max(1, len(corrupted) // 50))
+            corrupted[idx] ^= rng.integers(1, 256, size=idx.size).astype(np.uint8)
+            payload = corrupted.tobytes()
+        elif mode == 1:  # truncate
+            cut = int(rng.integers(0, len(corrupted)))
+            payload = corrupted.tobytes()[:cut]
+        else:  # append garbage
+            payload = corrupted.tobytes() + bytes(
+                rng.integers(0, 256, size=16).astype(np.uint8)
+            )
+        try:
+            decode(payload)
+        except ReproError:
+            pass  # controlled failure: exactly what we want
+        except Exception as exc:  # pragma: no cover - the assertion target
+            pytest.fail(
+                f"decoder escaped with {type(exc).__name__}: {exc} "
+                f"(mode {mode})"
+            )
+
+
+@pytest.fixture
+def fuzz_rng():
+    return np.random.default_rng(0xFEED)
+
+
+@pytest.fixture
+def payload(rng):
+    return np.cumsum(rng.normal(size=600)).astype(np.float32)
+
+
+class TestDecoderRobustness:
+    def test_ceresz(self, payload, fuzz_rng):
+        codec = CereSZ()
+        stream = codec.compress(payload, rel=1e-3).stream
+        _fuzz_decode(codec.decompress, stream, fuzz_rng, rounds=150)
+
+    def test_szp(self, payload, fuzz_rng):
+        codec = SZp()
+        stream = codec.compress(payload, rel=1e-3).stream
+        _fuzz_decode(codec.decompress, stream, fuzz_rng, rounds=150)
+
+    def test_cusz(self, payload, fuzz_rng):
+        codec = CuSZ()
+        stream = codec.compress(payload, rel=1e-3).stream
+        _fuzz_decode(codec.decompress, stream, fuzz_rng, rounds=100)
+
+    def test_sz3(self, payload, fuzz_rng):
+        codec = SZ3()
+        stream = codec.compress(payload, rel=1e-3).stream
+        _fuzz_decode(codec.decompress, stream, fuzz_rng, rounds=100)
+
+    def test_huffman(self, fuzz_rng, rng):
+        codec = HuffmanCodec()
+        stream = codec.encode(rng.integers(-20, 21, size=500))
+        _fuzz_decode(codec.decode, stream, fuzz_rng, rounds=150)
+
+    def test_framed_stream(self, payload, fuzz_rng):
+        from repro.core.streaming import compress_stream, decompress_stream
+
+        data = compress_stream([payload, payload * 2], eps=0.01)
+        _fuzz_decode(decompress_stream, data, fuzz_rng, rounds=100)

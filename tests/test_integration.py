@@ -1,0 +1,126 @@
+"""End-to-end scenarios spanning multiple subsystems.
+
+These tests mirror how a downstream user would combine the pieces: generate
+(or load) a field, compress with any of the five codecs, verify the bound,
+compare ratios, and validate the simulator against the reference on real
+dataset snippets.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CereSZ
+from repro.baselines.base import get_compressor
+from repro.core.wse_compressor import WSECereSZ
+from repro.core.quantize import relative_to_absolute
+from repro.config import WaferConfig
+from repro.datasets import generate_field, iter_fields
+from repro.metrics.errorbound import check_error_bound
+from repro.metrics.quality import psnr, ssim
+from repro.perf.wafer import measure_workload, wafer_throughput
+
+ALL_COMPRESSORS = ("CereSZ", "SZp", "cuSZp", "cuSZ", "SZ")
+ALL_DATASETS = ("CESM-ATM", "Hurricane", "QMCPack", "NYX", "RTM", "HACC")
+
+
+class TestEveryCompressorOnEveryDataset:
+    @pytest.mark.parametrize("dataset", ALL_DATASETS)
+    @pytest.mark.parametrize("name", ALL_COMPRESSORS)
+    def test_round_trip_with_bound(self, dataset, name):
+        codec = get_compressor(name)
+        field = generate_field(dataset, 0)
+        # Keep the Huffman-decode path affordable for cuSZ/SZ.
+        flat = field.reshape(-1)[: 32 * 1500]
+        result = codec.compress(flat, rel=1e-3)
+        back = codec.decompress(result.stream)
+        assert back.shape == flat.shape
+        assert check_error_bound(flat, back, result.eps)
+        assert result.ratio > 1.0
+
+
+class TestSimulatorAgainstReferenceOnRealData:
+    @pytest.mark.parametrize("dataset", ["NYX", "HACC", "RTM"])
+    def test_multi_strategy_bit_exact(self, dataset):
+        field = generate_field(dataset, 0).reshape(-1)[: 32 * 30]
+        eps = relative_to_absolute(field, 1e-3)
+        ref = CereSZ().compress(field, eps=eps)
+        sim = WSECereSZ(rows=2, cols=3, strategy="multi")
+        result = sim.compress(field, eps=eps)
+        assert result.stream == ref.stream
+
+    def test_simulated_timing_feeds_the_model(self):
+        """The discrete-event makespan and the analytic model must agree
+        on single-PE compression cost (the model's base case)."""
+        field = generate_field("QMCPack", 0).reshape(-1)[: 32 * 16]
+        eps = relative_to_absolute(field, 1e-3)
+        sim = WSECereSZ(rows=1, cols=1, strategy="rows")
+        result = sim.compress(field, eps=eps)
+        workload = measure_workload(field, eps)
+        model_cycles = workload.mean_cycles("compress") * workload.num_blocks
+        # The sim adds activation/transfer latencies; same ballpark.
+        assert result.makespan_cycles == pytest.approx(model_cycles, rel=0.1)
+
+
+class TestQualityAcrossCodecs:
+    def test_prequant_family_same_psnr(self):
+        field = generate_field("NYX", 2)  # temperature
+        values = {}
+        for name in ("CereSZ", "SZp", "cuSZ"):
+            codec = get_compressor(name)
+            result = codec.compress(field, rel=1e-3)
+            back = codec.decompress(result.stream)
+            values[name] = psnr(field, back)
+        assert values["CereSZ"] == pytest.approx(values["SZp"], abs=1e-9)
+        assert values["CereSZ"] == pytest.approx(values["cuSZ"], abs=1e-9)
+
+    def test_tight_bound_means_high_ssim(self):
+        field = generate_field("Hurricane", 2)
+        codec = CereSZ()
+        result = codec.compress(field, rel=1e-4)
+        back = codec.decompress(result.stream)
+        assert ssim(field, back) > 0.999
+
+
+class TestThroughputPipelineEndToEnd:
+    def test_field_to_gbs(self):
+        """The full Figs 11/12 path for one field."""
+        field = generate_field("RTM", 5)
+        eps = relative_to_absolute(field, 1e-3)
+        workload = measure_workload(field, eps)
+        wafer = WaferConfig(rows=512, cols=512)
+        comp = wafer_throughput(workload, wafer, direction="compress")
+        decomp = wafer_throughput(workload, wafer, direction="decompress")
+        assert 100 < comp.throughput_gbs < 1200
+        assert decomp.throughput_gbs > comp.throughput_gbs
+
+    def test_average_headline_bands(self):
+        """Cross-dataset averages sit in the paper's reported region
+        (shape fidelity: hundreds of GB/s, decomp/comp ~1.2-1.3x)."""
+        wafer = WaferConfig(rows=512, cols=512)
+        comps, decomps = [], []
+        for dataset in ALL_DATASETS:
+            for _, field in iter_fields(dataset, limit=2):
+                for rel in (1e-2, 1e-4):
+                    eps = relative_to_absolute(field, rel)
+                    w = measure_workload(field, eps)
+                    comps.append(
+                        wafer_throughput(w, wafer).throughput_gbs
+                    )
+                    decomps.append(
+                        wafer_throughput(
+                            w, wafer, direction="decompress"
+                        ).throughput_gbs
+                    )
+        avg_c = float(np.mean(comps))
+        avg_d = float(np.mean(decomps))
+        assert 300 <= avg_c <= 900  # paper: 457.35
+        assert 1.1 <= avg_d / avg_c <= 1.45  # paper: 1.27
+
+
+class TestStreamsAreSelfDescribing:
+    @pytest.mark.parametrize("name", ALL_COMPRESSORS)
+    def test_fresh_instance_decodes(self, name, smooth_field):
+        """No out-of-band state: any instance decodes any stream."""
+        stream = get_compressor(name).compress(smooth_field, rel=1e-3).stream
+        back = get_compressor(name).decompress(stream)
+        assert back.shape == smooth_field.shape

@@ -1,0 +1,57 @@
+"""Tests for color allocation (24 hardware channels)."""
+
+import pytest
+
+from repro.config import PE_NUM_COLORS
+from repro.errors import ColorExhaustedError
+from repro.wse.color import Color, ColorAllocator
+
+
+class TestColor:
+    def test_valid_ids(self):
+        assert Color(0).id == 0
+        assert Color(PE_NUM_COLORS - 1).id == PE_NUM_COLORS - 1
+
+    def test_out_of_range_id_rejected(self):
+        with pytest.raises(ColorExhaustedError):
+            Color(PE_NUM_COLORS)
+        with pytest.raises(ColorExhaustedError):
+            Color(-1)
+
+    def test_equality_by_id_and_name(self):
+        assert Color(3, "x") == Color(3, "x")
+        assert Color(3, "x") != Color(4, "x")
+
+
+class TestColorAllocator:
+    def test_allocates_distinct_ids(self):
+        alloc = ColorAllocator()
+        ids = {alloc.allocate().id for _ in range(PE_NUM_COLORS)}
+        assert len(ids) == PE_NUM_COLORS
+
+    def test_exhaustion_raises(self):
+        alloc = ColorAllocator()
+        for _ in range(PE_NUM_COLORS):
+            alloc.allocate()
+        with pytest.raises(ColorExhaustedError):
+            alloc.allocate()
+
+    def test_named_lookup(self):
+        alloc = ColorAllocator()
+        c = alloc.allocate("input")
+        assert alloc["input"] is c
+        assert "input" in alloc
+        assert "output" not in alloc
+
+    def test_duplicate_name_rejected(self):
+        alloc = ColorAllocator()
+        alloc.allocate("x")
+        with pytest.raises(ColorExhaustedError):
+            alloc.allocate("x")
+
+    def test_remaining_counts_down(self):
+        alloc = ColorAllocator()
+        assert alloc.remaining == PE_NUM_COLORS
+        alloc.allocate()
+        assert alloc.remaining == PE_NUM_COLORS - 1
+        assert alloc.allocated == 1

@@ -1,0 +1,118 @@
+"""Tests for the calibrated cycle model (paper Tables 1-3)."""
+
+import pytest
+
+from repro.config import BLOCK_SIZE
+from repro.errors import ModelError
+from repro.wse.cost import PAPER_CYCLE_MODEL, CycleModel, StageCost
+
+
+class TestStageCost:
+    def test_linear_in_block_length(self):
+        stage = StageCost("s", per_element=10.0)
+        assert stage.cycles(32) == 320.0
+        assert stage.cycles(64) == 640.0
+
+    def test_per_bit_scales_with_fl(self):
+        stage = StageCost("s", per_bit=100.0)
+        assert stage.cycles(32, fl=3) == 300.0
+        assert stage.cycles(32, fl=0) == 0.0
+
+    def test_per_bit_scales_with_block_length_too(self):
+        stage = StageCost("s", per_bit=100.0)
+        assert stage.cycles(64, fl=1) == 200.0
+
+    def test_invalid_inputs(self):
+        stage = StageCost("s", fixed=1.0)
+        with pytest.raises(ModelError):
+            stage.cycles(0)
+        with pytest.raises(ModelError):
+            stage.cycles(32, fl=-1)
+
+
+class TestPaperCalibration:
+    """The model constants must reproduce the paper's tables at L=32."""
+
+    def test_prequant_matches_table2(self):
+        # Paper Table 2: Pre-Quant 6051-6111; our calibrated mean 6114.
+        assert PAPER_CYCLE_MODEL.prequant_cycles() == pytest.approx(
+            6114, rel=0.02
+        )
+
+    def test_multiplication_dominates_prequant(self):
+        # "Multiplication takes approximately 80% of the quantization time."
+        frac = PAPER_CYCLE_MODEL.multiplication.cycles() / (
+            PAPER_CYCLE_MODEL.prequant_cycles()
+        )
+        assert 0.75 <= frac <= 0.88
+
+    def test_lorenzo_matches_table1(self):
+        assert PAPER_CYCLE_MODEL.lorenzo.cycles() == pytest.approx(975)
+
+    def test_encode_matches_table3_cesm(self):
+        # CESM-ATM: fl=17 -> 37124 cycles.
+        assert PAPER_CYCLE_MODEL.encode_cycles(17) == pytest.approx(
+            37124, rel=0.02
+        )
+
+    def test_encode_matches_table3_hacc(self):
+        assert PAPER_CYCLE_MODEL.encode_cycles(13) == pytest.approx(
+            29181, rel=0.02
+        )
+
+    def test_encode_matches_table3_qmcpack(self):
+        assert PAPER_CYCLE_MODEL.encode_cycles(12) == pytest.approx(
+            27188, rel=0.02
+        )
+
+    def test_bitshuffle_per_bit_constant(self):
+        # Table 3's fit: 33609/17 = 1977 cycles per effective bit.
+        per_bit = PAPER_CYCLE_MODEL.bit_shuffle.cycles(BLOCK_SIZE, 1)
+        assert per_bit == pytest.approx(33609 / 17, rel=0.01)
+
+
+class TestBlockAggregates:
+    def test_zero_block_cheaper_than_any_encode(self):
+        model = PAPER_CYCLE_MODEL
+        zero = model.compress_block_cycles(0, zero=True)
+        for fl in range(1, 33):
+            assert zero < model.compress_block_cycles(fl)
+
+    def test_compress_monotone_in_fl(self):
+        model = PAPER_CYCLE_MODEL
+        costs = [model.compress_block_cycles(fl) for fl in range(33)]
+        assert all(a < b for a, b in zip(costs, costs[1:]))
+
+    def test_decompress_cheaper_than_compress(self):
+        """No Max/GetLength at decode; throughput Figs 11 vs 12."""
+        model = PAPER_CYCLE_MODEL
+        for fl in (1, 8, 17, 32):
+            assert model.decompress_block_cycles(fl) < (
+                model.compress_block_cycles(fl)
+            )
+
+    def test_zero_decompress_path(self):
+        model = PAPER_CYCLE_MODEL
+        assert model.decompress_block_cycles(0, zero=True) < (
+            model.decompress_block_cycles(1)
+        )
+
+    def test_relay_scales_with_words(self):
+        model = PAPER_CYCLE_MODEL
+        assert model.relay_block_cycles(64) == 2 * model.relay_block_cycles(32)
+
+    def test_forward_more_expensive_than_relay(self):
+        # C2 > C1: the forward includes memory-to-fabric DSD setup.
+        model = PAPER_CYCLE_MODEL
+        assert model.forward_block_cycles() > model.relay_block_cycles()
+
+    def test_relay_rejects_nonpositive(self):
+        with pytest.raises(ModelError):
+            PAPER_CYCLE_MODEL.relay_block_cycles(0)
+        with pytest.raises(ModelError):
+            PAPER_CYCLE_MODEL.forward_block_cycles(-1)
+
+    def test_custom_model_is_independent(self):
+        custom = CycleModel(c1_relay=10.0)
+        assert custom.relay_block_cycles() == 10.0
+        assert PAPER_CYCLE_MODEL.c1_relay != 10.0

@@ -1,0 +1,59 @@
+"""Tests for data structure descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TaskError
+from repro.wse.color import Color
+from repro.wse.dsd import FabinDsd, FaboutDsd, Mem1dDsd
+
+
+class TestMem1dDsd:
+    def test_resolve_full_buffer(self):
+        storage = {"buf": np.arange(8)}
+        view = Mem1dDsd("buf").resolve(storage)
+        assert view.size == 8
+
+    def test_resolve_window(self):
+        storage = {"buf": np.arange(10)}
+        view = Mem1dDsd("buf", offset=2, length=5).resolve(storage)
+        assert view.tolist() == [2, 3, 4, 5, 6]
+
+    def test_resolve_is_a_view_not_a_copy(self):
+        storage = {"buf": np.zeros(4)}
+        view = Mem1dDsd("buf").resolve(storage)
+        view[:] = 7
+        assert storage["buf"].tolist() == [7, 7, 7, 7]
+
+    def test_unknown_buffer(self):
+        with pytest.raises(TaskError, match="unknown buffer"):
+            Mem1dDsd("ghost").resolve({})
+
+    def test_window_past_end(self):
+        storage = {"buf": np.arange(4)}
+        with pytest.raises(TaskError, match="exceeds"):
+            Mem1dDsd("buf", offset=2, length=5).resolve(storage)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(TaskError):
+            Mem1dDsd("buf", offset=-1)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(TaskError):
+            Mem1dDsd("buf", length=-2)
+
+
+class TestFabricDsds:
+    def test_fabin_requires_positive_extent(self):
+        with pytest.raises(TaskError):
+            FabinDsd(Color(0), extent=0)
+
+    def test_fabout_requires_positive_extent(self):
+        with pytest.raises(TaskError):
+            FaboutDsd(Color(0), extent=-3)
+
+    def test_descriptors_are_hashable_values(self):
+        a = FabinDsd(Color(1), extent=4)
+        b = FabinDsd(Color(1), extent=4)
+        assert a == b
+        assert hash(a) == hash(b)

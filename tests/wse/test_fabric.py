@@ -1,0 +1,105 @@
+"""Tests for the PE mesh and static route resolution."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.wse.color import Color
+from repro.wse.fabric import Fabric
+from repro.wse.wavelet import Direction
+
+
+class TestMesh:
+    def test_dimensions(self):
+        fabric = Fabric(3, 5)
+        assert fabric.rows == 3
+        assert fabric.cols == 5
+        assert fabric.num_pes == 15
+
+    def test_pe_coordinates(self):
+        fabric = Fabric(2, 2)
+        assert fabric.pe(1, 0).coord == (1, 0)
+
+    def test_out_of_bounds_pe_raises(self):
+        fabric = Fabric(2, 2)
+        with pytest.raises(RoutingError):
+            fabric.pe(2, 0)
+        with pytest.raises(RoutingError):
+            fabric.pe(0, -1)
+
+    def test_oversized_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            Fabric(10_000, 1)
+        with pytest.raises(ValueError):
+            Fabric(1, 0)
+
+    def test_iteration_covers_all_pes(self):
+        fabric = Fabric(3, 4)
+        assert len(list(fabric)) == 12
+
+    def test_neighbors(self):
+        fabric = Fabric(3, 3)
+        assert fabric.neighbor(1, 1, Direction.EAST).coord == (1, 2)
+        assert fabric.neighbor(1, 1, Direction.NORTH).coord == (0, 1)
+        assert fabric.neighbor(0, 0, Direction.WEST) is None
+        assert fabric.neighbor(2, 2, Direction.SOUTH) is None
+
+    def test_custom_sram_budget(self):
+        fabric = Fabric(1, 1, sram_bytes=1024)
+        assert fabric.pe(0, 0).sram.capacity == 1024
+
+
+class TestRouteResolution:
+    def test_single_hop(self):
+        fabric = Fabric(1, 2)
+        color = Color(0)
+        fabric.set_route(0, 0, color, Direction.RAMP, Direction.EAST)
+        fabric.set_route(0, 1, color, Direction.WEST, Direction.RAMP)
+        route = fabric.resolve(0, 0, color)
+        assert route.destination == (0, 1)
+        assert route.hops == 1
+
+    def test_multi_hop_pass_through(self):
+        fabric = Fabric(1, 4)
+        color = Color(2)
+        fabric.route_row_segment(0, 0, 3, color)
+        route = fabric.resolve(0, 0, color)
+        assert route.destination == (0, 3)
+        assert route.hops == 3
+
+    def test_row_segment_requires_eastward(self):
+        fabric = Fabric(1, 4)
+        with pytest.raises(RoutingError):
+            fabric.route_row_segment(0, 3, 1, Color(0))
+
+    def test_route_leaving_mesh_raises(self):
+        fabric = Fabric(1, 2)
+        color = Color(0)
+        fabric.set_route(0, 1, color, Direction.RAMP, Direction.EAST)
+        with pytest.raises(RoutingError, match="leaves the mesh"):
+            fabric.resolve(0, 1, color)
+
+    def test_missing_intermediate_rule_raises(self):
+        fabric = Fabric(1, 3)
+        color = Color(0)
+        fabric.set_route(0, 0, color, Direction.RAMP, Direction.EAST)
+        # PE (0,1) has no rule for this color.
+        with pytest.raises(RoutingError, match="no route"):
+            fabric.resolve(0, 0, color)
+
+    def test_vertical_route(self):
+        fabric = Fabric(3, 1)
+        color = Color(1)
+        fabric.set_route(0, 0, color, Direction.RAMP, Direction.SOUTH)
+        fabric.set_route(1, 0, color, Direction.NORTH, Direction.SOUTH)
+        fabric.set_route(2, 0, color, Direction.NORTH, Direction.RAMP)
+        route = fabric.resolve(0, 0, color)
+        assert route.destination == (2, 0)
+        assert route.hops == 2
+
+    def test_loopback_on_self(self):
+        fabric = Fabric(1, 1)
+        color = Color(0)
+        fabric.set_route(0, 0, color, Direction.RAMP, Direction.RAMP)
+        route = fabric.resolve(0, 0, color)
+        assert route.destination == (0, 0)
+        assert route.hops == 0

@@ -1,0 +1,117 @@
+"""Tests for the CSL-style program patterns."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.wse.program import Program
+
+
+class TestStreamEastward:
+    def test_chunks_arrive_in_order(self):
+        prog = Program(1, 3)
+        seen = []
+        color = prog.stream_eastward(
+            0, 0, 2, extent=4, count=3,
+            on_chunk=lambda ctx, i, data: seen.append((i, data.copy())),
+        )
+        chunks = [np.full(4, v, dtype=np.float32) for v in (1.0, 2.0, 3.0)]
+        prog.feed(0, 0, color, chunks)
+        prog.run()
+        assert [i for i, _ in seen] == [0, 1, 2]
+        for (_, got), sent in zip(seen, chunks):
+            assert np.array_equal(got, sent)
+
+    def test_adjacent_pes(self):
+        prog = Program(1, 2)
+        seen = []
+        color = prog.stream_eastward(
+            0, 0, 1, extent=2, count=1,
+            on_chunk=lambda ctx, i, data: seen.append(data.copy()),
+        )
+        prog.feed(0, 0, color, [np.array([7.0, 8.0], dtype=np.float32)])
+        prog.run()
+        assert np.array_equal(seen[0], [7.0, 8.0])
+
+    def test_compute_cycles_can_be_charged(self):
+        prog = Program(1, 2)
+        color = prog.stream_eastward(
+            0, 0, 1, extent=2, count=2,
+            on_chunk=lambda ctx, i, data: ctx.spend(500),
+        )
+        prog.feed(0, 0, color, [np.zeros(2, dtype=np.float32)] * 2)
+        report = prog.run()
+        assert report.makespan_cycles >= 1000
+
+    def test_westward_rejected(self):
+        prog = Program(1, 3)
+        with pytest.raises(RoutingError):
+            prog.stream_eastward(
+                0, 2, 0, extent=1, count=1, on_chunk=lambda *a: None
+            )
+
+    def test_parallel_rows_are_independent(self):
+        prog = Program(2, 2)
+        rows_seen = {0: [], 1: []}
+        c0 = prog.stream_eastward(
+            0, 0, 1, extent=2, count=1, name="r0",
+            on_chunk=lambda ctx, i, d: rows_seen[0].append(d.copy()),
+        )
+        c1 = prog.stream_eastward(
+            1, 0, 1, extent=2, count=1, name="r1",
+            on_chunk=lambda ctx, i, d: rows_seen[1].append(d.copy()),
+        )
+        prog.feed(0, 0, c0, [np.array([1.0, 1.0], dtype=np.float32)])
+        prog.feed(1, 0, c1, [np.array([2.0, 2.0], dtype=np.float32)])
+        prog.run()
+        assert rows_seen[0][0][0] == 1.0
+        assert rows_seen[1][0][0] == 2.0
+
+
+class TestRelayChain:
+    def test_every_pe_gets_one_block_per_round(self):
+        prog = Program(1, 4)
+        got = {}
+        color = prog.relay_chain(
+            0, extent=2, rounds=2,
+            on_block=lambda ctx, col, rnd, d: got.__setitem__(
+                (col, rnd), d[0]
+            ),
+        )
+        # Round-major, east-most block first within a round.
+        blocks = []
+        for rnd in range(2):
+            for col in (3, 2, 1, 0):
+                blocks.append(
+                    np.full(2, 10 * rnd + col, dtype=np.float32)
+                )
+        prog.feed(0, 0, color, blocks)
+        prog.run()
+        for rnd in range(2):
+            for col in range(4):
+                assert got[(col, rnd)] == 10 * rnd + col
+
+    def test_relay_cycles_decrease_eastward(self):
+        prog = Program(1, 4)
+        color = prog.relay_chain(
+            0, extent=8, rounds=1, on_block=lambda *a: None
+        )
+        blocks = [np.full(8, c, dtype=np.float32) for c in (3, 2, 1, 0)]
+        prog.feed(0, 0, color, blocks)
+        prog.run()
+        relay = [prog.fabric.pe(0, c).relay_cycles for c in range(4)]
+        assert relay[0] > relay[1] > relay[2] > relay[3] == 0
+
+    def test_single_column_chain(self):
+        prog = Program(1, 1)
+        got = []
+        color = prog.relay_chain(
+            0, extent=2, rounds=3,
+            on_block=lambda ctx, col, rnd, d: got.append(d[0]),
+        )
+        prog.feed(
+            0, 0, color,
+            [np.full(2, v, dtype=np.float32) for v in (5, 6, 7)],
+        )
+        prog.run()
+        assert got == [5, 6, 7]

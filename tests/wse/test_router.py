@@ -1,0 +1,79 @@
+"""Tests for per-PE fabric routers."""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.wse.color import Color
+from repro.wse.router import RouteRule, Router
+from repro.wse.wavelet import Direction
+
+
+def rule(color_id=0, inputs=Direction.WEST, output=Direction.RAMP):
+    return RouteRule.make(Color(color_id), inputs, output)
+
+
+class TestRouteRule:
+    def test_make_single_input(self):
+        r = rule()
+        assert r.inputs == frozenset({Direction.WEST})
+
+    def test_make_multiple_inputs(self):
+        r = rule(inputs=(Direction.WEST, Direction.NORTH))
+        assert Direction.NORTH in r.inputs
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(RoutingError):
+            RouteRule(Color(0), frozenset(), Direction.RAMP)
+
+    def test_reflection_rejected(self):
+        # WEST -> WEST would bounce the wavelet back where it came from.
+        with pytest.raises(RoutingError):
+            rule(inputs=Direction.WEST, output=Direction.WEST)
+
+    def test_ramp_to_ramp_allowed(self):
+        # RAMP in / RAMP out is a local loopback, legal on the device.
+        r = rule(inputs=Direction.RAMP, output=Direction.RAMP)
+        assert r.output is Direction.RAMP
+
+
+class TestRouter:
+    def test_route_follows_rule(self):
+        router = Router()
+        router.set_route(rule(0, Direction.WEST, Direction.EAST))
+        assert router.route(0, Direction.WEST) is Direction.EAST
+
+    def test_missing_color_raises(self):
+        with pytest.raises(RoutingError, match="no route"):
+            Router().route(5, Direction.WEST)
+
+    def test_wrong_input_direction_raises(self):
+        router = Router()
+        router.set_route(rule(0, Direction.WEST, Direction.RAMP))
+        with pytest.raises(RoutingError, match="only accepts"):
+            router.route(0, Direction.NORTH)
+
+    def test_conflicting_reinstall_raises(self):
+        router = Router()
+        router.set_route(rule(0, Direction.WEST, Direction.RAMP))
+        with pytest.raises(RoutingError, match="conflicting"):
+            router.set_route(rule(0, Direction.WEST, Direction.EAST))
+
+    def test_identical_reinstall_is_idempotent(self):
+        router = Router()
+        router.set_route(rule(0))
+        router.set_route(rule(0))  # no error
+        assert router.has_route(0)
+
+    def test_independent_colors(self):
+        router = Router()
+        router.set_route(rule(0, Direction.WEST, Direction.RAMP))
+        router.set_route(rule(1, Direction.RAMP, Direction.EAST))
+        assert router.route(0, Direction.WEST) is Direction.RAMP
+        assert router.route(1, Direction.RAMP) is Direction.EAST
+
+    def test_accepts(self):
+        router = Router()
+        router.set_route(rule(0, Direction.WEST, Direction.RAMP))
+        assert router.accepts(0, Direction.WEST)
+        assert not router.accepts(0, Direction.EAST)
+        assert not router.accepts(7, Direction.WEST)

@@ -1,0 +1,62 @@
+"""Tests for the engine's route-following host send (``send_from``)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RoutingError
+from repro.wse.color import ColorAllocator
+from repro.wse.dsd import FabinDsd, Mem1dDsd
+from repro.wse.engine import Engine
+from repro.wse.fabric import Fabric
+from repro.wse.pe import Task
+from repro.wse.wavelet import Direction
+
+
+def receiving_setup(cols=3):
+    fabric = Fabric(1, cols)
+    engine = Engine(fabric)
+    colors = ColorAllocator()
+    c = colors.allocate("data")
+    c_go = colors.allocate("go")
+    c_done = colors.allocate("done")
+    fabric.route_row_segment(0, 0, cols - 1, c)
+    sink = fabric.pe(0, cols - 1)
+    sink.alloc_buffer("in", np.zeros(4, dtype=np.float32))
+    got = []
+    sink.bind_task(
+        c_go,
+        Task(
+            "recv",
+            lambda ctx: ctx.mov32(
+                Mem1dDsd("in"), FabinDsd(c, extent=4), on_complete=c_done
+            ),
+        ),
+    )
+    sink.bind_task(
+        c_done, Task("done", lambda ctx: got.append(ctx.buffer("in").copy()))
+    )
+    engine.schedule_activation(sink, c_go.id, 0.0)
+    return fabric, engine, c, got
+
+
+class TestSendFrom:
+    def test_follows_the_route(self):
+        fabric, engine, c, got = receiving_setup(cols=3)
+        engine.send_from(0, 0, c, np.array([1, 2, 3, 4], dtype=np.float32))
+        engine.run()
+        assert np.array_equal(got[0], [1, 2, 3, 4])
+
+    def test_arrival_time_includes_hops(self):
+        fabric, engine, c, got = receiving_setup(cols=4)
+        engine.send_from(0, 0, c, np.zeros(4, dtype=np.float32), at=100.0)
+        report = engine.run()
+        # 100 start + 4 wavelets + 3 hops.
+        assert report.makespan_cycles >= 107.0
+
+    def test_missing_route_raises_immediately(self):
+        fabric = Fabric(1, 2)
+        engine = Engine(fabric)
+        colors = ColorAllocator()
+        c = colors.allocate("c")
+        with pytest.raises(RoutingError):
+            engine.send_from(0, 0, c, np.zeros(2, dtype=np.float32))

@@ -1,0 +1,95 @@
+"""Tests for trace recording and the paper's timing aggregates."""
+
+import pytest
+
+from repro.wse.pe import ProcessingElement
+from repro.wse.trace import TraceRecorder
+
+
+def make_pe(row=0, col=0, compute=0, relay=0, tasks=0, finished=0.0):
+    pe = ProcessingElement(row=row, col=col)
+    pe.compute_cycles = compute
+    pe.relay_cycles = relay
+    pe.tasks_run = tasks
+    pe.busy_until = finished
+    return pe
+
+
+class TestTraceRecorder:
+    def test_makespan_is_last_pe_to_finish(self):
+        rec = TraceRecorder()
+        rec.record(make_pe(0, 0, finished=100.0))
+        rec.record(make_pe(0, 1, finished=250.0))
+        assert rec.makespan_cycles == 250.0
+
+    def test_makespan_seconds_uses_clock(self):
+        rec = TraceRecorder()
+        rec.record(make_pe(finished=850.0))
+        assert rec.makespan_seconds(clock_hz=850.0) == 1.0
+
+    def test_throughput_definition(self):
+        """Paper 5.1.4: original bytes / execution time."""
+        rec = TraceRecorder()
+        rec.record(make_pe(finished=850e6))  # exactly one second at 850 MHz
+        assert rec.throughput_bytes_per_s(1024) == pytest.approx(1024)
+
+    def test_throughput_zero_makespan_raises(self):
+        rec = TraceRecorder()
+        rec.record(make_pe(finished=0.0))
+        with pytest.raises(ZeroDivisionError):
+            rec.throughput_bytes_per_s(1)
+
+    def test_max_compute_cycles(self):
+        rec = TraceRecorder()
+        rec.record(make_pe(0, 0, compute=10))
+        rec.record(make_pe(0, 1, compute=99))
+        assert rec.max_compute_cycles() == 99
+
+    def test_total_relay_cycles(self):
+        rec = TraceRecorder()
+        rec.record(make_pe(0, 0, relay=5))
+        rec.record(make_pe(0, 1, relay=7))
+        assert rec.total_relay_cycles() == 12
+
+    def test_per_row_grouping(self):
+        rec = TraceRecorder()
+        rec.record(make_pe(0, 0))
+        rec.record(make_pe(0, 1))
+        rec.record(make_pe(1, 0))
+        rows = rec.per_row()
+        assert len(rows[0]) == 2
+        assert len(rows[1]) == 1
+
+    def test_busiest_pe(self):
+        rec = TraceRecorder()
+        rec.record(make_pe(0, 0, compute=10, relay=5))
+        rec.record(make_pe(0, 1, compute=8, relay=20))
+        assert rec.busiest_pe().col == 1
+
+    def test_busiest_pe_empty_raises(self):
+        with pytest.raises(ValueError):
+            TraceRecorder().busiest_pe()
+
+    def test_load_imbalance_perfect(self):
+        rec = TraceRecorder()
+        rec.record(make_pe(0, 0, compute=100))
+        rec.record(make_pe(0, 1, compute=100))
+        assert rec.load_imbalance() == 1.0
+
+    def test_load_imbalance_skewed(self):
+        rec = TraceRecorder()
+        rec.record(make_pe(0, 0, compute=300))
+        rec.record(make_pe(0, 1, compute=100))
+        assert rec.load_imbalance() == 1.5
+
+    def test_load_imbalance_ignores_idle_pes(self):
+        rec = TraceRecorder()
+        rec.record(make_pe(0, 0, compute=100))
+        rec.record(make_pe(0, 1, compute=0))
+        assert rec.load_imbalance() == 1.0
+
+    def test_empty_recorder_defaults(self):
+        rec = TraceRecorder()
+        assert rec.makespan_cycles == 0.0
+        assert rec.load_imbalance() == 1.0
+        assert rec.max_compute_cycles() == 0

@@ -1,0 +1,94 @@
+"""Tests for wavelets and cardinal directions."""
+
+import numpy as np
+import pytest
+
+from repro.wse.wavelet import Direction, Wavelet, wavelet_count
+
+
+class TestDirection:
+    def test_opposites_are_involutive(self):
+        for d in Direction:
+            assert d.opposite.opposite is d
+
+    def test_ramp_is_its_own_opposite(self):
+        assert Direction.RAMP.opposite is Direction.RAMP
+
+    def test_east_west_pair(self):
+        assert Direction.EAST.opposite is Direction.WEST
+
+    def test_north_south_pair(self):
+        assert Direction.NORTH.opposite is Direction.SOUTH
+
+    def test_deltas_sum_to_zero_for_opposite_pairs(self):
+        for d in Direction:
+            dr, dc = d.delta
+            odr, odc = d.opposite.delta
+            assert (dr + odr, dc + odc) == (0, 0)
+
+    def test_east_moves_along_columns(self):
+        assert Direction.EAST.delta == (0, 1)
+
+    def test_south_moves_along_rows(self):
+        assert Direction.SOUTH.delta == (1, 0)
+
+    def test_ramp_does_not_move(self):
+        assert Direction.RAMP.delta == (0, 0)
+
+
+class TestWavelet:
+    def test_f32_round_trip(self):
+        w = Wavelet.from_f32(3, 1.5)
+        assert w.as_f32() == 1.5
+
+    def test_f32_round_trip_negative(self):
+        w = Wavelet.from_f32(0, -0.1)
+        assert w.as_f32() == np.float32(-0.1)
+
+    def test_i32_round_trip(self):
+        assert Wavelet.from_i32(1, -123456).as_i32() == -123456
+
+    def test_i32_extremes(self):
+        assert Wavelet.from_i32(0, 2**31 - 1).as_i32() == 2**31 - 1
+        assert Wavelet.from_i32(0, -(2**31)).as_i32() == -(2**31)
+
+    def test_rejects_oversized_payload(self):
+        with pytest.raises(ValueError):
+            Wavelet(color=0, payload=2**32)
+
+    def test_rejects_bad_color(self):
+        with pytest.raises(ValueError):
+            Wavelet(color=99, payload=0)
+
+    def test_meta_does_not_affect_equality(self):
+        a = Wavelet(color=1, payload=7, meta={"src": (0, 0)})
+        b = Wavelet(color=1, payload=7, meta={"src": (5, 5)})
+        assert a == b
+
+
+class TestWaveletCount:
+    def test_int_passthrough(self):
+        assert wavelet_count(10) == 10
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            wavelet_count(-1)
+
+    def test_bytes_rounded_up_to_words(self):
+        assert wavelet_count(b"\x00" * 5) == 2
+        assert wavelet_count(b"\x00" * 8) == 2
+        assert wavelet_count(b"") == 0
+
+    def test_f32_array_counts_elements(self):
+        assert wavelet_count(np.zeros(7, dtype=np.float32)) == 7
+
+    def test_f64_array_counts_two_wavelets_per_element(self):
+        assert wavelet_count(np.zeros(7, dtype=np.float64)) == 14
+
+    def test_u8_array_counts_elements(self):
+        # Sub-word payloads still occupy one wavelet each (the fabric's
+        # minimum granularity, paper 5.1.1).
+        assert wavelet_count(np.zeros(3, dtype=np.uint8)) == 3
+
+    def test_2d_array_uses_total_size(self):
+        assert wavelet_count(np.zeros((4, 5), dtype=np.int32)) == 20
