@@ -1,0 +1,211 @@
+"""Host decode-path throughput: serial v1 vs indexed v2 vs sharded.
+
+This is the acceptance benchmark for the container-v2 index. Container v1
+forces the decoder to *walk* every block header sequentially (record sizes
+are data-dependent) — a per-block Python loop that dominates decode for
+well-compressed streams, where payloads are tiny but the walk still pays
+its per-block cost. Container v2 embeds a one-byte-per-block fl table so
+every record offset falls out of a single ``cumsum``. The shard engine
+additionally splits the field into independently-decodable super-shards
+dispatched across a worker pool.
+
+Two field profiles bracket the operating range:
+
+* ``smooth`` — the RTM snapshot generator (the paper's streaming use
+  case) under the paper's REL 1e-3 bound: ratio ~25x, mostly zero
+  blocks, decode utterly dominated by the v1 header walk;
+* ``turbulent`` — the HACC particle generator: ratio ~3x, payload-heavy
+  records, the unfavourable case for the index (it still wins, just
+  less).
+
+Run as a script (not under pytest-benchmark — the point is the relative
+wall-clock of three container layouts, best-of-N):
+
+    PYTHONPATH=src python benchmarks/bench_host_throughput.py
+    PYTHONPATH=src python benchmarks/bench_host_throughput.py --smoke
+
+Results land in ``benchmarks/results/host_throughput.txt``. Pass
+``--min-speedup X`` to exit non-zero unless the smooth-field v2-over-v1
+decode speedup reaches X (CI uses a conservative threshold; the headline
+number in the committed results file comes from a full-size run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro import CereSZ  # noqa: E402
+from repro.datasets import generate_field  # noqa: E402
+
+REL = 1e-3
+PROFILES = {"smooth": "RTM", "turbulent": "HACC"}
+
+
+def make_field(profile: str, n: int) -> np.ndarray:
+    """Tile one synthetic SDRBench-like field out to ``n`` elements."""
+    base = generate_field(PROFILES[profile], seed=0).reshape(-1)
+    base = base.astype(np.float32)
+    reps = -(-n // base.size)
+    return np.tile(base, reps)[:n]
+
+
+def best_of(repeats: int, fn, *args, **kwargs):
+    """(best seconds, last return value) over ``repeats`` calls."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def run_profile(
+    profile: str, n: int, repeats: int, jobs: int
+) -> tuple[list[dict], float]:
+    codec = CereSZ()
+    field = make_field(profile, n)
+    raw_mb = field.nbytes / 1e6
+
+    cases = [
+        ("serial-v1", {"index": False}, {}),
+        ("indexed-v2", {"index": True}, {}),
+        ("sharded", {"jobs": jobs}, {"jobs": jobs}),
+    ]
+    rows = []
+    for name, ckw, dkw in cases:
+        t_c, result = best_of(
+            repeats, codec.compress, field, rel=REL, **ckw
+        )
+        t_d, restored = best_of(
+            repeats, codec.decompress, result.stream, **dkw
+        )
+        err = float(np.max(np.abs(restored - field)))
+        if err > result.eps:
+            raise AssertionError(
+                f"{profile}/{name}: error {err} exceeds bound {result.eps}"
+            )
+        rows.append(
+            {
+                "name": name,
+                "ratio": result.ratio,
+                "compress_s": t_c,
+                "decompress_s": t_d,
+                "compress_mbs": raw_mb / t_c,
+                "decompress_mbs": raw_mb / t_d,
+            }
+        )
+
+    by_name = {r["name"]: r for r in rows}
+    speedup = (
+        by_name["serial-v1"]["decompress_s"]
+        / by_name["indexed-v2"]["decompress_s"]
+    )
+    return rows, speedup
+
+
+def render(results: dict, n: int, jobs: int) -> str:
+    lines = [
+        "host decode-path throughput: container v1 vs v2 vs shard engine",
+        f"fields: {n} float32 elements ({n * 4 / 1e6:.1f} MB), "
+        f"REL {REL}, jobs {jobs}, best-of-N wall clock",
+    ]
+    for profile, (rows, speedup) in results.items():
+        lines += [
+            "",
+            f"[{profile}] ({PROFILES[profile]} generator)",
+            f"{'container':<12} {'ratio':>7} {'comp MB/s':>10} "
+            f"{'decomp MB/s':>12} {'decomp s':>10}",
+        ]
+        for r in rows:
+            lines.append(
+                f"{r['name']:<12} {r['ratio']:>7.2f} "
+                f"{r['compress_mbs']:>10.1f} "
+                f"{r['decompress_mbs']:>12.1f} "
+                f"{r['decompress_s']:>10.4f}"
+            )
+        lines.append(
+            f"decode speedup, indexed-v2 over serial-v1: {speedup:.1f}x"
+        )
+    lines += [
+        "",
+        "(v1 pays a per-block Python header walk; v2 computes every",
+        " record offset from the embedded fl table with one cumsum)",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--elements",
+        type=int,
+        default=1 << 22,
+        help="field size in float32 elements (default 4Mi)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N (default 3)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=max(os.cpu_count() or 1, 2),
+        help="worker count for the sharded case",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small field, one repeat, no results file (CI sanity check)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless smooth-field v2 decode beats v1 by this factor",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(__file__), "results", "host_throughput.txt"
+        ),
+        help="results file (ignored with --smoke)",
+    )
+    args = parser.parse_args(argv)
+
+    n = 1 << 20 if args.smoke else args.elements
+    repeats = 1 if args.smoke else args.repeats
+    results = {
+        profile: run_profile(profile, n, repeats, args.jobs)
+        for profile in PROFILES
+    }
+    report = render(results, n, args.jobs)
+    print(report, end="")
+
+    if not args.smoke:
+        os.makedirs(os.path.dirname(args.out), exist_ok=True)
+        with open(args.out, "w") as fh:
+            fh.write(report)
+        print(f"wrote {args.out}")
+
+    smooth_speedup = results["smooth"][1]
+    if args.min_speedup is not None and smooth_speedup < args.min_speedup:
+        print(
+            f"FAIL: decode speedup {smooth_speedup:.1f}x below required "
+            f"{args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,11 @@ Top-level surface:
 from repro.config import BLOCK_SIZE, DEFAULT_WAFER, FULL_WAFER, WaferConfig
 from repro.core.compressor import CereSZ, CompressionResult
 from repro.core.nd_variant import CereSZND
+from repro.core.parallel import (
+    compress_sharded,
+    decompress_sharded,
+    is_sharded,
+)
 from repro.core.streaming import (
     FrameReader,
     FrameWriter,
@@ -56,6 +61,9 @@ __all__ = [
     "FrameReader",
     "compress_stream",
     "decompress_stream",
+    "compress_sharded",
+    "decompress_sharded",
+    "is_sharded",
     "WaferConfig",
     "DEFAULT_WAFER",
     "FULL_WAFER",

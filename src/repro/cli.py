@@ -3,10 +3,12 @@
 Subcommands::
 
     ceresz compress   IN.f32 OUT.csz  --rel 1e-3 | --eps 0.01 | --psnr 80
-    ceresz decompress IN.csz  OUT.f32
+                      [--jobs N] [--no-index]
+    ceresz decompress IN.csz  OUT.f32 [--jobs N]
     ceresz extract    IN.csz OUT.f32 --start A --stop B   # random access
     ceresz info       IN.csz                       # stream header dump
     ceresz stream     T0.f32 T1.f32 ... --out RUN.cszs --eps E
+                      [--jobs N] [--no-index]
     ceresz unstream   RUN.cszs --prefix OUT_
     ceresz dataset    NAME [--field N] [--out F]   # synthesize a field
     ceresz table      {1,2,3,4,5}                  # regenerate a paper table
@@ -55,10 +57,23 @@ def build_parser() -> argparse.ArgumentParser:
         type=lambda s: tuple(int(d) for d in s.split("x")),
         help="field shape, e.g. 512x512x512 (default: flat)",
     )
+    p.add_argument(
+        "--no-index", dest="index", action="store_false",
+        help="write a v1 stream without the per-block fl table "
+        "(decoding falls back to the sequential header walk)",
+    )
+    p.add_argument(
+        "--jobs", type=int,
+        help="shard the field and compress shards on N workers",
+    )
 
     p = sub.add_parser("decompress", help="decompress a .csz stream")
     p.add_argument("input")
     p.add_argument("output")
+    p.add_argument(
+        "--jobs", type=int,
+        help="decode shard containers on N workers",
+    )
 
     p = sub.add_parser("info", help="describe a compressed stream")
     p.add_argument("input")
@@ -91,6 +106,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True)
     p.add_argument("--eps", type=float, required=True,
                    help="shared absolute error bound for every frame")
+    p.add_argument(
+        "--no-index", dest="index", action="store_false",
+        help="write v1 frames without per-block fl tables",
+    )
+    p.add_argument(
+        "--jobs", type=int,
+        help="shard each frame and compress shards on N workers",
+    )
 
     p = sub.add_parser(
         "unstream", help="expand a framed stream back into .f32 snapshots"
@@ -98,6 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("input")
     p.add_argument("--prefix", required=True,
                    help="output files are <prefix><index>.f32")
+    p.add_argument(
+        "--jobs", type=int,
+        help="decode sharded frames on N workers",
+    )
 
     p = sub.add_parser(
         "observations",
@@ -144,7 +171,14 @@ def main(argv: list[str] | None = None) -> int:
 def _cmd_compress(args) -> int:
     data = load_f32(args.input, args.shape)
     codec = CereSZ()
-    result = codec.compress(data, eps=args.eps, rel=args.rel, psnr=args.psnr)
+    result = codec.compress(
+        data,
+        eps=args.eps,
+        rel=args.rel,
+        psnr=args.psnr,
+        index=args.index,
+        jobs=args.jobs,
+    )
     with open(args.output, "wb") as fh:
         fh.write(result.stream)
     print(
@@ -159,7 +193,7 @@ def _cmd_decompress(args) -> int:
     with open(args.input, "rb") as fh:
         stream = fh.read()
     codec = CereSZ()
-    field = codec.decompress(stream)
+    field = codec.decompress(stream, jobs=args.jobs)
     save_f32(args.output, field)
     print(f"{args.input}: reconstructed {field.size} values -> {args.output}")
     return 0
@@ -180,9 +214,21 @@ def _cmd_extract(args) -> int:
 
 
 def _cmd_info(args) -> int:
+    from repro.core.parallel import is_sharded, read_shard_table
+
     with open(args.input, "rb") as fh:
         stream = fh.read()
+    if is_sharded(stream):
+        shape, is_f64, eps, spans = read_shard_table(stream)
+        print(f"container:    sharded ({len(spans)} shards)")
+        print(f"shape:        {'x'.join(str(d) for d in shape)}")
+        print(f"dtype:        {'f8' if is_f64 else 'f4'}")
+        print(f"eps:          {eps:g}")
+        print(f"stream bytes: {len(stream)}")
+        return 0
     header = CereSZ().describe_stream(stream)
+    print(f"container:    v{header.version}"
+          f"{' (indexed)' if header.indexed else ''}")
     print(f"shape:        {'x'.join(str(d) for d in header.shape)}")
     print(f"block size:   {header.block_size}")
     print(f"header width: {header.header_width} B/block")
@@ -402,17 +448,20 @@ def _cmd_figure(args) -> int:
 def _cmd_stream(args) -> int:
     from repro.core.streaming import FrameWriter
 
-    writer = FrameWriter(eps=args.eps)
-    for path in args.inputs:
-        field = load_f32(path)
-        size = writer.add(field)
-        print(f"{path}: {field.nbytes} -> {size} bytes")
-    with open(args.out, "wb") as fh:
-        fh.write(writer.getvalue())
-    print(
-        f"{writer.num_frames} frames -> {args.out} "
-        f"(aggregate ratio {writer.ratio:.2f}x, eps {args.eps:g})"
-    )
+    # Write-through sink: frames land on disk as they are compressed, so
+    # arbitrarily long snapshot runs never accumulate in memory.
+    with open(args.out, "w+b") as fh:
+        with FrameWriter(
+            eps=args.eps, out=fh, index=args.index, jobs=args.jobs
+        ) as writer:
+            for path in args.inputs:
+                field = load_f32(path)
+                size = writer.add(field)
+                print(f"{path}: {field.nbytes} -> {size} bytes")
+        print(
+            f"{writer.num_frames} frames -> {args.out} "
+            f"(aggregate ratio {writer.ratio:.2f}x, eps {args.eps:g})"
+        )
     return 0
 
 
@@ -420,7 +469,7 @@ def _cmd_unstream(args) -> int:
     from repro.core.streaming import FrameReader
 
     with open(args.input, "rb") as fh:
-        reader = FrameReader(fh.read())
+        reader = FrameReader(fh.read(), jobs=args.jobs)
     for i, field in enumerate(reader):
         out = f"{args.prefix}{i}.f32"
         save_f32(out, field)

@@ -27,9 +27,17 @@ from repro.core.encoding import (
     block_fixed_lengths,
     encode_blocks,
     decode_blocks,
+    index_record_offsets,
+    pack_block_index,
+    unpack_block_index,
 )
 from repro.core.format import StreamHeader, CERESZ_MAGIC
 from repro.core.compressor import CereSZ, CompressionResult
+from repro.core.parallel import (
+    compress_sharded,
+    decompress_sharded,
+    is_sharded,
+)
 from repro.core.stages import SubStage, compression_substages, decompression_substages
 from repro.core.schedule import (
     distribute_substages,
@@ -48,6 +56,12 @@ __all__ = [
     "block_fixed_lengths",
     "encode_blocks",
     "decode_blocks",
+    "index_record_offsets",
+    "pack_block_index",
+    "unpack_block_index",
+    "compress_sharded",
+    "decompress_sharded",
+    "is_sharded",
     "StreamHeader",
     "CERESZ_MAGIC",
     "CereSZ",

@@ -2,10 +2,11 @@
 
 Because every block record is self-contained (the paper's block-wise design
 exists precisely so PEs never need neighbours), a reader can decode any
-subrange of a stream without touching the rest of the payload. Only the
-header *scan* is sequential — record sizes are data-dependent — and it
-reads 4 bytes per block, so skipping is cheap even for ranges deep into a
-large field.
+subrange of a stream without touching the rest of the payload. For v1
+streams only the header *scan* is sequential — record sizes are
+data-dependent — and it reads 4 bytes per block, so skipping is cheap even
+for ranges deep into a large field. Indexed (container v2) streams skip
+even that: the fl table yields every offset from one cumsum.
 
 This is a host-side library feature the wafer design enables for free:
 post-hoc analysis tools routinely want one slab of a snapshot, not the
@@ -17,10 +18,40 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import CompressionError, FormatError
-from repro.core.encoding import decode_blocks, scan_record_offsets
+from repro.core.encoding import (
+    decode_blocks,
+    index_record_offsets,
+    scan_record_offsets,
+    unpack_block_index,
+)
 from repro.core.format import StreamHeader
 from repro.core.lorenzo import lorenzo_reconstruct
 from repro.core.quantize import dequantize
+
+
+def _record_layout(
+    stream: bytes, header: StreamHeader, offset: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """(offsets, fixed lengths) per block, via the index when available."""
+    if header.indexed:
+        fls, records_start = unpack_block_index(
+            stream, header.num_blocks, offset
+        )
+        offsets = index_record_offsets(
+            fls,
+            header.block_size,
+            header.header_width,
+            start=records_start,
+            stream_size=len(stream),
+        )
+        return offsets, fls
+    return scan_record_offsets(
+        stream,
+        header.num_blocks,
+        header.block_size,
+        header.header_width,
+        start=offset,
+    )
 
 
 def decompress_range(
@@ -53,17 +84,21 @@ def decompress_range(
     first_block = start // L
     last_block = (stop - 1) // L  # inclusive
 
-    offsets, fls = scan_record_offsets(
-        stream, header.num_blocks, L, header.header_width, start=offset
-    )
+    offsets, fls = _record_layout(stream, header, offset)
     if last_block >= header.num_blocks:
         raise FormatError("stream holds fewer blocks than its header claims")
 
-    # Decode just the needed records: build a contiguous sub-stream view
-    # starting at the first wanted block (decode_blocks walks forward).
-    sub_start = int(offsets[first_block])
+    # Decode just the needed records, handing decode_blocks the slice of
+    # the already-known layout so it never re-walks headers.
     count = last_block - first_block + 1
-    residuals = decode_blocks(stream, count, L, header.header_width, sub_start)
+    residuals = decode_blocks(
+        stream,
+        count,
+        L,
+        header.header_width,
+        offsets=offsets[first_block : last_block + 1],
+        fls=fls[first_block : last_block + 1],
+    )
     codes = lorenzo_reconstruct(residuals)
     values = dequantize(codes.reshape(-1), header.eps, dtype=out_dtype)
     lo = start - first_block * L
@@ -73,15 +108,13 @@ def decompress_range(
 
 def block_index(stream: bytes) -> np.ndarray:
     """Per-block byte offsets into the stream (an explicit random-access
-    index a caller can cache to skip the header scan on repeated reads)."""
+    index a caller can cache to skip the header scan on repeated reads).
+
+    For indexed v2 streams this is a vectorized cumsum over the embedded
+    fl table; v1 streams still pay one sequential header walk.
+    """
     header, offset = StreamHeader.unpack(stream)
     if header.constant is not None:
         return np.zeros(0, dtype=np.int64)
-    offsets, _ = scan_record_offsets(
-        stream,
-        header.num_blocks,
-        header.block_size,
-        header.header_width,
-        start=offset,
-    )
+    offsets, _ = _record_layout(stream, header, offset)
     return offsets

@@ -30,6 +30,10 @@ from repro.core.encoding import (
     block_fixed_lengths,
     decode_blocks,
     encode_blocks,
+    index_record_offsets,
+    pack_block_index,
+    scan_record_offsets,
+    unpack_block_index,
 )
 from repro.core.format import StreamHeader, make_header
 from repro.core.lorenzo import lorenzo_predict, lorenzo_reconstruct
@@ -40,6 +44,68 @@ from repro.core.quantize import (
     relative_to_absolute,
     validate_error_bound,
 )
+
+
+def assemble_stream(
+    header: StreamHeader, fl: np.ndarray, body: bytes
+) -> bytes:
+    """Serialize header (+ fl index table for v2 streams) + block records."""
+    if header.indexed:
+        return header.pack() + pack_block_index(fl) + body
+    return header.pack() + body
+
+
+def decode_stream_blocks(
+    stream: bytes, header: StreamHeader, offset: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Decode the block records of a parsed stream into residual blocks.
+
+    Indexed (v2) streams read the fl table and compute every record offset
+    with one vectorized cumsum; v1 streams fall back to the sequential
+    header walk. Both paths bound-check against the *post-header* stream
+    length, so a corrupt header cannot trigger a huge allocation.
+
+    Returns ``(residuals, fls)`` — the per-block fixed lengths come out of
+    the layout discovery for free either way, and let the caller skip
+    reconstruction work for zero blocks.
+    """
+    if header.indexed:
+        fls, records_start = unpack_block_index(
+            stream, header.num_blocks, offset
+        )
+        offsets = index_record_offsets(
+            fls,
+            header.block_size,
+            header.header_width,
+            start=records_start,
+            stream_size=len(stream),
+        )
+    else:
+        # Every record is at least header_width wide; compare against the
+        # bytes actually available for records (after the global header),
+        # so a header claiming a block count just inside the *total*
+        # length cannot slip past and trigger an O(num_blocks) allocation.
+        if header.num_blocks * header.header_width > len(stream) - offset:
+            raise FormatError(
+                f"stream of {len(stream)} bytes cannot describe "
+                f"{header.num_blocks} blocks"
+            )
+        offsets, fls = scan_record_offsets(
+            stream,
+            header.num_blocks,
+            header.block_size,
+            header.header_width,
+            start=offset,
+        )
+    residuals = decode_blocks(
+        stream,
+        header.num_blocks,
+        header.block_size,
+        header.header_width,
+        offsets=offsets,
+        fls=fls,
+    )
+    return residuals, fls
 
 
 @dataclass(frozen=True)
@@ -147,8 +213,33 @@ class CereSZ:
         eps: float | None = None,
         rel: float | None = None,
         psnr: float | None = None,
+        index: bool | None = None,
+        jobs: int | None = None,
     ) -> CompressionResult:
-        """Compress under an absolute bound, a REL bound, or a PSNR target."""
+        """Compress under an absolute bound, a REL bound, or a PSNR target.
+
+        ``index=True`` writes a container-v2 stream whose fl table makes
+        decoding embarrassingly parallel (one cumsum instead of a
+        sequential header walk) at a cost of one byte per block.
+        ``jobs=`` opts into the shard engine: the field is cut into
+        super-shards compressed across a worker pool and wrapped in a
+        self-describing shard container (see :mod:`repro.core.parallel`).
+        Sharded streams default to indexed shards (pass ``index=False`` to
+        force v1 shards); plain streams default to v1.
+        """
+        if jobs is not None:
+            from repro.core.parallel import compress_sharded
+
+            return compress_sharded(
+                data,
+                eps=eps,
+                rel=rel,
+                psnr=psnr,
+                codec=self,
+                jobs=jobs,
+                index=True if index is None else index,
+            )
+        index = bool(index)
         arr = np.asarray(data)
         if arr.size == 0:
             raise CompressionError("cannot compress an empty array")
@@ -175,8 +266,9 @@ class CereSZ:
             header_width=self.header_width,
             block_size=self.block_size,
             dtype="f8" if out_dtype == np.float64 else "f4",
+            indexed=index,
         )
-        stream = header.pack() + body
+        stream = assemble_stream(header, fl, body)
         zero_frac = float(np.mean(fl == 0)) if fl.size else 0.0
         return CompressionResult(
             stream=stream,
@@ -216,13 +308,21 @@ class CereSZ:
 
     # -- decompression --------------------------------------------------------------
 
-    def decompress(self, stream: bytes) -> np.ndarray:
+    def decompress(
+        self, stream: bytes, *, jobs: int | None = None
+    ) -> np.ndarray:
         """Reconstruct the float32 field (original shape restored).
 
         Dispatches on the stream's predictor flag, so a plain ``CereSZ``
         instance also decodes :class:`repro.core.nd_variant.CereSZND`
-        streams.
+        streams. Shard containers (written with ``compress(jobs=...)``)
+        are recognized by magic and decoded shard-parallel; ``jobs=``
+        sizes that pool.
         """
+        from repro.core.parallel import decompress_sharded, is_sharded
+
+        if is_sharded(stream):
+            return decompress_sharded(stream, codec=self, jobs=jobs)
         header, offset = StreamHeader.unpack(stream)
         out_dtype = np.float64 if header.dtype == "f8" else np.float32
         if header.constant is not None:
@@ -234,20 +334,7 @@ class CereSZ:
                     f"does not fit in memory"
                 ) from exc
         n = header.num_elements
-        # A corrupt header could claim a field far larger than any stream
-        # that block count could encode; reject before allocating.
-        if header.num_blocks * header.header_width > len(stream):
-            raise FormatError(
-                f"stream of {len(stream)} bytes cannot describe "
-                f"{header.num_blocks} blocks"
-            )
-        residuals = decode_blocks(
-            stream,
-            header.num_blocks,
-            header.block_size,
-            header.header_width,
-            start=offset,
-        )
+        residuals, fls = decode_stream_blocks(stream, header, offset)
         if header.predictor == "nd":
             from repro.core.lorenzo import lorenzo_reconstruct_nd
 
@@ -256,9 +343,23 @@ class CereSZ:
             return dequantize(codes, header.eps, dtype=out_dtype).reshape(
                 header.shape
             )
-        codes = lorenzo_reconstruct(residuals)
-        flat = merge_blocks(codes, n)
-        values = dequantize(flat, header.eps, dtype=out_dtype)
+        L = header.block_size
+        nz = np.nonzero(fls)[0]
+        if nz.size < header.num_blocks // 2:
+            # Mostly-zero streams (smooth fields under a realistic bound):
+            # a zero block reconstructs to exact 0.0, so prefix-sum and
+            # dequantize only the blocks that carry payload.
+            values = np.zeros(header.num_blocks * L, dtype=out_dtype)
+            if nz.size:
+                codes = np.cumsum(residuals[nz], axis=1, dtype=np.int64)
+                values.reshape(-1, L)[nz] = dequantize(
+                    codes, header.eps, dtype=out_dtype
+                )
+            values = values[:n]
+        else:
+            codes = lorenzo_reconstruct(residuals)
+            flat = merge_blocks(codes, n)
+            values = dequantize(flat, header.eps, dtype=out_dtype)
         return values.reshape(header.shape)
 
     # -- introspection ----------------------------------------------------------------

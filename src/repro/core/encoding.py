@@ -25,8 +25,16 @@ best-case ratio at 32x for CereSZ and 128x for SZp (visible as the 31.99 /
 
 Everything is vectorized by grouping blocks with equal fixed length, so the
 encoder performs O(distinct fixed lengths) numpy passes rather than one per
-block. Decoding must walk the headers sequentially (record sizes are data
-dependent) but unpacks payloads group-wise the same way.
+block. Decoding of a bare v1 stream must walk the headers sequentially
+(record sizes are data dependent) but unpacks payloads group-wise the same
+way. Indexed (container v2) streams ship the fixed lengths up front, so
+:func:`index_record_offsets` replaces the walk with one ``cumsum``.
+
+Group writes and reads move bytes column-by-column within a group (all
+records of a group share one length), so the transient state per group is
+one ``(g,)`` offset vector — not the ``(g, record_len)`` int64 fancy-index
+matrix an all-at-once gather would need, which costs 8x the payload it
+moves and dominated peak memory on large fields.
 """
 
 from __future__ import annotations
@@ -68,6 +76,65 @@ def record_sizes(
     nz = fl > 0
     sizes[nz] += sign_bytes + fl[nz] * (block_size // 8)
     return sizes
+
+
+def pack_block_index(fl: np.ndarray) -> bytes:
+    """Pack per-block fixed lengths into the container-v2 index table.
+
+    One byte per block: fl <= 63 always fits (``_MAX_FL`` is enforced at
+    encode time), and at block size 32 the table costs 1/128 of the raw
+    data — cheaper than the 4-byte record headers it duplicates.
+    """
+    fl = np.asarray(fl, dtype=np.int64)
+    if fl.size and (int(fl.min()) < 0 or int(fl.max()) > _MAX_FL):
+        raise FormatError("fixed length outside [0, 63]; cannot build index")
+    return fl.astype(np.uint8).tobytes()
+
+
+def unpack_block_index(
+    stream: bytes | np.ndarray, num_blocks: int, start: int = 0
+) -> tuple[np.ndarray, int]:
+    """Read the v2 fl table; returns (fixed lengths, offset past the table)."""
+    buf = _as_u8(stream)
+    if num_blocks < 0:
+        raise FormatError(f"negative block count {num_blocks}")
+    if start + num_blocks > buf.size:
+        raise FormatError(
+            f"stream truncated in block index (need {num_blocks} bytes at "
+            f"offset {start}, stream {buf.size} bytes)"
+        )
+    fls = buf[start : start + num_blocks].astype(np.int64)
+    if fls.size and int(fls.max()) > _MAX_FL:
+        raise FormatError("invalid fixed length in block index")
+    return fls, start + num_blocks
+
+
+def index_record_offsets(
+    fls: np.ndarray,
+    block_size: int,
+    header_bytes: int = CERESZ_HEADER_BYTES,
+    start: int = 0,
+    stream_size: int | None = None,
+) -> np.ndarray:
+    """Vectorized counterpart of :func:`scan_record_offsets`.
+
+    Given the fixed lengths from a container-v2 index table, every record
+    offset is one ``cumsum`` away — no per-block Python loop. When
+    ``stream_size`` is supplied the computed extent is bounds-checked, so
+    downstream decoding can trust the offsets without re-validating.
+    """
+    _check_header_bytes(header_bytes)
+    fls = np.asarray(fls, dtype=np.int64)
+    if fls.size and (int(fls.min()) < 0 or int(fls.max()) > _MAX_FL):
+        raise FormatError("invalid fixed length in block index")
+    sizes = record_sizes(fls, block_size, header_bytes)
+    ends = start + np.cumsum(sizes)
+    if stream_size is not None and fls.size and int(ends[-1]) > stream_size:
+        raise FormatError(
+            f"stream truncated: indexed records need {int(ends[-1])} bytes, "
+            f"have {stream_size}"
+        )
+    return ends - sizes
 
 
 def encode_blocks(
@@ -118,8 +185,11 @@ def encode_blocks(
         ).reshape(len(idx), f * sign_bytes)
 
         body = np.concatenate([packed_signs, payload], axis=1)
-        dest = offsets[idx][:, None] + header_bytes + np.arange(body.shape[1])
-        out[dest] = body
+        # Column-wise scatter: the loop is bounded by the record length
+        # (<= 256 iterations at block size 32), not the block count.
+        starts = offsets[idx] + header_bytes
+        for col in range(body.shape[1]):
+            out[starts + col] = body[:, col]
 
     return out.tobytes()
 
@@ -138,9 +208,7 @@ def scan_record_offsets(
     *only* sequential part, and it reads headers, not payloads.
     """
     _check_header_bytes(header_bytes)
-    buf = np.frombuffer(stream, dtype=np.uint8) if isinstance(
-        stream, (bytes, bytearray, memoryview)
-    ) else np.asarray(stream, dtype=np.uint8)
+    buf = _as_u8(stream)
     if num_blocks < 0:
         raise FormatError(f"negative block count {num_blocks}")
     # Every block record is at least one header wide; a block count that
@@ -185,14 +253,37 @@ def decode_blocks(
     block_size: int,
     header_bytes: int = CERESZ_HEADER_BYTES,
     start: int = 0,
+    *,
+    offsets: np.ndarray | None = None,
+    fls: np.ndarray | None = None,
 ) -> np.ndarray:
-    """Decode a fixed-length-encoded stream back to int64 residuals."""
-    buf = np.frombuffer(stream, dtype=np.uint8) if isinstance(
-        stream, (bytes, bytearray, memoryview)
-    ) else np.asarray(stream, dtype=np.uint8)
-    offsets, fls = scan_record_offsets(
-        buf, num_blocks, block_size, header_bytes, start
-    )
+    """Decode a fixed-length-encoded stream back to int64 residuals.
+
+    Without ``offsets``/``fls`` the record layout is discovered by the
+    sequential header walk of :func:`scan_record_offsets`. Callers holding
+    a container-v2 index pass both (from :func:`unpack_block_index` and
+    :func:`index_record_offsets`) and skip the walk entirely.
+    """
+    buf = _as_u8(stream)
+    if offsets is None or fls is None:
+        offsets, fls = scan_record_offsets(
+            buf, num_blocks, block_size, header_bytes, start
+        )
+    else:
+        offsets = np.asarray(offsets, dtype=np.int64)
+        fls = np.asarray(fls, dtype=np.int64)
+        if offsets.shape != (num_blocks,) or fls.shape != (num_blocks,):
+            raise FormatError(
+                f"block index shape mismatch: {num_blocks} blocks, "
+                f"{offsets.shape[0]} offsets, {fls.shape[0]} fixed lengths"
+            )
+        if fls.size and (int(fls.min()) < 0 or int(fls.max()) > _MAX_FL):
+            raise FormatError("invalid fixed length in block index")
+        ends = offsets + record_sizes(fls, block_size, header_bytes)
+        if num_blocks and (
+            int(offsets.min()) < 0 or int(ends.max()) > buf.size
+        ):
+            raise FormatError("block index points outside the stream")
     out = np.zeros((num_blocks, block_size), dtype=np.int64)
     sign_bytes = block_size // 8
 
@@ -202,21 +293,45 @@ def decode_blocks(
             continue
         idx = np.nonzero(fls == f)[0]
         body_len = sign_bytes + f * sign_bytes
-        src = offsets[idx][:, None] + header_bytes + np.arange(body_len)
-        body = buf[src]  # (g, body_len)
+        # Column-wise gather (see the module docstring): transient state is
+        # one (g,) offset vector, not a (g, body_len) int64 index matrix.
+        starts = offsets[idx] + header_bytes
+        body = np.empty((len(idx), body_len), dtype=np.uint8)
+        for col in range(body_len):
+            body[:, col] = buf[starts + col]
         sign_part = body[:, :sign_bytes]
         payload = body[:, sign_bytes:]
 
-        negs = np.unpackbits(sign_part, axis=-1, bitorder="little").astype(bool)
+        negs = np.unpackbits(sign_part, axis=-1, bitorder="little")
         bits = np.unpackbits(
             payload.reshape(len(idx), f, sign_bytes), axis=-1, bitorder="little"
         ).reshape(len(idx), f, block_size)
-        weights = (np.uint64(1) << np.arange(f, dtype=np.uint64))[None, :, None]
-        mags = (bits.astype(np.uint64) * weights).sum(axis=1).astype(np.int64)
-        mags[negs] = -mags[negs]
+        # Reassemble magnitudes bytewise: OR each run of eight bit planes
+        # into one byte lane, then view the eight lanes per element as a
+        # little-endian uint64 — f uint8 passes and one widening instead
+        # of f int64 passes (or a (g, f, L) int64 tensor).
+        lanes = np.zeros((len(idx), block_size, 8), dtype=np.uint8)
+        for b in range((f + 7) // 8):
+            lo = 8 * b
+            acc = bits[:, lo, :].copy()
+            for k in range(lo + 1, min(lo + 8, f)):
+                acc |= bits[:, k, :] << np.uint8(k - lo)
+            lanes[:, :, b] = acc
+        mags = (
+            lanes.reshape(len(idx), block_size * 8)
+            .view(np.dtype("<u8"))
+            .astype(np.int64)
+        )
+        np.negative(mags, out=mags, where=negs.view(bool))
         out[idx] = mags
 
     return out
+
+
+def _as_u8(stream: bytes | np.ndarray) -> np.ndarray:
+    if isinstance(stream, (bytes, bytearray, memoryview)):
+        return np.frombuffer(stream, dtype=np.uint8)
+    return np.asarray(stream, dtype=np.uint8)
 
 
 def _as_blocks(residuals: np.ndarray) -> np.ndarray:

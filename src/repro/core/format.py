@@ -6,6 +6,7 @@ per-block records of :mod:`repro.core.encoding`::
     [ magic "CSZ1" ][ version ][ header_width ][ block_size u16 ]
     [ ndim u8 ][ dims u64 * ndim ][ eps f64 ][ flags u8 ]
     ( [ constant value f64 ]  when flags & CONSTANT )
+    ( [ fl table: u8 * num_blocks ]  when flags & INDEXED, version 2 )
     [ block records ... ]
 
 The global header exists only on the host side — on the wafer each PE sees
@@ -17,6 +18,15 @@ baseline payload.
 A *constant* stream handles the zero-value-range corner: a REL error bound
 on a constant field is undefined (range 0), so the field is stored exactly
 as a single f64 and the flag short-circuits both directions.
+
+Version 2 ("indexed") streams additionally carry a packed table of every
+block's fixed length right after the global header. Record sizes are a pure
+function of the fixed length, so the table turns the otherwise sequential
+offset scan into one vectorized ``cumsum`` — decoding becomes
+embarrassingly parallel, the same trick cuSZ/cuSZp play with partition
+metadata. The per-block records themselves are byte-identical to v1 (each
+still carries its own header), so a v2 payload remains scannable by a v1
+record walker and random access never needs the table to be trusted.
 """
 
 from __future__ import annotations
@@ -31,6 +41,10 @@ from repro.errors import FormatError
 
 CERESZ_MAGIC = b"CSZ1"
 FORMAT_VERSION = 1
+#: Container v2: the global header is followed by a packed per-block
+#: fixed-length table, making decode offsets a vectorized cumsum.
+FORMAT_VERSION_INDEXED = 2
+SUPPORTED_VERSIONS = (FORMAT_VERSION, FORMAT_VERSION_INDEXED)
 
 FLAG_CONSTANT = 0x01
 #: Residuals come from the N-D Lorenzo predictor over the full array
@@ -40,6 +54,9 @@ FLAG_ND_PREDICTOR = 0x02
 #: The reconstructed field is float64 (the stream was built from a float64
 #: input; SDRBench distributes several datasets in double precision).
 FLAG_F64 = 0x04
+#: A packed per-block fixed-length table follows the global header
+#: (container v2 only; see the module docstring).
+FLAG_INDEXED = 0x08
 
 _FIXED = struct.Struct("<4sBBHB")  # magic, version, header_width, block, ndim
 _EPS_FLAGS = struct.Struct("<dB")
@@ -58,6 +75,7 @@ class StreamHeader:
     constant: float | None = None
     predictor: str = "blocked1d"  # or "nd"
     dtype: str = "f4"  # "f4" or "f8": reconstruction precision
+    indexed: bool = False
     version: int = FORMAT_VERSION
 
     @property
@@ -71,9 +89,24 @@ class StreamHeader:
     def num_blocks(self) -> int:
         return -(-self.num_elements // self.block_size)
 
+    @property
+    def index_bytes(self) -> int:
+        """Bytes of the packed fl table between the header and the records."""
+        return self.num_blocks if self.indexed else 0
+
     def pack(self) -> bytes:
         if not (1 <= len(self.shape) <= 255):
             raise FormatError(f"unsupported ndim {len(self.shape)}")
+        if self.indexed != (self.version == FORMAT_VERSION_INDEXED):
+            raise FormatError(
+                f"indexed={self.indexed} requires stream version "
+                f"{FORMAT_VERSION_INDEXED if self.indexed else FORMAT_VERSION}"
+                f", got {self.version}"
+            )
+        if self.indexed and self.constant is not None:
+            raise FormatError(
+                "constant streams carry no block records to index"
+            )
         parts = [
             _FIXED.pack(
                 CERESZ_MAGIC,
@@ -93,6 +126,8 @@ class StreamHeader:
             flags |= FLAG_F64
         elif self.dtype != "f4":
             raise FormatError(f"unknown dtype {self.dtype!r}")
+        if self.indexed:
+            flags |= FLAG_INDEXED
         parts.append(_EPS_FLAGS.pack(self.eps, flags))
         if self.constant is not None:
             parts.append(_CONST.pack(self.constant))
@@ -107,7 +142,7 @@ class StreamHeader:
         magic, version, header_width, block_size, ndim = _FIXED.unpack(buf)
         if magic != CERESZ_MAGIC:
             raise FormatError(f"bad magic {magic!r}, expected {CERESZ_MAGIC!r}")
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise FormatError(f"unsupported stream version {version}")
         if block_size <= 0 or block_size % 8 or block_size > 8192:
             # 8192 elements = 32 KB of raw data, already beyond what a
@@ -133,6 +168,14 @@ class StreamHeader:
                 raise FormatError("stream truncated in constant value")
             constant = _CONST.unpack(chunk)[0]
             pos += _CONST.size
+        indexed = bool(flags & FLAG_INDEXED)
+        if indexed != (version == FORMAT_VERSION_INDEXED):
+            raise FormatError(
+                f"index flag {indexed} inconsistent with stream version "
+                f"{version}"
+            )
+        if indexed and constant is not None:
+            raise FormatError("constant streams cannot carry a block index")
         header = cls(
             header_width=header_width,
             block_size=block_size,
@@ -141,6 +184,7 @@ class StreamHeader:
             constant=constant,
             predictor="nd" if flags & FLAG_ND_PREDICTOR else "blocked1d",
             dtype="f8" if flags & FLAG_F64 else "f4",
+            indexed=indexed,
             version=version,
         )
         return header, pos
@@ -155,6 +199,7 @@ def make_header(
     constant: float | None = None,
     predictor: str = "blocked1d",
     dtype: str = "f4",
+    indexed: bool = False,
 ) -> StreamHeader:
     """Convenience constructor used by the compressors."""
     arr_shape = tuple(int(d) for d in np.atleast_1d(np.asarray(shape)).tolist())
@@ -166,4 +211,6 @@ def make_header(
         constant=constant,
         predictor=predictor,
         dtype=dtype,
+        indexed=indexed,
+        version=FORMAT_VERSION_INDEXED if indexed else FORMAT_VERSION,
     )

@@ -30,16 +30,12 @@ import numpy as np
 
 from repro.config import BLOCK_SIZE, CERESZ_HEADER_BYTES
 from repro.errors import CompressionError
-from repro.core.blocks import merge_blocks, partition_blocks
-from repro.core.compressor import CereSZ, CompressionResult
-from repro.core.encoding import (
-    block_fixed_lengths,
-    decode_blocks,
-    encode_blocks,
-)
-from repro.core.format import StreamHeader, make_header
-from repro.core.lorenzo import lorenzo_predict_nd, lorenzo_reconstruct_nd
-from repro.core.quantize import dequantize, prequantize_verified
+from repro.core.blocks import partition_blocks
+from repro.core.compressor import CereSZ, CompressionResult, assemble_stream
+from repro.core.encoding import block_fixed_lengths, encode_blocks
+from repro.core.format import make_header
+from repro.core.lorenzo import lorenzo_predict_nd
+from repro.core.quantize import prequantize_verified
 
 
 class CereSZND(CereSZ):
@@ -54,7 +50,24 @@ class CereSZND(CereSZ):
         *,
         eps: float | None = None,
         rel: float | None = None,
+        index: bool | None = None,
+        jobs: int | None = None,
     ) -> CompressionResult:
+        if jobs is not None:
+            from repro.core.parallel import compress_sharded
+
+            # Shards are flat slices, so each shard's "N-D" prediction
+            # degenerates to 1-D over its slice — self-consistent, but a
+            # different stream than whole-array prediction.
+            return compress_sharded(
+                data,
+                eps=eps,
+                rel=rel,
+                codec=self,
+                jobs=jobs,
+                index=True if index is None else index,
+            )
+        index = bool(index)
         arr = np.asarray(data)
         if arr.size == 0:
             raise CompressionError("cannot compress an empty array")
@@ -79,10 +92,10 @@ class CereSZND(CereSZ):
             block_size=self.block_size,
             predictor="nd",
             dtype="f8" if out_dtype == np.float64 else "f4",
+            indexed=index,
         )
-        stream = header.pack() + body
         return CompressionResult(
-            stream=stream,
+            stream=assemble_stream(header, fl, body),
             eps=bound,
             original_bytes=n * arr.dtype.itemsize,
             shape=tuple(arr.shape),
@@ -90,23 +103,5 @@ class CereSZND(CereSZ):
             zero_block_fraction=float(np.mean(fl == 0)) if fl.size else 0.0,
         )
 
-    def decompress(self, stream: bytes) -> np.ndarray:
-        header, offset = StreamHeader.unpack(stream)
-        out_dtype = np.float64 if header.dtype == "f8" else np.float32
-        if header.constant is not None:
-            return np.full(header.shape, header.constant, dtype=out_dtype)
-        if header.predictor != "nd":
-            # A blocked-1D stream: defer to the base reconstruction.
-            return super().decompress(stream)
-        residual_blocks = decode_blocks(
-            stream,
-            header.num_blocks,
-            header.block_size,
-            header.header_width,
-            start=offset,
-        )
-        flat = merge_blocks(residual_blocks, header.num_elements)
-        codes = lorenzo_reconstruct_nd(flat.reshape(header.shape))
-        return dequantize(codes, header.eps, dtype=out_dtype).reshape(
-            header.shape
-        )
+    # decompress is inherited: the base CereSZ dispatches on the stream's
+    # predictor flag (and handles indexed v2 and sharded containers).

@@ -1,0 +1,251 @@
+"""The shard engine: host-parallel compression and decompression.
+
+The paper scales CereSZ by giving every PE an independent slice of the
+field; the host reference gets the same property by cutting the flattened
+field into *super-shards* (many blocks each), compressing every shard as
+its own self-describing CereSZ stream across a ``concurrent.futures``
+pool, and concatenating the results behind a small shard table::
+
+    [ magic "CSZX" ][ version u8 ][ flags u8 ][ num_shards u32 ]
+    [ eps f64 ][ ndim u8 ][ dims u64 * ndim ]
+    [ shard length u64 ] * num_shards
+    [ shard payloads back-to-back ... ]
+
+Because the length table sits up front, a reader slices every shard in
+O(num_shards) and decodes them in any order — decompression is
+embarrassingly parallel, like cuSZp's partition metadata. Shard streams
+default to the indexed container v2, so even within a shard no sequential
+header walk remains.
+
+Determinism: shard boundaries depend only on ``shard_elements`` (never on
+the pool size), so ``jobs=1`` and ``jobs=16`` produce byte-identical
+containers. Sharded and *unsharded* streams are not byte-identical,
+though: each shard quantizes against its own effective bound (the ulp
+margin of :func:`repro.core.quantize.effective_error_bound` depends on the
+shard's peak magnitude), exactly as every shard honors the requested
+bound independently.
+
+The error bound is resolved *once* against the whole field — a REL bound
+recomputed per shard would drift with each shard's local value range and
+break the global guarantee — then every shard is compressed under the
+resulting absolute bound.
+
+Workers run in threads: the hot kernels are NumPy calls that release the
+GIL, and threads avoid pickling multi-megabyte streams across process
+boundaries.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.errors import CompressionError, FormatError
+
+SHARD_MAGIC = b"CSZX"
+SHARD_VERSION = 1
+
+_SHARD_FLAG_F64 = 0x01
+
+#: Default super-shard size: 1 Mi elements (4 MiB of float32) keeps the
+#: per-shard container overhead negligible while giving a pool enough
+#: shards to balance on fields worth parallelizing.
+DEFAULT_SHARD_ELEMENTS = 1 << 20
+
+_HEAD = struct.Struct("<4sBBId B".replace(" ", ""))
+_DIM = struct.Struct("<Q")
+_LEN = struct.Struct("<Q")
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``jobs=`` argument to a positive worker count."""
+    if jobs is None:
+        return os.cpu_count() or 1
+    jobs = int(jobs)
+    if jobs < 1:
+        raise CompressionError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def is_sharded(stream: bytes) -> bool:
+    """True when ``stream`` is a shard container (vs a plain CereSZ stream)."""
+    return bytes(stream[:4]) == SHARD_MAGIC
+
+
+def _shard_bounds(n: int, shard_elements: int) -> list[tuple[int, int]]:
+    return [
+        (lo, min(lo + shard_elements, n))
+        for lo in range(0, n, shard_elements)
+    ]
+
+
+def _run_pool(fn, items, jobs: int) -> list:
+    """Map ``fn`` over ``items`` preserving order; inline when jobs == 1."""
+    if jobs == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
+def compress_sharded(
+    data: np.ndarray,
+    *,
+    eps: float | None = None,
+    rel: float | None = None,
+    psnr: float | None = None,
+    codec=None,
+    jobs: int | None = None,
+    shard_elements: int | None = None,
+    index: bool = True,
+):
+    """Compress ``data`` into a shard container; returns a CompressionResult.
+
+    A field too small for more than one shard (or a constant field, which
+    stores as a bare constant stream) degrades gracefully to the
+    single-stream format — ``decompress`` dispatches on magic either way.
+    """
+    from repro.core.compressor import CereSZ
+
+    codec = codec if codec is not None else CereSZ()
+    arr = np.asarray(data)
+    if arr.size == 0:
+        raise CompressionError("cannot compress an empty array")
+    if not np.issubdtype(arr.dtype, np.floating):
+        raise CompressionError(
+            f"CereSZ compresses floating-point fields, got {arr.dtype}"
+        )
+    if not (1 <= arr.ndim <= 255):
+        raise FormatError(f"unsupported ndim {arr.ndim}")
+    bound = codec.resolve_error_bound(arr, eps, rel, psnr)
+    if bound is None:
+        return codec._compress_constant(arr)
+
+    if shard_elements is None:
+        shard_elements = DEFAULT_SHARD_ELEMENTS
+    shard_elements = int(shard_elements)
+    if shard_elements < codec.block_size:
+        raise CompressionError(
+            f"shard_elements must be at least one block "
+            f"({codec.block_size}), got {shard_elements}"
+        )
+    # Align shards to block boundaries so the shard cut never splits a block.
+    shard_elements -= shard_elements % codec.block_size
+
+    flat = arr.reshape(-1)
+    bounds = _shard_bounds(flat.size, shard_elements)
+    jobs = resolve_jobs(jobs)
+
+    def _one(span: tuple[int, int]):
+        lo, hi = span
+        return codec.compress(flat[lo:hi], eps=bound, index=index)
+
+    results = _run_pool(_one, bounds, jobs)
+
+    from repro.core.compressor import CompressionResult
+
+    flags = _SHARD_FLAG_F64 if arr.dtype == np.float64 else 0
+    parts = [
+        _HEAD.pack(
+            SHARD_MAGIC, SHARD_VERSION, flags, len(results), bound, arr.ndim
+        )
+    ]
+    parts.extend(_DIM.pack(d) for d in arr.shape)
+    parts.extend(_LEN.pack(len(r.stream)) for r in results)
+    parts.extend(r.stream for r in results)
+    stream = b"".join(parts)
+
+    fl = (
+        np.concatenate([r.fixed_lengths for r in results])
+        if results
+        else np.zeros(0, dtype=np.int64)
+    )
+    return CompressionResult(
+        stream=stream,
+        eps=bound,
+        original_bytes=arr.size * arr.dtype.itemsize,
+        shape=tuple(arr.shape),
+        fixed_lengths=fl,
+        zero_block_fraction=float(np.mean(fl == 0)) if fl.size else 0.0,
+    )
+
+
+def read_shard_table(
+    stream: bytes,
+) -> tuple[tuple[int, ...], bool, float, list[tuple[int, int]]]:
+    """Parse a shard container's header.
+
+    Returns ``(shape, is_f64, eps, [(start, stop) per shard])`` where the
+    spans are byte ranges of the self-describing shard streams.
+    """
+    if len(stream) < _HEAD.size:
+        raise FormatError("shard container shorter than its header")
+    magic, version, flags, num_shards, eps, ndim = _HEAD.unpack(
+        stream[: _HEAD.size]
+    )
+    if magic != SHARD_MAGIC:
+        raise FormatError(f"bad shard-container magic {magic!r}")
+    if version != SHARD_VERSION:
+        raise FormatError(f"unsupported shard-container version {version}")
+    if num_shards == 0:
+        raise FormatError("shard container holds no shards")
+    pos = _HEAD.size
+    remaining = len(stream) - pos
+    if ndim * _DIM.size + num_shards * _LEN.size > remaining:
+        raise FormatError(
+            f"shard container of {len(stream)} bytes cannot hold {ndim} "
+            f"dims and {num_shards} shard lengths"
+        )
+    dims = []
+    for _ in range(ndim):
+        dims.append(_DIM.unpack_from(stream, pos)[0])
+        pos += _DIM.size
+    spans = []
+    lengths = []
+    for _ in range(num_shards):
+        (length,) = _LEN.unpack_from(stream, pos)
+        pos += _LEN.size
+        if length > len(stream):
+            raise FormatError("shard length exceeds the container")
+        lengths.append(int(length))
+    start = pos
+    for length in lengths:
+        if start + length > len(stream):
+            raise FormatError("shard container truncated in shard payloads")
+        spans.append((start, start + length))
+        start += length
+    return (
+        tuple(int(d) for d in dims),
+        bool(flags & _SHARD_FLAG_F64),
+        float(eps),
+        spans,
+    )
+
+
+def decompress_sharded(
+    stream: bytes, *, codec=None, jobs: int | None = None
+) -> np.ndarray:
+    """Decode a shard container back to the original field."""
+    from repro.core.compressor import CereSZ
+
+    codec = codec if codec is not None else CereSZ()
+    shape, is_f64, _eps, spans = read_shard_table(stream)
+    jobs = resolve_jobs(jobs)
+
+    def _one(span: tuple[int, int]) -> np.ndarray:
+        lo, hi = span
+        return codec.decompress(stream[lo:hi]).reshape(-1)
+
+    parts = _run_pool(_one, spans, jobs)
+    flat = np.concatenate(parts) if len(parts) > 1 else parts[0]
+    n = 1
+    for d in shape:
+        n *= d
+    if flat.size != n:
+        raise FormatError(
+            f"shards decode to {flat.size} elements, container claims {n}"
+        )
+    out_dtype = np.float64 if is_f64 else np.float32
+    return flat.astype(out_dtype, copy=False).reshape(shape)

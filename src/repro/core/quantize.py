@@ -130,7 +130,9 @@ def prequantize_verified(
 def dequantize(codes: np.ndarray, eps: float, dtype=np.float32) -> np.ndarray:
     """Reconstruct values from quantization codes: ``p * 2 * eps``."""
     eps = validate_error_bound(eps)
-    out = np.asarray(codes, dtype=np.float64) * (2.0 * eps)
+    # Single fused pass: the ufunc widens the integer codes to float64 on
+    # the fly, so no intermediate float64 copy of the whole field exists.
+    out = np.multiply(np.asarray(codes), 2.0 * eps, dtype=np.float64)
     return out.astype(dtype)
 
 

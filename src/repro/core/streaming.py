@@ -15,6 +15,15 @@ Frame layout::
 
     [ magic "CSZS" ][ version u8 ][ eps f64 ][ frame count u64 ]
     repeated: [ frame length u64 ][ CereSZ stream ]
+
+Writers come in two flavours. The default buffers frames in memory and
+serializes on :meth:`FrameWriter.getvalue` — fine for short runs. Long
+snapshot campaigns instead pass a seekable binary sink as ``out=``: every
+frame is written through immediately and the header's frame count is
+patched in place, so process RSS stays flat no matter how many snapshots
+stream past. Both flavours accept ``index=``/``jobs=`` and forward them to
+the codec, so frames can be indexed container-v2 streams or shard
+containers (see :mod:`repro.core.parallel`).
 """
 
 from __future__ import annotations
@@ -34,32 +43,95 @@ STREAM_VERSION = 1
 
 _HEAD = struct.Struct("<4sBdQ")
 _FRAME = struct.Struct("<Q")
+#: Byte offset of the u64 frame count within the stream header — the field
+#: the write-through sink backpatches after every frame.
+_COUNT_OFFSET = _HEAD.size - 8
 
 
 class FrameWriter:
-    """Accumulates compressed snapshot frames under one absolute bound."""
+    """Accumulates compressed snapshot frames under one absolute bound.
 
-    def __init__(self, eps: float, codec: CereSZ | None = None):
+    Parameters
+    ----------
+    out:
+        Optional seekable binary sink (file object, ``io.BytesIO``). When
+        given, frames are written through instead of buffered, and
+        :meth:`getvalue` becomes unavailable — the bytes already live in
+        the sink.
+    index / jobs:
+        Forwarded to :meth:`CereSZ.compress` per frame: ``index=True``
+        writes container-v2 frames, ``jobs=`` compresses each frame
+        through the shard engine.
+    """
+
+    def __init__(
+        self,
+        eps: float,
+        codec: CereSZ | None = None,
+        *,
+        out=None,
+        index: bool | None = None,
+        jobs: int | None = None,
+    ):
         self.eps = validate_error_bound(eps)
         self.codec = codec or CereSZ()
-        self._frames: list[bytes] = []
+        self._index = index
+        self._jobs = jobs
+        self._frames: list[bytes] | None = None
+        self._num_frames = 0
+        self._payload_bytes = 0
         self._raw_bytes = 0
+        self._out = out
+        if out is None:
+            self._frames = []
+        else:
+            if not (hasattr(out, "seekable") and out.seekable()):
+                raise FormatError(
+                    "the write-through sink must be seekable: the frame "
+                    "count in the stream header is patched in place"
+                )
+            self._head_pos = out.tell()
+            out.write(
+                _HEAD.pack(STREAM_MAGIC, STREAM_VERSION, self.eps, 0)
+            )
 
     def add(self, field: np.ndarray) -> int:
         """Compress one snapshot; returns its frame's compressed size."""
-        result = self.codec.compress(field, eps=self.eps)
-        self._frames.append(result.stream)
+        kwargs = {}
+        if self._index is not None:
+            kwargs["index"] = self._index
+        if self._jobs is not None:
+            kwargs["jobs"] = self._jobs
+        result = self.codec.compress(field, eps=self.eps, **kwargs)
+        frame = result.stream
+        self._num_frames += 1
+        if self._frames is not None:
+            self._frames.append(frame)
+        else:
+            self._out.write(_FRAME.pack(len(frame)))
+            self._out.write(frame)
+            self._patch_count()
+        self._payload_bytes += len(frame)
         self._raw_bytes += result.original_bytes
-        return len(result.stream)
+        return len(frame)
+
+    def _patch_count(self) -> None:
+        """Rewrite the header's frame count; leaves the sink at its end."""
+        end = self._out.tell()
+        self._out.seek(self._head_pos + _COUNT_OFFSET)
+        self._out.write(struct.pack("<Q", self._num_frames))
+        self._out.seek(end)
 
     @property
     def num_frames(self) -> int:
-        return len(self._frames)
+        return self._num_frames
 
     @property
     def compressed_bytes(self) -> int:
-        return sum(len(f) for f in self._frames) + _HEAD.size + (
-            _FRAME.size * len(self._frames)
+        return (
+            self._payload_bytes
+            + _HEAD.size
+            + _FRAME.size * self._num_frames
         )
 
     @property
@@ -69,11 +141,16 @@ class FrameWriter:
         return self._raw_bytes / self.compressed_bytes
 
     def getvalue(self) -> bytes:
-        """Serialize the container."""
+        """Serialize the container (buffered mode only)."""
+        if self._frames is None:
+            raise FormatError(
+                "frames were written through to the sink; read them from "
+                "there instead of getvalue()"
+            )
         out = io.BytesIO()
         out.write(
             _HEAD.pack(
-                STREAM_MAGIC, STREAM_VERSION, self.eps, len(self._frames)
+                STREAM_MAGIC, STREAM_VERSION, self.eps, self._num_frames
             )
         )
         for frame in self._frames:
@@ -81,11 +158,32 @@ class FrameWriter:
             out.write(frame)
         return out.getvalue()
 
+    def close(self) -> None:
+        """Flush the sink (write-through mode); no-op when buffered."""
+        if self._out is not None and hasattr(self._out, "flush"):
+            self._out.flush()
+
+    def __enter__(self) -> "FrameWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
 
 class FrameReader:
-    """Iterates the snapshots of a framed stream."""
+    """Iterates the snapshots of a framed stream.
 
-    def __init__(self, data: bytes, codec: CereSZ | None = None):
+    ``jobs=`` is forwarded to the codec per frame — useful when frames are
+    shard containers, whose shards then decode across a worker pool.
+    """
+
+    def __init__(
+        self,
+        data: bytes,
+        codec: CereSZ | None = None,
+        *,
+        jobs: int | None = None,
+    ):
         if len(data) < _HEAD.size:
             raise FormatError("framed stream shorter than its header")
         magic, version, eps, count = _HEAD.unpack(data[: _HEAD.size])
@@ -104,6 +202,7 @@ class FrameReader:
         self.num_frames = count
         self._data = data
         self._codec = codec or CereSZ()
+        self._jobs = jobs
 
     def frames(self) -> Iterator[bytes]:
         """Yield raw per-snapshot CereSZ streams without decoding."""
@@ -122,24 +221,43 @@ class FrameReader:
 
     def __iter__(self) -> Iterator[np.ndarray]:
         for frame in self.frames():
-            yield self._codec.decompress(frame)
+            if self._jobs is not None:
+                yield self._codec.decompress(frame, jobs=self._jobs)
+            else:
+                yield self._codec.decompress(frame)
 
     def __len__(self) -> int:
         return self.num_frames
 
 
 def compress_stream(
-    fields: Iterable[np.ndarray], eps: float, codec: CereSZ | None = None
-) -> bytes:
-    """One-shot convenience: frame-compress an iterable of snapshots."""
-    writer = FrameWriter(eps, codec)
+    fields: Iterable[np.ndarray],
+    eps: float,
+    codec: CereSZ | None = None,
+    *,
+    out=None,
+    index: bool | None = None,
+    jobs: int | None = None,
+) -> bytes | None:
+    """One-shot convenience: frame-compress an iterable of snapshots.
+
+    Returns the container bytes, or ``None`` when ``out=`` streams them
+    through to a sink instead.
+    """
+    writer = FrameWriter(eps, codec, out=out, index=index, jobs=jobs)
     for field in fields:
         writer.add(field)
+    if out is not None:
+        writer.close()
+        return None
     return writer.getvalue()
 
 
 def decompress_stream(
-    data: bytes, codec: CereSZ | None = None
+    data: bytes,
+    codec: CereSZ | None = None,
+    *,
+    jobs: int | None = None,
 ) -> list[np.ndarray]:
     """One-shot convenience: decode every snapshot of a framed stream."""
-    return list(FrameReader(data, codec))
+    return list(FrameReader(data, codec, jobs=jobs))

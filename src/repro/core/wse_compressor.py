@@ -170,6 +170,12 @@ class WSECereSZ:
             raise CompressionError(
                 "wafer decompression handles the CereSZ 4-byte-header format"
             )
+        if header.indexed:
+            # The wafer walks record headers itself; skip the host-side fl
+            # table (records are byte-identical to v1 behind it).
+            from repro.core.encoding import unpack_block_index
+
+            _, offset = unpack_block_index(stream, header.num_blocks, offset)
         fabric = Fabric(self.rows, self.cols)
         engine = Engine(fabric)
         if self.strategy == "pipeline":

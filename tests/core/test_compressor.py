@@ -6,8 +6,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
-from repro import CereSZ
+from repro import CereSZ, ReproError
 from repro.config import MAX_RATIO_CERESZ, MAX_RATIO_SZP
+from repro.core.format import StreamHeader
 from repro.errors import CompressionError, ErrorBoundError, FormatError
 from repro.metrics.errorbound import check_error_bound, max_abs_error
 
@@ -199,3 +200,89 @@ class TestBlockSizeVariants:
         result = codec.compress(smooth_field, rel=1e-3)
         back = codec.decompress(result.stream)
         assert check_error_bound(smooth_field, back, result.eps)
+
+
+class TestIndexedContainer:
+    """Container v2: the embedded fl table and v1 interoperability."""
+
+    def test_v2_round_trip(self, codec, smooth_field):
+        result = codec.compress(smooth_field, rel=1e-3, index=True)
+        header = codec.describe_stream(result.stream)
+        assert header.indexed
+        back = codec.decompress(result.stream)
+        assert check_error_bound(smooth_field, back, result.eps)
+
+    def test_v1_v2_decode_byte_identically(self, codec, smooth_field):
+        """Same quantization, same values — the index changes layout only."""
+        r1 = codec.compress(smooth_field, rel=1e-3, index=False)
+        r2 = codec.compress(smooth_field, rel=1e-3, index=True)
+        assert not codec.describe_stream(r1.stream).indexed
+        b1 = codec.decompress(r1.stream)
+        b2 = codec.decompress(r2.stream)
+        assert b1.tobytes() == b2.tobytes()
+
+    def test_v2_is_v1_plus_index_table(self, codec, smooth_field):
+        """Block records are byte-identical; v2 only inserts the fl table."""
+        r1 = codec.compress(smooth_field, rel=1e-3, index=False)
+        r2 = codec.compress(smooth_field, rel=1e-3, index=True)
+        h1, off1 = StreamHeader.unpack(r1.stream)
+        h2, off2 = StreamHeader.unpack(r2.stream)
+        assert r2.stream[off2 + h2.num_blocks :] == r1.stream[off1:]
+        assert len(r2.stream) == len(r1.stream) + h1.num_blocks
+
+    def test_szp_width_with_index(self, smooth_field):
+        codec = CereSZ(header_width=1)
+        result = codec.compress(smooth_field, rel=1e-3, index=True)
+        back = codec.decompress(result.stream)
+        assert check_error_bound(smooth_field, back, result.eps)
+
+    def test_float64_with_index(self, codec, rng):
+        field = np.cumsum(rng.normal(size=2000))
+        result = codec.compress(field, eps=1e-7, index=True)
+        back = codec.decompress(result.stream)
+        assert back.dtype == np.float64
+        assert np.max(np.abs(back - field)) <= 1e-7
+
+    def test_constant_field_with_index(self, codec):
+        """Constant streams carry no records, so no index is written."""
+        field = np.full(100, 7.25, dtype=np.float32)
+        result = codec.compress(field, rel=1e-3, index=True)
+        header = codec.describe_stream(result.stream)
+        assert header.constant == 7.25
+        assert not header.indexed
+        assert np.array_equal(codec.decompress(result.stream), field)
+
+    def test_single_block_field_with_index(self, codec):
+        field = np.linspace(0, 1, 7, dtype=np.float32)
+        result = codec.compress(field, eps=0.001, index=True)
+        back = codec.decompress(result.stream)
+        assert back.shape == field.shape
+        assert np.max(np.abs(back - field)) <= 0.001
+
+    @pytest.mark.parametrize("index", [False, True])
+    def test_truncation_at_every_boundary_rejected(self, codec, index):
+        """Every strict prefix of a stream must fail *controlled*."""
+        field = np.cumsum(
+            np.random.default_rng(7).normal(size=200)
+        ).astype(np.float32)
+        stream = codec.compress(field, eps=0.01, index=index).stream
+        for cut in range(len(stream)):
+            with pytest.raises(ReproError):
+                codec.decompress(stream[:cut])
+
+    def test_block_count_guard_uses_post_header_length(self, codec):
+        """A corrupt block count just inside the *total* stream length but
+        beyond the record bytes must be rejected up front (the guard must
+        subtract the global header size)."""
+        field = np.cumsum(
+            np.random.default_rng(8).normal(size=320)
+        ).astype(np.float32)
+        stream = codec.compress(field, eps=0.01, index=False).stream
+        header = codec.describe_stream(stream)
+        # 10 blocks x 4-byte headers need 40 record bytes. Keep 30: the
+        # total stream (header + 30) still exceeds 40 bytes overall.
+        _, offset = StreamHeader.unpack(stream)
+        cut = stream[: offset + 30]
+        assert len(cut) > header.num_blocks * header.header_width
+        with pytest.raises(FormatError):
+            codec.decompress(cut)

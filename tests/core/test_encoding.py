@@ -12,8 +12,11 @@ from repro.core.encoding import (
     block_fixed_lengths,
     decode_blocks,
     encode_blocks,
+    index_record_offsets,
+    pack_block_index,
     record_sizes,
     scan_record_offsets,
+    unpack_block_index,
 )
 
 
@@ -217,3 +220,83 @@ class TestScanAndErrors:
         stream = b"\xde\xad" + encode_blocks(residuals)
         out = decode_blocks(stream, 1, 8, start=2)
         assert np.array_equal(out, residuals)
+
+
+class TestBlockIndex:
+    """The container-v2 fl table and its vectorized offset computation."""
+
+    def _stream_and_fls(self, rng, blocks=40, L=32):
+        residuals = rng.integers(-500, 500, size=(blocks, L)).astype(np.int64)
+        residuals[::3] = 0  # mix in zero blocks
+        fls = block_fixed_lengths(residuals)
+        return encode_blocks(residuals), fls, residuals
+
+    def test_pack_unpack_round_trip(self, rng):
+        _, fls, _ = self._stream_and_fls(rng)
+        table = pack_block_index(fls)
+        assert len(table) == len(fls)
+        out, pos = unpack_block_index(table, len(fls))
+        assert pos == len(table)
+        assert np.array_equal(out, fls)
+
+    def test_unpack_with_start(self, rng):
+        _, fls, _ = self._stream_and_fls(rng)
+        buf = b"\xab\xcd" + pack_block_index(fls)
+        out, pos = unpack_block_index(buf, len(fls), 2)
+        assert pos == 2 + len(fls)
+        assert np.array_equal(out, fls)
+
+    def test_pack_rejects_out_of_range(self):
+        with pytest.raises(FormatError):
+            pack_block_index(np.array([64], dtype=np.int64))
+        with pytest.raises(FormatError):
+            pack_block_index(np.array([-1], dtype=np.int64))
+
+    def test_unpack_rejects_truncated_table(self, rng):
+        _, fls, _ = self._stream_and_fls(rng)
+        with pytest.raises(FormatError, match="truncated"):
+            unpack_block_index(pack_block_index(fls)[:-1], len(fls))
+
+    def test_unpack_rejects_invalid_fl(self):
+        with pytest.raises(FormatError, match="fixed length"):
+            unpack_block_index(bytes([64]), 1)
+
+    def test_index_offsets_match_scan(self, rng):
+        stream, fls, _ = self._stream_and_fls(rng)
+        scanned, scanned_fls = scan_record_offsets(stream, len(fls), 32)
+        indexed = index_record_offsets(fls, 32, stream_size=len(stream))
+        assert np.array_equal(indexed, scanned)
+        assert np.array_equal(scanned_fls, fls)
+
+    def test_index_offsets_respect_start(self, rng):
+        _, fls, _ = self._stream_and_fls(rng)
+        base = index_record_offsets(fls, 32)
+        shifted = index_record_offsets(fls, 32, start=7)
+        assert np.array_equal(shifted, base + 7)
+
+    def test_index_offsets_reject_overrun(self, rng):
+        stream, fls, _ = self._stream_and_fls(rng)
+        with pytest.raises(FormatError, match="outside|truncated"):
+            index_record_offsets(fls, 32, stream_size=len(stream) - 1)
+
+    def test_decode_with_explicit_layout(self, rng):
+        stream, fls, residuals = self._stream_and_fls(rng)
+        offsets = index_record_offsets(fls, 32, stream_size=len(stream))
+        out = decode_blocks(
+            stream, len(fls), 32, offsets=offsets, fls=fls
+        )
+        assert np.array_equal(out, residuals)
+
+    def test_decode_rejects_layout_shape_mismatch(self, rng):
+        stream, fls, _ = self._stream_and_fls(rng)
+        offsets = index_record_offsets(fls, 32)
+        with pytest.raises(FormatError, match="mismatch"):
+            decode_blocks(
+                stream, len(fls), 32, offsets=offsets[:-1], fls=fls
+            )
+
+    def test_decode_rejects_layout_out_of_bounds(self, rng):
+        stream, fls, _ = self._stream_and_fls(rng)
+        offsets = index_record_offsets(fls, 32) + len(stream)
+        with pytest.raises(FormatError, match="outside"):
+            decode_blocks(stream, len(fls), 32, offsets=offsets, fls=fls)

@@ -1,11 +1,15 @@
 """Tests for the stream container format."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.errors import FormatError
 from repro.core.format import (
     CERESZ_MAGIC,
+    FLAG_INDEXED,
     FORMAT_VERSION,
+    FORMAT_VERSION_INDEXED,
     StreamHeader,
     make_header,
 )
@@ -101,4 +105,61 @@ class TestHeaderErrors:
         stream[6] = 7  # block_size low byte -> 7, not a multiple of 8
         stream[7] = 0
         with pytest.raises(FormatError, match="block size"):
+            StreamHeader.unpack(bytes(stream))
+
+
+class TestIndexedHeader:
+    def test_v2_round_trip(self):
+        h = make_header((512, 512), 0.01, indexed=True)
+        assert h.version == FORMAT_VERSION_INDEXED
+        assert h.indexed
+        out, offset = StreamHeader.unpack(h.pack())
+        assert out == h
+        assert out.indexed
+        assert offset == len(h.pack())
+
+    def test_v1_not_indexed_by_default(self):
+        h = make_header((100,), 0.1)
+        assert h.version == FORMAT_VERSION
+        assert not h.indexed
+        out, _ = StreamHeader.unpack(h.pack())
+        assert not out.indexed
+
+    def test_index_bytes_one_per_block(self):
+        h = make_header((1000,), 0.1, block_size=32, indexed=True)
+        assert h.index_bytes == h.num_blocks
+        assert make_header((1000,), 0.1).index_bytes == 0
+
+    def test_indexed_constant_rejected(self):
+        h = make_header((10,), 0.0, constant=1.0)
+        bad = replace(h, indexed=True, version=FORMAT_VERSION_INDEXED)
+        with pytest.raises(FormatError, match="constant"):
+            bad.pack()
+
+    def test_version_flag_mismatch_rejected_on_pack(self):
+        h = make_header((10,), 0.1)
+        with pytest.raises(FormatError, match="version"):
+            replace(h, indexed=True).pack()  # flag without version bump
+        with pytest.raises(FormatError, match="version"):
+            replace(h, version=FORMAT_VERSION_INDEXED).pack()
+
+    def test_v2_without_flag_rejected_on_unpack(self):
+        stream = bytearray(make_header((10,), 0.1, indexed=True).pack())
+        # flags byte sits right after eps: fixed part + 1 dim + 8 eps bytes
+        flags_at = 9 + 8 + 8
+        stream[flags_at] &= ~FLAG_INDEXED & 0xFF
+        with pytest.raises(FormatError):
+            StreamHeader.unpack(bytes(stream))
+
+    def test_v1_with_flag_rejected_on_unpack(self):
+        stream = bytearray(make_header((10,), 0.1).pack())
+        flags_at = 9 + 8 + 8
+        stream[flags_at] |= FLAG_INDEXED
+        with pytest.raises(FormatError):
+            StreamHeader.unpack(bytes(stream))
+
+    def test_future_version_rejected(self):
+        stream = bytearray(make_header((10,), 0.1).pack())
+        stream[4] = 3
+        with pytest.raises(FormatError, match="version"):
             StreamHeader.unpack(bytes(stream))

@@ -1,0 +1,166 @@
+"""Tests for the shard engine (parallel compression containers)."""
+
+import numpy as np
+import pytest
+
+from repro import CereSZ
+from repro.errors import CompressionError, FormatError
+from repro.core.parallel import (
+    DEFAULT_SHARD_ELEMENTS,
+    SHARD_MAGIC,
+    compress_sharded,
+    decompress_sharded,
+    is_sharded,
+    read_shard_table,
+    resolve_jobs,
+)
+
+
+@pytest.fixture
+def big_field(rng):
+    """Large enough for several shards at a small shard size."""
+    return np.cumsum(rng.normal(size=5000)).astype(np.float32)
+
+
+class TestRoundTrip:
+    def test_basic(self, big_field):
+        result = compress_sharded(
+            big_field, eps=0.01, jobs=2, shard_elements=1024
+        )
+        assert is_sharded(result.stream)
+        back = decompress_sharded(result.stream, jobs=2)
+        assert back.dtype == np.float32
+        assert back.shape == big_field.shape
+        assert np.max(np.abs(back - big_field)) <= 0.01
+
+    def test_via_codec_api(self, codec, big_field):
+        result = codec.compress(big_field, eps=0.01, jobs=2)
+        assert is_sharded(result.stream)
+        back = codec.decompress(result.stream, jobs=2)
+        assert np.max(np.abs(back - big_field)) <= 0.01
+
+    def test_decompress_dispatches_on_magic(self, codec, big_field):
+        """A plain decompress() call must recognise shard containers."""
+        result = codec.compress(big_field, eps=0.01, jobs=2)
+        back = codec.decompress(result.stream)
+        assert np.max(np.abs(back - big_field)) <= 0.01
+
+    def test_2d_shape_restored(self, codec, field_2d):
+        result = compress_sharded(
+            field_2d, eps=0.01, jobs=2, shard_elements=1024
+        )
+        back = decompress_sharded(result.stream)
+        assert back.shape == field_2d.shape
+        assert np.max(np.abs(back - field_2d)) <= 0.01
+
+    def test_float64_round_trip(self, rng):
+        field = np.cumsum(rng.normal(size=3000))
+        result = compress_sharded(
+            field, eps=1e-6, codec=CereSZ(), shard_elements=1024
+        )
+        back = decompress_sharded(result.stream)
+        assert back.dtype == np.float64
+        assert np.max(np.abs(back - field)) <= 1e-6
+
+    def test_rel_bound_resolved_globally(self, big_field):
+        """A REL bound maps to ONE absolute eps for all shards."""
+        result = compress_sharded(
+            big_field, rel=1e-3, jobs=2, shard_elements=1024
+        )
+        vrange = float(big_field.max() - big_field.min())
+        assert result.eps <= 1e-3 * vrange
+        back = decompress_sharded(result.stream)
+        assert np.max(np.abs(back - big_field)) <= result.eps
+
+    def test_constant_field_falls_back(self, codec):
+        field = np.full(4000, 2.5, dtype=np.float32)
+        # Under a relative bound a constant field stores as one tiny exact
+        # constant stream, not a shard container (same rule as compress()).
+        result = compress_sharded(field, rel=1e-3, shard_elements=1024)
+        assert not is_sharded(result.stream)
+        back = codec.decompress(result.stream)
+        assert np.array_equal(back, field)
+
+    def test_single_shard_when_field_small(self, codec, smooth_field):
+        result = compress_sharded(smooth_field, eps=0.01)
+        assert smooth_field.size <= DEFAULT_SHARD_ELEMENTS
+        _, _, _, spans = read_shard_table(result.stream)
+        assert len(spans) == 1
+
+
+class TestDeterminism:
+    def test_output_independent_of_jobs(self, big_field):
+        """Shard boundaries depend on shard_elements, never pool size."""
+        one = compress_sharded(
+            big_field, eps=0.01, jobs=1, shard_elements=1024
+        )
+        two = compress_sharded(
+            big_field, eps=0.01, jobs=3, shard_elements=1024
+        )
+        assert one.stream == two.stream
+
+    def test_shards_are_self_describing_streams(self, codec, big_field):
+        result = compress_sharded(
+            big_field, eps=0.01, shard_elements=1024
+        )
+        _, _, _, spans = read_shard_table(result.stream)
+        pieces = [
+            codec.decompress(result.stream[lo:hi]) for lo, hi in spans
+        ]
+        back = np.concatenate(pieces)
+        assert np.max(np.abs(back - big_field)) <= 0.01
+
+    def test_index_false_writes_v1_shards(self, big_field):
+        indexed = compress_sharded(
+            big_field, eps=0.01, shard_elements=1024, index=True
+        )
+        plain = compress_sharded(
+            big_field, eps=0.01, shard_elements=1024, index=False
+        )
+        assert len(plain.stream) < len(indexed.stream)
+        for result, want in ((indexed, 2), (plain, 1)):
+            _, _, _, spans = read_shard_table(result.stream)
+            lo, _ = spans[0]
+            assert result.stream[lo + 4] == want  # version byte
+
+
+class TestErrors:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(4) == 4
+        with pytest.raises(CompressionError):
+            resolve_jobs(0)
+
+    def test_bad_magic(self, big_field):
+        result = compress_sharded(big_field, eps=0.01, shard_elements=1024)
+        bad = b"XXXX" + result.stream[4:]
+        assert not is_sharded(bad)
+        with pytest.raises(FormatError):
+            read_shard_table(bad)
+
+    def test_bad_version(self, big_field):
+        result = compress_sharded(big_field, eps=0.01, shard_elements=1024)
+        bad = bytearray(result.stream)
+        bad[4] = 99
+        with pytest.raises(FormatError, match="version"):
+            read_shard_table(bytes(bad))
+
+    def test_truncated_header(self):
+        with pytest.raises(FormatError, match="shorter"):
+            read_shard_table(SHARD_MAGIC + b"\x01")
+
+    def test_truncated_payload(self, big_field):
+        result = compress_sharded(big_field, eps=0.01, shard_elements=1024)
+        with pytest.raises(FormatError):
+            decompress_sharded(result.stream[:-10])
+
+    def test_absurd_shard_count_rejected(self, big_field):
+        result = compress_sharded(big_field, eps=0.01, shard_elements=1024)
+        bad = bytearray(result.stream)
+        bad[6:10] = (10**9).to_bytes(4, "little")  # num_shards field
+        with pytest.raises(FormatError):
+            read_shard_table(bytes(bad))
+
+    def test_empty_field_rejected(self):
+        with pytest.raises(CompressionError):
+            compress_sharded(np.zeros(0, dtype=np.float32), eps=0.01)

@@ -92,3 +92,88 @@ class TestErrors:
     def test_invalid_eps(self):
         with pytest.raises(Exception):
             FrameWriter(eps=-1.0)
+
+
+class TestWriteThroughSink:
+    def test_sink_matches_buffered_bytes(self, snapshots):
+        import io
+
+        buffered = FrameWriter(eps=0.05)
+        for s in snapshots:
+            buffered.add(s)
+        sink = io.BytesIO()
+        with FrameWriter(eps=0.05, out=sink) as writer:
+            for s in snapshots:
+                writer.add(s)
+        assert sink.getvalue() == buffered.getvalue()
+
+    def test_sink_frames_decode(self, snapshots, tmp_path):
+        path = tmp_path / "run.cszs"
+        with open(path, "w+b") as fh:
+            with FrameWriter(eps=0.05, out=fh) as writer:
+                for s in snapshots:
+                    writer.add(s)
+        reader = FrameReader(path.read_bytes())
+        assert len(reader) == len(snapshots)
+        for original, back in zip(snapshots, reader):
+            assert np.max(np.abs(back - original)) <= 0.05
+
+    def test_frame_count_patched_after_every_add(self, snapshots):
+        import io
+
+        sink = io.BytesIO()
+        writer = FrameWriter(eps=0.05, out=sink)
+        for i, s in enumerate(snapshots[:3]):
+            writer.add(s)
+            assert FrameReader(sink.getvalue()).num_frames == i + 1
+
+    def test_getvalue_unavailable_in_sink_mode(self, snapshots):
+        import io
+
+        writer = FrameWriter(eps=0.05, out=io.BytesIO())
+        writer.add(snapshots[0])
+        with pytest.raises(FormatError, match="sink"):
+            writer.getvalue()
+
+    def test_unseekable_sink_rejected(self):
+        class Pipe:
+            def seekable(self):
+                return False
+
+            def write(self, data):
+                return len(data)
+
+        with pytest.raises(FormatError, match="seekable"):
+            FrameWriter(eps=0.05, out=Pipe())
+
+    def test_sink_appends_after_existing_bytes(self, snapshots):
+        import io
+
+        sink = io.BytesIO()
+        sink.write(b"PREFIX--")
+        with FrameWriter(eps=0.05, out=sink) as writer:
+            writer.add(snapshots[0])
+        data = sink.getvalue()
+        assert data.startswith(b"PREFIX--")
+        reader = FrameReader(data[8:])
+        assert reader.num_frames == 1
+
+
+class TestCodecOptionsForwarding:
+    def test_indexed_frames(self, snapshots):
+        from repro.core.format import StreamHeader
+
+        data = compress_stream(snapshots, eps=0.05, index=True)
+        for frame in FrameReader(data).frames():
+            header, _ = StreamHeader.unpack(frame)
+            assert header.indexed
+
+    def test_sharded_frames(self, snapshots):
+        from repro.core.parallel import is_sharded
+
+        data = compress_stream(snapshots, eps=0.05, jobs=2)
+        reader = FrameReader(data, jobs=2)
+        for frame in reader.frames():
+            assert is_sharded(frame)
+        for original, back in zip(snapshots, reader):
+            assert np.max(np.abs(back - original)) <= 0.05

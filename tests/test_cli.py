@@ -139,3 +139,67 @@ class TestTablesAndFigures:
         out = capsys.readouterr().out
         assert "PSNR" in out
         assert "identical: True" in out
+
+
+class TestContainerFlags:
+    def test_default_compress_is_indexed(self, tmp_path, field_file, capsys):
+        path, _ = field_file
+        csz = tmp_path / "out.csz"
+        assert main([
+            "compress", str(path), str(csz), "--rel", "1e-3"
+        ]) == 0
+        capsys.readouterr()
+        assert main(["info", str(csz)]) == 0
+        assert "v2 (indexed)" in capsys.readouterr().out
+
+    def test_no_index_writes_v1(self, tmp_path, field_file, capsys):
+        path, data = field_file
+        csz = tmp_path / "out.csz"
+        out = tmp_path / "back.f32"
+        assert main([
+            "compress", str(path), str(csz), "--rel", "1e-3", "--no-index"
+        ]) == 0
+        capsys.readouterr()
+        assert main(["info", str(csz)]) == 0
+        assert "v1" in capsys.readouterr().out
+        assert main(["decompress", str(csz), str(out)]) == 0
+        back = load_f32(out)
+        assert back.shape == data.shape
+
+    def test_jobs_round_trip(self, tmp_path, field_file, capsys):
+        path, data = field_file
+        csz = tmp_path / "out.csz"
+        out = tmp_path / "back.f32"
+        assert main([
+            "compress", str(path), str(csz), "--eps", "0.5", "--jobs", "2"
+        ]) == 0
+        capsys.readouterr()
+        assert main(["info", str(csz)]) == 0
+        assert "sharded" in capsys.readouterr().out
+        assert main([
+            "decompress", str(csz), str(out), "--jobs", "2"
+        ]) == 0
+        back = load_f32(out)
+        assert np.max(np.abs(back - data)) <= 0.5
+
+    def test_stream_sink_with_jobs(self, tmp_path, rng):
+        from repro.datasets.io import save_f32
+
+        a = np.cumsum(rng.normal(size=1024)).astype(np.float32)
+        b = (a * 1.5).astype(np.float32)
+        pa, pb = tmp_path / "a.f32", tmp_path / "b.f32"
+        save_f32(pa, a)
+        save_f32(pb, b)
+        arch = tmp_path / "arch.cszs"
+        assert main([
+            "stream", str(pa), str(pb), "--out", str(arch),
+            "--eps", "0.1", "--jobs", "2",
+        ]) == 0
+        assert main([
+            "unstream", str(arch), "--prefix", str(tmp_path / "out_"),
+            "--jobs", "2",
+        ]) == 0
+        out0 = load_f32(tmp_path / "out_0.f32")
+        out1 = load_f32(tmp_path / "out_1.f32")
+        assert np.max(np.abs(out0 - a)) <= 0.1
+        assert np.max(np.abs(out1 - b)) <= 0.1

@@ -85,3 +85,28 @@ class TestDecoderRobustness:
 
         data = compress_stream([payload, payload * 2], eps=0.01)
         _fuzz_decode(decompress_stream, data, fuzz_rng, rounds=100)
+
+    def test_ceresz_indexed(self, payload, fuzz_rng):
+        """Container v2: corruption of the fl table must also stay tame."""
+        codec = CereSZ()
+        stream = codec.compress(payload, rel=1e-3, index=True).stream
+        _fuzz_decode(codec.decompress, stream, fuzz_rng, rounds=150)
+
+    def test_shard_container(self, payload, fuzz_rng):
+        codec = CereSZ()
+        stream = codec.compress(payload, rel=1e-3, jobs=2).stream
+        _fuzz_decode(codec.decompress, stream, fuzz_rng, rounds=150)
+
+    def test_block_count_guard(self, payload):
+        """A v1 stream cut so the record area is too small for its block
+        count — but the *total* length is not — must raise, not allocate."""
+        from repro.core.format import StreamHeader
+
+        codec = CereSZ()
+        stream = codec.compress(payload, rel=1e-3, index=False).stream
+        header = codec.describe_stream(stream)
+        _, offset = StreamHeader.unpack(stream)
+        need = header.num_blocks * header.header_width
+        for keep in (need - 1, need // 2, 1):
+            with pytest.raises(ReproError):
+                codec.decompress(stream[: offset + keep])
