@@ -8,7 +8,10 @@ distribution at each length.
 
 from benchmarks.conftest import run_once
 from repro.harness import format_table
-from repro.harness.figures import fig13_pipeline_lengths
+from repro.harness.figures import (
+    fig13_pipeline_lengths,
+    plan_placement_summary,
+)
 
 
 def test_fig13(benchmark, record_result):
@@ -21,7 +24,11 @@ def test_fig13(benchmark, record_result):
         ],
         title="Fig 13: Compression throughput vs pipeline length (REL 1e-4)",
     )
-    record_result("fig13_pipeline_length", text)
+    placement = plan_placement_summary(
+        strategy="multi", rows=1, cols=4, pipeline_length=2, blocks=8
+    )
+    record_result("fig13_pipeline_length", text + "\n\n" + placement)
+    assert "strategy=staged" in placement  # pl=2 lowers to staged pipelines
 
     for dataset in {p.dataset for p in points}:
         series = sorted(

@@ -5,7 +5,7 @@ in the row count.
 """
 
 from benchmarks.conftest import run_once
-from repro.harness.figures import fig7_row_scaling
+from repro.harness.figures import fig7_row_scaling, plan_placement_summary
 from repro.harness.report import ascii_bar_chart
 
 
@@ -17,7 +17,11 @@ def test_fig7(benchmark, record_result):
         unit=" MB/s",
         title="Fig 7: Compression throughput vs PE rows (NYX temperature)",
     )
-    record_result("fig7_row_scaling", text)
+    placement = plan_placement_summary(
+        strategy="rows", rows=4, cols=1, dataset="NYX"
+    )
+    record_result("fig7_row_scaling", text + "\n\n" + placement)
+    assert "strategy=rows" in placement
 
     per_row = [p.throughput_mbs / p.rows for p in points]
     assert max(per_row) / min(per_row) < 1.0001  # strictly linear

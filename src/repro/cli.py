@@ -159,6 +159,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--limit-blocks", type=int, default=64,
         help="simulate only the first N blocks (event-level sim is slow)",
     )
+
+    p = sub.add_parser(
+        "plan",
+        help="print the mapping plan a simulate run would lower (no sim)",
+    )
+    p.add_argument("input")
+    p.add_argument("--rows", type=int, default=2)
+    p.add_argument("--cols", type=int, default=4)
+    p.add_argument(
+        "--strategy", choices=("rows", "pipeline", "multi"), default="multi"
+    )
+    p.add_argument("--pipeline-length", type=int, default=1)
+    p.add_argument("--rel", type=float, default=1e-3)
+    p.add_argument(
+        "--limit-blocks", type=int, default=64,
+        help="plan only the first N blocks",
+    )
     return parser
 
 
@@ -550,6 +567,25 @@ def _cmd_simulate(args) -> int:
         "stream matches reference: "
         f"{result.stream == reference.stream}"
     )
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.config import BLOCK_SIZE
+    from repro.core.wse_compressor import WSECereSZ
+
+    data = load_f32(args.input)
+    n = min(data.size, args.limit_blocks * BLOCK_SIZE)
+    data = data[:n]
+    sim = WSECereSZ(
+        rows=args.rows,
+        cols=args.cols,
+        strategy=args.strategy,
+        pipeline_length=args.pipeline_length,
+    )
+    plan = sim.plan_for(data, rel=args.rel)
+    plan.validate()
+    print(plan.describe())
     return 0
 
 

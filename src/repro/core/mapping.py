@@ -71,6 +71,11 @@ class PipelineState:
 
     def to_array(self) -> np.ndarray:
         """Serialize into one float64 vector for fabric transport."""
+        if self.phase not in _PHASES:
+            raise CompressionError(
+                f"cannot serialize pipeline state in unknown phase "
+                f"{self.phase!r} (expected one of {_PHASES})"
+            )
         sign_bytes = self.block_size // 8
         header = np.array(
             [
@@ -94,12 +99,61 @@ class PipelineState:
 
     @classmethod
     def from_array(cls, arr: np.ndarray) -> "PipelineState":
-        phase = _PHASES[int(arr[0])]
-        block_size = int(arr[1])
+        """Deserialize a fabric-transported state vector.
+
+        Corrupted or truncated vectors raise :class:`CompressionError`
+        naming the offending header value — on the device a bad forward
+        would silently decode garbage, here it fails loudly.
+        """
+        arr = np.asarray(arr)
+        if arr.ndim != 1 or arr.size < 5:
+            raise CompressionError(
+                f"pipeline state vector needs at least the 5-word header, "
+                f"got shape {arr.shape}"
+            )
+        raw_phase = float(arr[0])
+        if (
+            not np.isfinite(raw_phase)
+            or not raw_phase.is_integer()
+            or not 0 <= int(raw_phase) < len(_PHASES)
+        ):
+            raise CompressionError(
+                f"pipeline state header has invalid phase index {raw_phase!r} "
+                f"(expected 0..{len(_PHASES) - 1})"
+            )
+        raw_bs = float(arr[1])
+        if (
+            not np.isfinite(raw_bs)
+            or not raw_bs.is_integer()
+            or int(raw_bs) <= 0
+            or int(raw_bs) % 8
+        ):
+            raise CompressionError(
+                f"pipeline state header has invalid block size {raw_bs!r} "
+                f"(expected a positive multiple of 8)"
+            )
+        raw_bits = float(arr[4])
+        if (
+            not np.isfinite(raw_bits)
+            or not raw_bits.is_integer()
+            or int(raw_bits) < 0
+        ):
+            raise CompressionError(
+                f"pipeline state header has invalid bits_done {raw_bits!r}"
+            )
+        phase = _PHASES[int(raw_phase)]
+        block_size = int(raw_bs)
         max_mag = int(arr[2])
         fl = int(arr[3])
-        bits_done = int(arr[4])
+        bits_done = int(raw_bits)
         sign_bytes = block_size // 8
+        needed = 5 + block_size + sign_bytes + bits_done * sign_bytes
+        if arr.size < needed:
+            raise CompressionError(
+                f"pipeline state vector truncated: phase {phase!r} with "
+                f"block size {block_size} and {bits_done} shuffled planes "
+                f"needs {needed} words, got {arr.size}"
+            )
         pos = 5
         values = arr[pos : pos + block_size].copy()
         pos += block_size
@@ -237,6 +291,13 @@ class ProgramOutputs:
         return b"".join(self.records[i] for i in range(num_blocks))
 
 
+# --- program builders (thin wrappers over the plan/lower layer) ---------------------
+#
+# Each strategy is now a plan constructor in repro.core.plan plus the single
+# lowering pass in repro.core.lower; these wrappers keep the original build_*
+# entry points (and their exact behavior) for callers and tests.
+
+
 def build_row_parallel_program(
     fabric: Fabric,
     engine: Engine,
@@ -250,76 +311,11 @@ def build_row_parallel_program(
     Block ``i`` goes to row ``i % rows``; each row's PE 0 receives its
     blocks from the west edge in order and compresses them back-to-back.
     """
-    num_blocks, block_size = blocks.shape
-    outputs = ProgramOutputs()
-    colors = ColorAllocator()
-    c_in = colors.allocate("input")
-    c_go = colors.allocate("compute")
+    from repro.core.lower import lower_plan
+    from repro.core.plan import plan_row_parallel
 
-    stages = compression_substages(64, block_size, model)  # superset plan
-
-    for row in range(fabric.rows):
-        pe = fabric.pe(row, 0)
-        fabric.set_route(row, 0, c_in, Direction.WEST, Direction.RAMP)
-        pe.alloc_buffer("inbox", np.zeros(block_size, dtype=np.float64))
-        my_blocks = list(range(row, num_blocks, fabric.rows))
-        progress = {"next": 0}
-
-        def make_recv(pe=pe, my_blocks=my_blocks):
-            def recv(ctx: TaskContext) -> None:
-                ctx.mov32(
-                    Mem1dDsd("inbox"),
-                    FabinDsd(c_in, extent=block_size),
-                    on_complete=c_go,
-                )
-
-            return recv
-
-        def make_compute(pe=pe, my_blocks=my_blocks, progress=progress):
-            def compute(ctx: TaskContext) -> None:
-                idx = my_blocks[progress["next"]]
-                progress["next"] += 1
-                state = PipelineState(
-                    phase="raw",
-                    block_size=block_size,
-                    values=ctx.buffer("inbox").copy(),
-                )
-                for stage in stages:
-                    fl_known = state.fl
-                    if stage.name.startswith("shuffle_bit_") and (
-                        fl_known is not None
-                        and int(stage.name.rsplit("_", 1)[1]) >= fl_known
-                    ):
-                        continue  # skip unneeded planned bits entirely
-                    state = run_substage(stage, state, eps)
-                    ctx.spend(
-                        substage_cycles(stage, state.fl, model, block_size)
-                    )
-                outputs.records[idx] = finalize_record(state)
-                if progress["next"] < len(my_blocks):
-                    ctx.activate(c_in)
-                else:
-                    ctx.halt()
-
-            return compute
-
-        pe.bind_task(c_in, Task("recv", make_recv()))
-        pe.bind_task(c_go, Task("compute", make_compute()))
-        if my_blocks:
-            engine.schedule_activation(pe, c_in.id, 0.0)
-
-    # Feed the west edge: row-major round-robin, serialized per row.
-    per_row_time = [0.0] * fabric.rows
-    for i in range(num_blocks):
-        row = i % fabric.rows
-        engine.inject(
-            row, 0, c_in, blocks[i].astype(np.float32), at=per_row_time[row]
-        )
-        per_row_time[row] += block_size  # one wavelet per cycle per row port
-    return outputs
-
-
-# --- strategy 2: pipeline parallelism across columns --------------------------------
+    plan = plan_row_parallel(blocks, eps, rows=fabric.rows, cols=fabric.cols)
+    return lower_plan(plan, fabric, engine, model=model).outputs
 
 
 def build_pipeline_program(
@@ -337,120 +333,13 @@ def build_pipeline_program(
     :class:`PipelineState` travels east on a dedicated color (two colors
     alternate so consecutive hops do not conflict).
     """
-    num_blocks, block_size = blocks.shape
-    pl = distribution.length
-    if pl > fabric.cols:
-        raise ScheduleError(
-            f"pipeline of {pl} stages needs {pl} columns, mesh has {fabric.cols}"
-        )
-    outputs = ProgramOutputs()
-    colors = ColorAllocator()
-    c_in = colors.allocate("input")
-    c_go = colors.allocate("compute")
-    # Inter-stage forwarding colors, alternating by column parity.
-    c_fwd = [colors.allocate(f"fwd{p}") for p in range(2)]
+    from repro.core.lower import lower_plan
+    from repro.core.plan import plan_pipeline
 
-    # Maximum serialized state length: header + values + signs + fl chunks.
-    sign_bytes = block_size // 8
-    max_fl = max(
-        (int(s.name.rsplit("_", 1)[1]) + 1
-         for g in distribution.groups
-         for s in g
-         if s.name.startswith("shuffle_bit_")),
-        default=0,
+    plan = plan_pipeline(
+        blocks, eps, distribution, rows=fabric.rows, cols=fabric.cols
     )
-    state_len = 5 + block_size + sign_bytes + max_fl * sign_bytes
-
-    for row in range(fabric.rows):
-        my_blocks = list(range(row, num_blocks, fabric.rows))
-        fabric.set_route(row, 0, c_in, Direction.WEST, Direction.RAMP)
-        for col in range(pl):
-            pe = fabric.pe(row, col)
-            group = distribution.groups[col]
-            is_first = col == 0
-            is_last = col == pl - 1
-            recv_color = c_in if is_first else c_fwd[(col - 1) % 2]
-            send_color = None if is_last else c_fwd[col % 2]
-            if not is_first:
-                fabric.set_route(
-                    row, col, recv_color, Direction.WEST, Direction.RAMP
-                )
-            if send_color is not None:
-                fabric.set_route(row, col, send_color, Direction.RAMP, Direction.EAST)
-                fabric.set_route(
-                    row, col + 1, send_color, Direction.WEST, Direction.RAMP
-                )
-            extent = block_size if is_first else state_len
-            pe.alloc_buffer("stage_in", np.zeros(extent, dtype=np.float64))
-            progress = {"done": 0}
-
-            def make_recv(recv_color=recv_color, extent=extent):
-                def recv(ctx: TaskContext) -> None:
-                    ctx.mov32(
-                        Mem1dDsd("stage_in"),
-                        FabinDsd(recv_color, extent=extent),
-                        on_complete=c_go,
-                    )
-
-                return recv
-
-            def make_compute(
-                group=group,
-                is_first=is_first,
-                is_last=is_last,
-                send_color=send_color,
-                recv_color=recv_color,
-                my_blocks=my_blocks,
-                progress=progress,
-            ):
-                def compute(ctx: TaskContext) -> None:
-                    raw = ctx.buffer("stage_in")
-                    if is_first:
-                        state = PipelineState(
-                            phase="raw",
-                            block_size=block_size,
-                            values=raw.copy(),
-                        )
-                    else:
-                        state = PipelineState.from_array(raw)
-                    for stage in group:
-                        state = run_substage(stage, state, eps)
-                        ctx.spend(
-                            substage_cycles(stage, state.fl, model, block_size)
-                        )
-                    idx = my_blocks[progress["done"]]
-                    progress["done"] += 1
-                    if is_last:
-                        outputs.records[idx] = finalize_record(state)
-                    else:
-                        vec = state.to_array()
-                        padded = np.zeros(state_len, dtype=np.float64)
-                        padded[: vec.size] = vec
-                        ctx.spend(model.forward_block_cycles(block_size))
-                        ctx.send(send_color, padded)
-                    if progress["done"] < len(my_blocks):
-                        ctx.activate(recv_color)
-                    else:
-                        ctx.halt()
-
-                return compute
-
-            pe.bind_task(recv_color, Task("recv", make_recv()))
-            pe.bind_task(c_go, Task("compute", make_compute()))
-            if my_blocks:
-                engine.schedule_activation(pe, recv_color.id, 0.0)
-
-    per_row_time = [0.0] * fabric.rows
-    for i in range(num_blocks):
-        row = i % fabric.rows
-        engine.inject(
-            row, 0, c_in, blocks[i].astype(np.float32), at=per_row_time[row]
-        )
-        per_row_time[row] += block_size
-    return outputs
-
-
-# --- strategy 3: multiple pipelines per row with relay -----------------------------
+    return lower_plan(plan, fabric, engine, model=model).outputs
 
 
 def build_multi_pipeline_program(
@@ -459,186 +348,26 @@ def build_multi_pipeline_program(
     blocks: np.ndarray,
     eps: float,
     *,
-    pipeline_length: int = 1,
     model: CycleModel = PAPER_CYCLE_MODEL,
+    pipeline_length: int = 1,
 ) -> ProgramOutputs:
-    """Several whole-block pipelines per row, input relayed east (Fig 9).
+    """Fig 9: multiple single-PE pipelines per row with counted relays.
 
-    With ``pipeline_length=1`` every PE of a row compresses whole blocks.
-    The PE at column ``i`` relays the blocks destined for the ``TC - 1 - i``
-    columns east of it, then keeps one for itself — the relay-count logic
-    of the paper's Fig 9 pseudocode. Following Fig 9's kernel, receiving
-    and forwarding use *different* colors (``din``'s color vs ``dout``'s
-    ``sendColor``): here two relay colors alternate by column parity, so a
-    PE receives on one and re-sends east on the other.
-
-    Blocks are dealt east-first within each row round, matching the paper's
-    countdown ``(TC - i) / pipeline_length``: the first block injected into
-    a row travels all the way to the last column.
+    Every PE of a row both relays raw blocks east and compresses its own;
+    the relay schedule counts down per round exactly as Algorithm Fig 9
+    prescribes, so no flow control is needed.
     """
-    if pipeline_length != 1:
-        raise ScheduleError(
-            "the multi-pipeline builder models pipeline_length=1 (the "
-            "paper's optimal configuration); longer pipelines compose via "
-            "build_pipeline_program"
-        )
-    num_blocks, block_size = blocks.shape
-    outputs = ProgramOutputs()
-    colors = ColorAllocator()
-    c_rel = [colors.allocate("relay0"), colors.allocate("relay1")]
-    c_go = colors.allocate("compute")
+    from repro.core.lower import lower_plan
+    from repro.core.plan import plan_multi_pipeline
 
-    rows, cols = fabric.rows, fabric.cols
-    stages = compression_substages(64, block_size, model)
-
-    def block_for(row: int, rnd: int, col: int) -> int | None:
-        base = rnd * rows * cols + row * cols
-        idx = base + (cols - 1 - col)
-        return idx if idx < num_blocks else None
-
-    rounds = -(-num_blocks // (rows * cols))
-
-    for row in range(rows):
-        for col in range(cols):
-            recv = c_rel[col % 2]
-            send = c_rel[(col + 1) % 2]
-            fabric.set_route(row, col, recv, Direction.WEST, Direction.RAMP)
-            if col + 1 < cols:
-                fabric.set_route(row, col, send, Direction.RAMP, Direction.EAST)
-
-        for col in range(cols):
-            pe = fabric.pe(row, col)
-            recv = c_rel[col % 2]
-            send = c_rel[(col + 1) % 2]
-            pe.alloc_buffer("inbox", np.zeros(block_size, dtype=np.float64))
-            my = [
-                block_for(row, rnd, col)
-                for rnd in range(rounds)
-                if block_for(row, rnd, col) is not None
-            ]
-            # Per-round plan: how many blocks pass through before this PE's
-            # own block (None when the tail round gives it none). The final
-            # round of a dataset is usually partial, so the Fig 9 countdown
-            # must count actual blocks, not columns.
-            plan = []
-            for rnd in range(rounds):
-                passing = sum(
-                    1
-                    for c in range(col + 1, cols)
-                    if block_for(row, rnd, c) is not None
-                )
-                plan.append((passing, block_for(row, rnd, col)))
-            state_box = {"round": 0, "relayed": 0, "done": 0}
-
-            def make_relay(
-                recv=recv, send=send, state_box=state_box, plan=plan
-            ):
-                def relay(ctx: TaskContext) -> None:
-                    rnd = state_box["round"]
-                    while rnd < len(plan) and plan[rnd] == (0, None):
-                        rnd += 1
-                    state_box["round"] = rnd
-                    if rnd >= len(plan):
-                        ctx.halt()
-                        return
-                    to_relay, own = plan[rnd]
-                    if state_box["relayed"] < to_relay:
-                        # Pass one block east untouched (Fig 9 lines 26-28),
-                        # then re-arm the relay task.
-                        ctx.mov32(
-                            FaboutDsd(send, extent=block_size),
-                            FabinDsd(recv, extent=block_size),
-                            on_complete=recv,
-                            relay=True,
-                        )
-                        # The engine charges the 32-wavelet injection when
-                        # the forward fires; spend only C1's router/queueing
-                        # overhead here so the per-block relay cost totals
-                        # exactly C1.
-                        ctx.spend(
-                            max(
-                                0.0,
-                                model.relay_block_cycles(block_size)
-                                - block_size,
-                            ),
-                            relay=True,
-                        )
-                        state_box["relayed"] += 1
-                        if state_box["relayed"] == to_relay and own is None:
-                            state_box["round"] += 1
-                            state_box["relayed"] = 0
-                    elif own is not None:
-                        # This PE's own block of the round (Fig 9 lines
-                        # 21-23): receive into local memory, then compute.
-                        ctx.mov32(
-                            Mem1dDsd("inbox"),
-                            FabinDsd(recv, extent=block_size),
-                            on_complete=c_go,
-                        )
-                    else:  # pragma: no cover - unreachable by construction
-                        state_box["round"] += 1
-                        state_box["relayed"] = 0
-                        ctx.activate(recv)
-
-                return relay
-
-            def make_compute(
-                recv=recv, my=my, state_box=state_box, plan=plan
-            ):
-                def compute(ctx: TaskContext) -> None:
-                    idx = my[state_box["done"]]
-                    state_box["done"] += 1
-                    state = PipelineState(
-                        phase="raw",
-                        block_size=block_size,
-                        values=ctx.buffer("inbox").copy(),
-                    )
-                    for stage in stages:
-                        fl_known = state.fl
-                        if stage.name.startswith("shuffle_bit_") and (
-                            fl_known is not None
-                            and int(stage.name.rsplit("_", 1)[1]) >= fl_known
-                        ):
-                            continue
-                        state = run_substage(stage, state, eps)
-                        ctx.spend(
-                            substage_cycles(stage, state.fl, model, block_size)
-                        )
-                    outputs.records[idx] = finalize_record(state)
-                    state_box["round"] += 1
-                    state_box["relayed"] = 0
-                    remaining = any(
-                        p != (0, None)
-                        for p in plan[state_box["round"]:]
-                    )
-                    if remaining:
-                        ctx.activate(recv)
-                    else:
-                        ctx.halt()
-
-                return compute
-
-            pe.bind_task(recv, Task("relay", make_relay()))
-            pe.bind_task(c_go, Task("compute", make_compute()))
-            if any(p != (0, None) for p in plan):
-                engine.schedule_activation(pe, recv.id, 0.0)
-
-    per_row_time = [0.0] * rows
-    for rnd in range(rounds):
-        for row in range(rows):
-            for col in range(cols - 1, -1, -1):
-                idx = block_for(row, rnd, col)
-                if idx is None:
-                    continue
-                engine.inject(
-                    row,
-                    0,
-                    c_rel[0],
-                    blocks[idx].astype(np.float32),
-                    at=per_row_time[row],
-                )
-                per_row_time[row] += block_size
-    return outputs
+    plan = plan_multi_pipeline(
+        blocks,
+        eps,
+        rows=fabric.rows,
+        cols=fabric.cols,
+        pipeline_length=pipeline_length,
+    )
+    return lower_plan(plan, fabric, engine, model=model).outputs
 
 
 def build_staged_multi_pipeline_program(
@@ -652,322 +381,14 @@ def build_staged_multi_pipeline_program(
 ) -> ProgramOutputs:
     """Fig 6 right in full generality: P staged pipelines per row.
 
-    Columns are partitioned into ``P = cols // pl`` pipelines of length
-    ``pl``. Raw input blocks flow eastward through *every* PE (the Fig 9
-    relay, alternating colors); each pipeline's head PE counts the blocks
-    destined for pipelines east of it, relays them, then peels off its own
-    and runs stage group 0; intermediate :class:`PipelineState` forwards
-    within the pipeline on a second color pair; the last stage PE emits the
-    record. This composes strategies 2 and 3 exactly as the paper's
-    complexity analysis (Section 4.4) assumes.
+    Raw blocks relay through pipeline heads (Fig 9's counted schedule);
+    within a pipeline the serialized state flows east through the stage
+    groups of ``distribution``.
     """
-    num_blocks, block_size = blocks.shape
-    pl = distribution.length
-    cols = fabric.cols
-    if pl > cols:
-        raise ScheduleError(
-            f"pipeline of {pl} stages needs {pl} columns, mesh has {cols}"
-        )
-    num_pipelines = cols // pl
-    if num_pipelines < 1:
-        raise ScheduleError("mesh too narrow for one pipeline")
+    from repro.core.lower import lower_plan
+    from repro.core.plan import plan_staged_multi_pipeline
 
-    outputs = ProgramOutputs()
-    colors = ColorAllocator()
-    c_raw = [colors.allocate("raw0"), colors.allocate("raw1")]
-    c_fwd = [colors.allocate("fwd0"), colors.allocate("fwd1")]
-    c_go = colors.allocate("compute")
-
-    rows = fabric.rows
-
-    def block_for(row: int, rnd: int, q: int) -> int | None:
-        base = rnd * rows * num_pipelines + row * num_pipelines
-        idx = base + (num_pipelines - 1 - q)
-        return idx if idx < num_blocks else None
-
-    rounds = -(-num_blocks // (rows * num_pipelines))
-    sign_bytes = block_size // 8
-    max_fl = max(
-        (
-            int(s.name.rsplit("_", 1)[1]) + 1
-            for g in distribution.groups
-            for s in g
-            if s.name.startswith("shuffle_bit_")
-        ),
-        default=0,
+    plan = plan_staged_multi_pipeline(
+        blocks, eps, distribution, rows=fabric.rows, cols=fabric.cols
     )
-    state_len = 5 + block_size + sign_bytes + max_fl * sign_bytes
-    used_cols = num_pipelines * pl
-
-    for row in range(rows):
-        # Raw relay routes: alternating parity along every used column.
-        for col in range(used_cols):
-            recv_raw = c_raw[col % 2]
-            send_raw = c_raw[(col + 1) % 2]
-            fabric.set_route(row, col, recv_raw, Direction.WEST, Direction.RAMP)
-            if col + 1 < used_cols:
-                fabric.set_route(
-                    row, col, send_raw, Direction.RAMP, Direction.EAST
-                )
-
-        for q in range(num_pipelines):
-            head = q * pl
-            my = [
-                block_for(row, rnd, q)
-                for rnd in range(rounds)
-                if block_for(row, rnd, q) is not None
-            ]
-            # Blocks passing through this pipeline's PEs per round.
-            passing_plan = [
-                sum(
-                    1
-                    for q2 in range(q + 1, num_pipelines)
-                    if block_for(row, rnd, q2) is not None
-                )
-                for rnd in range(rounds)
-            ]
-            own_plan = [block_for(row, rnd, q) for rnd in range(rounds)]
-
-            for j in range(pl):
-                col = head + j
-                pe = fabric.pe(row, col)
-                recv_raw = c_raw[col % 2]
-                send_raw = c_raw[(col + 1) % 2]
-                is_head = j == 0
-                is_last = j == pl - 1
-                state_recv = None if is_head else c_fwd[(col - 1) % 2]
-                state_send = None if is_last else c_fwd[col % 2]
-                if state_recv is not None:
-                    fabric.set_route(
-                        row, col, state_recv, Direction.WEST, Direction.RAMP
-                    )
-                if state_send is not None:
-                    fabric.set_route(
-                        row, col, state_send, Direction.RAMP, Direction.EAST
-                    )
-                if is_head:
-                    pe.alloc_buffer(
-                        "inbox", np.zeros(block_size, dtype=np.float64)
-                    )
-                else:
-                    pe.alloc_buffer(
-                        "stage_in", np.zeros(state_len, dtype=np.float64)
-                    )
-                box = {"round": 0, "relayed": 0, "done": 0}
-                group = distribution.groups[j]
-
-                def run_group(
-                    ctx: TaskContext,
-                    state: PipelineState,
-                    group=group,
-                    is_last=is_last,
-                    state_send=state_send,
-                    my=my,
-                    box=box,
-                ) -> PipelineState:
-                    for stage in group:
-                        fl_known = state.fl
-                        if stage.name.startswith("shuffle_bit_") and (
-                            fl_known is not None
-                            and int(stage.name.rsplit("_", 1)[1]) >= fl_known
-                        ):
-                            ctx.spend(model.task_dispatch)
-                            continue
-                        state = run_substage(stage, state, eps)
-                        ctx.spend(
-                            substage_cycles(stage, state.fl, model, block_size)
-                        )
-                    idx = my[box["done"]]
-                    box["done"] += 1
-                    if is_last:
-                        outputs.records[idx] = finalize_record(state)
-                    else:
-                        vec = state.to_array()
-                        padded = np.zeros(state_len, dtype=np.float64)
-                        padded[: vec.size] = vec
-                        ctx.spend(model.forward_block_cycles(block_size))
-                        ctx.send(state_send, padded)
-                    return state
-
-                if is_head:
-
-                    def make_relay(
-                        recv_raw=recv_raw,
-                        send_raw=send_raw,
-                        box=box,
-                        passing_plan=passing_plan,
-                        own_plan=own_plan,
-                    ):
-                        def relay(ctx: TaskContext) -> None:
-                            rnd = box["round"]
-                            while rnd < rounds and (
-                                passing_plan[rnd] == 0
-                                and own_plan[rnd] is None
-                            ):
-                                rnd += 1
-                            box["round"] = rnd
-                            if rnd >= rounds:
-                                ctx.halt()
-                                return
-                            if box["relayed"] < passing_plan[rnd]:
-                                ctx.mov32(
-                                    FaboutDsd(send_raw, extent=block_size),
-                                    FabinDsd(recv_raw, extent=block_size),
-                                    on_complete=recv_raw,
-                                    relay=True,
-                                )
-                                ctx.spend(
-                                    max(
-                                        0.0,
-                                        model.relay_block_cycles(block_size)
-                                        - block_size,
-                                    ),
-                                    relay=True,
-                                )
-                                box["relayed"] += 1
-                                if (
-                                    box["relayed"] == passing_plan[rnd]
-                                    and own_plan[rnd] is None
-                                ):
-                                    box["round"] += 1
-                                    box["relayed"] = 0
-                            elif own_plan[rnd] is not None:
-                                ctx.mov32(
-                                    Mem1dDsd("inbox"),
-                                    FabinDsd(recv_raw, extent=block_size),
-                                    on_complete=c_go,
-                                )
-                            else:  # pragma: no cover
-                                box["round"] += 1
-                                box["relayed"] = 0
-                                ctx.activate(recv_raw)
-
-                        return relay
-
-                    def make_head_compute(
-                        recv_raw=recv_raw,
-                        box=box,
-                        run_group=run_group,
-                        my=my,
-                        passing_plan=passing_plan,
-                        own_plan=own_plan,
-                    ):
-                        def compute(ctx: TaskContext) -> None:
-                            state = PipelineState(
-                                phase="raw",
-                                block_size=block_size,
-                                values=ctx.buffer("inbox").copy(),
-                            )
-                            run_group(ctx, state)
-                            box["round"] += 1
-                            box["relayed"] = 0
-                            # The head keeps running while *any* duty
-                            # remains — its own blocks or tail-round relays
-                            # for pipelines east (halting early would starve
-                            # them, the Fig 9 countdown's whole point).
-                            remaining = any(
-                                passing_plan[r] > 0 or own_plan[r] is not None
-                                for r in range(box["round"], rounds)
-                            )
-                            if remaining:
-                                ctx.activate(recv_raw)
-                            else:
-                                ctx.halt()
-
-                        return compute
-
-                    pe.bind_task(recv_raw, Task("relay", make_relay()))
-                    pe.bind_task(c_go, Task("compute", make_head_compute()))
-                    if my or any(passing_plan):
-                        engine.schedule_activation(pe, recv_raw.id, 0.0)
-                else:
-                    # Stage PE: relays raw blocks (pass-through for
-                    # pipelines east) and processes forwarded state. The
-                    # raw relay is pure fabric work on this PE — its route
-                    # is WEST->RAMP here because the software relay re-sends
-                    # (same as the head), keeping the per-PE relay cost
-                    # observable.
-                    def make_stage_relay(
-                        recv_raw=recv_raw,
-                        send_raw=send_raw,
-                        box=box,
-                        passing_plan=passing_plan,
-                    ):
-                        def relay(ctx: TaskContext) -> None:
-                            total = sum(passing_plan)
-                            if box["relayed"] >= total:
-                                return
-                            ctx.mov32(
-                                FaboutDsd(send_raw, extent=block_size),
-                                FabinDsd(recv_raw, extent=block_size),
-                                on_complete=(
-                                    recv_raw
-                                    if box["relayed"] + 1 < total
-                                    else None
-                                ),
-                                relay=True,
-                            )
-                            ctx.spend(
-                                max(
-                                    0.0,
-                                    model.relay_block_cycles(block_size)
-                                    - block_size,
-                                ),
-                                relay=True,
-                            )
-                            box["relayed"] += 1
-
-                        return relay
-
-                    def make_recv_state(state_recv=state_recv):
-                        def recv_state(ctx: TaskContext) -> None:
-                            ctx.mov32(
-                                Mem1dDsd("stage_in"),
-                                FabinDsd(state_recv, extent=state_len),
-                                on_complete=c_go,
-                            )
-
-                        return recv_state
-
-                    def make_stage_compute(
-                        state_recv=state_recv,
-                        run_group=run_group,
-                        my=my,
-                        box=box,
-                    ):
-                        def compute(ctx: TaskContext) -> None:
-                            state = PipelineState.from_array(
-                                ctx.buffer("stage_in")
-                            )
-                            run_group(ctx, state)
-                            if box["done"] < len(my):
-                                ctx.activate(state_recv)
-                            else:
-                                pass  # raw relay may still be in flight
-
-                        return compute
-
-                    pe.bind_task(recv_raw, Task("raw_relay", make_stage_relay()))
-                    pe.bind_task(state_recv, Task("recv_state", make_recv_state()))
-                    pe.bind_task(c_go, Task("compute", make_stage_compute()))
-                    if sum(passing_plan):
-                        engine.schedule_activation(pe, recv_raw.id, 0.0)
-                    if my:
-                        engine.schedule_activation(pe, state_recv.id, 0.0)
-
-    per_row_time = [0.0] * rows
-    for rnd in range(rounds):
-        for row in range(rows):
-            for q in range(num_pipelines - 1, -1, -1):
-                idx = block_for(row, rnd, q)
-                if idx is None:
-                    continue
-                engine.inject(
-                    row,
-                    0,
-                    c_raw[0],
-                    blocks[idx].astype(np.float32),
-                    at=per_row_time[row],
-                )
-                per_row_time[row] += block_size
-    return outputs
+    return lower_plan(plan, fabric, engine, model=model).outputs

@@ -125,107 +125,18 @@ def build_row_parallel_decompress_program(
     (receive ``1 + fl`` words, decode, emit) — the data-dependent receive
     chain that fixed-extent compression does not need.
     """
-    outputs = DecompressOutputs()
-    colors = ColorAllocator()
-    c_in = colors.allocate("input")
-    c_hdr = colors.allocate("header_ready")
-    c_body = colors.allocate("body_ready")
+    from repro.core.lower import lower_plan
+    from repro.core.plan import plan_row_parallel_decompress
 
-    packed = records_to_words(body, num_blocks, block_size)
-    sign_words = block_size // 32
-
-    for row in range(fabric.rows):
-        pe = fabric.pe(row, 0)
-        fabric.set_route(row, 0, c_in, Direction.WEST, Direction.RAMP)
-        pe.alloc_buffer("hdr", np.zeros(1, dtype=np.int64))
-        pe.alloc_buffer(
-            "body", np.zeros(sign_words * (1 + 63), dtype=np.int64)
-        )
-        my_blocks = list(range(row, num_blocks, fabric.rows))
-        progress = {"next": 0}
-
-        def make_decode_and_emit(my_blocks=my_blocks, progress=progress):
-            def decode_and_emit(
-                ctx: TaskContext, fl: int, words: np.ndarray | None
-            ) -> None:
-                idx = my_blocks[progress["next"]]
-                progress["next"] += 1
-                zero = fl == 0
-                for stage in decompression_substages(fl, block_size, model):
-                    if zero and not stage.name.startswith("dequant"):
-                        continue  # zero path: flag + dequant only
-                    ctx.spend(stage.cycles)
-                if zero:
-                    ctx.spend(model.zero_flag.cycles(block_size))
-                outputs.blocks[idx] = decode_block_from_words(
-                    fl, words, eps, block_size
-                )
-                if progress["next"] < len(my_blocks):
-                    ctx.activate(c_in)
-                else:
-                    ctx.halt()
-
-            return decode_and_emit
-
-        decode_and_emit = make_decode_and_emit()
-
-        def make_recv_header():
-            def recv_header(ctx: TaskContext) -> None:
-                ctx.mov32(
-                    Mem1dDsd("hdr"),
-                    FabinDsd(c_in, extent=1),
-                    on_complete=c_hdr,
-                )
-
-            return recv_header
-
-        def make_on_header(decode=decode_and_emit):
-            def on_header(ctx: TaskContext) -> None:
-                fl = int(ctx.buffer("hdr")[0])
-                if fl == 0:
-                    # Zero block: no body follows; decode is trivial.
-                    decode(ctx, fl, None)
-                else:
-                    ctx.mov32(
-                        Mem1dDsd("body", length=sign_words * (1 + fl)),
-                        FabinDsd(c_in, extent=sign_words * (1 + fl)),
-                        on_complete=c_body,
-                    )
-
-            return on_header
-
-        def make_on_body(decode=decode_and_emit):
-            def on_body(ctx: TaskContext) -> None:
-                fl = int(ctx.buffer("hdr")[0])
-                words = (
-                    ctx.buffer("body")[: sign_words * (1 + fl)]
-                    .astype(np.uint32)
-                    .copy()
-                )
-                decode(ctx, fl, words)
-
-            return on_body
-
-        pe.bind_task(c_in, Task("recv_header", make_recv_header()))
-        pe.bind_task(c_hdr, Task("on_header", make_on_header()))
-        pe.bind_task(c_body, Task("on_body", make_on_body()))
-        if my_blocks:
-            engine.schedule_activation(pe, c_in.id, 0.0)
-
-    # Feed rows: header word, then (if any) the body words.
-    per_row_time = [0.0] * fabric.rows
-    for i, (header, words) in enumerate(packed):
-        row = i % fabric.rows
-        engine.inject(
-            row, 0, c_in, header.astype(np.uint32), at=per_row_time[row]
-        )
-        per_row_time[row] += 1
-        if words is not None:
-            engine.inject(
-                row, 0, c_in, words.astype(np.uint32), at=per_row_time[row]
-            )
-            per_row_time[row] += words.size
-    return outputs
+    plan = plan_row_parallel_decompress(
+        body,
+        num_blocks,
+        eps,
+        rows=fabric.rows,
+        cols=fabric.cols,
+        block_size=block_size,
+    )
+    return lower_plan(plan, fabric, engine, model=model).outputs
 
 
 # --- pipeline-parallel decompression (Algorithm 1 over reverse sub-stages) ---
@@ -391,195 +302,16 @@ def build_pipeline_decompress_program(
     only pay the prefix-sum and de-quantization stages, exactly like the
     device's fast path.
     """
-    from repro.core.mapping import substage_cycles
-    from repro.wse.dsd import FaboutDsd
+    from repro.core.lower import lower_plan
+    from repro.core.plan import plan_pipeline_decompress
 
-    pl = distribution.length
-    if pl > fabric.cols:
-        raise CompressionError(
-            f"decompression pipeline of {pl} stages needs {pl} columns"
-        )
-    outputs = DecompressOutputs()
-    colors = ColorAllocator()
-    c_in = colors.allocate("input")
-    c_hdr = colors.allocate("header_ready")
-    c_body = colors.allocate("body_ready")
-    c_go = colors.allocate("compute")
-    c_fwd = [colors.allocate(f"fwd{p}") for p in range(2)]
-
-    packed = records_to_words(body, num_blocks, block_size)
-    sign_words = block_size // 32
-    max_fl = max((int(h[0]) for h, _ in packed), default=0)
-    state_len = 4 + block_size + block_size // 8 + max_fl
-
-    for row in range(fabric.rows):
-        my_blocks = list(range(row, num_blocks, fabric.rows))
-        fabric.set_route(row, 0, c_in, Direction.WEST, Direction.RAMP)
-        for col in range(pl):
-            pe = fabric.pe(row, col)
-            group = distribution.groups[col]
-            is_first = col == 0
-            is_last = col == pl - 1
-            recv_color = c_in if is_first else c_fwd[(col - 1) % 2]
-            send_color = None if is_last else c_fwd[col % 2]
-            if not is_first:
-                fabric.set_route(
-                    row, col, recv_color, Direction.WEST, Direction.RAMP
-                )
-            if send_color is not None:
-                fabric.set_route(
-                    row, col, send_color, Direction.RAMP, Direction.EAST
-                )
-                fabric.set_route(
-                    row, col + 1, send_color, Direction.WEST, Direction.RAMP
-                )
-            if is_first:
-                pe.alloc_buffer("hdr", np.zeros(1, dtype=np.int64))
-                pe.alloc_buffer(
-                    "body", np.zeros(sign_words * (1 + 63), dtype=np.int64)
-                )
-            else:
-                pe.alloc_buffer(
-                    "stage_in", np.zeros(state_len, dtype=np.float64)
-                )
-            progress = {"done": 0}
-
-            def make_process(
-                group=group,
-                is_last=is_last,
-                send_color=send_color,
-                recv_color=recv_color,
-                my_blocks=my_blocks,
-                progress=progress,
-            ):
-                def process(ctx: TaskContext, state: DecompressState) -> None:
-                    for stage in group:
-                        if stage.name.startswith("unshuffle_bit_"):
-                            k = int(stage.name.rsplit("_", 1)[1])
-                            if k >= state.fl:
-                                ctx.spend(model.task_dispatch)
-                                continue
-                        if state.fl == 0 and stage.name in (
-                            "sign_restore",
-                        ):
-                            ctx.spend(model.task_dispatch)
-                            continue
-                        if state.phase == "signed" and stage.name.startswith(
-                            "unshuffle"
-                        ):
-                            ctx.spend(model.task_dispatch)
-                            continue
-                        state = run_decompress_substage(stage, state, eps)
-                        ctx.spend(stage.cycles)
-                    idx = my_blocks[progress["done"]]
-                    progress["done"] += 1
-                    if is_last:
-                        outputs.blocks[idx] = finalize_decompressed(state)
-                    else:
-                        vec = state.to_array()
-                        padded = np.zeros(state_len, dtype=np.float64)
-                        padded[: vec.size] = vec
-                        ctx.spend(model.forward_block_cycles(block_size))
-                        ctx.send(send_color, padded)
-                    if progress["done"] < len(my_blocks):
-                        ctx.activate(recv_color)
-                    else:
-                        ctx.halt()
-
-                return process
-
-            process = make_process()
-
-            if is_first:
-
-                def make_recv_header():
-                    def recv_header(ctx: TaskContext) -> None:
-                        ctx.mov32(
-                            Mem1dDsd("hdr"),
-                            FabinDsd(c_in, extent=1),
-                            on_complete=c_hdr,
-                        )
-
-                    return recv_header
-
-                def make_on_header(process=process):
-                    def on_header(ctx: TaskContext) -> None:
-                        fl = int(ctx.buffer("hdr")[0])
-                        if fl == 0:
-                            state = DecompressState.from_record(
-                                0, None, block_size
-                            )
-                            process(ctx, state)
-                        else:
-                            ctx.mov32(
-                                Mem1dDsd(
-                                    "body", length=sign_words * (1 + fl)
-                                ),
-                                FabinDsd(
-                                    c_in, extent=sign_words * (1 + fl)
-                                ),
-                                on_complete=c_body,
-                            )
-
-                    return on_header
-
-                def make_on_body(process=process):
-                    def on_body(ctx: TaskContext) -> None:
-                        fl = int(ctx.buffer("hdr")[0])
-                        words = (
-                            ctx.buffer("body")[: sign_words * (1 + fl)]
-                            .astype(np.uint32)
-                            .copy()
-                        )
-                        state = DecompressState.from_record(
-                            fl, words, block_size
-                        )
-                        process(ctx, state)
-
-                    return on_body
-
-                pe.bind_task(c_in, Task("recv_header", make_recv_header()))
-                pe.bind_task(c_hdr, Task("on_header", make_on_header()))
-                pe.bind_task(c_body, Task("on_body", make_on_body()))
-            else:
-
-                def make_recv_state(
-                    recv_color=recv_color,
-                ):
-                    def recv_state(ctx: TaskContext) -> None:
-                        ctx.mov32(
-                            Mem1dDsd("stage_in"),
-                            FabinDsd(recv_color, extent=state_len),
-                            on_complete=c_go,
-                        )
-
-                    return recv_state
-
-                def make_on_state(process=process):
-                    def on_state(ctx: TaskContext) -> None:
-                        state = DecompressState.from_array(
-                            ctx.buffer("stage_in")
-                        )
-                        process(ctx, state)
-
-                    return on_state
-
-                pe.bind_task(recv_color, Task("recv_state", make_recv_state()))
-                pe.bind_task(c_go, Task("on_state", make_on_state()))
-
-            if my_blocks:
-                engine.schedule_activation(pe, recv_color.id, 0.0)
-
-    per_row_time = [0.0] * fabric.rows
-    for i, (header, words) in enumerate(packed):
-        row = i % fabric.rows
-        engine.inject(
-            row, 0, c_in, header.astype(np.uint32), at=per_row_time[row]
-        )
-        per_row_time[row] += 1
-        if words is not None:
-            engine.inject(
-                row, 0, c_in, words.astype(np.uint32), at=per_row_time[row]
-            )
-            per_row_time[row] += words.size
-    return outputs
+    plan = plan_pipeline_decompress(
+        body,
+        num_blocks,
+        eps,
+        distribution,
+        rows=fabric.rows,
+        cols=fabric.cols,
+        block_size=block_size,
+    )
+    return lower_plan(plan, fabric, engine, model=model).outputs

@@ -1,0 +1,928 @@
+"""Declarative mapping IR: PE-placed stage graphs for the WSE programs.
+
+The paper's contribution is the *mapping* of the compression pipeline onto
+the wafer (Section 4, Figs 6/9, Algorithm 1). Historically each mapping was
+a hand-wired program builder: colors, routes, relay closures, and recv /
+compute tasks created from scratch per strategy. This module factors the
+*what* out of the *how*: a :class:`MappingPlan` is a declarative graph of
+PE-placed nodes —
+
+* :class:`IngestNode` / :class:`EgressNode` — where data enters the mesh
+  from the west edge and where records leave it (descriptive; the host
+  boundary of paper Section 5.1.1);
+* :class:`ComputeNode` — a whole-algorithm-per-PE kernel (Fig 6 left);
+* :class:`RelayNode` — the Fig 9 counted relay: per round, pass ``passing``
+  blocks east before consuming one, then either run the whole algorithm
+  (``group is None``, Fig 6 right with 1-PE pipelines) or run stage group 0
+  and forward intermediate state (a staged pipeline's head);
+* :class:`StageNode` — one Algorithm-1 stage group on one PE, receiving
+  serialized state from the west and forwarding east (Fig 6 middle), with
+  an optional raw-relay side duty when pipelines share a row;
+* :class:`HeaderNode` — the decompression head: the two-phase header/body
+  receive that data-dependent record lengths force on a dataflow machine —
+
+with typed edges (a color name, a direction, an extent) recorded as
+:class:`RouteSpec` rows and host injections as :class:`Feed` rows, all in a
+deterministic order. :mod:`repro.core.lower` compiles a plan into Engine
+tasks/colors/routes exactly once; every strategy is now a plan constructor,
+and a new mapping is a new constructor, not a new closure forest.
+
+Plans are inspectable before any simulation: :meth:`MappingPlan.describe`
+prints the placement, color budget, and SRAM footprint (the ``ceresz plan``
+subcommand), and :meth:`MappingPlan.snapshot` returns a JSON-able placement
+snapshot that the golden tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+
+import numpy as np
+
+from repro.config import BLOCK_SIZE, PE_NUM_COLORS
+from repro.core.mapping_decompress import records_to_words
+from repro.core.schedule import StageDistribution
+from repro.core.stages import SubStage
+from repro.errors import CompressionError, ScheduleError
+
+#: Extra bit-plane words a decompression head must be able to buffer: the
+#: fixed length of an int64 magnitude is at most 63 bits.
+MAX_RECORD_FL = 63
+
+_DTYPE_BYTES = {"float64": 8, "int64": 8}
+
+
+# --- typed edges -----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RouteSpec:
+    """One PE's static router rule for a color (CSL route setup)."""
+
+    row: int
+    col: int
+    color: str  # name in MappingPlan.colors
+    inputs: tuple[str, ...]  # directions: "west"/"east"/"north"/"south"/"ramp"
+    output: str
+
+    def arrow(self) -> str:
+        return f"{'+'.join(self.inputs)}->{self.output}"
+
+
+@dataclass(frozen=True)
+class BufferSpec:
+    """A named SRAM buffer a node needs (extent in elements)."""
+
+    name: str
+    extent: int
+    dtype: str  # key of _DTYPE_BYTES
+
+    @property
+    def nbytes(self) -> int:
+        return self.extent * _DTYPE_BYTES[self.dtype]
+
+
+@dataclass(frozen=True)
+class Feed:
+    """One host injection at the west edge, serialized in plan order."""
+
+    row: int
+    col: int
+    color: str
+    data: np.ndarray
+
+
+# --- nodes -----------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IngestNode:
+    """Where off-wafer data enters the mesh (descriptive; feeds do the work)."""
+
+    row: int
+    col: int
+    color: str
+
+    kind = "ingest"
+
+
+@dataclass(frozen=True)
+class EgressNode:
+    """Where finished records/blocks leave the mesh to the host."""
+
+    row: int
+    col: int
+
+    kind = "egress"
+
+
+@dataclass(frozen=True)
+class ComputeNode:
+    """Whole-algorithm-per-PE compression (Fig 6 left / Fig 7)."""
+
+    row: int
+    col: int
+    recv: str  # raw-block input color
+    go: str  # compute activation color
+    blocks: tuple[int, ...]  # block indices in processing order
+
+    kind = "compute"
+
+
+@dataclass(frozen=True)
+class RelayNode:
+    """Fig 9 counted relay plus compute: multi-pipeline PE or staged head.
+
+    ``schedule`` holds one ``(passing, own)`` entry per row round: relay
+    ``passing`` blocks east, then consume ``own`` (``None`` in tail rounds
+    that give this PE nothing). ``group is None`` means the whole algorithm
+    runs here (1-PE pipelines); otherwise ``group`` is Algorithm 1's stage
+    group 0 and the intermediate state forwards on ``out`` (``None`` when
+    the pipeline is a single PE and the record is emitted in place).
+    """
+
+    row: int
+    col: int
+    recv: str  # relay input color (alternating parity)
+    send: str  # relay output color
+    go: str
+    schedule: tuple[tuple[int, int | None], ...]
+    blocks: tuple[int, ...]
+    group: tuple[SubStage, ...] | None = None
+    out: str | None = None
+
+    kind = "relay"
+
+
+@dataclass(frozen=True)
+class StageNode:
+    """One Algorithm-1 stage group on one PE (Fig 6 middle).
+
+    ``first`` marks the pipeline head that receives raw blocks instead of
+    serialized state. ``send is None`` marks the tail that emits records.
+    ``relay`` is the raw pass-through duty ``(recv_raw, send_raw, total)``
+    a staged pipeline's interior PEs carry for pipelines east of them —
+    such PEs never halt (a raw relay may still be in flight).
+    """
+
+    row: int
+    col: int
+    recv: str
+    go: str
+    send: str | None
+    group: tuple[SubStage, ...]
+    blocks: tuple[int, ...]
+    first: bool = False
+    relay: tuple[str, str, int] | None = None
+
+    kind = "stage"
+
+
+@dataclass(frozen=True)
+class HeaderNode:
+    """Decompression head: two-phase header/body receive (Section 4.2).
+
+    Compressed records have data-dependent length, so the PE first receives
+    the one-word header on ``recv`` (completion color ``hdr``), learns the
+    block's fixed length, then posts the ``1 + fl`` word body receive
+    (completion color ``body``). ``group is None`` decodes whole blocks in
+    place; otherwise the head runs stage group 0 and forwards on ``send``.
+    """
+
+    row: int
+    col: int
+    recv: str
+    hdr: str
+    body: str
+    blocks: tuple[int, ...]
+    group: tuple[SubStage, ...] | None = None
+    send: str | None = None
+
+    kind = "header"
+
+
+Node = IngestNode | EgressNode | ComputeNode | RelayNode | StageNode | HeaderNode
+
+
+def node_buffers(node: Node, plan: "MappingPlan") -> tuple[BufferSpec, ...]:
+    """The SRAM buffers lowering will allocate for ``node``, in order."""
+    if isinstance(node, (IngestNode, EgressNode)):
+        return ()
+    if isinstance(node, (ComputeNode, RelayNode)):
+        return (BufferSpec("inbox", plan.block_size, "float64"),)
+    if isinstance(node, StageNode):
+        extent = plan.block_size if node.first else plan.state_len
+        return (BufferSpec("stage_in", extent, "float64"),)
+    if isinstance(node, HeaderNode):
+        sign_words = plan.block_size // 32
+        return (
+            BufferSpec("hdr", 1, "int64"),
+            BufferSpec("body", sign_words * (1 + MAX_RECORD_FL), "int64"),
+        )
+    raise ScheduleError(f"unknown node kind {type(node).__name__}")
+
+
+def _emits(node: Node) -> bool:
+    if isinstance(node, ComputeNode):
+        return True
+    if isinstance(node, RelayNode):
+        return node.out is None
+    if isinstance(node, (StageNode, HeaderNode)):
+        return node.send is None
+    return False
+
+
+# --- the plan --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MappingPlan:
+    """A PE-placed stage graph, ready for the single lowering pass."""
+
+    strategy: str  # "rows" | "pipeline" | "multi" | "staged"
+    direction: str  # "compress" | "decompress"
+    rows: int
+    cols: int
+    block_size: int
+    num_blocks: int
+    eps: float
+    colors: tuple[str, ...]  # allocation order
+    routes: tuple[RouteSpec, ...]  # install order
+    nodes: tuple[Node, ...]  # buffer-alloc / bind / activation order
+    feeds: tuple[Feed, ...]  # injection order
+    state_len: int = 0  # serialized inter-stage state extent (0 if unused)
+
+    # -- validation ---------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Plan-level checks that catch mapping bugs before any simulation."""
+        if len(self.colors) > PE_NUM_COLORS:
+            raise ScheduleError(
+                f"plan needs {len(self.colors)} colors, hardware has "
+                f"{PE_NUM_COLORS}"
+            )
+        if len(set(self.colors)) != len(self.colors):
+            raise ScheduleError(f"duplicate color names in {self.colors}")
+        known = set(self.colors)
+        for route in self.routes:
+            self._check_coord(route.row, route.col, "route")
+            if route.color not in known:
+                raise ScheduleError(
+                    f"route on unallocated color {route.color!r}"
+                )
+        for feed in self.feeds:
+            self._check_coord(feed.row, feed.col, "feed")
+            if feed.color not in known:
+                raise ScheduleError(f"feed on unallocated color {feed.color!r}")
+        seen: dict[int, tuple[int, int]] = {}
+        for node in self.nodes:
+            self._check_coord(node.row, node.col, node.kind)
+            for name in _node_colors(node):
+                if name is not None and name not in known:
+                    raise ScheduleError(
+                        f"{node.kind} node at PE({node.row},{node.col}) uses "
+                        f"unallocated color {name!r}"
+                    )
+            if _emits(node):
+                for idx in node.blocks:
+                    if idx in seen:
+                        raise ScheduleError(
+                            f"block {idx} emitted by both PE{seen[idx]} and "
+                            f"PE({node.row},{node.col})"
+                        )
+                    seen[idx] = (node.row, node.col)
+        missing = [i for i in range(self.num_blocks) if i not in seen]
+        if missing:
+            raise ScheduleError(
+                f"plan covers no emitting node for blocks {missing[:8]}"
+                + ("..." if len(missing) > 8 else "")
+            )
+
+    def _check_coord(self, row: int, col: int, what: str) -> None:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ScheduleError(
+                f"{what} at PE({row},{col}) outside the "
+                f"{self.rows}x{self.cols} mesh"
+            )
+
+    # -- inspection ---------------------------------------------------------------
+
+    @property
+    def color_budget(self) -> tuple[int, int]:
+        return (len(self.colors), PE_NUM_COLORS)
+
+    def sram_bytes(self) -> dict[tuple[int, int], int]:
+        """Per-PE SRAM footprint of the plan's declared buffers."""
+        usage: dict[tuple[int, int], int] = {}
+        for node in self.nodes:
+            for buf in node_buffers(node, self):
+                key = (node.row, node.col)
+                usage[key] = usage.get(key, 0) + buf.nbytes
+        return usage
+
+    def snapshot(self) -> dict:
+        """JSON-able placement/color snapshot (pinned by the golden tests)."""
+        return {
+            "strategy": self.strategy,
+            "direction": self.direction,
+            "mesh": [self.rows, self.cols],
+            "block_size": self.block_size,
+            "num_blocks": self.num_blocks,
+            "state_len": self.state_len,
+            "colors": list(self.colors),
+            "routes": [
+                [r.row, r.col, r.color, r.arrow()] for r in self.routes
+            ],
+            "nodes": [_node_snapshot(n) for n in self.nodes],
+            "feeds": len(self.feeds),
+            "sram_bytes": {
+                f"{r},{c}": b for (r, c), b in sorted(self.sram_bytes().items())
+            },
+        }
+
+    def describe(self) -> str:
+        """Human-readable placement report (the ``ceresz plan`` output)."""
+        used, budget = self.color_budget
+        lines = [
+            f"mapping plan: strategy={self.strategy} "
+            f"direction={self.direction} mesh={self.rows}x{self.cols}",
+            f"blocks: {self.num_blocks} x {self.block_size} values "
+            f"(eps {self.eps:g})",
+            f"colors: {used}/{budget} [{', '.join(self.colors)}]",
+            f"routes: {len(self.routes)}   feeds: {len(self.feeds)}"
+            + (f"   state_len: {self.state_len}" if self.state_len else ""),
+            "placement:",
+        ]
+        for node in self.nodes:
+            lines.append("  " + _node_line(node))
+        usage = self.sram_bytes()
+        if usage:
+            (peak_r, peak_c), peak = max(usage.items(), key=lambda kv: kv[1])
+            lines.append(
+                f"SRAM: {len(usage)} PEs with buffers, peak {peak} B at "
+                f"PE({peak_r},{peak_c})"
+            )
+        return "\n".join(lines)
+
+
+def _node_colors(node: Node) -> tuple[str | None, ...]:
+    if isinstance(node, IngestNode):
+        return (node.color,)
+    if isinstance(node, EgressNode):
+        return ()
+    if isinstance(node, ComputeNode):
+        return (node.recv, node.go)
+    if isinstance(node, RelayNode):
+        return (node.recv, node.send, node.go, node.out)
+    if isinstance(node, StageNode):
+        extra = node.relay[:2] if node.relay else ()
+        return (node.recv, node.go, node.send, *extra)
+    if isinstance(node, HeaderNode):
+        return (node.recv, node.hdr, node.body, node.send)
+    return ()
+
+
+def _group_names(group: tuple[SubStage, ...] | None) -> list[str] | None:
+    return None if group is None else [s.name for s in group]
+
+
+def _node_snapshot(node: Node) -> dict:
+    snap: dict = {"kind": node.kind, "pe": [node.row, node.col]}
+    if isinstance(node, IngestNode):
+        snap["color"] = node.color
+    elif isinstance(node, ComputeNode):
+        snap.update(recv=node.recv, go=node.go, blocks=[int(b) for b in node.blocks])
+    elif isinstance(node, RelayNode):
+        snap.update(
+            recv=node.recv,
+            send=node.send,
+            go=node.go,
+            out=node.out,
+            schedule=[
+                [int(p), None if own is None else int(own)]
+                for p, own in node.schedule
+            ],
+            blocks=[int(b) for b in node.blocks],
+            stages=_group_names(node.group),
+        )
+    elif isinstance(node, StageNode):
+        snap.update(
+            recv=node.recv,
+            go=node.go,
+            send=node.send,
+            first=node.first,
+            relay=list(node.relay) if node.relay else None,
+            blocks=[int(b) for b in node.blocks],
+            stages=_group_names(node.group),
+        )
+    elif isinstance(node, HeaderNode):
+        snap.update(
+            recv=node.recv,
+            hdr=node.hdr,
+            body=node.body,
+            send=node.send,
+            blocks=[int(b) for b in node.blocks],
+            stages=_group_names(node.group),
+        )
+    return snap
+
+
+def _node_line(node: Node) -> str:
+    if isinstance(node, IngestNode):
+        return f"PE({node.row},{node.col}) ingest   west edge on {node.color}"
+    if isinstance(node, EgressNode):
+        return f"PE({node.row},{node.col}) egress   records to host"
+    if isinstance(node, ComputeNode):
+        return (
+            f"PE({node.row},{node.col}) compute  whole block x"
+            f"{len(node.blocks)} (recv {node.recv})"
+        )
+    if isinstance(node, RelayNode):
+        passing = sum(p for p, _ in node.schedule)
+        what = (
+            "whole block"
+            if node.group is None
+            else f"group[{len(node.group)} stages]"
+        )
+        tail = f" -> {node.out}" if node.out else ""
+        return (
+            f"PE({node.row},{node.col}) relay    pass {passing} east, "
+            f"{what} x{len(node.blocks)}{tail}"
+        )
+    if isinstance(node, StageNode):
+        tail = f" -> {node.send}" if node.send else " -> emit"
+        duty = f" + relay x{node.relay[2]}" if node.relay else ""
+        return (
+            f"PE({node.row},{node.col}) stage    "
+            f"[{', '.join(s.name for s in node.group)}] "
+            f"x{len(node.blocks)}{tail}{duty}"
+        )
+    if isinstance(node, HeaderNode):
+        what = (
+            "whole-block decode"
+            if node.group is None
+            else f"group[{len(node.group)} stages]"
+        )
+        tail = f" -> {node.send}" if node.send else " -> emit"
+        return (
+            f"PE({node.row},{node.col}) header   two-phase recv, {what} "
+            f"x{len(node.blocks)}{tail}"
+        )
+    return f"PE({node.row},{node.col}) {node.kind}"
+
+
+# --- compression plan constructors -----------------------------------------------------
+
+
+def _pipeline_state_len(block_size: int, distribution: StageDistribution) -> int:
+    """Serialized PipelineState extent: header + values + signs + planes."""
+    sign_bytes = block_size // 8
+    max_fl = max(
+        (
+            int(s.name.rsplit("_", 1)[1]) + 1
+            for g in distribution.groups
+            for s in g
+            if s.name.startswith("shuffle_bit_")
+        ),
+        default=0,
+    )
+    return 5 + block_size + sign_bytes + max_fl * sign_bytes
+
+
+def plan_row_parallel(
+    blocks: np.ndarray, eps: float, *, rows: int, cols: int
+) -> MappingPlan:
+    """Fig 6 left: the whole algorithm on the first PE of each row."""
+    num_blocks, block_size = blocks.shape
+    routes: list[RouteSpec] = []
+    nodes: list[Node] = []
+    for row in range(rows):
+        routes.append(RouteSpec(row, 0, "input", ("west",), "ramp"))
+        my = tuple(range(row, num_blocks, rows))
+        nodes.append(IngestNode(row, 0, "input"))
+        nodes.append(ComputeNode(row, 0, "input", "compute", my))
+        nodes.append(EgressNode(row, 0))
+    feeds = tuple(
+        Feed(i % rows, 0, "input", blocks[i].astype(np.float32))
+        for i in range(num_blocks)
+    )
+    return MappingPlan(
+        strategy="rows",
+        direction="compress",
+        rows=rows,
+        cols=cols,
+        block_size=block_size,
+        num_blocks=num_blocks,
+        eps=eps,
+        colors=("input", "compute"),
+        routes=tuple(routes),
+        nodes=tuple(nodes),
+        feeds=feeds,
+    )
+
+
+def plan_pipeline(
+    blocks: np.ndarray,
+    eps: float,
+    distribution: StageDistribution,
+    *,
+    rows: int,
+    cols: int,
+) -> MappingPlan:
+    """Fig 6 middle: one Algorithm-1 pipeline per row, state flowing east."""
+    num_blocks, block_size = blocks.shape
+    pl = distribution.length
+    if pl > cols:
+        raise ScheduleError(
+            f"pipeline of {pl} stages needs {pl} columns, mesh has {cols}"
+        )
+    state_len = _pipeline_state_len(block_size, distribution)
+    routes: list[RouteSpec] = []
+    nodes: list[Node] = []
+    for row in range(rows):
+        my = tuple(range(row, num_blocks, rows))
+        routes.append(RouteSpec(row, 0, "input", ("west",), "ramp"))
+        nodes.append(IngestNode(row, 0, "input"))
+        for col in range(pl):
+            is_first = col == 0
+            is_last = col == pl - 1
+            recv = "input" if is_first else f"fwd{(col - 1) % 2}"
+            send = None if is_last else f"fwd{col % 2}"
+            if not is_first:
+                routes.append(RouteSpec(row, col, recv, ("west",), "ramp"))
+            if send is not None:
+                routes.append(RouteSpec(row, col, send, ("ramp",), "east"))
+                routes.append(RouteSpec(row, col + 1, send, ("west",), "ramp"))
+            nodes.append(
+                StageNode(
+                    row,
+                    col,
+                    recv,
+                    "compute",
+                    send,
+                    distribution.groups[col],
+                    my,
+                    first=is_first,
+                )
+            )
+        nodes.append(EgressNode(row, pl - 1))
+    feeds = tuple(
+        Feed(i % rows, 0, "input", blocks[i].astype(np.float32))
+        for i in range(num_blocks)
+    )
+    return MappingPlan(
+        strategy="pipeline",
+        direction="compress",
+        rows=rows,
+        cols=cols,
+        block_size=block_size,
+        num_blocks=num_blocks,
+        eps=eps,
+        colors=("input", "compute", "fwd0", "fwd1"),
+        routes=tuple(routes),
+        nodes=tuple(nodes),
+        feeds=feeds,
+        state_len=state_len,
+    )
+
+
+def plan_multi_pipeline(
+    blocks: np.ndarray,
+    eps: float,
+    *,
+    rows: int,
+    cols: int,
+    pipeline_length: int = 1,
+) -> MappingPlan:
+    """Fig 9: every PE of a row relays then compresses whole blocks."""
+    if pipeline_length != 1:
+        raise ScheduleError(
+            "the multi-pipeline builder models pipeline_length=1 (the "
+            "paper's optimal configuration); longer pipelines compose via "
+            "build_pipeline_program"
+        )
+    num_blocks, block_size = blocks.shape
+
+    def block_for(row: int, rnd: int, col: int) -> int | None:
+        base = rnd * rows * cols + row * cols
+        idx = base + (cols - 1 - col)
+        return idx if idx < num_blocks else None
+
+    rounds = -(-num_blocks // (rows * cols))
+    routes: list[RouteSpec] = []
+    nodes: list[Node] = []
+    for row in range(rows):
+        for col in range(cols):
+            recv = f"relay{col % 2}"
+            send = f"relay{(col + 1) % 2}"
+            routes.append(RouteSpec(row, col, recv, ("west",), "ramp"))
+            if col + 1 < cols:
+                routes.append(RouteSpec(row, col, send, ("ramp",), "east"))
+        nodes.append(IngestNode(row, 0, "relay0"))
+        for col in range(cols):
+            recv = f"relay{col % 2}"
+            send = f"relay{(col + 1) % 2}"
+            my = tuple(
+                block_for(row, rnd, col)
+                for rnd in range(rounds)
+                if block_for(row, rnd, col) is not None
+            )
+            schedule = tuple(
+                (
+                    sum(
+                        1
+                        for c in range(col + 1, cols)
+                        if block_for(row, rnd, c) is not None
+                    ),
+                    block_for(row, rnd, col),
+                )
+                for rnd in range(rounds)
+            )
+            nodes.append(
+                RelayNode(row, col, recv, send, "compute", schedule, my)
+            )
+            nodes.append(EgressNode(row, col))
+    feeds: list[Feed] = []
+    for rnd in range(rounds):
+        for row in range(rows):
+            for col in range(cols - 1, -1, -1):
+                idx = block_for(row, rnd, col)
+                if idx is None:
+                    continue
+                feeds.append(
+                    Feed(row, 0, "relay0", blocks[idx].astype(np.float32))
+                )
+    return MappingPlan(
+        strategy="multi",
+        direction="compress",
+        rows=rows,
+        cols=cols,
+        block_size=block_size,
+        num_blocks=num_blocks,
+        eps=eps,
+        colors=("relay0", "relay1", "compute"),
+        routes=tuple(routes),
+        nodes=tuple(nodes),
+        feeds=tuple(feeds),
+    )
+
+
+def plan_staged_multi_pipeline(
+    blocks: np.ndarray,
+    eps: float,
+    distribution: StageDistribution,
+    *,
+    rows: int,
+    cols: int,
+) -> MappingPlan:
+    """Fig 6 right in full generality: P staged pipelines per row."""
+    num_blocks, block_size = blocks.shape
+    pl = distribution.length
+    if pl > cols:
+        raise ScheduleError(
+            f"pipeline of {pl} stages needs {pl} columns, mesh has {cols}"
+        )
+    num_pipelines = cols // pl
+    if num_pipelines < 1:
+        raise ScheduleError("mesh too narrow for one pipeline")
+
+    def block_for(row: int, rnd: int, q: int) -> int | None:
+        base = rnd * rows * num_pipelines + row * num_pipelines
+        idx = base + (num_pipelines - 1 - q)
+        return idx if idx < num_blocks else None
+
+    rounds = -(-num_blocks // (rows * num_pipelines))
+    state_len = _pipeline_state_len(block_size, distribution)
+    used_cols = num_pipelines * pl
+    routes: list[RouteSpec] = []
+    nodes: list[Node] = []
+    for row in range(rows):
+        for col in range(used_cols):
+            recv_raw = f"raw{col % 2}"
+            send_raw = f"raw{(col + 1) % 2}"
+            routes.append(RouteSpec(row, col, recv_raw, ("west",), "ramp"))
+            if col + 1 < used_cols:
+                routes.append(RouteSpec(row, col, send_raw, ("ramp",), "east"))
+        nodes.append(IngestNode(row, 0, "raw0"))
+        for q in range(num_pipelines):
+            head = q * pl
+            my = tuple(
+                block_for(row, rnd, q)
+                for rnd in range(rounds)
+                if block_for(row, rnd, q) is not None
+            )
+            schedule = tuple(
+                (
+                    sum(
+                        1
+                        for q2 in range(q + 1, num_pipelines)
+                        if block_for(row, rnd, q2) is not None
+                    ),
+                    block_for(row, rnd, q),
+                )
+                for rnd in range(rounds)
+            )
+            total_passing = sum(p for p, _ in schedule)
+            for j in range(pl):
+                col = head + j
+                recv_raw = f"raw{col % 2}"
+                send_raw = f"raw{(col + 1) % 2}"
+                is_head = j == 0
+                is_last = j == pl - 1
+                state_recv = None if is_head else f"fwd{(col - 1) % 2}"
+                state_send = None if is_last else f"fwd{col % 2}"
+                if state_recv is not None:
+                    routes.append(
+                        RouteSpec(row, col, state_recv, ("west",), "ramp")
+                    )
+                if state_send is not None:
+                    routes.append(
+                        RouteSpec(row, col, state_send, ("ramp",), "east")
+                    )
+                if is_head:
+                    nodes.append(
+                        RelayNode(
+                            row,
+                            col,
+                            recv_raw,
+                            send_raw,
+                            "compute",
+                            schedule,
+                            my,
+                            group=distribution.groups[0],
+                            out=state_send,
+                        )
+                    )
+                else:
+                    nodes.append(
+                        StageNode(
+                            row,
+                            col,
+                            state_recv,
+                            "compute",
+                            state_send,
+                            distribution.groups[j],
+                            my,
+                            relay=(recv_raw, send_raw, total_passing),
+                        )
+                    )
+            nodes.append(EgressNode(row, head + pl - 1))
+    feeds: list[Feed] = []
+    for rnd in range(rounds):
+        for row in range(rows):
+            for q in range(num_pipelines - 1, -1, -1):
+                idx = block_for(row, rnd, q)
+                if idx is None:
+                    continue
+                feeds.append(
+                    Feed(row, 0, "raw0", blocks[idx].astype(np.float32))
+                )
+    return MappingPlan(
+        strategy="staged",
+        direction="compress",
+        rows=rows,
+        cols=cols,
+        block_size=block_size,
+        num_blocks=num_blocks,
+        eps=eps,
+        colors=("raw0", "raw1", "fwd0", "fwd1", "compute"),
+        routes=tuple(routes),
+        nodes=tuple(nodes),
+        feeds=tuple(feeds),
+        state_len=state_len,
+    )
+
+
+# --- decompression plan constructors ---------------------------------------------------
+
+
+def _record_feeds(
+    packed: list[tuple[np.ndarray, np.ndarray | None]], rows: int, color: str
+) -> tuple[Feed, ...]:
+    feeds: list[Feed] = []
+    for i, (header, words) in enumerate(packed):
+        row = i % rows
+        feeds.append(Feed(row, 0, color, header.astype(np.uint32)))
+        if words is not None:
+            feeds.append(Feed(row, 0, color, words.astype(np.uint32)))
+    return tuple(feeds)
+
+
+def plan_row_parallel_decompress(
+    body: bytes,
+    num_blocks: int,
+    eps: float,
+    *,
+    rows: int,
+    cols: int,
+    block_size: int = BLOCK_SIZE,
+) -> MappingPlan:
+    """Whole-block decompression on the first PE of each row."""
+    packed = records_to_words(body, num_blocks, block_size)
+    routes: list[RouteSpec] = []
+    nodes: list[Node] = []
+    for row in range(rows):
+        routes.append(RouteSpec(row, 0, "input", ("west",), "ramp"))
+        my = tuple(range(row, num_blocks, rows))
+        nodes.append(IngestNode(row, 0, "input"))
+        nodes.append(
+            HeaderNode(row, 0, "input", "header_ready", "body_ready", my)
+        )
+        nodes.append(EgressNode(row, 0))
+    return MappingPlan(
+        strategy="rows",
+        direction="decompress",
+        rows=rows,
+        cols=cols,
+        block_size=block_size,
+        num_blocks=num_blocks,
+        eps=eps,
+        colors=("input", "header_ready", "body_ready"),
+        routes=tuple(routes),
+        nodes=tuple(nodes),
+        feeds=_record_feeds(packed, rows, "input"),
+    )
+
+
+def plan_pipeline_decompress(
+    body: bytes,
+    num_blocks: int,
+    eps: float,
+    distribution: StageDistribution,
+    *,
+    rows: int,
+    cols: int,
+    block_size: int = BLOCK_SIZE,
+) -> MappingPlan:
+    """One decompression pipeline per row (Algorithm 1 over reverse stages)."""
+    pl = distribution.length
+    if pl > cols:
+        raise CompressionError(
+            f"decompression pipeline of {pl} stages needs {pl} columns"
+        )
+    packed = records_to_words(body, num_blocks, block_size)
+    max_fl = max((int(h[0]) for h, _ in packed), default=0)
+    state_len = 4 + block_size + block_size // 8 + max_fl
+    routes: list[RouteSpec] = []
+    nodes: list[Node] = []
+    for row in range(rows):
+        my = tuple(range(row, num_blocks, rows))
+        routes.append(RouteSpec(row, 0, "input", ("west",), "ramp"))
+        nodes.append(IngestNode(row, 0, "input"))
+        for col in range(pl):
+            is_first = col == 0
+            is_last = col == pl - 1
+            recv = "input" if is_first else f"fwd{(col - 1) % 2}"
+            send = None if is_last else f"fwd{col % 2}"
+            if not is_first:
+                routes.append(RouteSpec(row, col, recv, ("west",), "ramp"))
+            if send is not None:
+                routes.append(RouteSpec(row, col, send, ("ramp",), "east"))
+                routes.append(RouteSpec(row, col + 1, send, ("west",), "ramp"))
+            if is_first:
+                nodes.append(
+                    HeaderNode(
+                        row,
+                        col,
+                        "input",
+                        "header_ready",
+                        "body_ready",
+                        my,
+                        group=distribution.groups[col],
+                        send=send,
+                    )
+                )
+            else:
+                nodes.append(
+                    StageNode(
+                        row,
+                        col,
+                        recv,
+                        "compute",
+                        send,
+                        distribution.groups[col],
+                        my,
+                    )
+                )
+        nodes.append(EgressNode(row, pl - 1))
+    return MappingPlan(
+        strategy="pipeline",
+        direction="decompress",
+        rows=rows,
+        cols=cols,
+        block_size=block_size,
+        num_blocks=num_blocks,
+        eps=eps,
+        colors=(
+            "input",
+            "header_ready",
+            "body_ready",
+            "compute",
+            "fwd0",
+            "fwd1",
+        ),
+        routes=tuple(routes),
+        nodes=tuple(nodes),
+        feeds=_record_feeds(packed, rows, "input"),
+        state_len=state_len,
+    )

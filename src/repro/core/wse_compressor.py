@@ -23,12 +23,15 @@ from repro.errors import CompressionError, ScheduleError
 from repro.core.blocks import partition_blocks
 from repro.core.compressor import CereSZ, CompressionResult
 from repro.core.format import make_header
-from repro.core.mapping import (
-    ProgramOutputs,
-    build_multi_pipeline_program,
-    build_pipeline_program,
-    build_row_parallel_program,
-    build_staged_multi_pipeline_program,
+from repro.core.lower import lower_plan
+from repro.core.plan import (
+    MappingPlan,
+    plan_multi_pipeline,
+    plan_pipeline,
+    plan_pipeline_decompress,
+    plan_row_parallel,
+    plan_row_parallel_decompress,
+    plan_staged_multi_pipeline,
 )
 from repro.core.quantize import prequantize_verified
 from repro.core.schedule import distribute_substages, estimate_fixed_length
@@ -114,9 +117,10 @@ class WSECereSZ:
             arr.astype(np.float64), self.block_size
         )
 
+        plan = self._compress_plan(raw_blocks, eps_eff)
         fabric = Fabric(self.rows, self.cols)
         engine = Engine(fabric)
-        outputs = self._build(fabric, engine, raw_blocks, eps_eff)
+        outputs = lower_plan(plan, fabric, engine, model=self.model).outputs
         report = engine.run()
 
         body = outputs.stream(raw_blocks.shape[0])
@@ -154,12 +158,7 @@ class WSECereSZ:
         simulation report; values are identical to :meth:`decompress`.
         """
         from repro.core.format import StreamHeader
-        from repro.core.mapping_decompress import (
-            build_pipeline_decompress_program,
-            build_row_parallel_decompress_program,
-            records_to_words,
-        )
-        from repro.core.stages import decompression_substages
+        from repro.core.mapping_decompress import records_to_words
 
         header, offset = StreamHeader.unpack(stream)
         if header.constant is not None:
@@ -189,70 +188,95 @@ class WSECereSZ:
             dist = distribute_substages(
                 stages, min(self.pipeline_length, len(stages))
             )
-            outputs = build_pipeline_decompress_program(
-                fabric,
-                engine,
+            plan = plan_pipeline_decompress(
                 stream[offset:],
                 header.num_blocks,
                 header.eps,
                 dist,
+                rows=self.rows,
+                cols=self.cols,
                 block_size=header.block_size,
-                model=self.model,
             )
         else:
-            outputs = build_row_parallel_decompress_program(
-                fabric,
-                engine,
+            plan = plan_row_parallel_decompress(
                 stream[offset:],
                 header.num_blocks,
                 header.eps,
+                rows=self.rows,
+                cols=self.cols,
                 block_size=header.block_size,
-                model=self.model,
             )
+        outputs = lower_plan(plan, fabric, engine, model=self.model).outputs
         report = engine.run()
         blocks = outputs.assemble(header.num_blocks, header.block_size)
         flat = blocks.reshape(-1)[: header.num_elements]
         return flat.reshape(header.shape), report
 
+    def plan_for(
+        self,
+        data: np.ndarray,
+        *,
+        eps: float | None = None,
+        rel: float | None = None,
+    ) -> MappingPlan:
+        """The mapping plan :meth:`compress` would lower for ``data``.
+
+        Pure planning — no fabric, no simulation. Useful for inspecting
+        placement, color budget, and SRAM footprint before committing to a
+        run (the ``ceresz plan`` subcommand).
+        """
+        arr = np.asarray(data)
+        bound = self._reference.resolve_error_bound(arr, eps, rel)
+        if bound is None:
+            raise CompressionError(
+                "constant fields bypass the wafer (stored exactly by the "
+                "host); use the reference CereSZ for them"
+            )
+        _, eps_eff = prequantize_verified(arr, bound)
+        raw_blocks, _ = partition_blocks(
+            arr.astype(np.float64), self.block_size
+        )
+        return self._compress_plan(raw_blocks, eps_eff)
+
     # -- internals ------------------------------------------------------------------
 
-    def _build(
-        self,
-        fabric: Fabric,
-        engine: Engine,
-        raw_blocks: np.ndarray,
-        eps_eff: float,
-    ) -> ProgramOutputs:
+    def _compress_plan(
+        self, raw_blocks: np.ndarray, eps_eff: float
+    ) -> MappingPlan:
         if self.strategy == "rows":
-            return build_row_parallel_program(
-                fabric, engine, raw_blocks, eps_eff, model=self.model
+            return plan_row_parallel(
+                raw_blocks, eps_eff, rows=self.rows, cols=self.cols
             )
         if self.strategy == "pipeline":
-            fl = _plan_fixed_length(raw_blocks, eps_eff, self.block_size)
-            stages = compression_substages(fl, self.block_size, self.model)
-            dist = distribute_substages(
-                stages, min(self.pipeline_length, len(stages))
-            )
-            return build_pipeline_program(
-                fabric, engine, raw_blocks, eps_eff, dist, model=self.model
-            )
-        if self.pipeline_length == 1:
-            return build_multi_pipeline_program(
-                fabric,
-                engine,
+            return plan_pipeline(
                 raw_blocks,
                 eps_eff,
+                self._distribution(raw_blocks, eps_eff),
+                rows=self.rows,
+                cols=self.cols,
+            )
+        if self.pipeline_length == 1:
+            return plan_multi_pipeline(
+                raw_blocks,
+                eps_eff,
+                rows=self.rows,
+                cols=self.cols,
                 pipeline_length=1,
-                model=self.model,
             )
         # Fig 6 right in full generality: several staged pipelines per row.
+        return plan_staged_multi_pipeline(
+            raw_blocks,
+            eps_eff,
+            self._distribution(raw_blocks, eps_eff),
+            rows=self.rows,
+            cols=self.cols,
+        )
+
+    def _distribution(self, raw_blocks: np.ndarray, eps_eff: float):
         fl = _plan_fixed_length(raw_blocks, eps_eff, self.block_size)
         stages = compression_substages(fl, self.block_size, self.model)
-        dist = distribute_substages(
+        return distribute_substages(
             stages, min(self.pipeline_length, len(stages))
-        )
-        return build_staged_multi_pipeline_program(
-            fabric, engine, raw_blocks, eps_eff, dist, model=self.model
         )
 
 

@@ -41,6 +41,37 @@ REL_BOUNDS = (1e-2, 1e-3, 1e-4)
 HEADLINE_WAFER = WaferConfig(rows=512, cols=512)
 
 
+def plan_placement_summary(
+    *,
+    strategy: str,
+    rows: int,
+    cols: int,
+    pipeline_length: int = 1,
+    dataset: str = "QMCPack",
+    blocks: int = 16,
+    rel: float = 1e-3,
+    seed: int = 0,
+) -> str:
+    """Placement report for a figure's mapping strategy on a small mesh.
+
+    The figure curves are model-driven; this pins the exact mapping plan
+    (node placement, color budget, routes, SRAM footprint) the lowered
+    program uses for the same strategy, so the recorded results show
+    *what* ran on the fabric, not just how fast the model says it runs.
+    """
+    arr = generate_field(dataset, 0, seed=seed).reshape(-1)
+    data = np.asarray(arr[: blocks * BLOCK_SIZE], dtype=np.float32)
+    sim = WSECereSZ(
+        rows=rows,
+        cols=cols,
+        strategy=strategy,
+        pipeline_length=pipeline_length,
+    )
+    plan = sim.plan_for(data, rel=rel)
+    plan.validate()
+    return plan.describe()
+
+
 # --- Fig 7 ----------------------------------------------------------------------------
 
 
@@ -78,6 +109,7 @@ class RelayProfile:
     cols_swept: list[int]
     relay_cycles_analytic: list[float]
     relay_cycles_simulated: list[float]
+    blocks_relayed: list[int]  # total across the mesh, from node counters
     pipeline_lengths: list[int]
     execution_cycles_per_pe: list[float]
 
@@ -103,6 +135,7 @@ def fig10_relay_and_execution(
 
     analytic = [relay_cycles_per_round(tc) for tc in sim_cols]
     simulated = []
+    relayed = []
     flat = np.asarray(arr).reshape(-1)
     for tc in sim_cols:
         # One row, tc columns, exactly 2 rounds of blocks.
@@ -112,6 +145,9 @@ def fig10_relay_and_execution(
         head = result.report.trace.traces[0]
         # Per-round relay on the head PE (it relays TC-1 blocks per round).
         simulated.append(head.relay_cycles / 2.0)
+        # Fig 9 bookkeeping from the lowered plan's node counters: PE i
+        # forwards TC-1-i blocks per round, so 2 rounds relay TC*(TC-1).
+        relayed.append(result.report.trace.total_blocks_relayed())
 
     block_cycles = workload.mean_cycles("compress", model)
     execution = []
@@ -132,6 +168,7 @@ def fig10_relay_and_execution(
         cols_swept=list(sim_cols),
         relay_cycles_analytic=analytic,
         relay_cycles_simulated=simulated,
+        blocks_relayed=relayed,
         pipeline_lengths=list(pipeline_lengths),
         execution_cycles_per_pe=execution,
     )

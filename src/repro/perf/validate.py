@@ -25,6 +25,23 @@ from repro.wse.cost import CycleModel, PAPER_CYCLE_MODEL
 
 
 @dataclass(frozen=True)
+class StageGap:
+    """Observed vs predicted busy cycles for one coarse pipeline step."""
+
+    step: str  # "prequant" | "lorenzo" | "encode"
+    observed_cycles: float
+    predicted_cycles: float
+
+    @property
+    def relative_gap(self) -> float:
+        if self.predicted_cycles == 0:
+            return 0.0 if self.observed_cycles == 0 else float("inf")
+        return abs(self.observed_cycles - self.predicted_cycles) / (
+            self.predicted_cycles
+        )
+
+
+@dataclass(frozen=True)
 class ValidationPoint:
     """One sim-vs-model comparison."""
 
@@ -34,12 +51,59 @@ class ValidationPoint:
     blocks: int
     simulated_cycles: float
     predicted_cycles: float
+    stage_gaps: tuple[StageGap, ...] = ()
 
     @property
     def relative_gap(self) -> float:
         return abs(self.simulated_cycles - self.predicted_cycles) / (
             self.predicted_cycles
         )
+
+
+def _stage_gaps(
+    trace, workload, model: CycleModel, *, idle_dispatch: bool = False
+) -> tuple[StageGap, ...]:
+    """Observed (node counters) vs predicted busy cycles per coarse step.
+
+    Every strategy runs the same per-block arithmetic; what varies is how
+    planned-but-idle shuffle bits are treated. Whole-block kernels skip
+    them outright; stage-group pipelines (``idle_dispatch=True``) wake for
+    each and pay one task dispatch, charged under the encode step.
+    """
+    from repro.core.stages import compression_substages
+
+    bs = workload.block_size
+    n = workload.num_blocks
+    planned_fl = max(workload.representative_fl, 1)
+    costs = {
+        s.name: s.cycles
+        for s in compression_substages(planned_fl, bs, model)
+        if not s.name.startswith("shuffle_bit_")
+    }
+    real_fls = np.where(workload.zero_blocks, 0, workload.fixed_lengths)
+    per_bit = model.bit_shuffle.cycles(bs, 1)
+    predicted = {
+        "prequant": n * (costs["multiplication"] + costs["addition"]),
+        "lorenzo": n * costs["lorenzo"],
+        "encode": n * (costs["sign"] + costs["max"] + costs["get_length"])
+        + per_bit * float(real_fls.sum()),
+    }
+    if idle_dispatch:
+        idle_bits = np.maximum(planned_fl - real_fls, 0)
+        predicted["encode"] += model.task_dispatch * float(idle_bits.sum())
+    observed = {
+        step: cycles
+        for step, cycles in trace.step_cycle_totals().items()
+        if step in predicted
+    }
+    return tuple(
+        StageGap(
+            step=step,
+            observed_cycles=observed.get(step, 0.0),
+            predicted_cycles=predicted[step],
+        )
+        for step in ("prequant", "lorenzo", "encode")
+    )
 
 
 def _predict_rows(
@@ -110,6 +174,9 @@ def validate_against_simulator(
                 blocks=workload.num_blocks,
                 simulated_cycles=result.makespan_cycles,
                 predicted_cycles=_predict_rows(blocks_per_pe, block_cycles),
+                stage_gaps=_stage_gaps(
+                    result.report.trace, workload, model
+                ),
             )
         )
 
@@ -126,6 +193,9 @@ def validate_against_simulator(
                 simulated_cycles=result.makespan_cycles,
                 predicted_cycles=_predict_multi(
                     rounds, cols, block_cycles, model
+                ),
+                stage_gaps=_stage_gaps(
+                    result.report.trace, workload, model
                 ),
             )
         )
@@ -156,6 +226,9 @@ def validate_against_simulator(
                 predicted_cycles=_predict_staged(
                     rounds, cols, pl, block_cycles, frac, model
                 ),
+                stage_gaps=_stage_gaps(
+                    result.report.trace, workload, model, idle_dispatch=True
+                ),
             )
         )
     return points
@@ -164,7 +237,7 @@ def validate_against_simulator(
 def validation_report(points: list[ValidationPoint]) -> str:
     from repro.harness.report import format_table
 
-    return format_table(
+    table = format_table(
         ["strategy", "mesh", "blocks", "simulated", "predicted", "gap"],
         [
             [
@@ -179,3 +252,21 @@ def validation_report(points: list[ValidationPoint]) -> str:
         ],
         title="Analytic model vs discrete-event simulator (compression)",
     )
+    breakdown_rows = [
+        [
+            f"{p.strategy} {p.rows}x{p.cols}",
+            g.step,
+            round(g.observed_cycles),
+            round(g.predicted_cycles),
+            f"{100 * g.relative_gap:.1f}%",
+        ]
+        for p in points
+        for g in p.stage_gaps
+    ]
+    if breakdown_rows:
+        table += "\n" + format_table(
+            ["point", "step", "observed", "predicted", "gap"],
+            breakdown_rows,
+            title="Per-PE busy cycles by pipeline step (observed vs predicted)",
+        )
+    return table

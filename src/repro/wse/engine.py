@@ -211,10 +211,14 @@ class Engine:
         """
         while self._queue:
             if self._events_processed >= self.max_events:
-                raise DeadlockError(
+                message = (
                     f"event budget exhausted after {self.max_events} events "
                     f"(livelock?)"
                 )
+                pending = self._pending_summary()
+                if pending:
+                    message += f"; pending: {pending}"
+                raise DeadlockError(message)
             time, _, event = heapq.heappop(self._queue)
             self._now = max(self._now, time)
             self._events_processed += 1
@@ -222,15 +226,8 @@ class Engine:
             if stop_when is not None and stop_when():
                 break
         if not allow_pending:
-            stuck = [
-                key
-                for key, queue in self._recv.items()
-                if queue
-            ] + [key for key, queue in self._relay.items() if queue]
-            if stuck:
-                desc = ", ".join(
-                    f"PE({r},{c}) color {cid}" for r, c, cid in sorted(stuck)
-                )
+            desc = self._pending_summary()
+            if desc:
                 raise DeadlockError(
                     f"simulation quiesced with unmatched pending receives: {desc}"
                 )
@@ -249,6 +246,29 @@ class Engine:
         )
 
     # -- internals --------------------------------------------------------------------
+
+    def _pending_summary(self) -> str:
+        """Describe every stuck pending receive/relay for deadlock reports.
+
+        One clause per posted descriptor: the PE's coordinates, the color it
+        is blocked on, what it was waiting for, and the cycle the descriptor
+        was posted — enough to see which producer never delivered.
+        """
+        lines: list[str] = []
+        for (r, c, cid), queue in sorted(self._recv.items()):
+            for p in queue:
+                lines.append(
+                    f"PE({r},{c}) color {cid}: recv of {p.extent} wavelets "
+                    f"into {p.dst.buffer!r} posted at cycle {p.posted_at:.0f}"
+                )
+        for (r, c, cid), queue in sorted(self._relay.items()):
+            for p in queue:
+                lines.append(
+                    f"PE({r},{c}) color {cid}: relay of {p.extent} wavelets "
+                    f"to color {p.out_color.id} posted at cycle "
+                    f"{p.posted_at:.0f}"
+                )
+        return "; ".join(lines)
 
     def _push(self, time: float, event: _Event) -> None:
         heapq.heappush(self._queue, (time, next(self._seq), event))

@@ -52,6 +52,9 @@ class ProcessingElement:
     relay_cycles: int = 0
     tasks_run: int = 0
     halted: bool = False
+    # NodeCounters attached by plan lowering (collected by TraceRecorder);
+    # untyped to keep the substrate free of a trace-module dependency.
+    counters: list = field(default_factory=list)
 
     @property
     def coord(self) -> tuple[int, int]:

@@ -41,6 +41,27 @@ class Program:
     def run(self, **kwargs):
         return self.engine.run(**kwargs)
 
+    # -- declarative mapping plans -------------------------------------------------
+
+    def load_plan(self, plan, *, model=None):
+        """Lower a :class:`~repro.core.plan.MappingPlan` onto this program.
+
+        Colors come out of this program's shared allocator, so a loaded
+        plan composes with pattern helpers used on the same fabric. Returns
+        the :class:`~repro.core.lower.LoweredProgram` (plan, colors, live
+        outputs, per-node counters).
+        """
+        from repro.core.lower import lower_plan
+        from repro.wse.cost import PAPER_CYCLE_MODEL
+
+        return lower_plan(
+            plan,
+            self.fabric,
+            self.engine,
+            model=PAPER_CYCLE_MODEL if model is None else model,
+            colors=self.colors,
+        )
+
     # -- Fig 3/4: point-to-point streaming ---------------------------------------
 
     def stream_eastward(

@@ -5,6 +5,12 @@ reports the *maximum* cycles across PEs (Section 5.1.1). The trace recorder
 mirrors that: it collects per-PE busy/compute/relay cycles and task counts
 from a finished simulation so tests and benchmarks can ask the same
 questions the paper's profiling sections do (Tables 1-3, Fig 10).
+
+Lowered mapping plans additionally attach one :class:`NodeCounters` per
+plan node to its PE: blocks relayed, wavelets sent, blocks emitted, and
+busy cycles per sub-stage. The recorder aggregates those so the validation
+layer can compare observed vs predicted cycles per pipeline *step*, not
+just end-to-end makespans.
 """
 
 from __future__ import annotations
@@ -13,6 +19,50 @@ from dataclasses import dataclass, field
 
 from repro.config import CLOCK_HZ
 from repro.wse.pe import ProcessingElement
+
+
+def coarse_step(stage_name: str) -> str:
+    """Map a sub-stage name onto the paper's coarse pipeline steps."""
+    if stage_name in ("multiplication", "addition"):
+        return "prequant"
+    if stage_name == "lorenzo":
+        return "lorenzo"
+    if stage_name in ("sign", "max", "get_length") or stage_name.startswith(
+        "shuffle_bit_"
+    ):
+        return "encode"
+    if stage_name == "sign_restore" or stage_name.startswith(
+        "unshuffle_bit_"
+    ):
+        return "decode"
+    if stage_name == "prefix_sum":
+        return "unlorenzo"
+    if stage_name in ("dequant_mult", "zero_flag"):
+        return "dequant"
+    return "other"
+
+
+@dataclass
+class NodeCounters:
+    """Instrumentation one lowered plan node accumulates during a run."""
+
+    label: str
+    kind: str
+    row: int
+    col: int
+    blocks_relayed: int = 0
+    wavelets_sent: int = 0
+    blocks_emitted: int = 0
+    stage_cycles: dict[str, float] = field(default_factory=dict)
+
+    def add_stage(self, stage_name: str, cycles: float) -> None:
+        self.stage_cycles[stage_name] = (
+            self.stage_cycles.get(stage_name, 0.0) + cycles
+        )
+
+    @property
+    def busy_cycles(self) -> float:
+        return sum(self.stage_cycles.values())
 
 
 @dataclass(frozen=True)
@@ -37,6 +87,7 @@ class TraceRecorder:
 
     traces: list[PETrace] = field(default_factory=list)
     events_processed: int = 0
+    node_counters: list[NodeCounters] = field(default_factory=list)
 
     def record(self, pe: ProcessingElement) -> None:
         self.traces.append(
@@ -49,6 +100,31 @@ class TraceRecorder:
                 finished_at=pe.busy_until,
             )
         )
+        self.node_counters.extend(getattr(pe, "counters", ()))
+
+    # -- plan-node instrumentation aggregates --------------------------------------
+
+    def stage_cycle_totals(self) -> dict[str, float]:
+        """Busy cycles per sub-stage summed over every lowered node."""
+        totals: dict[str, float] = {}
+        for nc in self.node_counters:
+            for name, cycles in nc.stage_cycles.items():
+                totals[name] = totals.get(name, 0.0) + cycles
+        return totals
+
+    def step_cycle_totals(self) -> dict[str, float]:
+        """Busy cycles per coarse pipeline step (prequant/lorenzo/encode...)."""
+        totals: dict[str, float] = {}
+        for name, cycles in self.stage_cycle_totals().items():
+            step = coarse_step(name)
+            totals[step] = totals.get(step, 0.0) + cycles
+        return totals
+
+    def total_blocks_relayed(self) -> int:
+        return sum(nc.blocks_relayed for nc in self.node_counters)
+
+    def total_wavelets_sent(self) -> int:
+        return sum(nc.wavelets_sent for nc in self.node_counters)
 
     # -- the paper's aggregates ----------------------------------------------------
 

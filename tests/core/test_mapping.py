@@ -116,6 +116,67 @@ class TestStateSerialization:
         assert finalize_record(back) == finalize_record(state)
 
 
+class TestStateValidation:
+    """Corrupted state vectors must fail loudly, naming the bad value."""
+
+    def _vec(self):
+        return run_all(np.linspace(0, 1, 32), 0.01).to_array()
+
+    def test_to_array_rejects_unknown_phase(self):
+        state = fresh_state(np.ones(8))
+        state.phase = "garbled"
+        with pytest.raises(CompressionError, match="unknown phase 'garbled'"):
+            state.to_array()
+
+    def test_rejects_short_vector(self):
+        with pytest.raises(CompressionError, match=r"5-word header.*\(3,\)"):
+            PipelineState.from_array(np.zeros(3))
+
+    def test_rejects_matrix(self):
+        with pytest.raises(CompressionError, match="5-word header"):
+            PipelineState.from_array(np.zeros((4, 8)))
+
+    @pytest.mark.parametrize("bad", [-1.0, 99.0, 2.5, np.nan, np.inf])
+    def test_rejects_bad_phase_index(self, bad):
+        vec = self._vec()
+        vec[0] = bad
+        with pytest.raises(CompressionError, match="invalid phase index"):
+            PipelineState.from_array(vec)
+
+    @pytest.mark.parametrize("bad", [0.0, -32.0, 12.0, 31.5, np.nan])
+    def test_rejects_bad_block_size(self, bad):
+        vec = self._vec()
+        vec[1] = bad
+        with pytest.raises(CompressionError, match="invalid block size"):
+            PipelineState.from_array(vec)
+
+    def test_block_size_message_names_value(self):
+        vec = self._vec()
+        vec[1] = 12.0
+        with pytest.raises(CompressionError, match="12.0"):
+            PipelineState.from_array(vec)
+
+    @pytest.mark.parametrize("bad", [-1.0, 3.5, np.nan])
+    def test_rejects_bad_bits_done(self, bad):
+        vec = self._vec()
+        vec[4] = bad
+        with pytest.raises(CompressionError, match="invalid bits_done"):
+            PipelineState.from_array(vec)
+
+    def test_rejects_truncated_payload(self):
+        vec = self._vec()
+        with pytest.raises(
+            CompressionError, match=rf"truncated.*needs {vec.size} words"
+        ):
+            PipelineState.from_array(vec[:-1])
+
+    def test_truncation_message_names_counts(self):
+        vec = self._vec()
+        short = vec[: vec.size - 8]
+        with pytest.raises(CompressionError, match=f"got {short.size}"):
+            PipelineState.from_array(short)
+
+
 class TestSubstageCycles:
     def test_regular_stage_uses_declared_cycles(self):
         stages = compression_substages(4)

@@ -1,0 +1,160 @@
+"""Golden placement/color snapshots and makespan pins for every strategy.
+
+Two regression nets over the plan/lower layer:
+
+* the *placement* of each strategy's plan on a fixed configuration is
+  pinned as a JSON snapshot under ``tests/core/golden/`` — any change to
+  colors, routes, node order, schedules, or SRAM footprints shows up as a
+  readable diff against the committed file;
+* the simulated makespans of representative Fig 7/10/13 configurations are
+  pinned to the values the pre-refactor hand-wired builders produced. The
+  lowering pass is meant to be cycle-exact, so these match exactly; the
+  assertion allows the 1% the acceptance bar requires.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.plan import (
+    plan_multi_pipeline,
+    plan_pipeline,
+    plan_pipeline_decompress,
+    plan_row_parallel,
+    plan_row_parallel_decompress,
+    plan_staged_multi_pipeline,
+)
+from repro.core.compressor import CereSZ
+from repro.core.schedule import distribute_substages
+from repro.core.stages import compression_substages, decompression_substages
+from repro.core.wse_compressor import WSECereSZ
+from repro.wse.cost import PAPER_CYCLE_MODEL
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+BLOCK_SIZE = 32
+EPS = 0.01
+
+
+def _fixed_blocks(num_blocks: int) -> np.ndarray:
+    span = np.arange(num_blocks * BLOCK_SIZE, dtype=np.float64)
+    return np.sin(span / 7.0).reshape(num_blocks, BLOCK_SIZE) * 3.0
+
+
+def _fixed_body(num_blocks: int) -> bytes:
+    data = _fixed_blocks(num_blocks).reshape(-1).astype(np.float32)
+    result = CereSZ(block_size=BLOCK_SIZE).compress(data, eps=EPS)
+    from repro.core.format import StreamHeader
+
+    _, offset = StreamHeader.unpack(result.stream)
+    return result.stream[offset:]
+
+
+def _distribution(length: int, *, decompress: bool = False):
+    if decompress:
+        stages = decompression_substages(6, BLOCK_SIZE, PAPER_CYCLE_MODEL)
+    else:
+        stages = compression_substages(6, BLOCK_SIZE, PAPER_CYCLE_MODEL)
+    return distribute_substages(stages, length)
+
+
+def build_snapshots() -> dict[str, dict]:
+    """Every strategy's plan on its fixed config (shared with the refresher)."""
+    blocks = _fixed_blocks(6)
+    body = _fixed_body(6)
+    return {
+        "plan_rows": plan_row_parallel(blocks, EPS, rows=2, cols=1).snapshot(),
+        "plan_pipeline": plan_pipeline(
+            blocks, EPS, _distribution(3), rows=2, cols=3
+        ).snapshot(),
+        "plan_multi": plan_multi_pipeline(
+            blocks, EPS, rows=2, cols=3
+        ).snapshot(),
+        "plan_staged": plan_staged_multi_pipeline(
+            blocks, EPS, _distribution(2), rows=1, cols=4
+        ).snapshot(),
+        "plan_rows_decompress": plan_row_parallel_decompress(
+            body, 6, EPS, rows=2, cols=1, block_size=BLOCK_SIZE
+        ).snapshot(),
+        "plan_pipeline_decompress": plan_pipeline_decompress(
+            body,
+            6,
+            EPS,
+            _distribution(3, decompress=True),
+            rows=2,
+            cols=3,
+            block_size=BLOCK_SIZE,
+        ).snapshot(),
+    }
+
+
+@pytest.mark.parametrize(
+    "name",
+    [
+        "plan_rows",
+        "plan_pipeline",
+        "plan_multi",
+        "plan_staged",
+        "plan_rows_decompress",
+        "plan_pipeline_decompress",
+    ],
+)
+def test_plan_snapshot_matches_golden(name):
+    snapshot = build_snapshots()[name]
+    golden = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+    assert snapshot == golden
+
+
+# Makespans the pre-refactor hand-wired builders produced on representative
+# Fig 7 (rows), Fig 10 (multi), and Fig 13 (pipeline-length) configurations:
+# seed-42 random walk of 1024 values at rel=1e-3. Lowered plans are
+# cycle-exact replicas, so these hold to the cycle; 1% is the hard bar.
+MAKESPAN_BASELINES = [
+    ("rows", 4, 1, 1, 203100.0),
+    ("pipeline", 2, 4, 4, 158499.0),
+    ("multi", 1, 4, 1, 205528.0),
+    ("multi", 2, 8, 4, 90734.0),
+]
+
+DECOMPRESS_BASELINES = [
+    ("rows", 2, 1, 1, 265911.0),
+    ("pipeline", 2, 3, 3, 138629.0),
+]
+
+
+@pytest.fixture(scope="module")
+def walk():
+    rng = np.random.default_rng(42)
+    return np.cumsum(rng.normal(size=1024)).astype(np.float32)
+
+
+@pytest.mark.parametrize(
+    "strategy,rows,cols,pl,baseline", MAKESPAN_BASELINES
+)
+def test_compress_makespan_within_one_percent(
+    strategy, rows, cols, pl, baseline, walk
+):
+    sim = WSECereSZ(
+        rows=rows, cols=cols, strategy=strategy, pipeline_length=pl
+    )
+    result = sim.compress(walk, rel=1e-3)
+    assert abs(result.makespan_cycles - baseline) <= 0.01 * baseline
+
+
+@pytest.mark.parametrize(
+    "strategy,rows,cols,pl,baseline", DECOMPRESS_BASELINES
+)
+def test_decompress_makespan_within_one_percent(
+    strategy, rows, cols, pl, baseline, walk
+):
+    stream = WSECereSZ(rows=2, cols=4, strategy="multi").compress(
+        walk, rel=1e-3
+    ).stream
+    sim = WSECereSZ(
+        rows=rows, cols=cols, strategy=strategy, pipeline_length=pl
+    )
+    back, report = sim.decompress_on_wafer(stream)
+    assert abs(report.makespan_cycles - baseline) <= 0.01 * baseline
+    assert np.array_equal(back, sim.decompress(stream))

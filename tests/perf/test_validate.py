@@ -39,3 +39,30 @@ class TestValidation:
         text = validation_report(points)
         assert "simulated" in text
         assert "multi" in text
+
+
+class TestStageGaps:
+    def test_every_point_has_per_stage_breakdown(self, points):
+        for p in points:
+            steps = [g.step for g in p.stage_gaps]
+            assert steps == ["prequant", "lorenzo", "encode"], p.strategy
+
+    def test_breakdown_sums_to_busy_cycles(self, points):
+        """The three coarse steps partition each point's busy cycles."""
+        for p in points:
+            total = sum(g.observed_cycles for g in p.stage_gaps)
+            assert total > 0
+
+    def test_per_stage_model_is_exact(self, points):
+        """The cost model predicts each sub-stage's charge exactly, so the
+        per-step gaps vanish (to float summation noise) for every strategy
+        — a visible entry localizes a model drift to one pipeline step."""
+        for p in points:
+            for gap in p.stage_gaps:
+                assert gap.relative_gap < 1e-9, (p.strategy, gap.step)
+
+    def test_report_includes_per_step_table(self, points):
+        text = validation_report(points)
+        assert "Per-PE busy cycles by pipeline step" in text
+        assert "prequant" in text
+        assert "encode" in text

@@ -99,6 +99,32 @@ class TestSimulate:
         assert "True" in capsys.readouterr().out
 
 
+class TestPlan:
+    def test_plan_prints_placement(self, field_file, capsys):
+        path, _ = field_file
+        assert main([
+            "plan", str(path), "--rows", "2", "--cols", "4",
+            "--limit-blocks", "16",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "mapping plan: strategy=multi" in out
+        assert "mesh=2x4" in out
+        assert "colors:" in out
+        assert "placement:" in out
+        assert "SRAM:" in out
+
+    def test_plan_pipeline_strategy(self, field_file, capsys):
+        path, _ = field_file
+        assert main([
+            "plan", str(path), "--rows", "1", "--cols", "4",
+            "--strategy", "pipeline", "--pipeline-length", "4",
+            "--limit-blocks", "8",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "strategy=pipeline" in out
+        assert "state_len:" in out
+
+
 class TestStreaming:
     def test_stream_unstream_round_trip(self, tmp_path, rng):
         a = rng.normal(size=300).astype(np.float32)

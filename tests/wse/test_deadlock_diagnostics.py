@@ -1,0 +1,143 @@
+"""DeadlockError messages must say which PE is stuck on what, since when."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeadlockError
+from repro.wse.color import ColorAllocator
+from repro.wse.dsd import FabinDsd, FaboutDsd, Mem1dDsd
+from repro.wse.engine import Engine
+from repro.wse.fabric import Fabric
+from repro.wse.pe import Task
+
+
+def _post_recv(pe, color, done_color, *, extent=4, delay=0.0):
+    def recv(ctx):
+        if delay:
+            ctx.spend(delay)
+        ctx.mov32(
+            Mem1dDsd("in"),
+            FabinDsd(color, extent=extent),
+            on_complete=done_color,
+        )
+
+    pe.alloc_buffer("in", np.zeros(extent, dtype=np.float32))
+    pe.bind_task(color, Task("recv", recv))
+    pe.bind_task(done_color, Task("done", lambda ctx: None))
+
+
+class TestQuiescenceDiagnostics:
+    def test_message_names_pe_color_extent_and_posting_cycle(self):
+        fabric = Fabric(2, 2)
+        engine = Engine(fabric)
+        colors = ColorAllocator()
+        c_data = colors.allocate("data")
+        c_done = colors.allocate("done")
+        fabric.route_row_segment(1, 0, 1, c_data)
+        pe = fabric.pe(1, 1)
+        _post_recv(pe, c_data, c_done, extent=6, delay=120)
+        engine.schedule_activation(pe, c_data.id, 0.0)
+        with pytest.raises(DeadlockError) as exc:
+            engine.run()
+        message = str(exc.value)
+        assert "unmatched" in message
+        assert f"PE(1,1) color {c_data.id}" in message
+        assert "recv of 6 wavelets" in message
+        assert "'in'" in message
+        assert "posted at cycle 120" in message
+
+    def test_message_lists_every_stuck_pe(self):
+        fabric = Fabric(2, 2)
+        engine = Engine(fabric)
+        colors = ColorAllocator()
+        c_data = colors.allocate("data")
+        c_done = colors.allocate("done")
+        for row in range(2):
+            fabric.route_row_segment(row, 0, 1, c_data)
+            pe = fabric.pe(row, 1)
+            _post_recv(pe, c_data, c_done)
+            engine.schedule_activation(pe, c_data.id, 0.0)
+        with pytest.raises(DeadlockError) as exc:
+            engine.run()
+        message = str(exc.value)
+        assert f"PE(0,1) color {c_data.id}" in message
+        assert f"PE(1,1) color {c_data.id}" in message
+
+    def test_stuck_relay_reports_both_colors(self):
+        from repro.wse.wavelet import Direction
+
+        fabric = Fabric(1, 2)
+        engine = Engine(fabric)
+        colors = ColorAllocator()
+        c_in = colors.allocate("in")
+        c_out = colors.allocate("out")
+        c_go = colors.allocate("go")
+        fabric.set_route(0, 0, c_in, Direction.WEST, Direction.RAMP)
+        fabric.set_route(0, 0, c_out, Direction.RAMP, Direction.EAST)
+        pe = fabric.pe(0, 0)
+        pe.bind_task(
+            c_go,
+            Task(
+                "relay",
+                lambda ctx: ctx.mov32(
+                    FaboutDsd(c_out, extent=4), FabinDsd(c_in, extent=4)
+                ),
+            ),
+        )
+        engine.schedule_activation(pe, c_go.id, 0.0)
+        with pytest.raises(DeadlockError) as exc:
+            engine.run()
+        message = str(exc.value)
+        assert f"PE(0,0) color {c_in.id}" in message
+        assert f"relay of 4 wavelets to color {c_out.id}" in message
+
+    def test_legacy_matchers_still_hold(self):
+        """Old tests match "unmatched" and "PE\\(0,0\\) color"; keep both."""
+        fabric = Fabric(1, 1)
+        engine = Engine(fabric)
+        colors = ColorAllocator()
+        c_data = colors.allocate("data")
+        c_done = colors.allocate("done")
+        pe = fabric.pe(0, 0)
+        _post_recv(pe, c_data, c_done)
+        engine.schedule_activation(pe, c_data.id, 0.0)
+        with pytest.raises(DeadlockError, match=r"unmatched"):
+            try:
+                engine.run()
+            except DeadlockError as err:
+                assert "PE(0,0) color" in str(err)
+                raise
+
+
+class TestBudgetDiagnostics:
+    def test_budget_message_includes_pending_receives(self):
+        fabric = Fabric(1, 1)
+        engine = Engine(fabric, max_events=40)
+        colors = ColorAllocator()
+        c_spin = colors.allocate("spin")
+        c_data = colors.allocate("data")
+        c_done = colors.allocate("done")
+        pe = fabric.pe(0, 0)
+        _post_recv(pe, c_data, c_done)
+        pe.bind_task(c_spin, Task("spin", lambda ctx: ctx.activate(c_spin)))
+        engine.schedule_activation(pe, c_data.id, 0.0)
+        engine.schedule_activation(pe, c_spin.id, 0.0)
+        with pytest.raises(DeadlockError) as exc:
+            engine.run()
+        message = str(exc.value)
+        assert "budget" in message
+        assert "pending:" in message
+        assert f"PE(0,0) color {c_data.id}" in message
+        assert "posted at cycle" in message
+
+    def test_budget_message_without_pending_has_no_suffix(self):
+        fabric = Fabric(1, 1)
+        engine = Engine(fabric, max_events=40)
+        colors = ColorAllocator()
+        c_spin = colors.allocate("spin")
+        pe = fabric.pe(0, 0)
+        pe.bind_task(c_spin, Task("spin", lambda ctx: ctx.activate(c_spin)))
+        engine.schedule_activation(pe, c_spin.id, 0.0)
+        with pytest.raises(DeadlockError, match="budget") as exc:
+            engine.run()
+        assert "pending:" not in str(exc.value)
