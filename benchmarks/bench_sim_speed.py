@@ -1,0 +1,261 @@
+"""WSE simulator speed: legacy vs optimized engine vs row-parallel.
+
+This is the acceptance benchmark for the simulator performance layer.
+Three optimizations stack on the hot path:
+
+* route caching — ``Fabric.resolve`` memoizes per (PE, color, entering
+  direction) instead of re-walking the static route for every send;
+* event-queue slimming + fused kernels — at most one ``task`` event per
+  PE, ``match`` probes only when they can pair, zero-copy scratch sends,
+  and whole-block compression fused into one vectorized kernel with
+  identical cycle accounting;
+* row-parallel simulation — provably independent row subgraphs simulated
+  in separate processes and merged exactly (``jobs > 1``).
+
+Each strategy/mesh cell runs the same plan three ways — legacy (every
+fast path disabled), optimized (defaults, single process), and parallel
+(``jobs`` workers) — and asserts the compressed bytes and makespans are
+identical before reporting wall time and simulated-cycles/second.
+
+Run as a script (the point is relative wall clock, best-of-N):
+
+    PYTHONPATH=src python benchmarks/bench_sim_speed.py
+    PYTHONPATH=src python benchmarks/bench_sim_speed.py --quick
+
+Results land in ``BENCH_sim_speed.json`` (the perf trajectory) and
+``benchmarks/results/sim_speed.txt``. ``--min-speedup X`` exits non-zero
+unless the fig7 rows-strategy configuration speeds up by at least X
+single-process (CI uses a conservative threshold).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.core.plan import (  # noqa: E402
+    plan_multi_pipeline,
+    plan_pipeline,
+    plan_row_parallel,
+)
+from repro.core.schedule import distribute_substages  # noqa: E402
+from repro.core.simulate import simulate_plan  # noqa: E402
+from repro.core.stages import compression_substages  # noqa: E402
+
+BLOCK_SIZE = 32
+EPS = 1e-3
+
+#: (mesh label, rows, cols, blocks-per-row). The fig7 configuration is the
+#: rows strategy on the largest mesh run (Fig 7 sweeps PE rows at block 32).
+MESHES = [("small", 4, 4, 64), ("large", 8, 8, 128)]
+
+
+def make_blocks(num_blocks: int, seed: int = 7) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(num_blocks, BLOCK_SIZE)).cumsum(axis=1)
+
+
+def build_plan(strategy: str, rows: int, cols: int, blocks: np.ndarray):
+    if strategy == "rows":
+        return plan_row_parallel(blocks, EPS, rows=rows, cols=cols)
+    if strategy == "pipeline":
+        stages = compression_substages(8, BLOCK_SIZE)
+        dist = distribute_substages(stages, min(cols, 4))
+        return plan_pipeline(blocks, EPS, dist, rows=rows, cols=cols)
+    return plan_multi_pipeline(blocks, EPS, rows=rows, cols=cols)
+
+
+def best_of(repeats: int, fn):
+    """(best seconds, last return value) over ``repeats`` calls."""
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, value
+
+
+def run_config(
+    strategy: str, rows: int, cols: int, per_row: int, repeats: int, jobs: int
+) -> dict:
+    blocks = make_blocks(rows * per_row)
+    num_blocks = blocks.shape[0]
+
+    modes = {
+        "legacy": dict(optimize=False, fast_kernels=False, jobs=1),
+        "optimized": dict(jobs=1),
+        "parallel": dict(jobs=jobs),
+    }
+    out: dict = {
+        "strategy": strategy,
+        "rows": rows,
+        "cols": cols,
+        "num_blocks": num_blocks,
+    }
+    streams: dict[str, bytes] = {}
+    for mode, kwargs in modes.items():
+        # Plan construction is outside the timed region: the benchmark
+        # measures the simulator, and every mode lowers the same plan.
+        plan = build_plan(strategy, rows, cols, blocks)
+        wall, run = best_of(
+            repeats, lambda p=plan, kw=kwargs: simulate_plan(p, **kw)
+        )
+        streams[mode] = run.outputs.stream(num_blocks)
+        makespan = run.report.makespan_cycles
+        out[mode] = {
+            "wall_s": wall,
+            "makespan_cycles": makespan,
+            "cycles_per_s": makespan / wall if wall else float("inf"),
+            "events": run.report.events_processed,
+            "partitions": run.partitions,
+        }
+    if not (streams["legacy"] == streams["optimized"] == streams["parallel"]):
+        raise AssertionError(
+            f"{strategy} {rows}x{cols}: modes disagree on compressed bytes"
+        )
+    makespans = {out[m]["makespan_cycles"] for m in modes}
+    if len(makespans) != 1:
+        raise AssertionError(
+            f"{strategy} {rows}x{cols}: modes disagree on makespan "
+            f"{sorted(makespans)}"
+        )
+    out["speedup_optimized"] = out["legacy"]["wall_s"] / out["optimized"]["wall_s"]
+    out["speedup_parallel"] = out["legacy"]["wall_s"] / out["parallel"]["wall_s"]
+    return out
+
+
+def render(configs: list[dict], jobs: int) -> str:
+    lines = [
+        "WSE simulator speed: legacy vs optimized engine vs row-parallel",
+        f"block {BLOCK_SIZE}, eps {EPS}, jobs {jobs} for the parallel "
+        "column, best-of-N wall clock",
+        "",
+        f"{'config':<20} {'blocks':>6} {'legacy s':>9} {'opt s':>8} "
+        f"{'par s':>8} {'opt x':>6} {'par x':>6} {'Mcyc/s opt':>11}",
+    ]
+    for c in configs:
+        label = f"{c['strategy']} {c['rows']}x{c['cols']}"
+        lines.append(
+            f"{label:<20} {c['num_blocks']:>6} "
+            f"{c['legacy']['wall_s']:>9.4f} "
+            f"{c['optimized']['wall_s']:>8.4f} "
+            f"{c['parallel']['wall_s']:>8.4f} "
+            f"{c['speedup_optimized']:>6.2f} "
+            f"{c['speedup_parallel']:>6.2f} "
+            f"{c['optimized']['cycles_per_s'] / 1e6:>11.1f}"
+        )
+    lines += [
+        "",
+        "(legacy: no route cache, per-activation task events, per-stage",
+        " state machine; optimized: all fast paths, single process;",
+        " parallel: optimized + row partitions across processes. All",
+        " three produce identical bytes, makespans, and counters.)",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of-N (default 3)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=min(os.cpu_count() or 1, 4),
+        help="worker processes for the row-parallel mode",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small mesh only, one repeat (CI smoke; still writes JSON)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless the fig7 rows config speeds up by this factor "
+        "single-process",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=os.path.normpath(
+            os.path.join(
+                os.path.dirname(__file__), os.pardir, "BENCH_sim_speed.json"
+            )
+        ),
+        help="perf-trajectory JSON path",
+    )
+    parser.add_argument(
+        "--out",
+        default=os.path.join(
+            os.path.dirname(__file__), "results", "sim_speed.txt"
+        ),
+        help="results table (skipped with --quick)",
+    )
+    args = parser.parse_args(argv)
+
+    meshes = MESHES[:1] if args.quick else MESHES
+    repeats = 1 if args.quick else args.repeats
+    configs = []
+    for strategy in ("rows", "pipeline", "multi"):
+        for _, rows, cols, per_row in meshes:
+            use_cols = 1 if strategy == "rows" else cols
+            configs.append(
+                run_config(
+                    strategy, rows, use_cols, per_row, repeats, args.jobs
+                )
+            )
+
+    report = render(configs, args.jobs)
+    print(report, end="")
+
+    fig7 = max(
+        (c for c in configs if c["strategy"] == "rows"),
+        key=lambda c: c["rows"],
+    )
+    payload = {
+        "benchmark": "sim_speed",
+        "block_size": BLOCK_SIZE,
+        "eps": EPS,
+        "jobs": args.jobs,
+        "quick": args.quick,
+        "configs": configs,
+        "fig7_rows_speedup": fig7["speedup_optimized"],
+    }
+    with open(args.json_out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.json_out}")
+
+    if not args.quick:
+        os.makedirs(os.path.dirname(args.out), exist_ok=True)
+        with open(args.out, "w") as fh:
+            fh.write(report)
+        print(f"wrote {args.out}")
+
+    if (
+        args.min_speedup is not None
+        and fig7["speedup_optimized"] < args.min_speedup
+    ):
+        print(
+            f"FAIL: fig7 rows speedup {fig7['speedup_optimized']:.2f}x "
+            f"below required {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

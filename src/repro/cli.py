@@ -17,6 +17,7 @@ Subcommands::
     ceresz validate                                # calibration + model audit
     ceresz reproduce  [--out DIR] [--quick]        # everything + REPORT.md
     ceresz simulate   IN.f32 --rows R --cols C --strategy multi
+                      [--jobs N] [--profile]    # alias: ceresz sim
 
 Tables and figures print in the same layout the benchmarks log; the
 compress path is the production-style usage.
@@ -146,7 +147,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="narrow dataset/field coverage for a fast smoke run",
     )
 
-    p = sub.add_parser("simulate", help="compress on the WSE simulator")
+    p = sub.add_parser(
+        "simulate", aliases=["sim"], help="compress on the WSE simulator"
+    )
     p.add_argument("input")
     p.add_argument("--rows", type=int, default=2)
     p.add_argument("--cols", type=int, default=4)
@@ -158,6 +161,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--limit-blocks", type=int, default=64,
         help="simulate only the first N blocks (event-level sim is slow)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1,
+        help="row-parallel worker processes (results identical for any N)",
+    )
+    p.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top 25 functions by "
+        "cumulative time",
     )
 
     p = sub.add_parser(
@@ -553,8 +565,18 @@ def _cmd_simulate(args) -> int:
         cols=args.cols,
         strategy=args.strategy,
         pipeline_length=args.pipeline_length,
+        jobs=args.jobs,
     )
-    result = sim.compress(data, rel=args.rel)
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        result = profiler.runcall(sim.compress, data, rel=args.rel)
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(25)
+    else:
+        result = sim.compress(data, rel=args.rel)
     report = result.report
     print(
         f"simulated {n} values on {args.rows}x{args.cols} mesh "
@@ -568,6 +590,11 @@ def _cmd_simulate(args) -> int:
         f"{result.stream == reference.stream}"
     )
     return 0
+
+
+# The ``sim`` alias dispatches through args.command, which stores the
+# spelling the user typed.
+_cmd_sim = _cmd_simulate
 
 
 def _cmd_plan(args) -> int:

@@ -29,6 +29,19 @@ Instrumentation: every lowered node counts blocks relayed, wavelets sent,
 blocks emitted, and busy cycles per sub-stage into its
 :class:`~repro.wse.trace.NodeCounters`, which the engine's trace recorder
 aggregates for the per-stage validation breakdowns.
+
+Whole-block fast path: nodes that run the *entire* compression on one PE
+(the rows strategy's ComputeNode, the multi-pipeline RelayNode with no
+stage group) use a fused kernel instead of stepping the per-sub-stage
+state machine. The kernel performs the identical arithmetic in one pass
+(all ``fl`` bit planes shuffled with a single vectorized pack) and then
+replays the exact per-stage accounting — the same ``ctx.spend`` calls with
+the same per-stage rounding and the same ``NodeCounters.add_stage``
+entries the stepped path would have made — so makespans, stage breakdowns
+and output bytes are bit-identical while the per-block Python overhead
+(64-entry superset scans, name parsing, phase checks) disappears.
+``lower_plan(..., fast_kernels=False)`` keeps the stepped path for
+differential testing and benchmarking.
 """
 
 from __future__ import annotations
@@ -61,6 +74,7 @@ from repro.core.plan import (
     StageNode,
     node_buffers,
 )
+from repro.config import CERESZ_HEADER_BYTES
 from repro.core.stages import compression_substages, decompression_substages
 from repro.errors import ScheduleError
 from repro.wse.color import Color, ColorAllocator
@@ -100,12 +114,17 @@ def lower_plan(
     *,
     model: CycleModel = PAPER_CYCLE_MODEL,
     colors: ColorAllocator | None = None,
+    fast_kernels: bool = True,
 ) -> LoweredProgram:
     """Compile ``plan`` onto ``fabric``/``engine``; returns the live outputs.
 
     Deterministic by construction: colors, routes, buffers, task bindings,
     activations, and feed injections all follow plan declaration order, so
     two lowerings of the same plan produce identical event schedules.
+
+    ``fast_kernels`` selects the fused whole-block compression kernel for
+    nodes that run the full algorithm on one PE (see the module docstring);
+    results are identical either way.
     """
     plan.validate()
     if plan.rows > fabric.rows or plan.cols > fabric.cols:
@@ -150,9 +169,13 @@ def lower_plan(
         pe.counters.append(nc)
         lowered.counters.append(nc)
         if isinstance(node, ComputeNode):
-            _lower_compute(node, plan, pe, engine, cmap, model, outputs, nc)
+            _lower_compute(
+                node, plan, pe, engine, cmap, model, outputs, nc, fast_kernels
+            )
         elif isinstance(node, RelayNode):
-            _lower_relay(node, plan, pe, engine, cmap, model, outputs, nc)
+            _lower_relay(
+                node, plan, pe, engine, cmap, model, outputs, nc, fast_kernels
+            )
         elif isinstance(node, StageNode):
             if plan.direction == "compress":
                 _lower_stage(node, plan, pe, engine, cmap, model, outputs, nc)
@@ -209,6 +232,73 @@ def _run_full_compress(
         ctx.spend(cost)
         nc.add_stage(stage.name, cost)
     return state
+
+
+def _make_fast_compress(
+    plan: MappingPlan, model: CycleModel, nc: NodeCounters
+):
+    """Fused whole-block compression: ``inbox`` values -> record bytes.
+
+    Arithmetic and accounting are exact replays of the stepped path
+    (``_run_full_compress`` + ``finalize_record``): the same operations in
+    the same order, one ``ctx.spend``/``nc.add_stage`` pair per live stage
+    with the same per-stage rounding, and the same byte layout (sign bytes
+    then bit planes 0..fl-1, little-endian packing within bytes). The only
+    differences are mechanical: costs are precomputed at lowering time
+    instead of re-derived per block, and all ``fl`` bit planes are packed
+    in one vectorized call instead of ``fl`` separate ones.
+    """
+    block_size = plan.block_size
+    eps = plan.eps
+    fixed_costs = (
+        ("multiplication", model.multiplication.cycles(block_size)),
+        ("addition", model.addition.cycles(block_size)),
+        ("lorenzo", model.lorenzo.cycles(block_size)),
+        ("sign", model.sign.cycles(block_size)),
+        ("max", model.max.cycles(block_size)),
+        ("get_length", model.get_length.cycles(block_size)),
+    )
+    per_bit = model.bit_shuffle.cycles(block_size, 1)
+    # Accounting plans memoized per fixed length: the stepped path spends
+    # int(round(cost)) per stage, so the batched spend is the sum of the
+    # per-stage roundings (NOT round-of-sum) and the stage breakdown keeps
+    # the raw per-stage floats.
+    acct: dict[int, tuple[int, tuple[tuple[str, float], ...]]] = {}
+
+    def _acct_for(fl: int) -> tuple[int, tuple[tuple[str, float], ...]]:
+        plan_ = acct.get(fl)
+        if plan_ is None:
+            items = fixed_costs + tuple(
+                (f"shuffle_bit_{k}", per_bit) for k in range(fl)
+            )
+            spend = sum(int(round(cost)) for _, cost in items)
+            plan_ = acct[fl] = (spend, items)
+        return plan_
+
+    def compress(ctx: TaskContext) -> bytes:
+        codes = np.floor(ctx.buffer("inbox") / (2.0 * eps) + 0.5)
+        residuals = codes.copy()
+        residuals[1:] -= codes[:-1]
+        signs = np.packbits(
+            (residuals < 0).reshape(-1, 8), axis=-1, bitorder="little"
+        )
+        mags = np.abs(residuals)
+        fl = int(mags.max()).bit_length()
+        spend, items = _acct_for(fl)
+        ctx.spend(spend)
+        nc.add_stages(items)
+        header = fl.to_bytes(CERESZ_HEADER_BYTES, "little")
+        if fl == 0:
+            return header
+        imags = mags.astype(np.int64)
+        ks = np.arange(fl, dtype=np.int64)
+        bits = ((imags[None, :] >> ks[:, None]) & 1).astype(np.uint8)
+        planes = np.packbits(
+            bits.reshape(fl, -1, 8), axis=-1, bitorder="little"
+        )
+        return header + signs.tobytes() + planes.tobytes()
+
+    return compress
 
 
 def _make_run_group(
@@ -269,6 +359,7 @@ def _lower_compute(
     model: CycleModel,
     outputs: ProgramOutputs,
     nc: NodeCounters,
+    fast_kernels: bool,
 ) -> None:
     """Whole-algorithm-per-PE node (the rows strategy's only worker kind)."""
     block_size = plan.block_size
@@ -276,6 +367,7 @@ def _lower_compute(
     c_go = cmap[node.go]
     my = list(node.blocks)
     stages = compression_substages(64, block_size, model)  # superset plan
+    fast = _make_fast_compress(plan, model, nc) if fast_kernels else None
     progress = {"next": 0}
 
     def recv(ctx: TaskContext) -> None:
@@ -288,8 +380,13 @@ def _lower_compute(
     def compute(ctx: TaskContext) -> None:
         idx = my[progress["next"]]
         progress["next"] += 1
-        state = _run_full_compress(ctx, stages, plan.eps, block_size, model, nc)
-        outputs.records[idx] = finalize_record(state)
+        if fast is not None:
+            outputs.records[idx] = fast(ctx)
+        else:
+            state = _run_full_compress(
+                ctx, stages, plan.eps, block_size, model, nc
+            )
+            outputs.records[idx] = finalize_record(state)
         nc.blocks_emitted += 1
         if progress["next"] < len(my):
             ctx.activate(c_recv)
@@ -311,6 +408,7 @@ def _lower_relay(
     model: CycleModel,
     outputs: ProgramOutputs,
     nc: NodeCounters,
+    fast_kernels: bool,
 ) -> None:
     """Fig 9 counted relay + compute (multi-pipeline PE or staged head)."""
     block_size = plan.block_size
@@ -366,14 +464,18 @@ def _lower_relay(
 
     if node.group is None:
         stages = compression_substages(64, block_size, model)
+        fast = _make_fast_compress(plan, model, nc) if fast_kernels else None
 
         def consume(ctx: TaskContext) -> None:
             idx = my[box["done"]]
             box["done"] += 1
-            state = _run_full_compress(
-                ctx, stages, plan.eps, block_size, model, nc
-            )
-            outputs.records[idx] = finalize_record(state)
+            if fast is not None:
+                outputs.records[idx] = fast(ctx)
+            else:
+                state = _run_full_compress(
+                    ctx, stages, plan.eps, block_size, model, nc
+                )
+                outputs.records[idx] = finalize_record(state)
             nc.blocks_emitted += 1
 
     else:

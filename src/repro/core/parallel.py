@@ -39,7 +39,7 @@ from __future__ import annotations
 
 import os
 import struct
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 import numpy as np
 
@@ -82,12 +82,24 @@ def _shard_bounds(n: int, shard_elements: int) -> list[tuple[int, int]]:
     ]
 
 
-def _run_pool(fn, items, jobs: int) -> list:
-    """Map ``fn`` over ``items`` preserving order; inline when jobs == 1."""
+def run_pool(fn, items, jobs: int, *, processes: bool = False) -> list:
+    """Map ``fn`` over ``items`` preserving order; inline when jobs == 1.
+
+    ``processes=False`` (the shard engine's mode) uses threads — right for
+    GIL-releasing NumPy kernels on shared memory. ``processes=True`` uses a
+    process pool — required for pure-Python work like the WSE simulator,
+    where threads serialize on the GIL; ``fn`` and the items must then be
+    picklable module-level objects.
+    """
     if jobs == 1 or len(items) <= 1:
         return [fn(item) for item in items]
-    with ThreadPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+    pool_cls = ProcessPoolExecutor if processes else ThreadPoolExecutor
+    with pool_cls(max_workers=min(jobs, len(items))) as pool:
         return list(pool.map(fn, items))
+
+
+def _run_pool(fn, items, jobs: int) -> list:
+    return run_pool(fn, items, jobs)
 
 
 def compress_sharded(

@@ -251,6 +251,10 @@ class MappingPlan:
     nodes: tuple[Node, ...]  # buffer-alloc / bind / activation order
     feeds: tuple[Feed, ...]  # injection order
     state_len: int = 0  # serialized inter-stage state extent (0 if unused)
+    #: True for a row-partition sub-plan produced by :func:`split_rows`:
+    #: it deliberately covers only its own rows' blocks, so validation
+    #: skips the whole-field block-coverage check.
+    partial: bool = False
 
     # -- validation ---------------------------------------------------------------
 
@@ -291,7 +295,11 @@ class MappingPlan:
                             f"PE({node.row},{node.col})"
                         )
                     seen[idx] = (node.row, node.col)
-        missing = [i for i in range(self.num_blocks) if i not in seen]
+        missing = (
+            []
+            if self.partial
+            else [i for i in range(self.num_blocks) if i not in seen]
+        )
         if missing:
             raise ScheduleError(
                 f"plan covers no emitting node for blocks {missing[:8]}"
@@ -469,6 +477,84 @@ def _node_line(node: Node) -> str:
             f"x{len(node.blocks)}{tail}"
         )
     return f"PE({node.row},{node.col}) {node.kind}"
+
+
+# --- row partitioning ------------------------------------------------------------------
+
+#: Directions a route may use while keeping rows independent: east/west
+#: hops stay within a row, ramp enters/leaves the PE. Any north/south hop
+#: couples rows and disqualifies the partition.
+_ROW_LOCAL_DIRECTIONS = frozenset({"east", "west", "ramp"})
+
+
+def row_partitionable(plan: MappingPlan) -> bool:
+    """True when the plan's rows are provably independent subgraphs.
+
+    Every node, route, and feed is placed on a single row; rows can only
+    interact through routes that hop north/south. When every route moves
+    data east/west/ramp only, no wavelet ever crosses a row boundary, so
+    simulating each row group separately is cycle-exact: the union of the
+    per-partition event sets is exactly the serial event set, and events
+    from different rows never contend (each PE has its own clock).
+    """
+    return all(
+        set(route.inputs) <= _ROW_LOCAL_DIRECTIONS
+        and route.output in _ROW_LOCAL_DIRECTIONS
+        for route in plan.routes
+    )
+
+
+def row_chunks(rows: int, parts: int) -> list[tuple[int, ...]]:
+    """Deterministic contiguous split of ``range(rows)`` into <= parts groups."""
+    if parts < 1:
+        raise ScheduleError(f"parts must be >= 1, got {parts}")
+    parts = min(parts, rows)
+    base, extra = divmod(rows, parts)
+    chunks: list[tuple[int, ...]] = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        chunks.append(tuple(range(start, start + size)))
+        start += size
+    return chunks
+
+
+def split_rows(plan: MappingPlan, parts: int) -> list[MappingPlan]:
+    """Cut a row-partitionable plan into per-row-group sub-plans.
+
+    Each sub-plan keeps the full mesh dimensions and the original PE
+    coordinates (so traces, counters and labels match the serial run
+    verbatim) but carries only its rows' routes, nodes, and feeds. Color
+    declarations are kept whole so each worker's allocator assigns the
+    same ids the serial lowering would. The sub-plans are ``partial``:
+    together they cover every block, individually they do not.
+    """
+    if not row_partitionable(plan):
+        raise ScheduleError(
+            f"plan with strategy {plan.strategy!r} routes across rows and "
+            f"cannot be row-partitioned"
+        )
+    subs: list[MappingPlan] = []
+    for chunk in row_chunks(plan.rows, parts):
+        rowset = set(chunk)
+        subs.append(
+            MappingPlan(
+                strategy=plan.strategy,
+                direction=plan.direction,
+                rows=plan.rows,
+                cols=plan.cols,
+                block_size=plan.block_size,
+                num_blocks=plan.num_blocks,
+                eps=plan.eps,
+                colors=plan.colors,
+                routes=tuple(r for r in plan.routes if r.row in rowset),
+                nodes=tuple(n for n in plan.nodes if n.row in rowset),
+                feeds=tuple(f for f in plan.feeds if f.row in rowset),
+                state_len=plan.state_len,
+                partial=True,
+            )
+        )
+    return subs
 
 
 # --- compression plan constructors -----------------------------------------------------

@@ -1,0 +1,140 @@
+"""Plan simulation entry point: serial, or row-parallel across processes.
+
+One function, :func:`simulate_plan`, owns the fabric/engine/lowering
+boilerplate every simulation shares. When asked for ``jobs > 1`` it checks
+whether the plan's rows are provably independent
+(:func:`repro.core.plan.row_partitionable` — every route moves data
+east/west/ramp only, so no wavelet ever crosses a row boundary), cuts the
+plan into per-row-group sub-plans, simulates each partition in its own
+process on the shard-engine pool, and merges the results:
+
+* block records/outputs: disjoint dict union (each block is emitted by
+  exactly one row);
+* makespan: max over partitions (the paper's timing rule is already a max
+  over PEs);
+* events/tasks: sums (every event belongs to exactly one row);
+* traces and node counters: folded in row order, reproducing the serial
+  run's row-major recording exactly.
+
+Because partitions share no state, the merge is cycle- and byte-exact
+against the serial run — asserted over the whole plan matrix by
+``tests/core/test_simulate_parallel.py``. Plans that do route across rows
+(none of the current strategies do) or single-row plans silently fall back
+to the serial path, which is itself the single-process fallback when
+``jobs=1``.
+
+Processes, not threads: the simulator is pure Python, so a thread pool
+would serialize on the GIL. Workers receive the (picklable) sub-plan and
+cost model, build their own fabric/engine, and return outputs + report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.lower import lower_plan
+from repro.core.mapping import ProgramOutputs
+from repro.core.mapping_decompress import DecompressOutputs
+from repro.core.parallel import run_pool
+from repro.core.plan import (
+    MappingPlan,
+    row_chunks,
+    row_partitionable,
+    split_rows,
+)
+from repro.wse.cost import CycleModel, PAPER_CYCLE_MODEL
+from repro.wse.engine import Engine, SimulationReport
+from repro.wse.fabric import Fabric
+from repro.wse.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class SimulatedRun:
+    """Outputs plus the simulation report for one executed plan."""
+
+    outputs: ProgramOutputs | DecompressOutputs
+    report: SimulationReport
+    partitions: int = 1
+
+
+def _simulate_one(
+    plan: MappingPlan,
+    model: CycleModel,
+    optimize: bool,
+    fast_kernels: bool,
+) -> tuple[ProgramOutputs | DecompressOutputs, SimulationReport]:
+    fabric = Fabric(plan.rows, plan.cols, cache_routes=optimize)
+    engine = Engine(fabric, optimize=optimize)
+    lowered = lower_plan(
+        plan, fabric, engine, model=model, fast_kernels=fast_kernels
+    )
+    report = engine.run()
+    return lowered.outputs, report
+
+
+def _partition_worker(
+    args: tuple[MappingPlan, CycleModel, bool, bool],
+) -> tuple[ProgramOutputs | DecompressOutputs, SimulationReport]:
+    """Module-level so the process pool can pickle it."""
+    return _simulate_one(*args)
+
+
+def simulate_plan(
+    plan: MappingPlan,
+    *,
+    model: CycleModel = PAPER_CYCLE_MODEL,
+    jobs: int = 1,
+    optimize: bool = True,
+    fast_kernels: bool = True,
+) -> SimulatedRun:
+    """Execute ``plan`` and return its outputs and simulation report.
+
+    ``jobs`` is the maximum number of worker processes for row-parallel
+    simulation; it never changes results, only wall time. ``optimize`` and
+    ``fast_kernels`` select the engine/kernel fast paths (both default on;
+    the benchmark harness disables them to measure the difference).
+    """
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs > 1 and plan.rows > 1 and row_partitionable(plan):
+        subs = split_rows(plan, jobs)
+        if len(subs) > 1:
+            chunks = row_chunks(plan.rows, jobs)
+            results = run_pool(
+                _partition_worker,
+                [(sub, model, optimize, fast_kernels) for sub in subs],
+                len(subs),
+                processes=True,
+            )
+            return _merge(plan, chunks, results)
+    outputs, report = _simulate_one(plan, model, optimize, fast_kernels)
+    return SimulatedRun(outputs=outputs, report=report)
+
+
+def _merge(
+    plan: MappingPlan,
+    chunks: list[tuple[int, ...]],
+    results: list[tuple[ProgramOutputs | DecompressOutputs, SimulationReport]],
+) -> SimulatedRun:
+    outputs: ProgramOutputs | DecompressOutputs
+    if plan.direction == "compress":
+        outputs = ProgramOutputs()
+        for part_outputs, _ in results:
+            outputs.records.update(part_outputs.records)
+    else:
+        outputs = DecompressOutputs()
+        for part_outputs, _ in results:
+            outputs.blocks.update(part_outputs.blocks)
+    trace = TraceRecorder()
+    for rows, (_, part_report) in zip(chunks, results):
+        trace.merge_partition(rows, part_report.trace)
+    report = SimulationReport(
+        makespan_cycles=max(r.makespan_cycles for _, r in results),
+        events_processed=sum(r.events_processed for _, r in results),
+        tasks_run=sum(r.tasks_run for _, r in results),
+        trace=trace,
+    )
+    return SimulatedRun(
+        outputs=outputs, report=report, partitions=len(results)
+    )

@@ -23,7 +23,6 @@ from repro.errors import CompressionError, ScheduleError
 from repro.core.blocks import partition_blocks
 from repro.core.compressor import CereSZ, CompressionResult
 from repro.core.format import make_header
-from repro.core.lower import lower_plan
 from repro.core.plan import (
     MappingPlan,
     plan_multi_pipeline,
@@ -35,10 +34,10 @@ from repro.core.plan import (
 )
 from repro.core.quantize import prequantize_verified
 from repro.core.schedule import distribute_substages, estimate_fixed_length
+from repro.core.simulate import simulate_plan
 from repro.core.stages import compression_substages, decompression_substages
 from repro.wse.cost import CycleModel, PAPER_CYCLE_MODEL
-from repro.wse.engine import Engine, SimulationReport
-from repro.wse.fabric import Fabric
+from repro.wse.engine import SimulationReport
 
 STRATEGIES = ("rows", "pipeline", "multi")
 
@@ -74,6 +73,7 @@ class WSECereSZ:
         pipeline_length: int = 1,
         block_size: int = BLOCK_SIZE,
         model: CycleModel = PAPER_CYCLE_MODEL,
+        jobs: int = 1,
     ):
         if strategy not in STRATEGIES:
             raise ScheduleError(
@@ -93,6 +93,9 @@ class WSECereSZ:
         self.pipeline_length = pipeline_length
         self.block_size = block_size
         self.model = model
+        #: Worker-process budget for row-parallel simulation; results are
+        #: identical for any value (see repro.core.simulate).
+        self.jobs = int(jobs)
         self._reference = CereSZ(block_size=block_size)
 
     def compress(
@@ -118,10 +121,8 @@ class WSECereSZ:
         )
 
         plan = self._compress_plan(raw_blocks, eps_eff)
-        fabric = Fabric(self.rows, self.cols)
-        engine = Engine(fabric)
-        outputs = lower_plan(plan, fabric, engine, model=self.model).outputs
-        report = engine.run()
+        run = simulate_plan(plan, model=self.model, jobs=self.jobs)
+        outputs, report = run.outputs, run.report
 
         body = outputs.stream(raw_blocks.shape[0])
         header = make_header(
@@ -175,8 +176,6 @@ class WSECereSZ:
             from repro.core.encoding import unpack_block_index
 
             _, offset = unpack_block_index(stream, header.num_blocks, offset)
-        fabric = Fabric(self.rows, self.cols)
-        engine = Engine(fabric)
         if self.strategy == "pipeline":
             packed = records_to_words(
                 stream[offset:], header.num_blocks, header.block_size
@@ -206,8 +205,8 @@ class WSECereSZ:
                 cols=self.cols,
                 block_size=header.block_size,
             )
-        outputs = lower_plan(plan, fabric, engine, model=self.model).outputs
-        report = engine.run()
+        run = simulate_plan(plan, model=self.model, jobs=self.jobs)
+        outputs, report = run.outputs, run.report
         blocks = outputs.assemble(header.num_blocks, header.block_size)
         flat = blocks.reshape(-1)[: header.num_elements]
         return flat.reshape(header.shape), report

@@ -6,6 +6,14 @@ traversed PE's router until a router delivers it to a RAMP. Routes on the
 device are static per program load, so resolving the full path once per
 transfer (instead of stepping wavelet by wavelet) is behaviourally exact and
 keeps event counts low.
+
+Because the routes are static, the resolution itself is memoized: the first
+walk from a source caches a :class:`ResolvedRoute` for *every* PE it
+traverses (each intermediate position resolves to the same destination with
+fewer hops), so a chain of k relaying PEs pays one O(k) walk total instead
+of k separate walks. Installing any route invalidates the whole cache —
+route setup happens at program-load time, before traffic flows, so the
+invalidation never costs anything during a simulation.
 """
 
 from __future__ import annotations
@@ -32,13 +40,31 @@ class ResolvedRoute:
 class Fabric:
     """A rows x cols mesh of :class:`ProcessingElement`."""
 
-    def __init__(self, rows: int, cols: int, *, sram_bytes: int | None = None):
+    def __init__(
+        self,
+        rows: int,
+        cols: int,
+        *,
+        sram_bytes: int | None = None,
+        cache_routes: bool = True,
+    ):
         if not (1 <= rows <= WSE_USABLE_ROWS):
             raise ValueError(f"rows outside [1, {WSE_USABLE_ROWS}]: {rows}")
         if not (1 <= cols <= WSE_USABLE_COLS):
             raise ValueError(f"cols outside [1, {WSE_USABLE_COLS}]: {cols}")
         self.rows = rows
         self.cols = cols
+        #: Static-route memo: (row, col, color_id, entering) -> ResolvedRoute.
+        #: ``cache_routes=False`` keeps the pre-cache behaviour (every
+        #: resolve re-walks the route); the benchmark harness uses it to
+        #: measure what the cache buys.
+        self.cache_routes = cache_routes
+        self._route_cache: dict[
+            tuple[int, int, int, Direction], ResolvedRoute
+        ] = {}
+        #: Resolve calls answered from the memo (observability for tests
+        #: and the ``sim --profile`` report).
+        self.route_cache_hits = 0
         self._pes: list[list[ProcessingElement]] = [
             [ProcessingElement(row=r, col=c) for c in range(cols)]
             for r in range(rows)
@@ -78,6 +104,11 @@ class Fabric:
 
     # -- routing -------------------------------------------------------------------
 
+    @property
+    def route_cache_size(self) -> int:
+        """Number of memoized (PE, color, entering) resolutions."""
+        return len(self._route_cache)
+
     def set_route(
         self,
         row: int,
@@ -86,8 +117,14 @@ class Fabric:
         inputs: Direction | tuple[Direction, ...] | list[Direction],
         output: Direction,
     ) -> None:
-        """Configure one PE's router for ``color`` (CSL's route setup)."""
+        """Configure one PE's router for ``color`` (CSL's route setup).
+
+        Invalidates the resolve cache: a new rule can change the path of
+        any route that traverses this PE.
+        """
         self.pe(row, col).router.set_route(RouteRule.make(color, inputs, output))
+        if self._route_cache:
+            self._route_cache.clear()
 
     def route_row_segment(
         self, row: int, col_from: int, col_to: int, color: Color
@@ -116,11 +153,23 @@ class Fabric:
         Raises :class:`RoutingError` on missing rules, on routes that leave
         the mesh, and on cycles (a route revisiting a PE from the same
         direction would loop forever on the device).
+
+        Resolutions are memoized per (PE, color, entering direction) — see
+        the module docstring. Only successful walks are cached; error paths
+        always re-walk so diagnostics stay exact.
         """
+        cache = self._route_cache if self.cache_routes else None
+        ckey = (row, col, color.id, entering)
+        if cache is not None:
+            hit = cache.get(ckey)
+            if hit is not None:
+                self.route_cache_hits += 1
+                return hit
         r, c = row, col
         arriving = entering
         hops = 0
         seen: set[tuple[int, int, Direction]] = set()
+        path: list[tuple[int, int, Direction]] = []
         while True:
             key = (r, c, arriving)
             if key in seen:
@@ -128,10 +177,23 @@ class Fabric:
                     f"color {color.id} route loops at PE({r}, {c})"
                 )
             seen.add(key)
+            path.append(key)
             out = self.pe(r, c).router.route(color.id, arriving)
             if out is Direction.RAMP:
+                destination = (r, c)
+                if cache is not None:
+                    # Every traversed position resolves to the same RAMP
+                    # with the remaining hop count, so one walk warms the
+                    # cache for the whole chain downstream of the source.
+                    for i, (pr, pc, pd) in enumerate(path):
+                        cache[(pr, pc, color.id, pd)] = ResolvedRoute(
+                            source=(pr, pc),
+                            destination=destination,
+                            hops=hops - i,
+                        )
+                    return cache[ckey]
                 return ResolvedRoute(
-                    source=(row, col), destination=(r, c), hops=hops
+                    source=(row, col), destination=destination, hops=hops
                 )
             nxt = self.neighbor(r, c, out)
             if nxt is None:

@@ -52,6 +52,11 @@ class ProcessingElement:
     relay_cycles: int = 0
     tasks_run: int = 0
     halted: bool = False
+    #: True while a ``task`` event for this PE sits in the engine's heap.
+    #: The engine keeps at most one such event per PE (the dispatcher
+    #: re-arms it while work remains), so N pending activations cost one
+    #: heap entry instead of N.
+    task_scheduled: bool = False
     # NodeCounters attached by plan lowering (collected by TraceRecorder);
     # untyped to keep the substrate free of a trace-module dependency.
     counters: list = field(default_factory=list)

@@ -60,6 +60,17 @@ class NodeCounters:
             self.stage_cycles.get(stage_name, 0.0) + cycles
         )
 
+    def add_stages(self, items: tuple[tuple[str, float], ...]) -> None:
+        """Bulk :meth:`add_stage` for precomputed per-block stage plans.
+
+        The fused whole-block kernels account a block's full stage list in
+        one call instead of one per sub-stage; the accumulated totals are
+        identical.
+        """
+        sc = self.stage_cycles
+        for name, cycles in items:
+            sc[name] = sc.get(name, 0.0) + cycles
+
     @property
     def busy_cycles(self) -> float:
         return sum(self.stage_cycles.values())
@@ -158,6 +169,25 @@ class TraceRecorder:
         for t in self.traces:
             rows.setdefault(t.row, []).append(t)
         return rows
+
+    def merge_partition(
+        self, rows: tuple[int, ...], part: "TraceRecorder"
+    ) -> None:
+        """Fold one row-partition's recorder into this one.
+
+        A partition worker simulates on a full-size mesh, so its recorder
+        also holds all-idle traces for foreign rows; only ``rows``' own
+        entries are taken. Callers must fold partitions in row order —
+        then the merged trace/counter sequences are exactly what the
+        serial run's row-major recording produces. Event counts add up
+        exactly: every engine event belongs to a single row.
+        """
+        keep = set(rows)
+        self.traces.extend(t for t in part.traces if t.row in keep)
+        self.node_counters.extend(
+            nc for nc in part.node_counters if nc.row in keep
+        )
+        self.events_processed += part.events_processed
 
     def busiest_pe(self) -> PETrace:
         if not self.traces:

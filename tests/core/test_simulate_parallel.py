@@ -1,0 +1,175 @@
+"""Row-parallel and legacy-engine simulation equivalence.
+
+The performance layer must be invisible in results: the optimized engine
+(route cache, event dedup, zero-copy sends, fused kernels) and row-parallel
+simulation with ``jobs > 1`` have to reproduce the legacy single-process
+run cycle for cycle and byte for byte. These tests sweep the plan matrix
+and compare makespans, compressed bytes, per-PE traces, and per-stage
+counter breakdowns across all three execution modes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import BLOCK_SIZE
+from repro.core.plan import (
+    plan_multi_pipeline,
+    plan_pipeline,
+    plan_row_parallel,
+    plan_staged_multi_pipeline,
+    row_chunks,
+    row_partitionable,
+    split_rows,
+)
+from repro.core.schedule import distribute_substages
+from repro.core.simulate import simulate_plan
+from repro.core.stages import compression_substages
+from repro.core.wse_compressor import WSECereSZ
+
+EPS = 0.01
+
+
+def _blocks(num_blocks: int, seed: int = 11) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(num_blocks, BLOCK_SIZE)).cumsum(axis=1)
+
+
+def _distribution(length: int):
+    return distribute_substages(
+        compression_substages(8, BLOCK_SIZE), length
+    )
+
+
+def _plan(strategy: str, blocks: np.ndarray):
+    if strategy == "rows":
+        return plan_row_parallel(blocks, EPS, rows=3, cols=1)
+    if strategy == "pipeline":
+        return plan_pipeline(blocks, EPS, _distribution(3), rows=2, cols=3)
+    if strategy == "multi":
+        return plan_multi_pipeline(blocks, EPS, rows=2, cols=3)
+    return plan_staged_multi_pipeline(
+        blocks, EPS, _distribution(2), rows=2, cols=4
+    )
+
+
+STRATEGIES = ["rows", "pipeline", "multi", "staged"]
+
+
+def _trace_rows(trace):
+    return [
+        (t.row, t.col, t.compute_cycles, t.relay_cycles, t.tasks_run,
+         t.finished_at)
+        for t in trace.traces
+    ]
+
+
+def _counter_rows(trace):
+    return [
+        (nc.label, nc.kind, nc.row, nc.col, nc.blocks_relayed,
+         nc.wavelets_sent, nc.blocks_emitted, dict(nc.stage_cycles))
+        for nc in trace.node_counters
+    ]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+class TestExecutionModeEquivalence:
+    def test_parallel_matches_serial(self, strategy):
+        blocks = _blocks(13)  # non-divisible across every mesh above
+        serial = simulate_plan(_plan(strategy, blocks))
+        parallel = simulate_plan(_plan(strategy, blocks), jobs=2)
+        assert parallel.partitions == 2
+        assert (
+            serial.outputs.stream(13) == parallel.outputs.stream(13)
+        )
+        assert (
+            serial.report.makespan_cycles == parallel.report.makespan_cycles
+        )
+        assert (
+            serial.report.events_processed
+            == parallel.report.events_processed
+        )
+        assert serial.report.tasks_run == parallel.report.tasks_run
+        assert _trace_rows(serial.report.trace) == _trace_rows(
+            parallel.report.trace
+        )
+        assert _counter_rows(serial.report.trace) == _counter_rows(
+            parallel.report.trace
+        )
+
+    def test_optimized_matches_legacy(self, strategy):
+        blocks = _blocks(13)
+        legacy = simulate_plan(
+            _plan(strategy, blocks), optimize=False, fast_kernels=False
+        )
+        optimized = simulate_plan(_plan(strategy, blocks))
+        assert legacy.outputs.stream(13) == optimized.outputs.stream(13)
+        assert (
+            legacy.report.makespan_cycles
+            == optimized.report.makespan_cycles
+        )
+        assert legacy.report.tasks_run == optimized.report.tasks_run
+        assert _trace_rows(legacy.report.trace) == _trace_rows(
+            optimized.report.trace
+        )
+        assert _counter_rows(legacy.report.trace) == _counter_rows(
+            optimized.report.trace
+        )
+        # The optimizations exist to shrink the event queue.
+        assert (
+            optimized.report.events_processed
+            <= legacy.report.events_processed
+        )
+
+
+class TestRowPartitioning:
+    def test_all_strategies_are_row_partitionable(self):
+        blocks = _blocks(13)
+        for strategy in STRATEGIES:
+            assert row_partitionable(_plan(strategy, blocks)), strategy
+
+    def test_split_covers_every_row_and_block(self):
+        plan = _plan("rows", _blocks(13))
+        subs = split_rows(plan, 2)
+        assert [s.partial for s in subs] == [True, True]
+        for sub in subs:
+            sub.validate()  # partial plans skip only the coverage check
+        rows = sorted(r for sub in subs for r in {n.row for n in sub.nodes})
+        assert rows == list(range(plan.rows))
+        emitted = sorted(
+            idx
+            for sub in subs
+            for node in sub.nodes
+            if node.kind == "compute"
+            for idx in node.blocks
+        )
+        assert emitted == list(range(plan.num_blocks))
+
+    def test_row_chunks_are_deterministic_and_balanced(self):
+        assert row_chunks(5, 2) == [(0, 1, 2), (3, 4)]
+        assert row_chunks(2, 8) == [(0,), (1,)]
+        assert row_chunks(4, 1) == [(0, 1, 2, 3)]
+
+    def test_single_row_plan_falls_back_to_serial(self):
+        blocks = _blocks(5)
+        plan = plan_row_parallel(blocks, EPS, rows=1, cols=1)
+        run = simulate_plan(plan, jobs=4)
+        assert run.partitions == 1
+        assert run.outputs.stream(5)
+
+
+class TestDecompressionParallel:
+    def test_wafer_decompress_parity(self):
+        rng = np.random.default_rng(3)
+        data = np.cumsum(rng.normal(size=6 * BLOCK_SIZE)).astype(np.float32)
+        stream = (
+            WSECereSZ(rows=3, cols=1, strategy="rows")
+            .compress(data, eps=EPS)
+            .stream
+        )
+        serial = WSECereSZ(rows=3, cols=1, strategy="rows")
+        parallel = WSECereSZ(rows=3, cols=1, strategy="rows", jobs=2)
+        out_s, rep_s = serial.decompress_on_wafer(stream)
+        out_p, rep_p = parallel.decompress_on_wafer(stream)
+        assert np.array_equal(out_s, out_p)
+        assert rep_s.makespan_cycles == rep_p.makespan_cycles
+        assert rep_s.events_processed == rep_p.events_processed
