@@ -50,6 +50,8 @@ from repro.core.plan import (  # noqa: E402
 from repro.core.schedule import distribute_substages  # noqa: E402
 from repro.core.simulate import simulate_plan  # noqa: E402
 from repro.core.stages import compression_substages  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.obs.tracing import Tracer  # noqa: E402
 
 BLOCK_SIZE = 32
 EPS = 1e-3
@@ -91,9 +93,14 @@ def run_config(
     blocks = make_blocks(rows * per_row)
     num_blocks = blocks.shape[0]
 
+    # "observed" is the observability acceptance mode: a trace_level="off"
+    # tracer plus a metrics registry attached to the optimized run. Its
+    # makespan must be identical and its wall time within a few percent —
+    # the hot paths only pay one cached bool test per task.
     modes = {
         "legacy": dict(optimize=False, fast_kernels=False, jobs=1),
         "optimized": dict(jobs=1),
+        "observed": dict(jobs=1),
         "parallel": dict(jobs=jobs),
     }
     out: dict = {
@@ -107,9 +114,20 @@ def run_config(
         # Plan construction is outside the timed region: the benchmark
         # measures the simulator, and every mode lowers the same plan.
         plan = build_plan(strategy, rows, cols, blocks)
-        wall, run = best_of(
-            repeats, lambda p=plan, kw=kwargs: simulate_plan(p, **kw)
-        )
+        if mode == "observed":
+            wall, run = best_of(
+                repeats,
+                lambda p=plan, kw=kwargs: simulate_plan(
+                    p,
+                    tracer=Tracer(level="off"),
+                    metrics=MetricsRegistry(),
+                    **kw,
+                ),
+            )
+        else:
+            wall, run = best_of(
+                repeats, lambda p=plan, kw=kwargs: simulate_plan(p, **kw)
+            )
         streams[mode] = run.outputs.stream(num_blocks)
         makespan = run.report.makespan_cycles
         out[mode] = {
@@ -119,7 +137,10 @@ def run_config(
             "events": run.report.events_processed,
             "partitions": run.partitions,
         }
-    if not (streams["legacy"] == streams["optimized"] == streams["parallel"]):
+    if not (
+        streams["legacy"] == streams["optimized"]
+        == streams["observed"] == streams["parallel"]
+    ):
         raise AssertionError(
             f"{strategy} {rows}x{cols}: modes disagree on compressed bytes"
         )
@@ -131,6 +152,9 @@ def run_config(
         )
     out["speedup_optimized"] = out["legacy"]["wall_s"] / out["optimized"]["wall_s"]
     out["speedup_parallel"] = out["legacy"]["wall_s"] / out["parallel"]["wall_s"]
+    out["obs_overhead"] = (
+        out["observed"]["wall_s"] / out["optimized"]["wall_s"] - 1.0
+    )
     return out
 
 
@@ -141,7 +165,8 @@ def render(configs: list[dict], jobs: int) -> str:
         "column, best-of-N wall clock",
         "",
         f"{'config':<20} {'blocks':>6} {'legacy s':>9} {'opt s':>8} "
-        f"{'par s':>8} {'opt x':>6} {'par x':>6} {'Mcyc/s opt':>11}",
+        f"{'par s':>8} {'opt x':>6} {'par x':>6} {'obs %':>6} "
+        f"{'Mcyc/s opt':>11}",
     ]
     for c in configs:
         label = f"{c['strategy']} {c['rows']}x{c['cols']}"
@@ -152,14 +177,17 @@ def render(configs: list[dict], jobs: int) -> str:
             f"{c['parallel']['wall_s']:>8.4f} "
             f"{c['speedup_optimized']:>6.2f} "
             f"{c['speedup_parallel']:>6.2f} "
+            f"{100 * c['obs_overhead']:>6.1f} "
             f"{c['optimized']['cycles_per_s'] / 1e6:>11.1f}"
         )
     lines += [
         "",
         "(legacy: no route cache, per-activation task events, per-stage",
         " state machine; optimized: all fast paths, single process;",
-        " parallel: optimized + row partitions across processes. All",
-        " three produce identical bytes, makespans, and counters.)",
+        " observed: optimized + trace_level=off tracer and a metrics",
+        " registry — 'obs %' is its wall-time overhead; parallel:",
+        " optimized + row partitions across processes. All modes produce",
+        " identical bytes, makespans, and counters.)",
     ]
     return "\n".join(lines) + "\n"
 
@@ -186,6 +214,13 @@ def main(argv=None) -> int:
         default=None,
         help="fail unless the fig7 rows config speeds up by this factor "
         "single-process",
+    )
+    parser.add_argument(
+        "--max-obs-overhead",
+        type=float,
+        default=None,
+        help="fail if the fig7 rows trace_level=off observability overhead "
+        "exceeds this fraction (acceptance bar: 0.05)",
     )
     parser.add_argument(
         "--json-out",
@@ -232,6 +267,7 @@ def main(argv=None) -> int:
         "quick": args.quick,
         "configs": configs,
         "fig7_rows_speedup": fig7["speedup_optimized"],
+        "fig7_rows_obs_overhead": fig7["obs_overhead"],
     }
     with open(args.json_out, "w") as fh:
         json.dump(payload, fh, indent=2)
@@ -251,6 +287,17 @@ def main(argv=None) -> int:
         print(
             f"FAIL: fig7 rows speedup {fig7['speedup_optimized']:.2f}x "
             f"below required {args.min_speedup}x",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.max_obs_overhead is not None
+        and fig7["obs_overhead"] > args.max_obs_overhead
+    ):
+        print(
+            f"FAIL: fig7 rows observability overhead "
+            f"{100 * fig7['obs_overhead']:.1f}% exceeds "
+            f"{100 * args.max_obs_overhead:.1f}%",
             file=sys.stderr,
         )
         return 1

@@ -3,8 +3,8 @@
 Subcommands::
 
     ceresz compress   IN.f32 OUT.csz  --rel 1e-3 | --eps 0.01 | --psnr 80
-                      [--jobs N] [--no-index]
-    ceresz decompress IN.csz  OUT.f32 [--jobs N]
+                      [--jobs N] [--no-index] [--trace T.json] [--metrics]
+    ceresz decompress IN.csz  OUT.f32 [--jobs N] [--trace T.json] [--metrics]
     ceresz extract    IN.csz OUT.f32 --start A --stop B   # random access
     ceresz info       IN.csz                       # stream header dump
     ceresz stream     T0.f32 T1.f32 ... --out RUN.cszs --eps E
@@ -17,7 +17,9 @@ Subcommands::
     ceresz validate                                # calibration + model audit
     ceresz reproduce  [--out DIR] [--quick]        # everything + REPORT.md
     ceresz simulate   IN.f32 --rows R --cols C --strategy multi
-                      [--jobs N] [--profile]    # alias: ceresz sim
+                      [--jobs N] [--profile] [--trace T.json] [--metrics]
+                      [--trace-level L] [--sample-every N]  # alias: sim
+    ceresz trace      T.json [--top N]    # summarize a saved trace
 
 Tables and figures print in the same layout the benchmarks log; the
 compress path is the production-style usage.
@@ -33,6 +35,18 @@ import numpy as np
 from repro import CereSZ, __version__
 from repro.datasets import generate_field, get_dataset, load_f32, save_f32
 from repro.metrics.errorbound import max_abs_error
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", metavar="OUT.json",
+        help="write a Chrome trace-event JSON of the run "
+        "(load in Perfetto / chrome://tracing)",
+    )
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="print the run's metrics registry when done",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int,
         help="shard the field and compress shards on N workers",
     )
+    _add_obs_flags(p)
 
     p = sub.add_parser("decompress", help="decompress a .csz stream")
     p.add_argument("input")
@@ -75,6 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int,
         help="decode shard containers on N workers",
     )
+    _add_obs_flags(p)
 
     p = sub.add_parser("info", help="describe a compressed stream")
     p.add_argument("input")
@@ -171,6 +187,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under cProfile and print the top 25 functions by "
         "cumulative time",
     )
+    _add_obs_flags(p)
+    p.add_argument(
+        "--trace-level", choices=("off", "spans", "timeline"),
+        help="capture detail (default: timeline when --trace is given, "
+        "off otherwise)",
+    )
+    p.add_argument(
+        "--sample-every", type=int, default=1,
+        help="keep every Nth task per PE in the timeline (default 1 = all)",
+    )
+
+    p = sub.add_parser(
+        "trace", help="summarize a saved Chrome trace JSON"
+    )
+    p.add_argument("input")
+    p.add_argument(
+        "--top", type=int, default=10,
+        help="rows per ranking (spans, PEs, hotspots)",
+    )
 
     p = sub.add_parser(
         "plan",
@@ -197,34 +232,76 @@ def main(argv: list[str] | None = None) -> int:
     return handler(args)
 
 
-def _cmd_compress(args) -> int:
-    data = load_f32(args.input, args.shape)
-    codec = CereSZ()
-    result = codec.compress(
-        data,
-        eps=args.eps,
-        rel=args.rel,
-        psnr=args.psnr,
-        index=args.index,
-        jobs=args.jobs,
+def _host_observers(args):
+    """Tracer/registry for the host codec commands (spans only: there is
+    no wafer timeline in host compression)."""
+    from repro.obs import MetricsRegistry, Tracer
+
+    tracer = Tracer(level="spans") if args.trace else None
+    metrics = (
+        MetricsRegistry() if (args.metrics or args.trace) else None
     )
-    with open(args.output, "wb") as fh:
-        fh.write(result.stream)
+    return tracer, metrics
+
+
+def _finish_observers(args, tracer, metrics, *, recorder=None) -> None:
+    from repro.obs import build_chrome_trace, write_chrome_trace
+
+    if args.trace:
+        trace = build_chrome_trace(
+            tracer, recorder=recorder, metrics=metrics
+        )
+        write_chrome_trace(args.trace, trace)
+        print(f"trace -> {args.trace} ({len(trace['traceEvents'])} events)")
+    if args.metrics and metrics is not None:
+        print(metrics.render())
+
+
+def _cmd_compress(args) -> int:
+    from repro.obs.tracing import NULL_TRACER
+
+    tracer, metrics = _host_observers(args)
+    tr = tracer or NULL_TRACER
+    with tr.span("load", path=args.input):
+        data = load_f32(args.input, args.shape)
+    codec = CereSZ()
+    with tr.span("compress", jobs=args.jobs or 1):
+        result = codec.compress(
+            data,
+            eps=args.eps,
+            rel=args.rel,
+            psnr=args.psnr,
+            index=args.index,
+            jobs=args.jobs,
+            metrics=metrics,
+        )
+    with tr.span("write", path=args.output):
+        with open(args.output, "wb") as fh:
+            fh.write(result.stream)
     print(
         f"{args.input}: {result.original_bytes} -> {result.compressed_bytes} "
         f"bytes (ratio {result.ratio:.2f}, eps {result.eps:g}, "
         f"zero blocks {result.zero_block_fraction:.1%})"
     )
+    _finish_observers(args, tracer, metrics)
     return 0
 
 
 def _cmd_decompress(args) -> int:
-    with open(args.input, "rb") as fh:
-        stream = fh.read()
+    from repro.obs.tracing import NULL_TRACER
+
+    tracer, metrics = _host_observers(args)
+    tr = tracer or NULL_TRACER
+    with tr.span("load", path=args.input):
+        with open(args.input, "rb") as fh:
+            stream = fh.read()
     codec = CereSZ()
-    field = codec.decompress(stream, jobs=args.jobs)
-    save_f32(args.output, field)
+    with tr.span("decompress", jobs=args.jobs or 1):
+        field = codec.decompress(stream, jobs=args.jobs, metrics=metrics)
+    with tr.span("write", path=args.output):
+        save_f32(args.output, field)
     print(f"{args.input}: reconstructed {field.size} values -> {args.output}")
+    _finish_observers(args, tracer, metrics)
     return 0
 
 
@@ -560,12 +637,18 @@ def _cmd_simulate(args) -> int:
     data = load_f32(args.input)
     n = min(data.size, args.limit_blocks * BLOCK_SIZE)
     data = data[:n]
+    trace_level = args.trace_level or (
+        "timeline" if args.trace else "off"
+    )
     sim = WSECereSZ(
         rows=args.rows,
         cols=args.cols,
         strategy=args.strategy,
         pipeline_length=args.pipeline_length,
         jobs=args.jobs,
+        trace_level=trace_level,
+        sample_every=args.sample_every,
+        collect_metrics=args.metrics or bool(args.trace),
     )
     if args.profile:
         import cProfile
@@ -589,12 +672,24 @@ def _cmd_simulate(args) -> int:
         "stream matches reference: "
         f"{result.stream == reference.stream}"
     )
+    _finish_observers(
+        args, result.tracer, result.metrics, recorder=report.trace
+    )
     return 0
 
 
 # The ``sim`` alias dispatches through args.command, which stores the
 # spelling the user typed.
 _cmd_sim = _cmd_simulate
+
+
+def _cmd_trace(args) -> int:
+    from repro.obs import load_chrome_trace, summarize_trace
+
+    trace = load_chrome_trace(args.input)
+    print(f"{args.input}: {len(trace['traceEvents'])} events")
+    print(summarize_trace(trace, top=args.top))
+    return 0
 
 
 def _cmd_plan(args) -> int:

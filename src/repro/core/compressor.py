@@ -215,6 +215,7 @@ class CereSZ:
         psnr: float | None = None,
         index: bool | None = None,
         jobs: int | None = None,
+        metrics=None,
     ) -> CompressionResult:
         """Compress under an absolute bound, a REL bound, or a PSNR target.
 
@@ -225,7 +226,9 @@ class CereSZ:
         super-shards compressed across a worker pool and wrapped in a
         self-describing shard container (see :mod:`repro.core.parallel`).
         Sharded streams default to indexed shards (pass ``index=False`` to
-        force v1 shards); plain streams default to v1.
+        force v1 shards); plain streams default to v1. ``metrics=`` (a
+        :class:`repro.obs.metrics.MetricsRegistry`) records host-side
+        shard-engine counters; it only applies to the sharded path.
         """
         if jobs is not None:
             from repro.core.parallel import compress_sharded
@@ -238,6 +241,7 @@ class CereSZ:
                 codec=self,
                 jobs=jobs,
                 index=True if index is None else index,
+                metrics=metrics,
             )
         index = bool(index)
         arr = np.asarray(data)
@@ -309,7 +313,7 @@ class CereSZ:
     # -- decompression --------------------------------------------------------------
 
     def decompress(
-        self, stream: bytes, *, jobs: int | None = None
+        self, stream: bytes, *, jobs: int | None = None, metrics=None
     ) -> np.ndarray:
         """Reconstruct the float32 field (original shape restored).
 
@@ -322,7 +326,9 @@ class CereSZ:
         from repro.core.parallel import decompress_sharded, is_sharded
 
         if is_sharded(stream):
-            return decompress_sharded(stream, codec=self, jobs=jobs)
+            return decompress_sharded(
+                stream, codec=self, jobs=jobs, metrics=metrics
+            )
         header, offset = StreamHeader.unpack(stream)
         out_dtype = np.float64 if header.dtype == "f8" else np.float32
         if header.constant is not None:

@@ -115,6 +115,7 @@ def lower_plan(
     model: CycleModel = PAPER_CYCLE_MODEL,
     colors: ColorAllocator | None = None,
     fast_kernels: bool = True,
+    tracer=None,
 ) -> LoweredProgram:
     """Compile ``plan`` onto ``fabric``/``engine``; returns the live outputs.
 
@@ -125,7 +126,37 @@ def lower_plan(
     ``fast_kernels`` selects the fused whole-block compression kernel for
     nodes that run the full algorithm on one PE (see the module docstring);
     results are identical either way.
+
+    ``tracer`` (a :class:`repro.obs.tracing.Tracer`) wraps the pass in a
+    ``"lower"`` host span; lowering itself is untraced beyond that.
     """
+    if tracer is not None and tracer.enabled:
+        with tracer.span(
+            "lower",
+            direction=plan.direction,
+            rows=plan.rows,
+            cols=plan.cols,
+            nodes=len(plan.nodes),
+        ):
+            return _lower_plan(
+                plan, fabric, engine, model=model, colors=colors,
+                fast_kernels=fast_kernels,
+            )
+    return _lower_plan(
+        plan, fabric, engine, model=model, colors=colors,
+        fast_kernels=fast_kernels,
+    )
+
+
+def _lower_plan(
+    plan: MappingPlan,
+    fabric: Fabric,
+    engine: Engine,
+    *,
+    model: CycleModel,
+    colors: ColorAllocator | None,
+    fast_kernels: bool,
+) -> LoweredProgram:
     plan.validate()
     if plan.rows > fabric.rows or plan.cols > fabric.cols:
         raise ScheduleError(

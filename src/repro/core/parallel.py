@@ -112,12 +112,17 @@ def compress_sharded(
     jobs: int | None = None,
     shard_elements: int | None = None,
     index: bool = True,
+    metrics=None,
 ):
     """Compress ``data`` into a shard container; returns a CompressionResult.
 
     A field too small for more than one shard (or a constant field, which
     stores as a bare constant stream) degrades gracefully to the
     single-stream format — ``decompress`` dispatches on magic either way.
+
+    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) records the
+    host-side ``host.shards`` / ``host.bytes_in`` / ``host.bytes_out``
+    counters once the container is assembled.
     """
     from repro.core.compressor import CereSZ
 
@@ -168,6 +173,17 @@ def compress_sharded(
     parts.extend(_LEN.pack(len(r.stream)) for r in results)
     parts.extend(r.stream for r in results)
     stream = b"".join(parts)
+
+    if metrics is not None:
+        metrics.counter(
+            "host.shards", "super-shards compressed by the shard engine"
+        ).inc(len(results), direction="compress")
+        metrics.counter("host.bytes_in", "bytes entering the host codec").inc(
+            arr.size * arr.dtype.itemsize, direction="compress"
+        )
+        metrics.counter("host.bytes_out", "bytes leaving the host codec").inc(
+            len(stream), direction="compress"
+        )
 
     fl = (
         np.concatenate([r.fixed_lengths for r in results])
@@ -237,9 +253,13 @@ def read_shard_table(
 
 
 def decompress_sharded(
-    stream: bytes, *, codec=None, jobs: int | None = None
+    stream: bytes, *, codec=None, jobs: int | None = None, metrics=None
 ) -> np.ndarray:
-    """Decode a shard container back to the original field."""
+    """Decode a shard container back to the original field.
+
+    ``metrics`` records the same host-side counters as
+    :func:`compress_sharded`, labeled ``direction=decompress``.
+    """
     from repro.core.compressor import CereSZ
 
     codec = codec if codec is not None else CereSZ()
@@ -260,4 +280,15 @@ def decompress_sharded(
             f"shards decode to {flat.size} elements, container claims {n}"
         )
     out_dtype = np.float64 if is_f64 else np.float32
-    return flat.astype(out_dtype, copy=False).reshape(shape)
+    out = flat.astype(out_dtype, copy=False).reshape(shape)
+    if metrics is not None:
+        metrics.counter(
+            "host.shards", "super-shards compressed by the shard engine"
+        ).inc(len(spans), direction="decompress")
+        metrics.counter("host.bytes_in", "bytes entering the host codec").inc(
+            len(stream), direction="decompress"
+        )
+        metrics.counter("host.bytes_out", "bytes leaving the host codec").inc(
+            out.size * out.dtype.itemsize, direction="decompress"
+        )
+    return out

@@ -26,10 +26,27 @@ to the serial path, which is itself the single-process fallback when
 Processes, not threads: the simulator is pure Python, so a thread pool
 would serialize on the GIL. Workers receive the (picklable) sub-plan and
 cost model, build their own fabric/engine, and return outputs + report.
+
+Observability rides along the same split. Pass ``tracer=`` (a
+:class:`repro.obs.tracing.Tracer`) and/or ``metrics=`` (a
+:class:`repro.obs.metrics.MetricsRegistry`) and the run records host
+spans, sampled per-PE timeline events, and a full metrics snapshot.
+Row-parallel workers each build their own tracer/registry (from a
+picklable config), collect the metrics only *they* can see (their fabric
+and engine), and ship both back; the parent folds tracers in row order
+(``Tracer.merge_partition`` keeps exactly the rows each worker owns, so
+the merged capture equals the serial one) and sums the registry
+snapshots. Trace-derived metrics are collected once, in the parent, from
+the already-merged recorder — which is why counter totals are identical
+for any ``jobs`` value. The one documented exception is the
+``sim.engine.queue_depth.max`` gauge: event-heap depth depends on how
+rows interleave in one heap, which is genuinely different between one
+engine and N.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.core.lower import lower_plan
@@ -42,6 +59,13 @@ from repro.core.plan import (
     row_partitionable,
     split_rows,
 )
+from repro.obs.metrics import (
+    MetricsRegistry,
+    collect_engine_metrics,
+    collect_fabric_metrics,
+    collect_trace_metrics,
+)
+from repro.obs.tracing import Tracer
 from repro.wse.cost import CycleModel, PAPER_CYCLE_MODEL
 from repro.wse.engine import Engine, SimulationReport
 from repro.wse.fabric import Fabric
@@ -55,6 +79,17 @@ class SimulatedRun:
     outputs: ProgramOutputs | DecompressOutputs
     report: SimulationReport
     partitions: int = 1
+    #: The tracer/registry the caller passed in (or None) — returned so
+    #: result consumers don't have to carry them separately.
+    tracer: Tracer | None = None
+    metrics: MetricsRegistry | None = None
+
+
+def _span(tracer: Tracer | None, name: str, **args):
+    """A tracer span, or a no-op context when tracing is off/absent."""
+    if tracer is not None and tracer.enabled:
+        return tracer.span(name, **args)
+    return nullcontext()
 
 
 def _simulate_one(
@@ -62,21 +97,55 @@ def _simulate_one(
     model: CycleModel,
     optimize: bool,
     fast_kernels: bool,
-) -> tuple[ProgramOutputs | DecompressOutputs, SimulationReport]:
+    tracer: Tracer | None = None,
+) -> tuple[ProgramOutputs | DecompressOutputs, SimulationReport, Fabric, Engine]:
     fabric = Fabric(plan.rows, plan.cols, cache_routes=optimize)
-    engine = Engine(fabric, optimize=optimize)
+    engine = Engine(fabric, optimize=optimize, tracer=tracer)
     lowered = lower_plan(
-        plan, fabric, engine, model=model, fast_kernels=fast_kernels
+        plan, fabric, engine, model=model, fast_kernels=fast_kernels,
+        tracer=tracer,
     )
-    report = engine.run()
-    return lowered.outputs, report
+    with _span(tracer, "engine.run", rows=plan.rows, cols=plan.cols):
+        report = engine.run()
+    return lowered.outputs, report, fabric, engine
 
 
 def _partition_worker(
-    args: tuple[MappingPlan, CycleModel, bool, bool],
-) -> tuple[ProgramOutputs | DecompressOutputs, SimulationReport]:
-    """Module-level so the process pool can pickle it."""
-    return _simulate_one(*args)
+    args: tuple[
+        MappingPlan, CycleModel, bool, bool,
+        tuple[str, int] | None, bool,
+    ],
+) -> tuple[
+    ProgramOutputs | DecompressOutputs,
+    SimulationReport,
+    Tracer | None,
+    dict | None,
+]:
+    """Module-level so the process pool can pickle it.
+
+    ``trace_cfg`` is ``(level, sample_every)`` or None; the worker builds
+    its own :class:`Tracer` from it (tracers cross the pickle boundary
+    whole on the way *back*). With ``want_metrics`` the worker collects
+    the fabric/engine metrics only it can observe and returns the
+    registry snapshot; trace-derived metrics are left to the parent,
+    which has the exactly-merged recorder.
+    """
+    plan, model, optimize, fast_kernels, trace_cfg, want_metrics = args
+    tracer = (
+        Tracer(level=trace_cfg[0], sample_every=trace_cfg[1])
+        if trace_cfg is not None
+        else None
+    )
+    outputs, report, fabric, engine = _simulate_one(
+        plan, model, optimize, fast_kernels, tracer
+    )
+    snapshot = None
+    if want_metrics:
+        metrics = MetricsRegistry()
+        collect_fabric_metrics(metrics, fabric)
+        collect_engine_metrics(metrics, engine)
+        snapshot = metrics.snapshot()
+    return outputs, report, tracer, snapshot
 
 
 def simulate_plan(
@@ -86,6 +155,8 @@ def simulate_plan(
     jobs: int = 1,
     optimize: bool = True,
     fast_kernels: bool = True,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> SimulatedRun:
     """Execute ``plan`` and return its outputs and simulation report.
 
@@ -93,6 +164,11 @@ def simulate_plan(
     simulation; it never changes results, only wall time. ``optimize`` and
     ``fast_kernels`` select the engine/kernel fast paths (both default on;
     the benchmark harness disables them to measure the difference).
+
+    ``tracer``/``metrics`` opt the run into observability capture (see the
+    module docstring for how the row-parallel path merges them). Both are
+    mutated in place and also attached to the returned
+    :class:`SimulatedRun`.
     """
     jobs = int(jobs)
     if jobs < 1:
@@ -101,40 +177,82 @@ def simulate_plan(
         subs = split_rows(plan, jobs)
         if len(subs) > 1:
             chunks = row_chunks(plan.rows, jobs)
-            results = run_pool(
-                _partition_worker,
-                [(sub, model, optimize, fast_kernels) for sub in subs],
-                len(subs),
-                processes=True,
+            trace_cfg = (
+                (tracer.level, tracer.sample_every)
+                if tracer is not None and tracer.enabled
+                else None
             )
-            return _merge(plan, chunks, results)
-    outputs, report = _simulate_one(plan, model, optimize, fast_kernels)
-    return SimulatedRun(outputs=outputs, report=report)
+            with _span(tracer, "simulate", jobs=len(subs), rows=plan.rows):
+                results = run_pool(
+                    _partition_worker,
+                    [
+                        (sub, model, optimize, fast_kernels, trace_cfg,
+                         metrics is not None)
+                        for sub in subs
+                    ],
+                    len(subs),
+                    processes=True,
+                )
+                return _merge(plan, chunks, results, tracer, metrics)
+    with _span(tracer, "simulate", jobs=1, rows=plan.rows):
+        outputs, report, fabric, engine = _simulate_one(
+            plan, model, optimize, fast_kernels, tracer
+        )
+    if metrics is not None:
+        collect_fabric_metrics(metrics, fabric)
+        collect_engine_metrics(metrics, engine)
+        collect_trace_metrics(metrics, report.trace)
+    return SimulatedRun(
+        outputs=outputs, report=report, tracer=tracer, metrics=metrics
+    )
 
 
 def _merge(
     plan: MappingPlan,
     chunks: list[tuple[int, ...]],
-    results: list[tuple[ProgramOutputs | DecompressOutputs, SimulationReport]],
+    results: list[
+        tuple[
+            ProgramOutputs | DecompressOutputs,
+            SimulationReport,
+            Tracer | None,
+            dict | None,
+        ]
+    ],
+    tracer: Tracer | None,
+    metrics: MetricsRegistry | None,
 ) -> SimulatedRun:
     outputs: ProgramOutputs | DecompressOutputs
     if plan.direction == "compress":
         outputs = ProgramOutputs()
-        for part_outputs, _ in results:
+        for part_outputs, _, _, _ in results:
             outputs.records.update(part_outputs.records)
     else:
         outputs = DecompressOutputs()
-        for part_outputs, _ in results:
+        for part_outputs, _, _, _ in results:
             outputs.blocks.update(part_outputs.blocks)
     trace = TraceRecorder()
-    for rows, (_, part_report) in zip(chunks, results):
+    for i, (rows, (_, part_report, part_tracer, part_snap)) in enumerate(
+        zip(chunks, results)
+    ):
         trace.merge_partition(rows, part_report.trace)
+        if tracer is not None and part_tracer is not None:
+            tracer.merge_partition(rows, part_tracer, tid=i + 1)
+        if metrics is not None and part_snap is not None:
+            metrics.merge(part_snap)
+    if metrics is not None:
+        # Trace-derived metrics come from the exactly-merged recorder, so
+        # their totals equal the serial run's for any number of workers.
+        collect_trace_metrics(metrics, trace)
     report = SimulationReport(
-        makespan_cycles=max(r.makespan_cycles for _, r in results),
-        events_processed=sum(r.events_processed for _, r in results),
-        tasks_run=sum(r.tasks_run for _, r in results),
+        makespan_cycles=max(r.makespan_cycles for _, r, _, _ in results),
+        events_processed=sum(r.events_processed for _, r, _, _ in results),
+        tasks_run=sum(r.tasks_run for _, r, _, _ in results),
         trace=trace,
     )
     return SimulatedRun(
-        outputs=outputs, report=report, partitions=len(results)
+        outputs=outputs,
+        report=report,
+        partitions=len(results),
+        tracer=tracer,
+        metrics=metrics,
     )

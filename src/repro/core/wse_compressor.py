@@ -36,6 +36,8 @@ from repro.core.quantize import prequantize_verified
 from repro.core.schedule import distribute_substages, estimate_fixed_length
 from repro.core.simulate import simulate_plan
 from repro.core.stages import compression_substages, decompression_substages
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import TRACE_LEVELS, Tracer
 from repro.wse.cost import CycleModel, PAPER_CYCLE_MODEL
 from repro.wse.engine import SimulationReport
 
@@ -48,6 +50,10 @@ class WSECompressionResult:
 
     result: CompressionResult
     report: SimulationReport
+    #: Observability capture of the run (None unless the compressor was
+    #: built with ``trace_level`` / ``collect_metrics``).
+    tracer: Tracer | None = None
+    metrics: MetricsRegistry | None = None
 
     @property
     def stream(self) -> bytes:
@@ -74,10 +80,18 @@ class WSECereSZ:
         block_size: int = BLOCK_SIZE,
         model: CycleModel = PAPER_CYCLE_MODEL,
         jobs: int = 1,
+        trace_level: str = "off",
+        sample_every: int = 1,
+        collect_metrics: bool = False,
     ):
         if strategy not in STRATEGIES:
             raise ScheduleError(
                 f"strategy must be one of {STRATEGIES}, got {strategy!r}"
+            )
+        if trace_level not in TRACE_LEVELS:
+            raise ValueError(
+                f"trace_level must be one of {TRACE_LEVELS}, got "
+                f"{trace_level!r}"
             )
         if strategy == "pipeline" and pipeline_length > cols:
             raise ScheduleError(
@@ -96,7 +110,27 @@ class WSECereSZ:
         #: Worker-process budget for row-parallel simulation; results are
         #: identical for any value (see repro.core.simulate).
         self.jobs = int(jobs)
+        #: Observability knobs: each run builds a fresh Tracer/registry so
+        #: captures never bleed between runs; the latest pair is kept on
+        #: ``last_tracer`` / ``last_metrics`` (decompress_on_wafer has no
+        #: room in its return signature for them).
+        self.trace_level = trace_level
+        self.sample_every = int(sample_every)
+        self.collect_metrics = bool(collect_metrics)
+        self.last_tracer: Tracer | None = None
+        self.last_metrics: MetricsRegistry | None = None
         self._reference = CereSZ(block_size=block_size)
+
+    def _observers(self) -> tuple[Tracer | None, MetricsRegistry | None]:
+        tracer = (
+            Tracer(level=self.trace_level, sample_every=self.sample_every)
+            if self.trace_level != "off"
+            else None
+        )
+        metrics = MetricsRegistry() if self.collect_metrics else None
+        self.last_tracer = tracer
+        self.last_metrics = metrics
+        return tracer, metrics
 
     def compress(
         self,
@@ -113,6 +147,7 @@ class WSECereSZ:
                 "constant fields bypass the wafer (stored exactly by the "
                 "host); use the reference CereSZ for them"
             )
+        tracer, metrics = self._observers()
         # Quantize on the host only to learn eps_eff; the wafer kernels
         # redo the arithmetic from the raw floats.
         _, eps_eff = prequantize_verified(arr, bound)
@@ -120,8 +155,15 @@ class WSECereSZ:
             arr.astype(np.float64), self.block_size
         )
 
-        plan = self._compress_plan(raw_blocks, eps_eff)
-        run = simulate_plan(plan, model=self.model, jobs=self.jobs)
+        if tracer is not None:
+            with tracer.span("plan", strategy=self.strategy):
+                plan = self._compress_plan(raw_blocks, eps_eff)
+        else:
+            plan = self._compress_plan(raw_blocks, eps_eff)
+        run = simulate_plan(
+            plan, model=self.model, jobs=self.jobs,
+            tracer=tracer, metrics=metrics,
+        )
         outputs, report = run.outputs, run.report
 
         body = outputs.stream(raw_blocks.shape[0])
@@ -140,7 +182,9 @@ class WSECereSZ:
             fixed_lengths=np.zeros(0, dtype=np.int64),
             zero_block_fraction=0.0,
         )
-        return WSECompressionResult(result=result, report=report)
+        return WSECompressionResult(
+            result=result, report=report, tracer=tracer, metrics=metrics
+        )
 
     def decompress(self, stream: bytes) -> np.ndarray:
         """Streams are format-identical to the reference; decode with it."""
@@ -161,6 +205,7 @@ class WSECereSZ:
         from repro.core.format import StreamHeader
         from repro.core.mapping_decompress import records_to_words
 
+        tracer, metrics = self._observers()
         header, offset = StreamHeader.unpack(stream)
         if header.constant is not None:
             raise CompressionError(
@@ -205,7 +250,10 @@ class WSECereSZ:
                 cols=self.cols,
                 block_size=header.block_size,
             )
-        run = simulate_plan(plan, model=self.model, jobs=self.jobs)
+        run = simulate_plan(
+            plan, model=self.model, jobs=self.jobs,
+            tracer=tracer, metrics=metrics,
+        )
         outputs, report = run.outputs, run.report
         blocks = outputs.assemble(header.num_blocks, header.block_size)
         flat = blocks.reshape(-1)[: header.num_elements]

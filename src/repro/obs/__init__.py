@@ -1,0 +1,65 @@
+"""Wafer-scope observability: span tracing, metrics, exporters.
+
+Three layers, one per module:
+
+* :mod:`repro.obs.tracing` — nested host spans and sampled per-PE
+  timeline events behind a ``trace_level`` knob (off / spans / timeline);
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms with
+  labels, plus the ``collect_*`` functions that publish a finished run's
+  raw counters into a registry;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
+  ``chrome://tracing``), fabric occupancy and relay-congestion heatmaps,
+  and the offline summarizer behind ``ceresz trace``.
+"""
+
+from repro.obs.export import (
+    build_chrome_trace,
+    load_chrome_trace,
+    occupancy_heatmap,
+    relay_heatmap,
+    render_heatmap,
+    summarize_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    collect_engine_metrics,
+    collect_fabric_metrics,
+    collect_run_metrics,
+    collect_trace_metrics,
+)
+from repro.obs.tracing import (
+    NULL_TRACER,
+    TRACE_LEVELS,
+    PEEvent,
+    SpanRecord,
+    Tracer,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "TRACE_LEVELS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PEEvent",
+    "SpanRecord",
+    "Tracer",
+    "build_chrome_trace",
+    "collect_engine_metrics",
+    "collect_fabric_metrics",
+    "collect_run_metrics",
+    "collect_trace_metrics",
+    "load_chrome_trace",
+    "occupancy_heatmap",
+    "relay_heatmap",
+    "render_heatmap",
+    "summarize_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,308 @@
+"""Exporters: Chrome trace-event JSON, fabric heatmaps, trace summaries.
+
+The Chrome trace-event format (the JSON Perfetto and ``chrome://tracing``
+load) is a list of events with ``name``/``ph``/``ts``/``pid``/``tid``;
+we emit only complete events (``ph="X"``, with ``dur``) plus metadata
+events (``ph="M"``) naming the tracks, which keeps the file trivially
+valid — no begin/end pairing to break.
+
+Two clock domains share one file as two *processes*:
+
+* pid 1, "wafer (simulated cycles)": one thread per PE, one ``X`` event
+  per (sampled) task execution, ``ts``/``dur`` in simulated cycles;
+* pid 2, "host (wall clock)": one thread per host track (0 = the driving
+  process, 1..N = row-partition workers), ``ts``/``dur`` in wall-clock
+  microseconds, normalized so the first span starts at 0.
+
+Everything that is not an event — the metrics snapshot, fabric occupancy
+and relay-congestion heatmaps — rides in the top-level ``otherData``
+object, which the trace-event spec reserves for exactly this and viewers
+ignore. ``ceresz trace`` reads it back for offline summaries.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+WAFER_PID = 1
+HOST_PID = 2
+
+_REQUIRED_EVENT_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+# -- heatmaps ------------------------------------------------------------------
+
+
+def _grid(recorder, value_of) -> dict:
+    """rows x cols grid of ``value_of(PETrace)`` plus row/col totals."""
+    if not recorder.traces:
+        return {"rows": 0, "cols": 0, "cells": [], "row_totals": [],
+                "col_totals": []}
+    rows = max(t.row for t in recorder.traces) + 1
+    cols = max(t.col for t in recorder.traces) + 1
+    cells = [[0.0] * cols for _ in range(rows)]
+    for t in recorder.traces:
+        cells[t.row][t.col] += float(value_of(t))
+    return {
+        "rows": rows,
+        "cols": cols,
+        "cells": cells,
+        "row_totals": [sum(row) for row in cells],
+        "col_totals": [sum(col) for col in zip(*cells)],
+    }
+
+
+def occupancy_heatmap(recorder) -> dict:
+    """Busy cycles (compute + relay) per PE — where the wafer spends time."""
+    return _grid(recorder, lambda t: t.total_cycles)
+
+
+def relay_heatmap(recorder) -> dict:
+    """Relay cycles per PE — where forwarding traffic concentrates."""
+    return _grid(recorder, lambda t: t.relay_cycles)
+
+
+def render_heatmap(heatmap: dict, title: str) -> str:
+    """ASCII rendering: cells scaled 0-9 against the grid maximum."""
+    rows, cols = heatmap["rows"], heatmap["cols"]
+    lines = [f"{title} ({rows}x{cols}, 0-9 scaled to max)"]
+    if not rows:
+        return lines[0] + "\n  (empty)"
+    peak = max((max(row) for row in heatmap["cells"]), default=0.0)
+    for r, row in enumerate(heatmap["cells"]):
+        digits = "".join(
+            str(min(9, int(9 * v / peak))) if peak else "0" for v in row
+        )
+        lines.append(f"  row {r:>3} |{digits}| {heatmap['row_totals'][r]:.0f}")
+    lines.append(
+        "  col totals: "
+        + " ".join(f"{v:.0f}" for v in heatmap["col_totals"])
+    )
+    return "\n".join(lines)
+
+
+# -- Chrome trace assembly -----------------------------------------------------
+
+
+def build_chrome_trace(
+    tracer: Tracer | None = None,
+    *,
+    recorder=None,
+    metrics: MetricsRegistry | None = None,
+) -> dict:
+    """Assemble the Chrome trace-event object for one run.
+
+    ``tracer`` supplies the events (host spans and, at
+    ``trace_level="timeline"``, per-PE task events); ``recorder`` (a
+    ``TraceRecorder``) supplies the occupancy/congestion heatmaps;
+    ``metrics`` embeds its snapshot. All three are optional — an
+    off-level tracer still yields a valid (metadata-only) trace.
+    """
+    events: list[dict] = []
+
+    def meta(pid: int, kind: str, tid: int = 0, **args) -> None:
+        events.append(
+            {"name": kind, "ph": "M", "ts": 0, "pid": pid, "tid": tid,
+             "args": args}
+        )
+
+    meta(WAFER_PID, "process_name", name="wafer (simulated cycles)")
+    meta(HOST_PID, "process_name", name="host (wall clock)")
+
+    spans = list(tracer.spans) if tracer is not None else []
+    pe_events = list(tracer.pe_events) if tracer is not None else []
+
+    host_tids = sorted({s.tid for s in spans})
+    for tid in host_tids:
+        label = "host" if tid == 0 else f"worker-{tid}"
+        meta(HOST_PID, "thread_name", tid=tid, name=label)
+
+    pe_tids: dict[tuple[int, int], int] = {}
+    for coord in sorted({(e.row, e.col) for e in pe_events}):
+        tid = len(pe_tids) + 1
+        pe_tids[coord] = tid
+        meta(
+            WAFER_PID, "thread_name", tid=tid,
+            name=f"PE({coord[0]},{coord[1]})",
+        )
+
+    body: list[dict] = []
+    if spans:
+        epoch = min(s.start_us for s in spans)
+        for s in spans:
+            body.append(
+                {
+                    "name": s.name,
+                    "ph": "X",
+                    "ts": s.start_us - epoch,
+                    "dur": s.dur_us,
+                    "pid": HOST_PID,
+                    "tid": s.tid,
+                    "args": {**s.args, "depth": s.depth},
+                }
+            )
+    for e in pe_events:
+        body.append(
+            {
+                "name": e.name,
+                "ph": "X",
+                "ts": e.start_cycles,
+                "dur": e.dur_cycles,
+                "pid": WAFER_PID,
+                "tid": pe_tids[(e.row, e.col)],
+                "args": {"row": e.row, "col": e.col},
+            }
+        )
+    # Stable order: per track, by start time, longest (outermost) first so
+    # nested spans with equal starts render parent-above-child.
+    body.sort(key=lambda ev: (ev["pid"], ev["tid"], ev["ts"], -ev["dur"]))
+    events.extend(body)
+
+    other: dict = {}
+    if tracer is not None:
+        other["trace_level"] = tracer.level
+        other["sample_every"] = tracer.sample_every
+    if recorder is not None:
+        other["occupancy_heatmap"] = occupancy_heatmap(recorder)
+        other["relay_heatmap"] = relay_heatmap(recorder)
+    if metrics is not None:
+        other["metrics"] = metrics.snapshot()
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": other,
+    }
+
+
+def write_chrome_trace(path: str, trace: dict) -> None:
+    validate_chrome_trace(trace)
+    with open(path, "w") as fh:
+        json.dump(trace, fh, indent=1)
+        fh.write("\n")
+
+
+def load_chrome_trace(path: str) -> dict:
+    with open(path) as fh:
+        trace = json.load(fh)
+    validate_chrome_trace(trace)
+    return trace
+
+
+def validate_chrome_trace(trace: dict) -> None:
+    """Check the trace-event schema our exporter promises.
+
+    Raises ``ValueError`` on the first violation: missing/ill-typed
+    required keys, a complete event without a non-negative ``dur``,
+    negative timestamps, or per-track timestamps that go backwards
+    (viewers tolerate unsorted input; we promise sorted so diffs and
+    streaming consumers can rely on it).
+    """
+    if not isinstance(trace, dict):
+        raise ValueError("trace must be a JSON object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace.traceEvents must be a list")
+    last_ts: dict[tuple[int, int], float] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i} is not an object")
+        for key in _REQUIRED_EVENT_KEYS:
+            if key not in event:
+                raise ValueError(f"event {i} missing required key {key!r}")
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"event {i} has invalid ts {ts!r}")
+        ph = event["ph"]
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(
+                    f"event {i} is complete (ph=X) without a valid dur"
+                )
+            track = (event["pid"], event["tid"])
+            if ts < last_ts.get(track, 0.0):
+                raise ValueError(
+                    f"event {i} breaks per-track ts monotonicity"
+                )
+            last_ts[track] = ts
+        elif ph != "M":
+            raise ValueError(
+                f"event {i} has unexpected phase {ph!r} (exporter emits "
+                f"only X and M)"
+            )
+
+
+# -- offline summaries (the ``ceresz trace`` subcommand) -----------------------
+
+
+def summarize_trace(trace: dict, *, top: int = 10) -> str:
+    """Top spans, busiest PEs, and congestion hotspots of a saved trace."""
+    events = trace.get("traceEvents", [])
+    thread_names: dict[tuple[int, int], str] = {}
+    for e in events:
+        if e.get("ph") == "M" and e.get("name") == "thread_name":
+            thread_names[(e["pid"], e["tid"])] = e["args"]["name"]
+
+    span_totals: dict[str, list[float]] = {}
+    pe_busy: dict[tuple[int, int], float] = {}
+    for e in events:
+        if e.get("ph") != "X":
+            continue
+        if e["pid"] == HOST_PID:
+            cell = span_totals.setdefault(e["name"], [0, 0.0, 0.0])
+            cell[0] += 1
+            cell[1] += e["dur"]
+            cell[2] = max(cell[2], e["dur"])
+        elif e["pid"] == WAFER_PID:
+            key = (e["pid"], e["tid"])
+            pe_busy[key] = pe_busy.get(key, 0.0) + e["dur"]
+
+    lines: list[str] = []
+    other = trace.get("otherData", {})
+    if "trace_level" in other:
+        lines.append(
+            f"trace level: {other['trace_level']} "
+            f"(sample_every={other.get('sample_every', 1)})"
+        )
+
+    lines.append(f"top spans (by total wall time, top {top}):")
+    ranked = sorted(span_totals.items(), key=lambda kv: -kv[1][1])[:top]
+    if not ranked:
+        lines.append("  (no host spans recorded)")
+    for name, (count, total, peak) in ranked:
+        lines.append(
+            f"  {name:<24} {count:>5}x  total {total / 1e3:>10.3f} ms  "
+            f"max {peak / 1e3:.3f} ms"
+        )
+
+    lines.append(f"busiest PEs (by timeline cycles, top {top}):")
+    busiest = sorted(pe_busy.items(), key=lambda kv: -kv[1])[:top]
+    if not busiest:
+        lines.append("  (no timeline events — trace level below 'timeline')")
+    for key, cycles in busiest:
+        lines.append(
+            f"  {thread_names.get(key, str(key)):<12} {cycles:>14.0f} cycles"
+        )
+
+    relay = other.get("relay_heatmap")
+    if relay and relay["rows"]:
+        lines.append("relay congestion hotspots:")
+        flat = [
+            (v, r, c)
+            for r, row in enumerate(relay["cells"])
+            for c, v in enumerate(row)
+            if v > 0
+        ]
+        for v, r, c in sorted(flat, reverse=True)[:top]:
+            lines.append(f"  PE({r},{c}): {v:.0f} relay cycles")
+        if not flat:
+            lines.append("  (no relay traffic)")
+        lines.append(render_heatmap(relay, "relay cycles"))
+    occupancy = other.get("occupancy_heatmap")
+    if occupancy and occupancy["rows"]:
+        lines.append(render_heatmap(occupancy, "occupancy (busy cycles)"))
+    return "\n".join(lines)

@@ -1,0 +1,186 @@
+"""Span and per-PE timeline tracing for simulated runs.
+
+The paper's evaluation is built on *observing* the wafer: per-PE hardware
+cycle counters, per-stage profiles (Tables 1-3), relay/execution
+breakdowns (Fig 10). This module is the capture side of that story for
+the reproduction — two kinds of records behind one knob:
+
+* **Host spans** — nested wall-clock regions of the host pipeline
+  (``span("lower")``, ``span("simulate", rows=...)``). Cheap enough to
+  leave in production paths; a span is two ``perf_counter`` calls and one
+  list append.
+* **PE timeline events** — one event per task execution, in *simulated
+  cycles*, recorded by the engine. A full timeline of a large run is
+  every task on every PE, so capture is gated behind
+  ``trace_level="timeline"`` and bounded by a deterministic per-PE
+  sampling stride (``sample_every=N`` keeps every Nth task per PE).
+
+``trace_level`` takes three values:
+
+=============  ==========================================================
+``"off"``      nothing recorded; the engine sees ``tracer=None``-like
+               cost (a single cached bool test per task)
+``"spans"``    host spans only
+``"timeline"`` host spans plus per-PE task events (sampled)
+=============  ==========================================================
+
+Spans close in a ``finally`` block, so timings and nesting depth survive
+exceptions raised inside the span body — a failed run still exports a
+truthful partial trace.
+
+Row-parallel simulation gives every worker process its own ``Tracer``;
+:meth:`Tracer.merge_partition` folds a worker's records into the parent
+exactly like ``TraceRecorder.merge_partition`` folds cycle traces: PE
+events are filtered to the partition's own rows, host spans keep their
+timings and are re-tagged with the worker's track id. ``perf_counter``
+on Linux is CLOCK_MONOTONIC (shared epoch across processes), so worker
+span timestamps stay on the parent's axis.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+
+TRACE_LEVELS = ("off", "spans", "timeline")
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One closed host span (wall-clock microseconds)."""
+
+    name: str
+    start_us: float
+    dur_us: float
+    depth: int
+    tid: int = 0
+    args: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PEEvent:
+    """One task execution on one PE (simulated cycles)."""
+
+    row: int
+    col: int
+    name: str
+    start_cycles: float
+    dur_cycles: float
+
+
+class Tracer:
+    """Collects :class:`SpanRecord` and :class:`PEEvent` rows.
+
+    Instances are picklable (plain lists and ints), which is what lets
+    worker processes build their own tracer and ship it back whole.
+    """
+
+    def __init__(self, level: str = "spans", *, sample_every: int = 1):
+        if level not in TRACE_LEVELS:
+            raise ValueError(
+                f"trace level must be one of {TRACE_LEVELS}, got {level!r}"
+            )
+        sample_every = int(sample_every)
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.level = level
+        self.sample_every = sample_every
+        self.spans: list[SpanRecord] = []
+        self.pe_events: list[PEEvent] = []
+        self._depth = 0
+        #: Per-PE task counters driving the deterministic sampling stride.
+        self._seen: dict[tuple[int, int], int] = {}
+
+    # -- predicates ------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.level != "off"
+
+    @property
+    def records_timeline(self) -> bool:
+        return self.level == "timeline"
+
+    # -- recording -------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **args):
+        """Record a nested host span around the ``with`` body.
+
+        The record is appended when the span *closes* (in ``finally``), so
+        an exception inside the body still yields a span with the correct
+        duration and depth, and the nesting counter is always restored.
+        """
+        if self.level == "off":
+            yield self
+            return
+        depth = self._depth
+        self._depth = depth + 1
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self._depth = depth
+            self.spans.append(
+                SpanRecord(
+                    name=name,
+                    start_us=start * 1e6,
+                    dur_us=(time.perf_counter() - start) * 1e6,
+                    depth=depth,
+                    args=args,
+                )
+            )
+
+    def pe_event(
+        self, row: int, col: int, name: str, start: float, dur: float
+    ) -> None:
+        """Record one task execution; subject to the per-PE sampling stride.
+
+        The stride counts *all* executions per PE and keeps the 0th, Nth,
+        2Nth, ... — deterministic, so two runs of the same plan sample the
+        same events and partition merges reproduce the serial capture.
+        """
+        if self.level != "timeline":
+            return
+        key = (row, col)
+        seen = self._seen.get(key, 0)
+        self._seen[key] = seen + 1
+        if seen % self.sample_every:
+            return
+        self.pe_events.append(
+            PEEvent(
+                row=row, col=col, name=name, start_cycles=start,
+                dur_cycles=dur,
+            )
+        )
+
+    # -- aggregation -----------------------------------------------------------
+
+    def merge_partition(
+        self, rows: tuple[int, ...], part: "Tracer", *, tid: int = 0
+    ) -> None:
+        """Fold one row-partition worker's tracer into this one.
+
+        Like ``TraceRecorder.merge_partition``: a worker simulates on a
+        full-size mesh, so only events for ``rows``' own PEs are taken
+        (they are exactly the events the serial run would have recorded
+        for those rows). Host spans keep their wall-clock timings and are
+        re-tagged with ``tid`` so exports show one track per worker.
+        """
+        keep = set(rows)
+        self.pe_events.extend(e for e in part.pe_events if e.row in keep)
+        self.spans.extend(replace(s, tid=tid) for s in part.spans)
+
+    def span_totals(self) -> dict[str, tuple[int, float]]:
+        """``{span name: (count, total microseconds)}`` over all tracks."""
+        totals: dict[str, tuple[int, float]] = {}
+        for s in self.spans:
+            count, total = totals.get(s.name, (0, 0.0))
+            totals[s.name] = (count + 1, total + s.dur_us)
+        return totals
+
+
+#: Shared do-nothing tracer: integration points write
+#: ``(tracer or NULL_TRACER).span(...)`` instead of branching on None.
+NULL_TRACER = Tracer(level="off")

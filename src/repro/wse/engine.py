@@ -107,6 +107,7 @@ class Engine:
         *,
         max_events: int = 50_000_000,
         optimize: bool = True,
+        tracer=None,
     ):
         self.fabric = fabric
         self.max_events = max_events
@@ -115,6 +116,15 @@ class Engine:
         #: benchmark harness can measure what the optimizations buy; results
         #: are identical either way.
         self.optimize = optimize
+        #: Optional :class:`repro.obs.tracing.Tracer`. Per-PE timeline
+        #: events are recorded only at ``trace_level="timeline"``; the
+        #: level is cached as one bool so the off path costs a single
+        #: attribute test per task execution.
+        self.tracer = tracer
+        self._timeline = tracer is not None and tracer.records_timeline
+        #: High-water mark of the event heap (published to the metrics
+        #: registry as ``sim.engine.queue_depth.max``).
+        self.max_queue_depth = 0
         self._queue: list[tuple[float, int, _Event]] = []
         self._seq = itertools.count()
         self._ids = itertools.count()
@@ -129,6 +139,10 @@ class Engine:
     @property
     def now(self) -> float:
         return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
 
     def fresh_id(self) -> int:
         return next(self._ids)
@@ -318,7 +332,10 @@ class Engine:
         return "; ".join(lines)
 
     def _push(self, time: float, event: _Event) -> None:
-        heapq.heappush(self._queue, (time, next(self._seq), event))
+        queue = self._queue
+        heapq.heappush(queue, (time, next(self._seq), event))
+        if len(queue) > self.max_queue_depth:
+            self.max_queue_depth = len(queue)
 
     def _dispatch(self, time: float, event: _Event) -> None:
         if event.kind == "deliver":
@@ -445,6 +462,10 @@ class Engine:
         task.fn(ctx)
         pe.busy_until = time + ctx.cycles_spent
         pe.tasks_run += 1
+        if self._timeline:
+            self.tracer.pe_event(
+                pe.row, pe.col, task.name, time, ctx.cycles_spent
+            )
         if pe.pending and not pe.halted:
             self._schedule_task(pe, pe.busy_until)
 

@@ -62,9 +62,13 @@ class Fabric:
         self._route_cache: dict[
             tuple[int, int, int, Direction], ResolvedRoute
         ] = {}
-        #: Resolve calls answered from the memo (observability for tests
-        #: and the ``sim --profile`` report).
+        #: Resolve calls answered from the memo / forced to walk
+        #: (observability for tests and ``ceresz sim --metrics``). Both
+        #: reset whenever a route is (re)installed, so the numbers always
+        #: describe the current program's traffic, not a previous run on
+        #: the same fabric.
         self.route_cache_hits = 0
+        self.route_cache_misses = 0
         self._pes: list[list[ProcessingElement]] = [
             [ProcessingElement(row=r, col=c) for c in range(cols)]
             for r in range(rows)
@@ -120,11 +124,15 @@ class Fabric:
         """Configure one PE's router for ``color`` (CSL's route setup).
 
         Invalidates the resolve cache: a new rule can change the path of
-        any route that traverses this PE.
+        any route that traverses this PE. The hit/miss counters reset with
+        it — route installation marks the start of a new program, so the
+        counters stay per-run.
         """
         self.pe(row, col).router.set_route(RouteRule.make(color, inputs, output))
         if self._route_cache:
             self._route_cache.clear()
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
 
     def route_row_segment(
         self, row: int, col_from: int, col_to: int, color: Color
@@ -165,6 +173,7 @@ class Fabric:
             if hit is not None:
                 self.route_cache_hits += 1
                 return hit
+            self.route_cache_misses += 1
         r, c = row, col
         arriving = entering
         hops = 0

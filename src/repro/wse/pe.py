@@ -51,6 +51,10 @@ class ProcessingElement:
     compute_cycles: int = 0
     relay_cycles: int = 0
     tasks_run: int = 0
+    #: Deepest backlog any single color's inbox reached (delivery bursts
+    #: that outpace the consuming task show up here; ``ceresz sim
+    #: --metrics`` reports the fabric-wide maximum).
+    max_inbox_depth: int = 0
     halted: bool = False
     #: True while a ``task`` event for this PE sits in the engine's heap.
     #: The engine keeps at most one such event per PE (the dispatcher
@@ -104,7 +108,10 @@ class ProcessingElement:
 
     def deliver(self, color_id: int, data: np.ndarray) -> None:
         """Fabric data for ``color_id`` arrived at this PE's RAMP."""
-        self.inbox.setdefault(color_id, deque()).append(data)
+        queue = self.inbox.setdefault(color_id, deque())
+        queue.append(data)
+        if len(queue) > self.max_inbox_depth:
+            self.max_inbox_depth = len(queue)
 
     def take_delivery(self, color_id: int) -> np.ndarray | None:
         queue = self.inbox.get(color_id)

@@ -195,9 +195,14 @@ class TraceRecorder:
         return max(self.traces, key=lambda t: t.total_cycles)
 
     def load_imbalance(self) -> float:
-        """max/mean busy cycles across PEs that did any work (>= 1.0)."""
+        """max/mean busy cycles across PEs that did any work.
+
+        Returns 0.0 when no PE did any work (empty or compute-free
+        trace): there is no load, so there is no imbalance — and the
+        sentinel is distinguishable from a genuinely perfect 1.0.
+        """
         busy = [t.total_cycles for t in self.traces if t.total_cycles > 0]
         if not busy:
-            return 1.0
+            return 0.0
         mean = sum(busy) / len(busy)
-        return max(busy) / mean if mean else 1.0
+        return max(busy) / mean if mean else 0.0

@@ -25,6 +25,8 @@ from repro.core.schedule import distribute_substages
 from repro.core.simulate import simulate_plan
 from repro.core.stages import compression_substages
 from repro.core.wse_compressor import WSECereSZ
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
 
 EPS = 0.01
 
@@ -94,6 +96,57 @@ class TestExecutionModeEquivalence:
         )
         assert _counter_rows(serial.report.trace) == _counter_rows(
             parallel.report.trace
+        )
+
+    def test_parallel_metrics_totals_match_serial(self, strategy):
+        """Counter totals are merge-invariant: workers' fabric/engine
+        counters sum exactly and trace metrics come from the merged
+        recorder, so jobs=N equals jobs=1 for every counter."""
+        blocks = _blocks(13)
+        m1, m2 = MetricsRegistry(), MetricsRegistry()
+        simulate_plan(_plan(strategy, blocks), metrics=m1)
+        run2 = simulate_plan(_plan(strategy, blocks), jobs=2, metrics=m2)
+        assert run2.partitions == 2
+        assert m1.counter_totals() == m2.counter_totals()
+        # Labeled cells agree too, not just per-name sums.
+        for metric in m1:
+            if metric.kind == "counter":
+                assert metric.values == m2.get(metric.name).values, metric.name
+
+    def test_parallel_timeline_matches_serial(self, strategy):
+        """The merged timeline holds exactly the serial run's PE events
+        (worker captures are filtered to their own rows)."""
+        blocks = _blocks(13)
+        t1 = Tracer(level="timeline")
+        t2 = Tracer(level="timeline")
+        simulate_plan(_plan(strategy, blocks), tracer=t1)
+        simulate_plan(_plan(strategy, blocks), jobs=2, tracer=t2)
+
+        def key(events):
+            return sorted(
+                (e.row, e.col, e.name, e.start_cycles, e.dur_cycles)
+                for e in events
+            )
+
+        assert key(t1.pe_events) == key(t2.pe_events)
+        # Worker spans come back re-tagged onto per-worker tracks.
+        assert {s.tid for s in t2.spans if s.name == "engine.run"} == {1, 2}
+
+    def test_observed_run_is_byte_identical(self, strategy):
+        """Tracing and metrics must never perturb simulation results."""
+        blocks = _blocks(13)
+        plain = simulate_plan(_plan(strategy, blocks))
+        observed = simulate_plan(
+            _plan(strategy, blocks),
+            tracer=Tracer(level="timeline"),
+            metrics=MetricsRegistry(),
+        )
+        assert plain.outputs.stream(13) == observed.outputs.stream(13)
+        assert (
+            plain.report.makespan_cycles == observed.report.makespan_cycles
+        )
+        assert _trace_rows(plain.report.trace) == _trace_rows(
+            observed.report.trace
         )
 
     def test_optimized_matches_legacy(self, strategy):

@@ -1,0 +1,242 @@
+"""Tests for Chrome trace export, validation, heatmaps, and summaries."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.obs.export import (
+    HOST_PID,
+    WAFER_PID,
+    build_chrome_trace,
+    load_chrome_trace,
+    occupancy_heatmap,
+    relay_heatmap,
+    render_heatmap,
+    summarize_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.wse.pe import ProcessingElement
+from repro.wse.trace import TraceRecorder
+
+
+def _recorder():
+    rec = TraceRecorder()
+    for (r, c, comp, rel) in [(0, 0, 100, 0), (0, 1, 0, 40), (1, 0, 60, 10)]:
+        pe = ProcessingElement(row=r, col=c)
+        pe.compute_cycles = comp
+        pe.relay_cycles = rel
+        rec.record(pe)
+    return rec
+
+
+def _tracer():
+    t = Tracer(level="timeline")
+    with t.span("outer"):
+        with t.span("inner", detail=1):
+            pass
+    t.pe_event(0, 0, "taskA", 0, 50)
+    t.pe_event(0, 1, "taskB", 10, 20)
+    return t
+
+
+class TestHeatmaps:
+    def test_occupancy_grid(self):
+        hm = occupancy_heatmap(_recorder())
+        assert hm["rows"] == 2 and hm["cols"] == 2
+        assert hm["cells"][0][0] == 100
+        assert hm["cells"][0][1] == 40
+        assert hm["row_totals"] == [140, 70]
+        assert hm["col_totals"] == [170, 40]
+
+    def test_relay_grid(self):
+        hm = relay_heatmap(_recorder())
+        assert hm["cells"][0][1] == 40
+        assert hm["cells"][1][0] == 10
+        assert hm["cells"][0][0] == 0
+
+    def test_empty_recorder(self):
+        hm = occupancy_heatmap(TraceRecorder())
+        assert hm["rows"] == 0
+        assert "(empty)" in render_heatmap(hm, "t")
+
+    def test_render_scales_to_max(self):
+        text = render_heatmap(occupancy_heatmap(_recorder()), "occupancy")
+        assert "occupancy (2x2" in text
+        # The busiest cell renders as 9.
+        assert "|94|" in text.replace(" ", "") or "9" in text
+
+
+class TestBuildChromeTrace:
+    def test_metadata_names_both_clock_domains(self):
+        trace = build_chrome_trace(_tracer())
+        meta = [e for e in trace["traceEvents"] if e["ph"] == "M"]
+        names = {
+            (e["pid"], e["name"]): e["args"]["name"] for e in meta
+            if e["name"] == "process_name"
+        }
+        assert names[(WAFER_PID, "process_name")].startswith("wafer")
+        assert names[(HOST_PID, "process_name")].startswith("host")
+
+    def test_pe_events_get_one_thread_per_pe(self):
+        trace = build_chrome_trace(_tracer())
+        threads = {
+            e["args"]["name"]
+            for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+            and e["pid"] == WAFER_PID
+        }
+        assert threads == {"PE(0,0)", "PE(0,1)"}
+
+    def test_host_spans_normalized_to_zero_epoch(self):
+        trace = build_chrome_trace(_tracer())
+        host = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == HOST_PID
+        ]
+        assert min(e["ts"] for e in host) == 0
+
+    def test_other_data_carries_heatmaps_and_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(1)
+        trace = build_chrome_trace(
+            _tracer(), recorder=_recorder(), metrics=reg
+        )
+        other = trace["otherData"]
+        assert other["trace_level"] == "timeline"
+        assert other["occupancy_heatmap"]["rows"] == 2
+        assert other["relay_heatmap"]["rows"] == 2
+        assert other["metrics"]["c"]["values"][""] == 1
+
+    def test_empty_trace_is_valid(self):
+        trace = build_chrome_trace(None)
+        validate_chrome_trace(trace)
+        assert all(e["ph"] == "M" for e in trace["traceEvents"])
+
+    def test_built_trace_validates(self):
+        validate_chrome_trace(
+            build_chrome_trace(_tracer(), recorder=_recorder())
+        )
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            validate_chrome_trace([])
+
+    def test_rejects_missing_events_list(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome_trace({})
+
+    def test_rejects_missing_required_key(self):
+        with pytest.raises(ValueError, match="missing required key"):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "X", "ts": 0, "pid": 1}]}
+            )
+
+    def test_rejects_negative_ts(self):
+        with pytest.raises(ValueError, match="invalid ts"):
+            validate_chrome_trace(
+                {"traceEvents": [
+                    {"name": "x", "ph": "X", "ts": -1, "dur": 1,
+                     "pid": 1, "tid": 0},
+                ]}
+            )
+
+    def test_rejects_complete_event_without_dur(self):
+        with pytest.raises(ValueError, match="without a valid dur"):
+            validate_chrome_trace(
+                {"traceEvents": [
+                    {"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 0},
+                ]}
+            )
+
+    def test_rejects_backwards_timestamps_per_track(self):
+        events = [
+            {"name": "a", "ph": "X", "ts": 10, "dur": 1, "pid": 1, "tid": 0},
+            {"name": "b", "ph": "X", "ts": 5, "dur": 1, "pid": 1, "tid": 0},
+        ]
+        with pytest.raises(ValueError, match="monotonicity"):
+            validate_chrome_trace({"traceEvents": events})
+
+    def test_distinct_tracks_are_independent(self):
+        events = [
+            {"name": "a", "ph": "X", "ts": 10, "dur": 1, "pid": 1, "tid": 0},
+            {"name": "b", "ph": "X", "ts": 5, "dur": 1, "pid": 1, "tid": 1},
+        ]
+        validate_chrome_trace({"traceEvents": events})
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="unexpected phase"):
+            validate_chrome_trace(
+                {"traceEvents": [
+                    {"name": "x", "ph": "B", "ts": 0, "pid": 1, "tid": 0},
+                ]}
+            )
+
+
+class TestRoundTrip:
+    def test_write_validates_and_loads_back(self, tmp_path):
+        path = tmp_path / "trace.json"
+        trace = build_chrome_trace(_tracer(), recorder=_recorder())
+        write_chrome_trace(str(path), trace)
+        with open(path) as fh:
+            assert json.load(fh) == trace
+        assert load_chrome_trace(str(path)) == trace
+
+    def test_write_refuses_invalid_trace(self, tmp_path):
+        path = tmp_path / "trace.json"
+        with pytest.raises(ValueError):
+            write_chrome_trace(str(path), {"traceEvents": [{}]})
+        assert not path.exists()
+
+
+class TestSummary:
+    def test_summary_sections(self):
+        reg = MetricsRegistry()
+        trace = build_chrome_trace(
+            _tracer(), recorder=_recorder(), metrics=reg
+        )
+        text = summarize_trace(trace, top=5)
+        assert "top spans" in text
+        assert "outer" in text
+        assert "busiest PEs" in text
+        assert "PE(0,0)" in text
+        assert "relay congestion hotspots" in text
+        assert "PE(0,1): 40 relay cycles" in text
+
+    def test_summary_of_span_only_trace(self):
+        t = Tracer(level="spans")
+        with t.span("only"):
+            pass
+        text = summarize_trace(build_chrome_trace(t))
+        assert "only" in text
+        assert "no timeline events" in text
+
+
+class TestEndToEndFig7Rows:
+    def test_fig7_rows_run_produces_valid_chrome_trace(self):
+        """The acceptance-criteria path: a fig7-style rows-strategy run
+        traced at timeline level exports a loadable Chrome trace."""
+        from repro.core.wse_compressor import WSECereSZ
+
+        rng = np.random.default_rng(7)
+        data = np.cumsum(rng.normal(size=32 * 12)).astype(np.float32)
+        sim = WSECereSZ(
+            rows=4, cols=1, strategy="rows",
+            trace_level="timeline", collect_metrics=True,
+        )
+        res = sim.compress(data, rel=1e-3)
+        trace = build_chrome_trace(
+            res.tracer, recorder=res.report.trace, metrics=res.metrics
+        )
+        validate_chrome_trace(trace)
+        wafer = [
+            e for e in trace["traceEvents"]
+            if e["ph"] == "X" and e["pid"] == WAFER_PID
+        ]
+        assert wafer, "timeline capture produced no PE events"
+        assert trace["otherData"]["metrics"]["sim.pe.tasks"]

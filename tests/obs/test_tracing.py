@@ -1,0 +1,170 @@
+"""Tests for the span/event tracer."""
+
+import pickle
+
+import pytest
+
+from repro.obs.tracing import NULL_TRACER, TRACE_LEVELS, Tracer
+
+
+class TestLevels:
+    def test_known_levels(self):
+        assert TRACE_LEVELS == ("off", "spans", "timeline")
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="trace level"):
+            Tracer(level="verbose")
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ValueError, match="sample_every"):
+            Tracer(level="timeline", sample_every=0)
+
+    def test_predicates(self):
+        assert not Tracer(level="off").enabled
+        assert Tracer(level="spans").enabled
+        assert not Tracer(level="spans").records_timeline
+        assert Tracer(level="timeline").records_timeline
+
+
+class TestSpans:
+    def test_span_records_name_and_args(self):
+        t = Tracer(level="spans")
+        with t.span("work", rows=3):
+            pass
+        (s,) = t.spans
+        assert s.name == "work"
+        assert s.args == {"rows": 3}
+        assert s.dur_us >= 0
+        assert s.depth == 0
+
+    def test_nesting_depth(self):
+        t = Tracer(level="spans")
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        by_name = {s.name: s for s in t.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["inner"].depth == 1
+        # Inner closes first, so it is recorded first.
+        assert [s.name for s in t.spans] == ["inner", "outer"]
+
+    def test_span_survives_exception(self):
+        """Spans close in ``finally``: a raise inside the body still yields
+        a record with correct nesting, and the depth counter is restored."""
+        t = Tracer(level="spans")
+        with pytest.raises(RuntimeError):
+            with t.span("outer"):
+                with t.span("inner"):
+                    raise RuntimeError("boom")
+        assert [s.name for s in t.spans] == ["inner", "outer"]
+        assert t.spans[0].depth == 1
+        assert t.spans[1].depth == 0
+        # Depth restored: a fresh span is top-level again.
+        with t.span("after"):
+            pass
+        assert t.spans[-1].depth == 0
+
+    def test_exception_span_has_duration(self):
+        t = Tracer(level="spans")
+        with pytest.raises(ValueError):
+            with t.span("failing"):
+                raise ValueError()
+        assert t.spans[0].dur_us >= 0
+        assert t.spans[0].start_us > 0
+
+    def test_off_level_records_nothing(self):
+        t = Tracer(level="off")
+        with t.span("work"):
+            t.pe_event(0, 0, "task", 0, 5)
+        assert t.spans == []
+        assert t.pe_events == []
+
+    def test_null_tracer_is_off(self):
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("anything"):
+            pass
+        assert NULL_TRACER.spans == []
+
+
+class TestPEEvents:
+    def test_spans_level_skips_timeline(self):
+        t = Tracer(level="spans")
+        t.pe_event(0, 0, "task", 0, 10)
+        assert t.pe_events == []
+
+    def test_timeline_records_events(self):
+        t = Tracer(level="timeline")
+        t.pe_event(1, 2, "encode", 100, 50)
+        (e,) = t.pe_events
+        assert (e.row, e.col, e.name) == (1, 2, "encode")
+        assert (e.start_cycles, e.dur_cycles) == (100, 50)
+
+    def test_sampling_stride_is_per_pe_and_deterministic(self):
+        t = Tracer(level="timeline", sample_every=3)
+        for i in range(7):
+            t.pe_event(0, 0, f"t{i}", i, 1)
+        for i in range(2):
+            t.pe_event(1, 0, f"u{i}", i, 1)
+        # Keeps the 0th, 3rd, 6th on PE(0,0); the stride on PE(1,0) is
+        # independent, so its 0th event is kept too.
+        names = [e.name for e in t.pe_events]
+        assert names == ["t0", "t3", "t6", "u0"]
+
+    def test_two_runs_sample_identically(self):
+        def capture():
+            t = Tracer(level="timeline", sample_every=2)
+            for i in range(5):
+                t.pe_event(0, 0, f"t{i}", i, 1)
+            return [e.name for e in t.pe_events]
+
+        assert capture() == capture()
+
+
+class TestMergePartition:
+    def test_merge_filters_foreign_rows_and_retags_spans(self):
+        parent = Tracer(level="timeline")
+        worker = Tracer(level="timeline")
+        worker.pe_event(0, 0, "mine", 0, 1)
+        worker.pe_event(2, 0, "foreign", 0, 1)
+        with worker.span("engine.run"):
+            pass
+        parent.merge_partition((0, 1), worker, tid=3)
+        assert [e.name for e in parent.pe_events] == ["mine"]
+        assert parent.spans[0].tid == 3
+        assert parent.spans[0].name == "engine.run"
+
+    def test_merge_preserves_span_timing(self):
+        parent = Tracer(level="spans")
+        worker = Tracer(level="spans")
+        with worker.span("w"):
+            pass
+        parent.merge_partition((0,), worker, tid=1)
+        assert parent.spans[0].start_us == worker.spans[0].start_us
+        assert parent.spans[0].dur_us == worker.spans[0].dur_us
+
+
+class TestMisc:
+    def test_span_totals(self):
+        t = Tracer(level="spans")
+        with t.span("a"):
+            pass
+        with t.span("a"):
+            pass
+        with t.span("b"):
+            pass
+        totals = t.span_totals()
+        assert totals["a"][0] == 2
+        assert totals["b"][0] == 1
+        assert totals["a"][1] >= 0
+
+    def test_tracer_is_picklable(self):
+        """Workers ship their tracer back across the process boundary."""
+        t = Tracer(level="timeline", sample_every=2)
+        t.pe_event(0, 0, "task", 1, 2)
+        with t.span("s"):
+            pass
+        back = pickle.loads(pickle.dumps(t))
+        assert back.level == "timeline"
+        assert back.sample_every == 2
+        assert [e.name for e in back.pe_events] == ["task"]
+        assert [s.name for s in back.spans] == ["s"]

@@ -167,6 +167,110 @@ class TestTablesAndFigures:
         assert "identical: True" in out
 
 
+class TestObservability:
+    def test_sim_trace_writes_valid_chrome_json(self, tmp_path, field_file,
+                                                capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        path, _ = field_file
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "sim", str(path), "--rows", "2", "--cols", "1",
+            "--strategy", "rows", "--limit-blocks", "8",
+            "--trace", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace ->" in out
+        with open(trace_path) as fh:
+            trace = json.load(fh)
+        validate_chrome_trace(trace)
+        # --trace defaults to timeline level: wafer events present.
+        assert any(
+            e["ph"] == "X" and e["pid"] == 1 for e in trace["traceEvents"]
+        )
+        assert trace["otherData"]["metrics"]
+
+    def test_sim_metrics_prints_route_cache_counters(self, field_file,
+                                                     capsys):
+        path, _ = field_file
+        assert main([
+            "sim", str(path), "--rows", "2", "--cols", "2",
+            "--limit-blocks", "8", "--metrics",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sim.route_cache{outcome=hit}" in out
+        assert "sim.route_cache{outcome=miss}" in out
+        assert "sim.engine.events" in out
+
+    def test_sim_trace_level_spans_skips_timeline(self, tmp_path, field_file):
+        import json
+
+        path, _ = field_file
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "sim", str(path), "--rows", "2", "--cols", "1",
+            "--strategy", "rows", "--limit-blocks", "8",
+            "--trace", str(trace_path), "--trace-level", "spans",
+        ]) == 0
+        with open(trace_path) as fh:
+            trace = json.load(fh)
+        assert not any(
+            e["ph"] == "X" and e["pid"] == 1 for e in trace["traceEvents"]
+        )
+
+    def test_trace_subcommand_summarizes(self, tmp_path, field_file, capsys):
+        path, _ = field_file
+        trace_path = tmp_path / "trace.json"
+        main([
+            "sim", str(path), "--rows", "2", "--cols", "1",
+            "--strategy", "rows", "--limit-blocks", "8",
+            "--trace", str(trace_path),
+        ])
+        capsys.readouterr()
+        assert main(["trace", str(trace_path), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "top spans" in out
+        assert "busiest PEs" in out
+        assert "engine.run" in out
+
+    def test_compress_trace_and_metrics(self, tmp_path, field_file, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        path, data = field_file
+        csz = tmp_path / "out.csz"
+        trace_path = tmp_path / "host.json"
+        assert main([
+            "compress", str(path), str(csz), "--eps", "0.5",
+            "--jobs", "2", "--trace", str(trace_path), "--metrics",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "host.shards{direction=compress}" in out
+        assert "host.bytes_in{direction=compress}" in out
+        with open(trace_path) as fh:
+            trace = json.load(fh)
+        validate_chrome_trace(trace)
+        names = {
+            e["name"] for e in trace["traceEvents"] if e["ph"] == "X"
+        }
+        assert {"load", "compress", "write"} <= names
+
+    def test_decompress_metrics(self, tmp_path, field_file, capsys):
+        path, _ = field_file
+        csz = tmp_path / "out.csz"
+        out_f32 = tmp_path / "back.f32"
+        main(["compress", str(path), str(csz), "--eps", "0.5", "--jobs", "2"])
+        capsys.readouterr()
+        assert main([
+            "decompress", str(csz), str(out_f32), "--metrics",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "host.shards{direction=decompress}" in out
+
+
 class TestContainerFlags:
     def test_default_compress_is_indexed(self, tmp_path, field_file, capsys):
         path, _ = field_file

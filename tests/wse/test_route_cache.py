@@ -75,6 +75,39 @@ class TestRouteCacheInvalidation:
         assert rerouted.destination == (0, 2)
         assert rerouted.hops == 2
 
+    def test_set_route_resets_hit_and_miss_counters(self):
+        """Counters are per-run: installing a route marks a new program,
+        so numbers reported by ``ceresz sim --metrics`` never include a
+        previous run's traffic on the same fabric."""
+        fabric = Fabric(1, 3)
+        color = Color(0)
+        fabric.route_row_segment(0, 0, 2, color)
+        fabric.resolve(0, 0, color)  # miss + walk
+        fabric.resolve(0, 0, color)  # hit
+        assert fabric.route_cache_misses == 1
+        assert fabric.route_cache_hits == 1
+        other = Color(1)
+        fabric.set_route(0, 0, other, Direction.RAMP, Direction.EAST)
+        assert fabric.route_cache_hits == 0
+        assert fabric.route_cache_misses == 0
+        assert fabric.route_cache_size == 0
+
+    def test_miss_counter_tracks_cold_lookups(self):
+        fabric = Fabric(1, 3)
+        color = Color(0)
+        fabric.route_row_segment(0, 0, 2, color)
+        assert fabric.route_cache_misses == 0
+        fabric.resolve(0, 0, color)
+        assert fabric.route_cache_misses == 1
+        fabric.resolve(0, 0, color)
+        assert fabric.route_cache_misses == 1  # warm now
+        # The uncached fabric never counts hits or misses.
+        cold = Fabric(1, 3, cache_routes=False)
+        cold.route_row_segment(0, 0, 2, color)
+        cold.resolve(0, 0, color)
+        assert cold.route_cache_misses == 0
+        assert cold.route_cache_hits == 0
+
     def test_error_paths_stay_uncached(self):
         fabric = Fabric(1, 2)
         color = Color(0)

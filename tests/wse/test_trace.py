@@ -91,5 +91,13 @@ class TestTraceRecorder:
     def test_empty_recorder_defaults(self):
         rec = TraceRecorder()
         assert rec.makespan_cycles == 0.0
-        assert rec.load_imbalance() == 1.0
+        # No work anywhere means no load to be imbalanced: 0.0, which is
+        # distinguishable from a genuinely perfect 1.0.
+        assert rec.load_imbalance() == 0.0
         assert rec.max_compute_cycles() == 0
+
+    def test_load_imbalance_compute_free_trace(self):
+        rec = TraceRecorder()
+        rec.record(make_pe(0, 0, compute=0, relay=0))
+        rec.record(make_pe(0, 1, compute=0, relay=0))
+        assert rec.load_imbalance() == 0.0
