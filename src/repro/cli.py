@@ -3,8 +3,11 @@
 Subcommands::
 
     ceresz compress   IN.f32 OUT.csz  --rel 1e-3 | --eps 0.01 | --psnr 80
-                      [--jobs N] [--no-index] [--trace T.json] [--metrics]
-    ceresz decompress IN.csz  OUT.f32 [--jobs N] [--trace T.json] [--metrics]
+                      [--jobs N] [--no-index] [--checksum]
+                      [--trace T.json] [--metrics]
+    ceresz decompress IN.csz  OUT.f32 [--jobs N] [--salvage [--fill F]]
+                      [--trace T.json] [--metrics]
+    ceresz verify     IN.csz [--json OUT.json]     # checksum walk, no decode
     ceresz extract    IN.csz OUT.f32 --start A --stop B   # random access
     ceresz info       IN.csz                       # stream header dump
     ceresz stream     T0.f32 T1.f32 ... --out RUN.cszs --eps E
@@ -81,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int,
         help="shard the field and compress shards on N workers",
     )
+    p.add_argument(
+        "--checksum", action="store_true",
+        help="write a v3 stream with CRC32C integrity metadata "
+        "(ceresz verify / --salvage need this)",
+    )
     _add_obs_flags(p)
 
     p = sub.add_parser("decompress", help="decompress a .csz stream")
@@ -90,7 +98,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int,
         help="decode shard containers on N workers",
     )
+    p.add_argument(
+        "--salvage", action="store_true",
+        help="decode what still verifies, fill corrupt blocks, and print "
+        "a salvage report instead of failing on bad bytes",
+    )
+    p.add_argument(
+        "--fill", choices=("zero", "previous"), default="zero",
+        help="fill for salvaged-away blocks (default: zero)",
+    )
     _add_obs_flags(p)
+
+    p = sub.add_parser(
+        "verify",
+        help="walk a stream's checksums without decoding payloads",
+    )
+    p.add_argument("input")
+    p.add_argument(
+        "--json", metavar="OUT.json",
+        help="also write the IntegrityReport as JSON",
+    )
 
     p = sub.add_parser("info", help="describe a compressed stream")
     p.add_argument("input")
@@ -197,6 +224,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--sample-every", type=int, default=1,
         help="keep every Nth task per PE in the timeline (default 1 = all)",
     )
+    p.add_argument(
+        "--inject-faults", metavar="SPEC",
+        help="deterministic fault plan, e.g. "
+        "'seed:7;halt:1,0@50' or 'seed:3;random:4,4,halts=1,drops=2' "
+        "(see repro.faults.parse_fault_spec)",
+    )
+    p.add_argument(
+        "--fault-report", metavar="OUT.json",
+        help="write the structured FaultReport JSON when the injected "
+        "faults stall the run (also written on clean survival, as an "
+        "empty report)",
+    )
 
     p = sub.add_parser(
         "trace", help="summarize a saved Chrome trace JSON"
@@ -227,9 +266,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
     handler = globals()[f"_cmd_{args.command}"]
-    return handler(args)
+    try:
+        return handler(args)
+    except ReproError as exc:
+        # Structured library failures (corrupt streams, bound violations,
+        # dead workers) are user-facing conditions, not crashes.
+        print(f"ceresz {args.command}: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        hint = getattr(exc, "blocks", None)
+        if hint:
+            print(
+                "hint: `ceresz verify` localizes the damage; "
+                "`ceresz decompress --salvage` recovers the intact blocks",
+                file=sys.stderr,
+            )
+        return 1
 
 
 def _host_observers(args):
@@ -274,6 +329,7 @@ def _cmd_compress(args) -> int:
             index=args.index,
             jobs=args.jobs,
             metrics=metrics,
+            checksum=args.checksum,
         )
     with tr.span("write", path=args.output):
         with open(args.output, "wb") as fh:
@@ -296,13 +352,36 @@ def _cmd_decompress(args) -> int:
         with open(args.input, "rb") as fh:
             stream = fh.read()
     codec = CereSZ()
-    with tr.span("decompress", jobs=args.jobs or 1):
-        field = codec.decompress(stream, jobs=args.jobs, metrics=metrics)
+    if args.salvage:
+        from repro.core.decompressor import salvage_decompress
+
+        with tr.span("salvage", fill=args.fill):
+            field, report = salvage_decompress(
+                stream, codec=codec, fill=args.fill, metrics=metrics
+            )
+        print(report.describe())
+    else:
+        with tr.span("decompress", jobs=args.jobs or 1):
+            field = codec.decompress(stream, jobs=args.jobs, metrics=metrics)
     with tr.span("write", path=args.output):
         save_f32(args.output, field)
     print(f"{args.input}: reconstructed {field.size} values -> {args.output}")
     _finish_observers(args, tracer, metrics)
     return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.core.decompressor import verify_stream
+
+    with open(args.input, "rb") as fh:
+        stream = fh.read()
+    report = verify_stream(stream)
+    print(report.describe())
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json())
+        print(f"report -> {args.json}")
+    return 0 if report.ok else 1
 
 
 def _cmd_extract(args) -> int:
@@ -333,8 +412,12 @@ def _cmd_info(args) -> int:
         print(f"stream bytes: {len(stream)}")
         return 0
     header = CereSZ().describe_stream(stream)
-    print(f"container:    v{header.version}"
-          f"{' (indexed)' if header.indexed else ''}")
+    kind = ""
+    if header.checksum:
+        kind = f" (indexed, checksummed, crc_group={header.crc_group})"
+    elif header.indexed:
+        kind = " (indexed)"
+    print(f"container:    v{header.version}{kind}")
     print(f"shape:        {'x'.join(str(d) for d in header.shape)}")
     print(f"block size:   {header.block_size}")
     print(f"header width: {header.header_width} B/block")
@@ -633,6 +716,7 @@ def _cmd_reproduce(args) -> int:
 def _cmd_simulate(args) -> int:
     from repro.config import BLOCK_SIZE
     from repro.core.wse_compressor import WSECereSZ
+    from repro.errors import DeadlockError
 
     data = load_f32(args.input)
     n = min(data.size, args.limit_blocks * BLOCK_SIZE)
@@ -640,6 +724,12 @@ def _cmd_simulate(args) -> int:
     trace_level = args.trace_level or (
         "timeline" if args.trace else "off"
     )
+    faults = None
+    if args.inject_faults:
+        from repro.faults import parse_fault_spec
+
+        faults = parse_fault_spec(args.inject_faults)
+        print(f"injecting: {faults.describe()}")
     sim = WSECereSZ(
         rows=args.rows,
         cols=args.cols,
@@ -649,17 +739,39 @@ def _cmd_simulate(args) -> int:
         trace_level=trace_level,
         sample_every=args.sample_every,
         collect_metrics=args.metrics or bool(args.trace),
+        faults=faults,
     )
-    if args.profile:
-        import cProfile
-        import pstats
+    try:
+        if args.profile:
+            import cProfile
+            import pstats
 
-        profiler = cProfile.Profile()
-        result = profiler.runcall(sim.compress, data, rel=args.rel)
-        stats = pstats.Stats(profiler, stream=sys.stdout)
-        stats.sort_stats("cumulative").print_stats(25)
-    else:
-        result = sim.compress(data, rel=args.rel)
+            profiler = cProfile.Profile()
+            result = profiler.runcall(sim.compress, data, rel=args.rel)
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("cumulative").print_stats(25)
+        else:
+            result = sim.compress(data, rel=args.rel)
+    except DeadlockError as exc:
+        print(f"simulation stalled: {exc}")
+        if exc.report is not None:
+            print(exc.report.describe())
+            if args.fault_report:
+                with open(args.fault_report, "w") as fh:
+                    fh.write(exc.report.to_json())
+                print(f"fault report -> {args.fault_report}")
+        # Export whatever the observers captured up to the stall — spans
+        # close in `finally`, so the partial trace is valid and shows how
+        # far the run got before it wedged.
+        _finish_observers(args, sim.last_tracer, sim.last_metrics)
+        return 2
+    if args.fault_report:
+        from repro.faults import FaultReport
+
+        survived = FaultReport(reason="none", last_progress_cycle=0)
+        with open(args.fault_report, "w") as fh:
+            fh.write(survived.to_json())
+        print(f"fault report (clean survival) -> {args.fault_report}")
     report = result.report
     print(
         f"simulated {n} values on {args.rows}x{args.cols} mesh "

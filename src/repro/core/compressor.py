@@ -24,7 +24,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import BLOCK_SIZE, CERESZ_HEADER_BYTES, SZP_HEADER_BYTES
-from repro.errors import CompressionError, ErrorBoundError, FormatError
+from repro.errors import (
+    CompressionError,
+    ContainerError,
+    ErrorBoundError,
+    FormatError,
+)
 from repro.core.blocks import merge_blocks, partition_blocks, validate_block_size
 from repro.core.encoding import (
     block_fixed_lengths,
@@ -49,7 +54,14 @@ from repro.core.quantize import (
 def assemble_stream(
     header: StreamHeader, fl: np.ndarray, body: bytes
 ) -> bytes:
-    """Serialize header (+ fl index table for v2 streams) + block records."""
+    """Serialize header (+ index/integrity tables for v2/v3) + records."""
+    if header.checksum:
+        from repro.core.integrity import build_checksummed_tail
+
+        head = header.pack()
+        fl_table = pack_block_index(fl)
+        tail = build_checksummed_tail(header, fl_table, body, head)
+        return head + fl_table + tail + body
     if header.indexed:
         return header.pack() + pack_block_index(fl) + body
     return header.pack() + body
@@ -68,8 +80,51 @@ def decode_stream_blocks(
     Returns ``(residuals, fls)`` — the per-block fixed lengths come out of
     the layout discovery for free either way, and let the caller skip
     reconstruction work for zero blocks.
+
+    Checksummed (v3) streams are verified before any record is trusted:
+    every corrupt CRC group raises :class:`repro.errors.ContainerError`
+    naming the groups and blocks hit. Use
+    :func:`repro.core.decompressor.salvage_decompress` to recover the
+    intact remainder instead.
     """
-    if header.indexed:
+    if header.checksum:
+        from repro.core.integrity import (
+            corrupt_blocks_of,
+            read_checksum_layout,
+            verify_groups,
+        )
+
+        layout = read_checksum_layout(stream, header, offset)
+        if not layout.meta_ok:
+            raise ContainerError(
+                "integrity metadata corrupt: meta CRC mismatch over the "
+                "stream header and group table",
+                offset=offset,
+            )
+        bad = verify_groups(stream, header, layout)
+        if bad.size:
+            blocks = corrupt_blocks_of(header, bad)
+            raise ContainerError(
+                f"checksum mismatch in {bad.size} of {layout.num_groups} "
+                f"CRC group(s) ({blocks.size} blocks); salvage_decompress "
+                f"can recover the intact remainder",
+                groups=bad.tolist(),
+                blocks=blocks.tolist(),
+            )
+        fls = layout.fls
+        if (fls > 63).any():
+            raise FormatError(
+                f"fixed length {int(fls.max())} exceeds 63 in a "
+                f"CRC-verified stream (writer bug)"
+            )
+        offsets = index_record_offsets(
+            fls,
+            header.block_size,
+            header.header_width,
+            start=layout.records_start,
+            stream_size=len(stream),
+        )
+    elif header.indexed:
         fls, records_start = unpack_block_index(
             stream, header.num_blocks, offset
         )
@@ -216,6 +271,8 @@ class CereSZ:
         index: bool | None = None,
         jobs: int | None = None,
         metrics=None,
+        checksum: bool = False,
+        crc_group: int | None = None,
     ) -> CompressionResult:
         """Compress under an absolute bound, a REL bound, or a PSNR target.
 
@@ -229,6 +286,13 @@ class CereSZ:
         force v1 shards); plain streams default to v1. ``metrics=`` (a
         :class:`repro.obs.metrics.MetricsRegistry`) records host-side
         shard-engine counters; it only applies to the sharded path.
+
+        ``checksum=True`` writes a container-v3 stream carrying CRC32C
+        integrity metadata (implies an index): decoding then detects any
+        corrupt byte, ``ceresz verify`` localizes it to a group of
+        ``crc_group`` blocks, and salvage decode recovers everything else.
+        Constant fields ignore the flag (a 30-byte exact header has
+        nothing worth checksumming).
         """
         if jobs is not None:
             from repro.core.parallel import compress_sharded
@@ -242,8 +306,10 @@ class CereSZ:
                 jobs=jobs,
                 index=True if index is None else index,
                 metrics=metrics,
+                checksum=checksum,
+                crc_group=crc_group,
             )
-        index = bool(index)
+        index = True if checksum else bool(index)
         arr = np.asarray(data)
         if arr.size == 0:
             raise CompressionError("cannot compress an empty array")
@@ -264,6 +330,8 @@ class CereSZ:
         # against (slightly inside the requested one, see
         # :func:`repro.core.quantize.effective_error_bound`) — it is what
         # reconstruction must multiply by.
+        from repro.core.format import DEFAULT_CRC_GROUP
+
         header = make_header(
             arr.shape,
             eps_eff,
@@ -271,6 +339,10 @@ class CereSZ:
             block_size=self.block_size,
             dtype="f8" if out_dtype == np.float64 else "f4",
             indexed=index,
+            checksum=checksum,
+            crc_group=(
+                DEFAULT_CRC_GROUP if crc_group is None else int(crc_group)
+            ),
         )
         stream = assemble_stream(header, fl, body)
         zero_frac = float(np.mean(fl == 0)) if fl.size else 0.0

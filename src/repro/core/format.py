@@ -44,7 +44,23 @@ FORMAT_VERSION = 1
 #: Container v2: the global header is followed by a packed per-block
 #: fixed-length table, making decode offsets a vectorized cumsum.
 FORMAT_VERSION_INDEXED = 2
-SUPPORTED_VERSIONS = (FORMAT_VERSION, FORMAT_VERSION_INDEXED)
+#: Container v3 ("checksummed"): v2 plus CRC32C integrity metadata. The fl
+#: table is followed by a per-group table of ``(record_bytes u32, crc u32)``
+#: — one entry per ``crc_group`` consecutive blocks, each CRC covering the
+#: group's fl-table slice and its record bytes — and a final ``meta_crc
+#: u32`` over the packed header and the group table. Records stay
+#: byte-identical to v1/v2, so corruption localizes to one group and every
+#: intact group remains independently decodable (the salvage path).
+FORMAT_VERSION_CHECKSUM = 3
+SUPPORTED_VERSIONS = (
+    FORMAT_VERSION, FORMAT_VERSION_INDEXED, FORMAT_VERSION_CHECKSUM
+)
+
+#: Default blocks per CRC group: 8 bytes of integrity metadata per 64
+#: blocks keeps the overhead near 0.1 % on realistic streams (< 2 % even
+#: on degenerate all-zero-block streams) while losing at most 64 blocks to
+#: one flipped byte.
+DEFAULT_CRC_GROUP = 64
 
 FLAG_CONSTANT = 0x01
 #: Residuals come from the N-D Lorenzo predictor over the full array
@@ -57,11 +73,15 @@ FLAG_F64 = 0x04
 #: A packed per-block fixed-length table follows the global header
 #: (container v2 only; see the module docstring).
 FLAG_INDEXED = 0x08
+#: CRC32C integrity metadata follows the fl table (container v3; implies
+#: FLAG_INDEXED).
+FLAG_CHECKSUM = 0x10
 
 _FIXED = struct.Struct("<4sBBHB")  # magic, version, header_width, block, ndim
 _EPS_FLAGS = struct.Struct("<dB")
 _DIM = struct.Struct("<Q")
 _CONST = struct.Struct("<d")
+_CRC_GROUP = struct.Struct("<H")  # blocks per CRC group (v3 only)
 
 
 @dataclass(frozen=True)
@@ -77,6 +97,11 @@ class StreamHeader:
     dtype: str = "f4"  # "f4" or "f8": reconstruction precision
     indexed: bool = False
     version: int = FORMAT_VERSION
+    #: v3 integrity metadata: when True the fl table is followed by a
+    #: per-group CRC32C table and a meta CRC (see the module docstring).
+    checksum: bool = False
+    #: Blocks per CRC group (v3 only; 0 on v1/v2 streams).
+    crc_group: int = 0
 
     @property
     def num_elements(self) -> int:
@@ -90,18 +115,46 @@ class StreamHeader:
         return -(-self.num_elements // self.block_size)
 
     @property
+    def num_groups(self) -> int:
+        """CRC groups in a v3 stream (0 when not checksummed)."""
+        if not self.checksum or self.crc_group <= 0:
+            return 0
+        return -(-self.num_blocks // self.crc_group)
+
+    @property
     def index_bytes(self) -> int:
-        """Bytes of the packed fl table between the header and the records."""
-        return self.num_blocks if self.indexed else 0
+        """Bytes between the packed header and the first block record.
+
+        v2: the fl table. v3: fl table + group table (8 bytes per group)
+        + the 4-byte meta CRC.
+        """
+        if not self.indexed:
+            return 0
+        extra = 8 * self.num_groups + 4 if self.checksum else 0
+        return self.num_blocks + extra
+
+    def _expected_version(self) -> int:
+        if self.checksum:
+            return FORMAT_VERSION_CHECKSUM
+        return FORMAT_VERSION_INDEXED if self.indexed else FORMAT_VERSION
 
     def pack(self) -> bytes:
         if not (1 <= len(self.shape) <= 255):
             raise FormatError(f"unsupported ndim {len(self.shape)}")
-        if self.indexed != (self.version == FORMAT_VERSION_INDEXED):
+        if self.checksum and not self.indexed:
             raise FormatError(
-                f"indexed={self.indexed} requires stream version "
-                f"{FORMAT_VERSION_INDEXED if self.indexed else FORMAT_VERSION}"
-                f", got {self.version}"
+                "checksummed streams are always indexed (group CRCs cover "
+                "the fl table)"
+            )
+        if self.version != self._expected_version():
+            raise FormatError(
+                f"indexed={self.indexed} checksum={self.checksum} requires "
+                f"stream version {self._expected_version()}, "
+                f"got {self.version}"
+            )
+        if self.checksum and not (1 <= self.crc_group <= 0xFFFF):
+            raise FormatError(
+                f"crc_group must be in [1, 65535], got {self.crc_group}"
             )
         if self.indexed and self.constant is not None:
             raise FormatError(
@@ -128,9 +181,13 @@ class StreamHeader:
             raise FormatError(f"unknown dtype {self.dtype!r}")
         if self.indexed:
             flags |= FLAG_INDEXED
+        if self.checksum:
+            flags |= FLAG_CHECKSUM
         parts.append(_EPS_FLAGS.pack(self.eps, flags))
         if self.constant is not None:
             parts.append(_CONST.pack(self.constant))
+        if self.checksum:
+            parts.append(_CRC_GROUP.pack(self.crc_group))
         return b"".join(parts)
 
     @classmethod
@@ -169,13 +226,30 @@ class StreamHeader:
             constant = _CONST.unpack(chunk)[0]
             pos += _CONST.size
         indexed = bool(flags & FLAG_INDEXED)
-        if indexed != (version == FORMAT_VERSION_INDEXED):
+        checksum = bool(flags & FLAG_CHECKSUM)
+        if checksum != (version == FORMAT_VERSION_CHECKSUM):
+            raise FormatError(
+                f"checksum flag {checksum} inconsistent with stream "
+                f"version {version}"
+            )
+        if checksum and not indexed:
+            raise FormatError("checksummed streams must carry a block index")
+        if not checksum and indexed != (version == FORMAT_VERSION_INDEXED):
             raise FormatError(
                 f"index flag {indexed} inconsistent with stream version "
                 f"{version}"
             )
         if indexed and constant is not None:
             raise FormatError("constant streams cannot carry a block index")
+        crc_group = 0
+        if checksum:
+            chunk = bytes(stream[pos : pos + _CRC_GROUP.size])
+            if len(chunk) < _CRC_GROUP.size:
+                raise FormatError("stream truncated in crc_group field")
+            crc_group = _CRC_GROUP.unpack(chunk)[0]
+            pos += _CRC_GROUP.size
+            if crc_group < 1:
+                raise FormatError(f"corrupt crc_group {crc_group}")
         header = cls(
             header_width=header_width,
             block_size=block_size,
@@ -186,6 +260,8 @@ class StreamHeader:
             dtype="f8" if flags & FLAG_F64 else "f4",
             indexed=indexed,
             version=version,
+            checksum=checksum,
+            crc_group=crc_group,
         )
         return header, pos
 
@@ -200,9 +276,16 @@ def make_header(
     predictor: str = "blocked1d",
     dtype: str = "f4",
     indexed: bool = False,
+    checksum: bool = False,
+    crc_group: int = DEFAULT_CRC_GROUP,
 ) -> StreamHeader:
     """Convenience constructor used by the compressors."""
     arr_shape = tuple(int(d) for d in np.atleast_1d(np.asarray(shape)).tolist())
+    if checksum:
+        indexed = True
+        version = FORMAT_VERSION_CHECKSUM
+    else:
+        version = FORMAT_VERSION_INDEXED if indexed else FORMAT_VERSION
     return StreamHeader(
         header_width=header_width,
         block_size=block_size,
@@ -212,5 +295,7 @@ def make_header(
         predictor=predictor,
         dtype=dtype,
         indexed=indexed,
-        version=FORMAT_VERSION_INDEXED if indexed else FORMAT_VERSION,
+        version=version,
+        checksum=checksum,
+        crc_group=crc_group if checksum else 0,
     )

@@ -37,16 +37,35 @@ boundaries.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import random
 import struct
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as _FutureTimeout,
+)
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import CompressionError, FormatError
+from repro.errors import (
+    CompressionError,
+    ContainerError,
+    FormatError,
+    WorkerError,
+)
 
 SHARD_MAGIC = b"CSZX"
 SHARD_VERSION = 1
+#: Shard container v2: v1 plus a ``shard_elements u64`` field (elements per
+#: shard, so a salvage reader knows each lost shard's span without parsing
+#: its stream) and a ``meta_crc u32`` (CRC32C over everything before the
+#: payloads). Written only by ``checksum=True`` compressions — the default
+#: container stays byte-identical to v1.
+SHARD_VERSION_CHECKSUM = 2
 
 _SHARD_FLAG_F64 = 0x01
 
@@ -58,6 +77,7 @@ DEFAULT_SHARD_ELEMENTS = 1 << 20
 _HEAD = struct.Struct("<4sBBId B".replace(" ", ""))
 _DIM = struct.Struct("<Q")
 _LEN = struct.Struct("<Q")
+_META_CRC = struct.Struct("<I")
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -102,6 +122,175 @@ def _run_pool(fn, items, jobs: int) -> list:
     return run_pool(fn, items, jobs)
 
 
+def run_pool_resilient(
+    fn,
+    items,
+    jobs: int,
+    *,
+    processes: bool = False,
+    timeout: float | None = None,
+    retries: int = 2,
+    backoff: float = 0.05,
+    jitter_seed: int = 0,
+    salvage: bool = False,
+    metrics=None,
+):
+    """Map ``fn`` over ``items`` with a watchdog and bounded retries.
+
+    The resilient sibling of :func:`run_pool`: every item gets up to
+    ``1 + retries`` attempts; between retry waves the pool sleeps an
+    exponentially growing, deterministically jittered backoff
+    (``backoff * 2**wave``, jitter seeded by ``jitter_seed`` so runs are
+    reproducible). ``timeout`` arms the per-item watchdog:
+
+    - ``processes=True`` — a hung worker is *killed* (the whole
+      ``multiprocessing.Pool`` is terminated and rebuilt; completed
+      results are kept, unharvested items re-run). ``fn`` and the items
+      must be picklable. This is the only true watchdog.
+    - ``processes=False`` — the wait is abandoned but the thread cannot
+      be killed; fine for bounding tail latency of finite work, wrong
+      for workers that genuinely never return.
+
+    Returns ``(results, failures)`` where ``results[i]`` is ``fn(items[i])``
+    or ``None`` for terminally failed items, and ``failures`` is a tuple of
+    :class:`repro.faults.report.ShardFailure` for exactly those items. With
+    ``salvage=False`` (default) any terminal failure raises a
+    :class:`repro.errors.WorkerError` naming the first failed shard, its
+    attempt count, and every other failure.
+    """
+    from repro.faults.report import ShardFailure
+
+    items = list(items)
+    n = len(items)
+    results: list = [None] * n
+    done = [False] * n
+    attempts = [0] * n
+    failures: dict[int, ShardFailure] = {}
+    if retries < 0:
+        raise CompressionError(f"retries must be >= 0, got {retries}")
+    rng = random.Random(jitter_seed)
+    pending = list(range(n))
+    wave = 0
+    while pending:
+        if wave > 0:
+            delay = backoff * (2 ** (wave - 1)) * (0.5 + rng.random())
+            if metrics is not None:
+                metrics.counter(
+                    "host.pool_retries", "shard attempts re-run after failure"
+                ).inc(len(pending))
+            time.sleep(delay)
+        batch, pending = pending, []
+
+        def _record_failure(i: int, kind: str, detail: str) -> None:
+            attempts[i] += 1
+            failures[i] = ShardFailure(
+                index=i, attempts=attempts[i], kind=kind, error=detail
+            )
+            if kind == "timeout" and metrics is not None:
+                metrics.counter(
+                    "host.pool_timeouts", "shard attempts killed by watchdog"
+                ).inc()
+            if attempts[i] <= retries:
+                pending.append(i)
+
+        use_proc_pool = processes and (
+            timeout is not None or (jobs > 1 and len(batch) > 1)
+        )
+        if use_proc_pool:
+            pool = multiprocessing.get_context().Pool(
+                processes=min(jobs, len(batch))
+            )
+            killed = False
+            try:
+                handles = [
+                    (i, pool.apply_async(fn, (items[i],))) for i in batch
+                ]
+                pool.close()
+                for i, handle in handles:
+                    if killed:
+                        # The pool died under this item; its outcome is
+                        # unknown, so re-run it without charging an attempt.
+                        pending.append(i)
+                        continue
+                    try:
+                        results[i] = handle.get(timeout)
+                        done[i] = True
+                        failures.pop(i, None)
+                    except multiprocessing.TimeoutError:
+                        _record_failure(
+                            i, "timeout",
+                            f"worker exceeded {timeout}s; killed",
+                        )
+                        pool.terminate()
+                        killed = True
+                    except Exception as exc:
+                        _record_failure(
+                            i, "error", f"{type(exc).__name__}: {exc}"
+                        )
+            finally:
+                pool.terminate()
+                pool.join()
+        elif jobs > 1 and len(batch) > 1 and not processes:
+            pool = ThreadPoolExecutor(max_workers=min(jobs, len(batch)))
+            futures = [(i, pool.submit(fn, items[i])) for i in batch]
+            for i, fut in futures:
+                try:
+                    results[i] = fut.result(timeout)
+                    done[i] = True
+                    failures.pop(i, None)
+                except _FutureTimeout:
+                    fut.cancel()
+                    _record_failure(
+                        i, "timeout",
+                        f"worker exceeded {timeout}s (thread abandoned)",
+                    )
+                except Exception as exc:
+                    _record_failure(
+                        i, "error", f"{type(exc).__name__}: {exc}"
+                    )
+            pool.shutdown(wait=False, cancel_futures=True)
+        else:
+            # Inline: no watchdog possible, but retries still apply.
+            for i in batch:
+                try:
+                    results[i] = fn(items[i])
+                    done[i] = True
+                    failures.pop(i, None)
+                except Exception as exc:
+                    _record_failure(
+                        i, "error", f"{type(exc).__name__}: {exc}"
+                    )
+        wave += 1
+    terminal = tuple(
+        failures[i] for i in sorted(failures) if not done[i]
+    )
+    if terminal and not salvage:
+        first = terminal[0]
+        raise WorkerError(
+            f"shard {first.index} failed after {first.attempts} attempt(s) "
+            f"({first.kind}: {first.error}); "
+            f"{len(terminal)} shard(s) failed in total",
+            shard=first.index,
+            attempts=first.attempts,
+            failures=terminal,
+        )
+    return results, terminal
+
+
+def _compress_shard_worker(args):
+    """Module-level (hence process-picklable) shard compression."""
+    codec, chunk, bound, index, checksum, crc_group = args
+    return codec.compress(
+        chunk, eps=bound, index=index, checksum=checksum, crc_group=crc_group
+    )
+
+
+def _decompress_shard_worker(args):
+    """Module-level (hence process-picklable) shard decompression."""
+    codec, payload = args
+    return codec.decompress(payload).reshape(-1)
+
+
 def compress_sharded(
     data: np.ndarray,
     *,
@@ -113,6 +302,11 @@ def compress_sharded(
     shard_elements: int | None = None,
     index: bool = True,
     metrics=None,
+    checksum: bool = False,
+    crc_group: int | None = None,
+    timeout: float | None = None,
+    retries: int = 0,
+    processes: bool = False,
 ):
     """Compress ``data`` into a shard container; returns a CompressionResult.
 
@@ -123,6 +317,17 @@ def compress_sharded(
     ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`) records the
     host-side ``host.shards`` / ``host.bytes_in`` / ``host.bytes_out``
     counters once the container is assembled.
+
+    ``checksum=True`` writes container v2 (shard table protected by a meta
+    CRC, per-shard element count recorded for salvage) around v3 shard
+    streams; the default stays bit-identical to the legacy v1 container.
+
+    ``timeout=`` / ``retries=`` engage :func:`run_pool_resilient`: each
+    shard gets a watchdog and a bounded retry budget, and exhaustion
+    raises a structured :class:`repro.errors.WorkerError` (compression
+    never salvages — a container missing a shard would be data loss).
+    ``processes=True`` runs workers in processes so the watchdog can
+    actually kill a hung one.
     """
     from repro.core.compressor import CereSZ
 
@@ -155,22 +360,44 @@ def compress_sharded(
     bounds = _shard_bounds(flat.size, shard_elements)
     jobs = resolve_jobs(jobs)
 
-    def _one(span: tuple[int, int]):
-        lo, hi = span
-        return codec.compress(flat[lo:hi], eps=bound, index=index)
+    if timeout is not None or retries > 0 or processes:
+        work = [
+            (codec, flat[lo:hi], bound, index, checksum, crc_group)
+            for lo, hi in bounds
+        ]
+        results, _ = run_pool_resilient(
+            _compress_shard_worker, work, jobs,
+            processes=processes, timeout=timeout, retries=retries,
+            metrics=metrics,
+        )
+    else:
 
-    results = _run_pool(_one, bounds, jobs)
+        def _one(span: tuple[int, int]):
+            lo, hi = span
+            return codec.compress(
+                flat[lo:hi], eps=bound, index=index,
+                checksum=checksum, crc_group=crc_group,
+            )
+
+        results = _run_pool(_one, bounds, jobs)
 
     from repro.core.compressor import CompressionResult
 
     flags = _SHARD_FLAG_F64 if arr.dtype == np.float64 else 0
+    version = SHARD_VERSION_CHECKSUM if checksum else SHARD_VERSION
     parts = [
         _HEAD.pack(
-            SHARD_MAGIC, SHARD_VERSION, flags, len(results), bound, arr.ndim
+            SHARD_MAGIC, version, flags, len(results), bound, arr.ndim
         )
     ]
     parts.extend(_DIM.pack(d) for d in arr.shape)
+    if checksum:
+        parts.append(_DIM.pack(shard_elements))
     parts.extend(_LEN.pack(len(r.stream)) for r in results)
+    if checksum:
+        from repro.faults.crc32c import crc32c
+
+        parts.append(_META_CRC.pack(crc32c(b"".join(parts))))
     parts.extend(r.stream for r in results)
     stream = b"".join(parts)
 
@@ -200,65 +427,168 @@ def compress_sharded(
     )
 
 
-def read_shard_table(
-    stream: bytes,
-) -> tuple[tuple[int, ...], bool, float, list[tuple[int, int]]]:
-    """Parse a shard container's header.
+@dataclass(frozen=True)
+class ShardContainer:
+    """Parsed shard-container metadata (both versions)."""
 
-    Returns ``(shape, is_f64, eps, [(start, stop) per shard])`` where the
-    spans are byte ranges of the self-describing shard streams.
+    shape: tuple[int, ...]
+    is_f64: bool
+    eps: float
+    #: Byte span ``(start, stop)`` of each shard's self-describing stream.
+    spans: tuple[tuple[int, int], ...]
+    version: int = SHARD_VERSION
+    #: Elements per shard (the last shard may hold fewer); ``None`` on v1
+    #: containers, which do not record it.
+    shard_elements: int | None = None
+    #: v2: whether the stored meta CRC matches the shard table. Always
+    #: True on v1 (nothing to check).
+    meta_ok: bool = True
+
+    @property
+    def checksummed(self) -> bool:
+        return self.version >= SHARD_VERSION_CHECKSUM
+
+    @property
+    def num_elements(self) -> int:
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n if self.shape else 0
+
+
+def read_shard_container(stream: bytes) -> ShardContainer:
+    """Parse a shard container's header and shard table (v1 or v2).
+
+    All structural corruption — truncation, impossible counts, spans past
+    the end — raises :class:`repro.errors.ContainerError` with the byte
+    offset where parsing failed; no raw ``struct.error`` / ``IndexError``
+    escapes. A v2 container whose meta CRC does not match is *parsed
+    anyway* with ``meta_ok=False``, so salvage readers can still try the
+    spans; strict readers must check the flag.
     """
     if len(stream) < _HEAD.size:
-        raise FormatError("shard container shorter than its header")
-    magic, version, flags, num_shards, eps, ndim = _HEAD.unpack(
-        stream[: _HEAD.size]
-    )
+        raise ContainerError(
+            "shard container shorter than its header", offset=len(stream)
+        )
+    try:
+        magic, version, flags, num_shards, eps, ndim = _HEAD.unpack(
+            bytes(stream[: _HEAD.size])
+        )
+    except struct.error as exc:  # pragma: no cover - length checked above
+        raise ContainerError(f"unreadable shard header: {exc}", offset=0)
     if magic != SHARD_MAGIC:
-        raise FormatError(f"bad shard-container magic {magic!r}")
-    if version != SHARD_VERSION:
-        raise FormatError(f"unsupported shard-container version {version}")
+        raise ContainerError(
+            f"bad shard-container magic {magic!r}", offset=0
+        )
+    if version not in (SHARD_VERSION, SHARD_VERSION_CHECKSUM):
+        raise ContainerError(
+            f"unsupported shard-container version {version}", offset=4
+        )
     if num_shards == 0:
-        raise FormatError("shard container holds no shards")
+        raise ContainerError("shard container holds no shards", offset=6)
+    checksummed = version == SHARD_VERSION_CHECKSUM
     pos = _HEAD.size
     remaining = len(stream) - pos
-    if ndim * _DIM.size + num_shards * _LEN.size > remaining:
-        raise FormatError(
+    table_bytes = ndim * _DIM.size + num_shards * _LEN.size
+    if checksummed:
+        table_bytes += _DIM.size + _META_CRC.size
+    if table_bytes > remaining:
+        raise ContainerError(
             f"shard container of {len(stream)} bytes cannot hold {ndim} "
-            f"dims and {num_shards} shard lengths"
+            f"dims and {num_shards} shard lengths",
+            offset=pos,
         )
     dims = []
     for _ in range(ndim):
         dims.append(_DIM.unpack_from(stream, pos)[0])
         pos += _DIM.size
+    shard_elements = None
+    if checksummed:
+        shard_elements = int(_DIM.unpack_from(stream, pos)[0])
+        pos += _DIM.size
+        if shard_elements < 1:
+            raise ContainerError(
+                f"corrupt shard_elements {shard_elements}", offset=pos
+            )
     spans = []
     lengths = []
     for _ in range(num_shards):
         (length,) = _LEN.unpack_from(stream, pos)
         pos += _LEN.size
         if length > len(stream):
-            raise FormatError("shard length exceeds the container")
+            raise ContainerError(
+                "shard length exceeds the container", offset=pos
+            )
         lengths.append(int(length))
+    meta_ok = True
+    if checksummed:
+        from repro.faults.crc32c import crc32c
+
+        stored = _META_CRC.unpack_from(stream, pos)[0]
+        meta_ok = crc32c(bytes(stream[:pos])) == stored
+        pos += _META_CRC.size
     start = pos
     for length in lengths:
         if start + length > len(stream):
-            raise FormatError("shard container truncated in shard payloads")
+            raise ContainerError(
+                "shard container truncated in shard payloads", offset=start
+            )
         spans.append((start, start + length))
         start += length
-    return (
-        tuple(int(d) for d in dims),
-        bool(flags & _SHARD_FLAG_F64),
-        float(eps),
-        spans,
+    return ShardContainer(
+        shape=tuple(int(d) for d in dims),
+        is_f64=bool(flags & _SHARD_FLAG_F64),
+        eps=float(eps),
+        spans=tuple(spans),
+        version=version,
+        shard_elements=shard_elements,
+        meta_ok=meta_ok,
     )
 
 
+def read_shard_table(
+    stream: bytes,
+) -> tuple[tuple[int, ...], bool, float, list[tuple[int, int]]]:
+    """Parse a shard container's header (strict, legacy 4-tuple shape).
+
+    Returns ``(shape, is_f64, eps, [(start, stop) per shard])`` where the
+    spans are byte ranges of the self-describing shard streams. A v2
+    container whose meta CRC fails raises :class:`ContainerError` here —
+    use :func:`read_shard_container` for the salvage-tolerant view.
+    """
+    table = read_shard_container(stream)
+    if not table.meta_ok:
+        raise ContainerError(
+            "shard table corrupt: meta CRC mismatch (spans untrustworthy; "
+            "salvage decode may still recover shards)",
+            offset=0,
+        )
+    return table.shape, table.is_f64, table.eps, list(table.spans)
+
+
 def decompress_sharded(
-    stream: bytes, *, codec=None, jobs: int | None = None, metrics=None
+    stream: bytes,
+    *,
+    codec=None,
+    jobs: int | None = None,
+    metrics=None,
+    timeout: float | None = None,
+    retries: int = 0,
+    processes: bool = False,
+    salvage: bool = False,
 ) -> np.ndarray:
     """Decode a shard container back to the original field.
 
     ``metrics`` records the same host-side counters as
     :func:`compress_sharded`, labeled ``direction=decompress``.
+
+    ``timeout=`` / ``retries=`` arm the resilient pool (see
+    :func:`run_pool_resilient`). ``salvage=True`` additionally converts
+    terminal worker failures into zero-filled shard spans instead of a
+    :class:`repro.errors.WorkerError` — one dead worker costs its shard,
+    not the whole decompression (``salvage.shards_lost`` is counted on
+    ``metrics``). For *corrupt-byte* salvage with a full report, use
+    :func:`repro.core.decompressor.salvage_decompress`.
     """
     from repro.core.compressor import CereSZ
 
@@ -266,11 +596,34 @@ def decompress_sharded(
     shape, is_f64, _eps, spans = read_shard_table(stream)
     jobs = resolve_jobs(jobs)
 
-    def _one(span: tuple[int, int]) -> np.ndarray:
-        lo, hi = span
-        return codec.decompress(stream[lo:hi]).reshape(-1)
+    failures = ()
+    if timeout is not None or retries > 0 or processes or salvage:
+        work = [(codec, bytes(stream[lo:hi])) for lo, hi in spans]
+        parts, failures = run_pool_resilient(
+            _decompress_shard_worker, work, jobs,
+            processes=processes, timeout=timeout, retries=retries,
+            salvage=salvage, metrics=metrics,
+        )
+    else:
 
-    parts = _run_pool(_one, spans, jobs)
+        def _one(span: tuple[int, int]) -> np.ndarray:
+            lo, hi = span
+            return codec.decompress(stream[lo:hi]).reshape(-1)
+
+        parts = _run_pool(_one, spans, jobs)
+    if failures:
+        from repro.core.decompressor import _shard_element_counts
+
+        table = read_shard_container(stream)
+        counts = _shard_element_counts(stream, table, notes=[])
+        fill_dtype = np.float64 if is_f64 else np.float32
+        for f in failures:
+            parts[f.index] = np.zeros(counts[f.index], dtype=fill_dtype)
+        if metrics is not None:
+            metrics.counter(
+                "salvage.shards_lost",
+                "whole shards dropped by salvage decode",
+            ).inc(len(failures))
     flat = np.concatenate(parts) if len(parts) > 1 else parts[0]
     n = 1
     for d in shape:

@@ -46,10 +46,13 @@ engine and N.
 
 from __future__ import annotations
 
+import pickle
 from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.core.lower import lower_plan
+from repro.errors import DeadlockError, ReproError, WorkerError
+from repro.faults.plan import FaultPlan
 from repro.core.mapping import ProgramOutputs
 from repro.core.mapping_decompress import DecompressOutputs
 from repro.core.parallel import run_pool
@@ -63,6 +66,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     collect_engine_metrics,
     collect_fabric_metrics,
+    collect_fault_metrics,
     collect_trace_metrics,
 )
 from repro.obs.tracing import Tracer
@@ -98,29 +102,41 @@ def _simulate_one(
     optimize: bool,
     fast_kernels: bool,
     tracer: Tracer | None = None,
+    faults: FaultPlan | None = None,
 ) -> tuple[ProgramOutputs | DecompressOutputs, SimulationReport, Fabric, Engine]:
     fabric = Fabric(plan.rows, plan.cols, cache_routes=optimize)
-    engine = Engine(fabric, optimize=optimize, tracer=tracer)
+    engine = Engine(fabric, optimize=optimize, tracer=tracer, faults=faults)
     lowered = lower_plan(
         plan, fabric, engine, model=model, fast_kernels=fast_kernels,
         tracer=tracer,
     )
     with _span(tracer, "engine.run", rows=plan.rows, cols=plan.cols):
-        report = engine.run()
+        try:
+            report = engine.run()
+        except DeadlockError as exc:
+            # Hand the caller the (unpicklable) fabric/engine so it can
+            # still collect metrics from the failed run; callers strip
+            # these before the exception crosses any process boundary.
+            exc._fabric = fabric
+            exc._engine = engine
+            raise
     return lowered.outputs, report, fabric, engine
+
+
+def _collect_worker_metrics(fabric, engine) -> dict:
+    metrics = MetricsRegistry()
+    collect_fabric_metrics(metrics, fabric)
+    collect_engine_metrics(metrics, engine)
+    collect_fault_metrics(metrics, engine.faults)
+    return metrics.snapshot()
 
 
 def _partition_worker(
     args: tuple[
         MappingPlan, CycleModel, bool, bool,
-        tuple[str, int] | None, bool,
+        tuple[str, int] | None, bool, FaultPlan | None,
     ],
-) -> tuple[
-    ProgramOutputs | DecompressOutputs,
-    SimulationReport,
-    Tracer | None,
-    dict | None,
-]:
+) -> tuple:
     """Module-level so the process pool can pickle it.
 
     ``trace_cfg`` is ``(level, sample_every)`` or None; the worker builds
@@ -129,23 +145,44 @@ def _partition_worker(
     the fabric/engine metrics only it can observe and returns the
     registry snapshot; trace-derived metrics are left to the parent,
     which has the exactly-merged recorder.
+
+    Returns ``("ok", outputs, report, tracer, snapshot)`` or
+    ``("err", exception, snapshot)``. Failures are *returned*, never
+    raised: raising through ``pool.map`` loses the structured exception
+    behind ``RemoteTraceback`` noise, and would discard the metrics the
+    failed partition already gathered.
     """
-    plan, model, optimize, fast_kernels, trace_cfg, want_metrics = args
+    plan, model, optimize, fast_kernels, trace_cfg, want_metrics, faults = (
+        args
+    )
     tracer = (
         Tracer(level=trace_cfg[0], sample_every=trace_cfg[1])
         if trace_cfg is not None
         else None
     )
-    outputs, report, fabric, engine = _simulate_one(
-        plan, model, optimize, fast_kernels, tracer
+    try:
+        outputs, report, fabric, engine = _simulate_one(
+            plan, model, optimize, fast_kernels, tracer, faults
+        )
+    except Exception as exc:
+        snapshot = None
+        fabric = getattr(exc, "_fabric", None)
+        engine = getattr(exc, "_engine", None)
+        if want_metrics and engine is not None:
+            snapshot = _collect_worker_metrics(fabric, engine)
+        for attr in ("_fabric", "_engine"):
+            if hasattr(exc, attr):
+                delattr(exc, attr)
+        try:
+            pickle.dumps(exc)
+            payload: Exception = exc
+        except Exception:
+            payload = WorkerError(f"{type(exc).__name__}: {exc}")
+        return ("err", payload, snapshot)
+    snapshot = (
+        _collect_worker_metrics(fabric, engine) if want_metrics else None
     )
-    snapshot = None
-    if want_metrics:
-        metrics = MetricsRegistry()
-        collect_fabric_metrics(metrics, fabric)
-        collect_engine_metrics(metrics, engine)
-        snapshot = metrics.snapshot()
-    return outputs, report, tracer, snapshot
+    return ("ok", outputs, report, tracer, snapshot)
 
 
 def simulate_plan(
@@ -157,6 +194,7 @@ def simulate_plan(
     fast_kernels: bool = True,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    faults: FaultPlan | None = None,
 ) -> SimulatedRun:
     """Execute ``plan`` and return its outputs and simulation report.
 
@@ -169,6 +207,15 @@ def simulate_plan(
     module docstring for how the row-parallel path merges them). Both are
     mutated in place and also attached to the returned
     :class:`SimulatedRun`.
+
+    ``faults`` is an optional seeded :class:`repro.faults.FaultPlan`; the
+    row-parallel path hands each worker exactly the faults whose rows it
+    owns, so injections, FaultReports, and ``faults.*`` metrics are
+    identical for any ``jobs`` value. A stall detected under injection
+    raises :class:`DeadlockError` carrying a structured
+    :class:`repro.faults.FaultReport`; with ``jobs > 1`` the originating
+    shard id and rows are prefixed to the message and reports from all
+    failed partitions are merged.
     """
     jobs = int(jobs)
     if jobs < 1:
@@ -187,24 +234,98 @@ def simulate_plan(
                     _partition_worker,
                     [
                         (sub, model, optimize, fast_kernels, trace_cfg,
-                         metrics is not None)
-                        for sub in subs
+                         metrics is not None,
+                         faults.for_rows(rows) if faults is not None
+                         else None)
+                        for sub, rows in zip(subs, chunks)
                     ],
                     len(subs),
                     processes=True,
                 )
-                return _merge(plan, chunks, results, tracer, metrics)
+                _raise_partition_failures(results, chunks, metrics)
+                return _merge(
+                    plan, chunks, [r[1:] for r in results], tracer, metrics
+                )
     with _span(tracer, "simulate", jobs=1, rows=plan.rows):
-        outputs, report, fabric, engine = _simulate_one(
-            plan, model, optimize, fast_kernels, tracer
-        )
+        try:
+            outputs, report, fabric, engine = _simulate_one(
+                plan, model, optimize, fast_kernels, tracer, faults
+            )
+        except DeadlockError as exc:
+            failed_engine = getattr(exc, "_engine", None)
+            if metrics is not None and failed_engine is not None:
+                collect_fabric_metrics(metrics, exc._fabric)
+                collect_engine_metrics(metrics, failed_engine)
+                collect_fault_metrics(metrics, failed_engine.faults)
+            for attr in ("_fabric", "_engine"):
+                if hasattr(exc, attr):
+                    delattr(exc, attr)
+            raise
     if metrics is not None:
         collect_fabric_metrics(metrics, fabric)
         collect_engine_metrics(metrics, engine)
+        collect_fault_metrics(metrics, engine.faults)
         collect_trace_metrics(metrics, report.trace)
     return SimulatedRun(
         outputs=outputs, report=report, tracer=tracer, metrics=metrics
     )
+
+
+def _raise_partition_failures(results, chunks, metrics) -> None:
+    """Re-raise worker failures with the originating shard id attached.
+
+    Merges every partition's metrics snapshot first (the failed run's
+    counters are exactly what a post-mortem needs), then raises one
+    exception: a :class:`DeadlockError` whose report is the merge of all
+    failed partitions' FaultReports, the original :class:`ReproError`
+    annotated with its shard, or a :class:`WorkerError` for anything else.
+    """
+    failures = [
+        (i, res) for i, res in enumerate(results) if res[0] == "err"
+    ]
+    if not failures:
+        return
+    if metrics is not None:
+        for res in results:
+            snap = res[2] if res[0] == "err" else res[4]
+            if snap:
+                metrics.merge(snap)
+    index, (_, exc, _) = failures[0]
+    rows = chunks[index]
+    prefix = f"[shard {index}, rows {rows[0]}-{rows[-1]}] "
+    suffix = (
+        f" (+{len(failures) - 1} more failed partitions)"
+        if len(failures) > 1
+        else ""
+    )
+    if isinstance(exc, DeadlockError):
+        report = exc.report
+        for j, res in failures[1:]:
+            other = res[1]
+            if isinstance(other, DeadlockError) and other.report is not None:
+                report = (
+                    other.report if report is None
+                    else report.merged_with(other.report)
+                )
+        raise DeadlockError(
+            prefix + (exc.args[0] if exc.args else "") + suffix,
+            report=report,
+        ) from None
+    if isinstance(exc, WorkerError):
+        exc.shard = index
+        exc.rows = tuple(rows)
+        raise exc from None
+    if isinstance(exc, ReproError):
+        # Preserve the concrete type (tests catch TaskError & co.); the
+        # shard annotation rides along as attributes.
+        exc.shard = index
+        exc.shard_rows = tuple(rows)
+        raise exc from None
+    raise WorkerError(
+        prefix + f"{type(exc).__name__}: {exc}" + suffix,
+        shard=index,
+        rows=tuple(rows),
+    ) from exc
 
 
 def _merge(

@@ -83,6 +83,7 @@ class WSECereSZ:
         trace_level: str = "off",
         sample_every: int = 1,
         collect_metrics: bool = False,
+        faults=None,
     ):
         if strategy not in STRATEGIES:
             raise ScheduleError(
@@ -119,6 +120,12 @@ class WSECereSZ:
         self.collect_metrics = bool(collect_metrics)
         self.last_tracer: Tracer | None = None
         self.last_metrics: MetricsRegistry | None = None
+        #: Optional :class:`repro.faults.FaultPlan` injected into every
+        #: simulated run (compress and decompress alike). Faulted runs that
+        #: stall raise :class:`repro.errors.DeadlockError` with a
+        #: structured ``report``; clean completion under injection means
+        #: the mapping absorbed the fault.
+        self.faults = faults
         self._reference = CereSZ(block_size=block_size)
 
     def _observers(self) -> tuple[Tracer | None, MetricsRegistry | None]:
@@ -162,7 +169,7 @@ class WSECereSZ:
             plan = self._compress_plan(raw_blocks, eps_eff)
         run = simulate_plan(
             plan, model=self.model, jobs=self.jobs,
-            tracer=tracer, metrics=metrics,
+            tracer=tracer, metrics=metrics, faults=self.faults,
         )
         outputs, report = run.outputs, run.report
 
@@ -215,7 +222,23 @@ class WSECereSZ:
             raise CompressionError(
                 "wafer decompression handles the CereSZ 4-byte-header format"
             )
-        if header.indexed:
+        if header.checksum:
+            # Verify on the host, then skip the integrity tables: the
+            # records behind them are byte-identical to v1, which is what
+            # the wafer walks.
+            from repro.core.decompressor import verify_stream
+            from repro.errors import ContainerError
+
+            integrity = verify_stream(stream)
+            if not integrity.ok:
+                raise ContainerError(
+                    f"stream failed verification before wafer decode: "
+                    f"{integrity.describe()}",
+                    groups=integrity.corrupt_groups,
+                    blocks=integrity.corrupt_blocks,
+                )
+            offset += header.index_bytes
+        elif header.indexed:
             # The wafer walks record headers itself; skip the host-side fl
             # table (records are byte-identical to v1 behind it).
             from repro.core.encoding import unpack_block_index
@@ -252,7 +275,7 @@ class WSECereSZ:
             )
         run = simulate_plan(
             plan, model=self.model, jobs=self.jobs,
-            tracer=tracer, metrics=metrics,
+            tracer=tracer, metrics=metrics, faults=self.faults,
         )
         outputs, report = run.outputs, run.report
         blocks = outputs.assemble(header.num_blocks, header.block_size)

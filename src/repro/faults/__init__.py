@@ -1,0 +1,50 @@
+"""Fault injection, container integrity, and recovery reports.
+
+The robustness layer of the reproduction (ISSUE 5): deterministic fault
+plans for the WSE simulator, CRC32C container integrity, and the
+structured reports (:class:`FaultReport`, :class:`IntegrityReport`,
+:class:`SalvageReport`) that make detection and recovery observable.
+"""
+
+from repro.faults.crc32c import crc32c, crc32c_combine, crc32c_many
+from repro.faults.inject import FaultInjector, build_fault_report
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    LinkDown,
+    PEHalt,
+    SramBitFlip,
+    WaveletDrop,
+    WaveletDup,
+    parse_fault_spec,
+)
+from repro.faults.report import (
+    FaultReport,
+    InjectedFault,
+    IntegrityReport,
+    SalvageReport,
+    ShardFailure,
+    StuckTransfer,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultReport",
+    "InjectedFault",
+    "IntegrityReport",
+    "LinkDown",
+    "PEHalt",
+    "SalvageReport",
+    "ShardFailure",
+    "SramBitFlip",
+    "StuckTransfer",
+    "WaveletDrop",
+    "WaveletDup",
+    "build_fault_report",
+    "crc32c",
+    "crc32c_combine",
+    "crc32c_many",
+    "parse_fault_spec",
+]

@@ -1,0 +1,269 @@
+"""Deterministic fault plans for the WSE simulator.
+
+A :class:`FaultPlan` is a seeded, immutable list of faults to inject into a
+simulation run. Determinism is the whole point: the same plan produces the
+same stall, the same :class:`~repro.faults.report.FaultReport`, and the same
+``faults.*`` metric counts whether the mesh is simulated in one process or
+split row-wise across four — so mapping-level failure modes become
+reproducible test fixtures instead of flaky hypotheticals.
+
+Every fault is located by PE coordinate (and, for wavelet faults, counted
+in *deliveries at that PE*, not global events), which makes a plan a pure
+row filter under :func:`repro.core.plan.split_rows` partitioning: workers
+see exactly the faults whose ``row`` they own and nothing else.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+FAULT_KINDS = ("halt", "drop", "dup", "flip", "link")
+
+
+@dataclass(frozen=True)
+class PEHalt:
+    """PE (row, col) stops running tasks at ``at_cycle``.
+
+    Models a hard-failed core: queued and future task activations on the PE
+    are discarded, which typically starves every consumer downstream of it.
+    """
+
+    row: int
+    col: int
+    at_cycle: int
+    kind: str = field(default="halt", init=False)
+
+
+@dataclass(frozen=True)
+class WaveletDrop:
+    """The ``nth`` wavelet delivery of ``color_id`` AT PE (row, col) is lost.
+
+    Counted per receiving PE (1-based) so the fault is row-local and
+    partition-invariant. Models a flaky link or router bit-error that
+    discards one flit.
+    """
+
+    row: int
+    col: int
+    color_id: int
+    nth: int
+    kind: str = field(default="drop", init=False)
+
+
+@dataclass(frozen=True)
+class WaveletDup:
+    """The ``nth`` wavelet delivery of ``color_id`` AT PE (row, col) arrives
+    twice. Models a retransmission bug; duplicates corrupt stream framing
+    or over-fill receive buffers."""
+
+    row: int
+    col: int
+    color_id: int
+    nth: int
+    kind: str = field(default="dup", init=False)
+
+
+@dataclass(frozen=True)
+class SramBitFlip:
+    """Bit ``bit`` of the named mem1d ``buffer`` on PE (row, col) flips at
+    ``at_cycle``. Models an SEU in SRAM; surfaces as wrong output data (the
+    codec's CRC layer is what catches it downstream)."""
+
+    row: int
+    col: int
+    buffer: str
+    bit: int
+    at_cycle: int
+    kind: str = field(default="flip", init=False)
+
+
+@dataclass(frozen=True)
+class LinkDown:
+    """Every wavelet whose resolved route enters PE (row, col) moving in
+    ``direction`` is dropped. Models a dead fabric link."""
+
+    row: int
+    col: int
+    direction: str  # one of "N", "S", "E", "W", entering-direction
+    kind: str = field(default="link", init=False)
+
+
+Fault = PEHalt | WaveletDrop | WaveletDup | SramBitFlip | LinkDown
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, ordered set of faults to inject into one simulation."""
+
+    seed: int
+    faults: tuple[Fault, ...] = ()
+
+    def __post_init__(self):
+        for f in self.faults:
+            if f.kind not in FAULT_KINDS:
+                raise ReproError(f"unknown fault kind {f.kind!r}")
+
+    def for_rows(self, rows) -> "FaultPlan":
+        """The sub-plan visible to a partition owning ``rows``.
+
+        Pure row filter — sub-plans keep original coordinates, matching how
+        :func:`repro.core.plan.split_rows` partitions a mesh.
+        """
+        rowset = frozenset(int(r) for r in rows)
+        return FaultPlan(
+            seed=self.seed,
+            faults=tuple(f for f in self.faults if f.row in rowset),
+        )
+
+    def describe(self) -> str:
+        if not self.faults:
+            return f"FaultPlan(seed={self.seed}, no faults)"
+        lines = [f"FaultPlan(seed={self.seed}, {len(self.faults)} faults)"]
+        for f in self.faults:
+            lines.append(f"  - {_describe_fault(f)}")
+        return "\n".join(lines)
+
+    @staticmethod
+    def random(
+        seed: int,
+        rows: int,
+        cols: int,
+        *,
+        n_halts: int = 1,
+        n_drops: int = 1,
+        n_flips: int = 0,
+        max_cycle: int = 5_000,
+        buffers: tuple[str, ...] = (),
+    ) -> "FaultPlan":
+        """A reproducible random plan over a ``rows`` x ``cols`` mesh.
+
+        Same arguments → same plan, always: the generator is a private
+        :class:`random.Random` seeded with ``seed`` and nothing else.
+        """
+        rng = random.Random(seed)
+        faults: list[Fault] = []
+        for _ in range(n_halts):
+            faults.append(
+                PEHalt(
+                    row=rng.randrange(rows),
+                    col=rng.randrange(cols),
+                    at_cycle=rng.randrange(1, max_cycle),
+                )
+            )
+        for _ in range(n_drops):
+            faults.append(
+                WaveletDrop(
+                    row=rng.randrange(rows),
+                    col=rng.randrange(cols),
+                    color_id=rng.randrange(24),
+                    nth=rng.randrange(1, 16),
+                )
+            )
+        for _ in range(n_flips):
+            buf = rng.choice(buffers) if buffers else "raw"
+            faults.append(
+                SramBitFlip(
+                    row=rng.randrange(rows),
+                    col=rng.randrange(cols),
+                    buffer=buf,
+                    bit=rng.randrange(256),
+                    at_cycle=rng.randrange(1, max_cycle),
+                )
+            )
+        return FaultPlan(seed=seed, faults=tuple(faults))
+
+
+def _describe_fault(f: Fault) -> str:
+    if f.kind == "halt":
+        return f"halt PE({f.row},{f.col}) at cycle {f.at_cycle}"
+    if f.kind == "drop":
+        return (
+            f"drop delivery #{f.nth} of color {f.color_id} "
+            f"at PE({f.row},{f.col})"
+        )
+    if f.kind == "dup":
+        return (
+            f"duplicate delivery #{f.nth} of color {f.color_id} "
+            f"at PE({f.row},{f.col})"
+        )
+    if f.kind == "flip":
+        return (
+            f"flip bit {f.bit} of buffer {f.buffer!r} on "
+            f"PE({f.row},{f.col}) at cycle {f.at_cycle}"
+        )
+    return f"link into PE({f.row},{f.col}) from {f.direction} down"
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse the CLI fault mini-language into a :class:`FaultPlan`.
+
+    Grammar (``;``-separated, whitespace ignored)::
+
+        seed:S
+        halt:R,C@CYCLE
+        drop:R,C,COLOR#NTH
+        dup:R,C,COLOR#NTH
+        flip:R,C,BUFFER,BIT@CYCLE
+        link:R,C,DIR
+        random:R,C[,halts=H][,drops=D][,flips=F]
+
+    Example: ``"seed:7;halt:1,2@400;drop:0,3,5#2"``.
+    """
+    seed = 0
+    faults: list[Fault] = []
+    randoms: list[tuple] = []
+    for raw in spec.split(";"):
+        part = raw.strip()
+        if not part:
+            continue
+        try:
+            kind, _, rest = part.partition(":")
+            kind = kind.strip().lower()
+            if kind == "seed":
+                seed = int(rest)
+            elif kind == "halt":
+                loc, _, cyc = rest.partition("@")
+                r, c = (int(x) for x in loc.split(","))
+                faults.append(PEHalt(row=r, col=c, at_cycle=int(cyc)))
+            elif kind in ("drop", "dup"):
+                loc, _, nth = rest.partition("#")
+                r, c, color = (int(x) for x in loc.split(","))
+                cls = WaveletDrop if kind == "drop" else WaveletDup
+                faults.append(
+                    cls(row=r, col=c, color_id=color, nth=int(nth or 1))
+                )
+            elif kind == "flip":
+                loc, _, cyc = rest.partition("@")
+                r, c, buf, bit = (x.strip() for x in loc.split(","))
+                faults.append(
+                    SramBitFlip(
+                        row=int(r), col=int(c), buffer=buf,
+                        bit=int(bit), at_cycle=int(cyc),
+                    )
+                )
+            elif kind == "link":
+                r, c, direction = (x.strip() for x in rest.split(","))
+                faults.append(
+                    LinkDown(row=int(r), col=int(c),
+                             direction=direction.upper())
+                )
+            elif kind == "random":
+                randoms.append(tuple(rest.split(",")))
+            else:
+                raise ValueError(f"unknown fault kind {kind!r}")
+        except (ValueError, TypeError) as exc:
+            raise ReproError(
+                f"bad fault spec segment {part!r}: {exc}"
+            ) from None
+    for args in randoms:
+        rows, cols = int(args[0]), int(args[1])
+        kw = {}
+        for extra in args[2:]:
+            key, _, val = extra.partition("=")
+            kw["n_" + key.strip()] = int(val)
+        rand = FaultPlan.random(seed, rows, cols, **kw)
+        faults.extend(rand.faults)
+    return FaultPlan(seed=seed, faults=tuple(faults))

@@ -7,9 +7,40 @@ the check itself never introduces rounding slack.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class BoundViolation:
+    """Where (flat indices) and how badly a reconstruction breaks the bound.
+
+    ``count == 0`` means the bound holds everywhere it was checked;
+    ``checked`` records how many points that was (salvage audits exclude
+    lost elements, so it can be less than the field size).
+    """
+
+    eps: float
+    count: int
+    checked: int
+    first_index: int = -1
+    max_error: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.count == 0
+
+    def __str__(self) -> str:
+        if self.ok:
+            return f"bound {self.eps:g} holds on {self.checked} points"
+        return (
+            f"bound {self.eps:g} violated at {self.count} of "
+            f"{self.checked} points (first flat index {self.first_index}, "
+            f"max error {self.max_error:g})"
+        )
 
 
 def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
@@ -43,3 +74,44 @@ def violation_count(
     if a.shape != b.shape:
         raise ReproError("shape mismatch in violation_count")
     return int(np.count_nonzero(np.abs(a - b) > eps))
+
+
+def locate_bound_violations(
+    original: np.ndarray,
+    reconstructed: np.ndarray,
+    eps: float,
+    mask: np.ndarray | None = None,
+) -> BoundViolation:
+    """Full audit: where the bound breaks, not just whether.
+
+    ``mask`` (flat, boolean) restricts the audit to the True positions —
+    the salvage path passes the intact-element mask so zero-filled lost
+    blocks don't read as violations of a bound they never promised.
+    """
+    if eps < 0:
+        raise ReproError(f"negative error bound {eps}")
+    a = np.asarray(original, dtype=np.float64).reshape(-1)
+    b = np.asarray(reconstructed, dtype=np.float64).reshape(-1)
+    if a.shape != b.shape:
+        raise ReproError(
+            f"shape mismatch: original {a.shape} vs reconstructed {b.shape}"
+        )
+    err = np.abs(a - b)
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool).reshape(-1)
+        if mask.shape != a.shape:
+            raise ReproError(
+                f"mask shape {mask.shape} does not match data {a.shape}"
+            )
+        err = np.where(mask, err, 0.0)
+        checked = int(np.count_nonzero(mask))
+    else:
+        checked = a.size
+    bad = np.nonzero(err > eps)[0]
+    return BoundViolation(
+        eps=float(eps),
+        count=int(bad.size),
+        checked=checked,
+        first_index=int(bad[0]) if bad.size else -1,
+        max_error=float(err.max()) if err.size else 0.0,
+    )

@@ -317,6 +317,22 @@ def collect_trace_metrics(registry: MetricsRegistry, trace) -> None:
         busy.observe(t.total_cycles)
 
 
+def collect_fault_metrics(registry: MetricsRegistry, injector) -> None:
+    """Publish fault-injection outcomes (``faults.injected{kind=...}``,
+    ``faults.detected``). No-op without an injector so callers can pass
+    ``engine.faults`` unconditionally."""
+    if injector is None:
+        return
+    injected = registry.counter(
+        "faults.injected", "faults fired by the injector, by kind"
+    )
+    for fault in injector.log:
+        injected.inc(kind=fault.kind)
+    registry.counter(
+        "faults.detected", "stalled rows diagnosed into FaultReports"
+    ).inc(injector.detected)
+
+
 def collect_run_metrics(
     registry: MetricsRegistry, *, fabric=None, engine=None, trace=None
 ) -> None:

@@ -54,6 +54,8 @@ import numpy as np
 
 from repro.config import HOP_CYCLES
 from repro.errors import DeadlockError, TaskError
+from repro.faults.inject import FaultInjector, build_fault_report
+from repro.faults.plan import FaultPlan
 from repro.wse.color import Color
 from repro.wse.dsd import Dsd, FabinDsd, FaboutDsd, Mem1dDsd
 from repro.wse.fabric import Fabric
@@ -108,6 +110,7 @@ class Engine:
         max_events: int = 50_000_000,
         optimize: bool = True,
         tracer=None,
+        faults: FaultInjector | FaultPlan | None = None,
     ):
         self.fabric = fabric
         self.max_events = max_events
@@ -133,6 +136,14 @@ class Engine:
         self._scratch: dict[tuple[int, int], list[str]] = {}
         self._events_processed = 0
         self._now = 0.0
+        #: Optional fault injector (see :mod:`repro.faults`). ``_faulted``
+        #: caches presence so clean runs pay one attribute test per deliver.
+        if isinstance(faults, FaultPlan):
+            faults = FaultInjector(faults)
+        self.faults = faults
+        self._faulted = faults is not None
+        if faults is not None:
+            faults.install(self)
 
     # -- public API -----------------------------------------------------------------
 
@@ -192,6 +203,10 @@ class Engine:
         self, pe: ProcessingElement, color_id: int, at: float
     ) -> None:
         self._push(at, _Event("activate", pe, color_id))
+
+    def schedule_fault(self, fault, at: float) -> None:
+        """Arm a timed fault (PE halt, SRAM bit flip) at cycle ``at``."""
+        self._push(at, _Event("fault", payload={"fault": fault}))
 
     def note_scratch(self, pe: ProcessingElement, name: str) -> None:
         """Mark ``name`` as a transmit scratch buffer to free on send."""
@@ -279,7 +294,7 @@ class Engine:
                 pending = self._pending_summary()
                 if pending:
                     message += f"; pending: {pending}"
-                raise DeadlockError(message)
+                raise DeadlockError(message, report=self._diagnose("livelock"))
             time, _, event = heapq.heappop(self._queue)
             self._now = max(self._now, time)
             self._events_processed += 1
@@ -290,8 +305,23 @@ class Engine:
             desc = self._pending_summary()
             if desc:
                 raise DeadlockError(
-                    f"simulation quiesced with unmatched pending receives: {desc}"
+                    f"simulation quiesced with unmatched pending receives: "
+                    f"{desc}",
+                    report=self._diagnose("deadlock"),
                 )
+            if self.faults is not None:
+                leftovers = self.faults.quiesce_stuck(self)
+                if leftovers:
+                    locs = "; ".join(
+                        f"PE({s.row},{s.col}) color {s.color_id}: "
+                        f"{s.extent} undelivered"
+                        for s in leftovers
+                    )
+                    raise DeadlockError(
+                        f"simulation quiesced with undelivered data at "
+                        f"injection-halted PEs: {locs}",
+                        report=self._diagnose("deadlock"),
+                    )
         trace = TraceRecorder()
         tasks_run = 0
         for pe in self.fabric:
@@ -307,6 +337,12 @@ class Engine:
         )
 
     # -- internals --------------------------------------------------------------------
+
+    def _diagnose(self, reason: str):
+        """Build the structured :class:`FaultReport` for a detected stall."""
+        if self.faults is not None:
+            return self.faults.build_report(self, reason)
+        return build_fault_report(self, reason)
 
     def _pending_summary(self) -> str:
         """Describe every stuck pending receive/relay for deadlock reports.
@@ -339,7 +375,13 @@ class Engine:
 
     def _dispatch(self, time: float, event: _Event) -> None:
         if event.kind == "deliver":
-            event.pe.deliver(event.color_id, event.data)
+            copies = 1
+            if self._faulted:
+                copies = self.faults.on_deliver(event.pe, event.color_id)
+                if copies == 0:
+                    return  # injected wavelet drop: the data never arrives
+            for _ in range(copies):
+                event.pe.deliver(event.color_id, event.data)
             # Data with no posted receive/relay just waits in the inbox; the
             # matching submit_transfer will probe when it arrives.
             key = (event.pe.row, event.pe.col, event.color_id)
@@ -356,6 +398,8 @@ class Engine:
             self._schedule_task(event.pe, max(time, event.pe.busy_until))
         elif event.kind == "task":
             self._run_task(event.pe, time)
+        elif event.kind == "fault":
+            self.faults.apply_timed(self, event.payload["fault"], time)
         else:  # pragma: no cover - defensive
             raise TaskError(f"unknown event kind {event.kind!r}")
 
@@ -426,6 +470,18 @@ class Engine:
         inject_cycles = wavelet_count(data) * HOP_CYCLES
         if charge_relay:
             pe.relay_cycles += inject_cycles
+        if route.dropped:
+            # Dead link (injected fault): the wavelets are injected and then
+            # vanish mid-route. The sender can't tell — its completion color
+            # still fires — which is exactly the silent-loss failure mode.
+            if self.faults is not None:
+                self.faults.on_link_drop(*route.destination, color.id)
+            if on_complete is not None:
+                self._push(
+                    now + inject_cycles,
+                    _Event("activate", pe, on_complete.id),
+                )
+            return
         arrive = now + inject_cycles + route.hops * HOP_CYCLES
         dest = self.fabric.pe(*route.destination)
         self._push(arrive, _Event("deliver", dest, color.id, data))

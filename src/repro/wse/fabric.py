@@ -35,6 +35,10 @@ class ResolvedRoute:
     source: tuple[int, int]
     destination: tuple[int, int]
     hops: int  # number of PE-to-PE links traversed
+    #: True when the walk hit a broken link (injected LinkDown fault):
+    #: ``destination`` is then the PE where the wavelet vanishes, and the
+    #: engine drops the payload instead of delivering it.
+    dropped: bool = False
 
 
 class Fabric:
@@ -69,6 +73,11 @@ class Fabric:
         #: the same fabric.
         self.route_cache_hits = 0
         self.route_cache_misses = 0
+        #: Dead links installed by fault injection: a wavelet *arriving at*
+        #: PE (row, col) from the stored direction is lost. Walks crossing a
+        #: broken link return ``dropped=True`` and are never memoized, so
+        #: diagnostics stay exact.
+        self.broken_links: set[tuple[int, int, Direction]] = set()
         self._pes: list[list[ProcessingElement]] = [
             [ProcessingElement(row=r, col=c) for c in range(cols)]
             for r in range(rows)
@@ -107,6 +116,20 @@ class Fabric:
         return None
 
     # -- routing -------------------------------------------------------------------
+
+    def break_link(self, row: int, col: int, direction: Direction) -> None:
+        """Mark the link delivering into PE (row, col) from ``direction`` dead.
+
+        ``direction`` is the side the wavelet *arrives from* (the
+        ``entering`` direction of the walk). Installing a break clears the
+        route memo: previously cached walks may cross the now-dead link.
+        """
+        self.pe(row, col)  # validate coordinates
+        if direction is Direction.RAMP:
+            raise RoutingError("cannot break the internal RAMP link")
+        self.broken_links.add((row, col, direction))
+        if self._route_cache:
+            self._route_cache.clear()
 
     @property
     def route_cache_size(self) -> int:
@@ -181,6 +204,13 @@ class Fabric:
         path: list[tuple[int, int, Direction]] = []
         while True:
             key = (r, c, arriving)
+            if self.broken_links and key in self.broken_links:
+                # Broken link: the wavelet dies here. Not memoized — fault
+                # runs are rare and diagnostics should always re-walk.
+                return ResolvedRoute(
+                    source=(row, col), destination=(r, c), hops=hops,
+                    dropped=True,
+                )
             if key in seen:
                 raise RoutingError(
                     f"color {color.id} route loops at PE({r}, {c})"

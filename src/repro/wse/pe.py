@@ -122,6 +122,23 @@ class ProcessingElement:
     def has_work(self) -> bool:
         return bool(self.pending) and not self.halted
 
+    def flip_bit(self, name: str, bit: int) -> bool:
+        """Flip one bit of buffer ``name``'s SRAM backing (fault injection).
+
+        Returns False (a no-op) when the buffer does not exist at this
+        cycle or ``bit`` is past its end — SEUs don't care whether the
+        program has allocated the word they hit.
+        """
+        arr = self.buffers.get(name)
+        if arr is None or bit < 0:
+            return False
+        raw = arr.view(np.uint8).reshape(-1)
+        byte = bit // 8
+        if byte >= raw.size:
+            return False
+        raw[byte] ^= np.uint8(1 << (bit % 8))
+        return True
+
 
 class TaskContext:
     """The API surface a running task sees (the CSL builtins analogue).

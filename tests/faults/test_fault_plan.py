@@ -1,0 +1,98 @@
+"""Fault plans: seeded determinism, row partitioning, and the CLI grammar."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults.plan import (
+    FaultPlan,
+    LinkDown,
+    PEHalt,
+    SramBitFlip,
+    WaveletDrop,
+    WaveletDup,
+    parse_fault_spec,
+)
+
+
+class TestRandomPlans:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.random(42, 4, 6, n_halts=2, n_drops=3, n_flips=1)
+        b = FaultPlan.random(42, 4, 6, n_halts=2, n_drops=3, n_flips=1)
+        assert a == b
+
+    def test_different_seed_different_plan(self):
+        a = FaultPlan.random(1, 8, 8, n_halts=3, n_drops=3)
+        b = FaultPlan.random(2, 8, 8, n_halts=3, n_drops=3)
+        assert a != b
+
+    def test_faults_land_inside_mesh(self):
+        plan = FaultPlan.random(9, 3, 5, n_halts=5, n_drops=5, n_flips=5)
+        for f in plan.faults:
+            assert 0 <= f.row < 3
+            assert 0 <= f.col < 5
+
+
+class TestRowPartitioning:
+    def test_for_rows_filters_without_renumbering(self):
+        plan = FaultPlan(
+            seed=7,
+            faults=(
+                PEHalt(row=0, col=1, at_cycle=10),
+                PEHalt(row=2, col=0, at_cycle=20),
+                WaveletDrop(row=2, col=3, color_id=4, nth=1),
+            ),
+        )
+        sub = plan.for_rows([2])
+        assert sub.seed == 7
+        assert all(f.row == 2 for f in sub.faults)
+        assert len(sub.faults) == 2
+
+    def test_partition_union_covers_plan(self):
+        plan = FaultPlan.random(13, 6, 4, n_halts=4, n_drops=4, n_flips=2)
+        parts = [plan.for_rows([r, r + 1]) for r in (0, 2, 4)]
+        merged = set()
+        for p in parts:
+            assert merged.isdisjoint(p.faults)
+            merged |= set(p.faults)
+        assert merged == set(plan.faults)
+
+
+class TestSpecGrammar:
+    def test_full_grammar(self):
+        plan = parse_fault_spec(
+            "seed:9; halt:1,2@400; drop:0,3,5#2; dup:2,2,1#1; "
+            "flip:1,1,raw,17@250; link:0,0,W"
+        )
+        assert plan.seed == 9
+        kinds = [f.kind for f in plan.faults]
+        assert kinds == ["halt", "drop", "dup", "flip", "link"]
+        halt = plan.faults[0]
+        assert isinstance(halt, PEHalt)
+        assert (halt.row, halt.col, halt.at_cycle) == (1, 2, 400)
+        drop = plan.faults[1]
+        assert isinstance(drop, WaveletDrop)
+        assert (drop.color_id, drop.nth) == (5, 2)
+        assert isinstance(plan.faults[2], WaveletDup)
+        flip = plan.faults[3]
+        assert isinstance(flip, SramBitFlip)
+        assert (flip.buffer, flip.bit, flip.at_cycle) == ("raw", 17, 250)
+        link = plan.faults[4]
+        assert isinstance(link, LinkDown)
+        assert link.direction == "W"
+
+    def test_drop_nth_defaults_to_one(self):
+        plan = parse_fault_spec("drop:0,0,3")
+        assert plan.faults[0].nth == 1
+
+    def test_bad_segment_raises_structured(self):
+        with pytest.raises(ReproError, match="bad fault spec"):
+            parse_fault_spec("halt:1@10")  # missing column
+        with pytest.raises(ReproError, match="bad fault spec"):
+            parse_fault_spec("explode:1,1")
+
+    def test_describe_names_every_fault(self):
+        plan = parse_fault_spec("seed:3;halt:1,2@400;link:0,0,N")
+        text = plan.describe()
+        assert "seed=3" in text
+        assert "halt PE(1,2) at cycle 400" in text
+        assert "link into PE(0,0)" in text

@@ -1,0 +1,131 @@
+"""Deterministic fault injection into the simulated wafer.
+
+The contract under test: a seeded :class:`FaultPlan` produces the same
+injections, the same :class:`FaultReport`, and the same ``faults.*``
+metrics whether the mesh simulates serially or row-partitioned across
+worker processes — and a fault the mapping absorbs leaves the compressed
+stream bit-identical to a fault-free run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.wse_compressor import WSECereSZ
+from repro.errors import DeadlockError, ReproError
+from repro.faults import FaultPlan, FaultReport, PEHalt, SramBitFlip
+from repro.faults.plan import parse_fault_spec
+
+EPS = 0.01
+
+
+def _field(n: int = 512, seed: int = 5) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=n).cumsum().astype(np.float32)
+
+
+HALT_PLAN = parse_fault_spec("seed:7;halt:1,0@50")
+
+
+def _compress_with(plan, *, jobs: int = 1, metrics: bool = False):
+    codec = WSECereSZ(
+        4, 4, strategy="rows", jobs=jobs, faults=plan,
+        collect_metrics=metrics,
+    )
+    return codec, codec.compress(_field(), eps=EPS)
+
+
+class TestHaltStalls:
+    def test_halt_raises_structured_deadlock(self):
+        codec = WSECereSZ(4, 4, strategy="rows", faults=HALT_PLAN)
+        with pytest.raises(DeadlockError) as exc_info:
+            codec.compress(_field(), eps=EPS)
+        report = exc_info.value.report
+        assert isinstance(report, FaultReport)
+        assert report.reason == "deadlock"
+        assert (1, 0) in report.halted_pes
+        assert any(f.kind == "halt" for f in report.injected)
+        assert report.seed == 7
+        assert report.last_progress_cycle >= 50
+        # The report names at least one wedged transfer on the halted row.
+        assert any(s.row == 1 for s in report.stuck)
+
+    def test_report_survives_json_round_trip(self):
+        codec = WSECereSZ(4, 4, strategy="rows", faults=HALT_PLAN)
+        with pytest.raises(DeadlockError) as exc_info:
+            codec.compress(_field(), eps=EPS)
+        import json
+
+        payload = json.loads(exc_info.value.report.to_json())
+        assert payload["reason"] == "deadlock"
+        assert payload["seed"] == 7
+        assert [1, 0] in payload["halted_pes"]
+
+
+class TestPartitionInvariance:
+    def _stall_report(self, jobs: int) -> FaultReport:
+        codec = WSECereSZ(
+            4, 4, strategy="rows", jobs=jobs, faults=HALT_PLAN,
+            collect_metrics=True,
+        )
+        with pytest.raises(DeadlockError) as exc_info:
+            codec.compress(_field(), eps=EPS)
+        return exc_info.value.report, codec.last_metrics
+
+    def test_report_identical_serial_vs_partitioned(self):
+        serial, serial_metrics = self._stall_report(jobs=1)
+        parallel, parallel_metrics = self._stall_report(jobs=4)
+        assert serial == parallel  # frozen dataclass: full field equality
+
+    def test_fault_metrics_identical_serial_vs_partitioned(self):
+        _, serial_metrics = self._stall_report(jobs=1)
+        _, parallel_metrics = self._stall_report(jobs=4)
+        for name in ("faults.injected", "faults.detected"):
+            a = serial_metrics.get(name)
+            b = parallel_metrics.get(name)
+            assert a is not None and b is not None, name
+            assert a.total() == b.total(), name
+            assert a.total() >= 1
+
+    def test_partitioned_message_names_the_shard(self):
+        codec = WSECereSZ(4, 4, strategy="rows", jobs=4, faults=HALT_PLAN)
+        with pytest.raises(DeadlockError, match=r"\[shard \d+, rows"):
+            codec.compress(_field(), eps=EPS)
+
+
+class TestAbsorbedFaults:
+    def test_noop_flip_leaves_stream_bit_identical(self):
+        """A bit flip aimed at a buffer the mapping never allocates is
+        logged but absorbed: the run completes and the stream matches a
+        fault-free run byte for byte."""
+        plan = FaultPlan(
+            seed=3,
+            faults=(
+                SramBitFlip(
+                    row=0, col=0, buffer="no_such_buffer", bit=5, at_cycle=40
+                ),
+            ),
+        )
+        _, faulted = _compress_with(plan, metrics=True)
+        _, clean = _compress_with(None)
+        assert faulted.result.stream == clean.result.stream
+
+    def test_absorbed_fault_still_counted(self):
+        plan = FaultPlan(
+            seed=3,
+            faults=(
+                SramBitFlip(
+                    row=0, col=0, buffer="no_such_buffer", bit=5, at_cycle=40
+                ),
+            ),
+        )
+        codec, _ = _compress_with(plan, metrics=True)
+        injected = codec.last_metrics.get("faults.injected")
+        assert injected is not None and injected.total() == 1
+
+
+class TestValidation:
+    def test_fault_outside_mesh_rejected(self):
+        plan = FaultPlan(seed=0, faults=(PEHalt(row=99, col=0, at_cycle=10),))
+        codec = WSECereSZ(4, 4, strategy="rows", faults=plan)
+        with pytest.raises(ReproError, match="outside"):
+            codec.compress(_field(), eps=EPS)

@@ -1,0 +1,122 @@
+"""Bound-violation *location*: not just whether the bound broke, but where.
+
+:func:`locate_bound_violations` backs two consumers: the salvage path
+(auditing the intact region through ``mask=``) and post-hoc analysis of a
+reconstruction that failed :func:`check_error_bound`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import CereSZ
+from repro.core.decompressor import salvage_decompress
+from repro.errors import ReproError
+from repro.metrics.errorbound import (
+    BoundViolation,
+    check_error_bound,
+    locate_bound_violations,
+)
+
+
+class TestLocate:
+    def test_compliant_reconstruction(self):
+        a = np.linspace(0, 1, 100)
+        v = locate_bound_violations(a, a + 0.004, eps=0.005)
+        assert v.ok
+        assert v.count == 0
+        assert v.first_index == -1
+        assert v.checked == 100
+        assert "holds" in str(v)
+
+    def test_violation_located_and_quantified(self):
+        a = np.zeros(50)
+        b = a.copy()
+        b[7] = 0.02
+        b[31] = -0.09
+        v = locate_bound_violations(a, b, eps=0.01)
+        assert not v.ok
+        assert v.count == 2
+        assert v.first_index == 7
+        assert v.max_error == pytest.approx(0.09)
+        assert "first flat index 7" in str(v)
+
+    def test_multidimensional_inputs_use_flat_indices(self):
+        a = np.zeros((4, 5))
+        b = a.copy()
+        b[2, 3] = 1.0
+        v = locate_bound_violations(a, b, eps=0.1)
+        assert v.first_index == 13
+
+    def test_mask_excludes_lost_elements(self):
+        a = np.zeros(10)
+        b = a.copy()
+        b[4] = 5.0  # a "lost" element, zero-filled wrong on purpose
+        mask = np.ones(10, dtype=bool)
+        mask[4] = False
+        v = locate_bound_violations(a, b, eps=0.1, mask=mask)
+        assert v.ok
+        assert v.checked == 9
+
+    def test_mask_shape_mismatch_raises(self):
+        with pytest.raises(ReproError, match="mask"):
+            locate_bound_violations(
+                np.zeros(4), np.zeros(4), 0.1, mask=np.ones(3, dtype=bool)
+            )
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ReproError, match="shape"):
+            locate_bound_violations(np.zeros(4), np.zeros(5), 0.1)
+
+    def test_negative_eps_raises(self):
+        with pytest.raises(ReproError, match="negative"):
+            locate_bound_violations(np.zeros(4), np.zeros(4), -0.1)
+
+    def test_agrees_with_check_error_bound(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=500)
+        b = a + rng.uniform(-0.01, 0.01, size=500)
+        eps = 0.008
+        v = locate_bound_violations(a, b, eps)
+        assert v.ok == check_error_bound(a, b, eps)
+        assert v.count == int(np.count_nonzero(np.abs(a - b) > eps))
+
+
+class TestSalvageIntegration:
+    def test_salvage_report_reuses_locator(self):
+        """The SalvageReport's ``bound`` field is a BoundViolation audited
+        over the intact mask — the satellite's 'reused from salvage'."""
+        codec = CereSZ()
+        rng = np.random.default_rng(8)
+        data = rng.normal(size=8000).cumsum().astype(np.float32)
+        res = codec.compress(data, eps=1e-3, checksum=True, crc_group=4)
+        buf = bytearray(res.stream)
+        buf[-10] ^= 0x01  # corrupt one record near the end
+        _, report = salvage_decompress(bytes(buf), original=data)
+        assert isinstance(report.bound, BoundViolation)
+        assert report.bound.ok
+        # The audit eps is the stream's real promise: eps_eff plus the
+        # float32-cast margin effective_error_bound subtracted.
+        assert report.bound.eps >= report.eps
+        assert report.bound.eps == pytest.approx(report.eps, rel=1e-2)
+        assert report.bound.checked == data.size - report.elements_lost
+
+    def test_audit_tolerates_float32_cast_rounding(self):
+        """Regression: this field produces one value sitting half a float32
+        ulp past the header's eps_eff (while honoring the requested REL
+        bound). The audit must test the requested promise, not bare
+        eps_eff, or healthy data reads as a bound violation."""
+        codec = CereSZ()
+        data = np.cumsum(
+            np.random.default_rng(1).normal(size=20_000)
+        ).astype(np.float32)
+        res = codec.compress(data, rel=1e-3, checksum=True)
+        out = codec.decompress(res.stream)
+        from repro.core.format import StreamHeader
+
+        header, _ = StreamHeader.unpack(res.stream)
+        raw = locate_bound_violations(data, out, header.eps)
+        assert raw.count == 1  # the half-ulp overshoot this test pins
+        buf = bytearray(res.stream)
+        buf[len(buf) // 2] ^= 0x01
+        _, report = salvage_decompress(bytes(buf), original=data)
+        assert report.bound is not None and report.bound.ok
