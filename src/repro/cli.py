@@ -3,10 +3,10 @@
 Subcommands::
 
     ceresz compress   IN.f32 OUT.csz  --rel 1e-3 | --eps 0.01 | --psnr 80
-                      [--jobs N] [--no-index] [--checksum]
+                      [--jobs N] [--no-index] [--checksum] [--no-fast]
                       [--trace T.json] [--metrics]
     ceresz decompress IN.csz  OUT.f32 [--jobs N] [--salvage [--fill F]]
-                      [--trace T.json] [--metrics]
+                      [--no-fast] [--trace T.json] [--metrics]
     ceresz verify     IN.csz [--json OUT.json]     # checksum walk, no decode
     ceresz extract    IN.csz OUT.f32 --start A --stop B   # random access
     ceresz info       IN.csz                       # stream header dump
@@ -89,6 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a v3 stream with CRC32C integrity metadata "
         "(ceresz verify / --salvage need this)",
     )
+    p.add_argument(
+        "--no-fast", dest="fast", action="store_false",
+        help="use the reference multi-stage kernels instead of the fused "
+        "fast path (identical bytes, mainly for debugging/benchmarks)",
+    )
     _add_obs_flags(p)
 
     p = sub.add_parser("decompress", help="decompress a .csz stream")
@@ -106,6 +111,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--fill", choices=("zero", "previous"), default="zero",
         help="fill for salvaged-away blocks (default: zero)",
+    )
+    p.add_argument(
+        "--no-fast", dest="fast", action="store_false",
+        help="use the reference multi-stage decode instead of the fused "
+        "fast path (identical output, mainly for debugging/benchmarks)",
     )
     _add_obs_flags(p)
 
@@ -319,7 +329,7 @@ def _cmd_compress(args) -> int:
     tr = tracer or NULL_TRACER
     with tr.span("load", path=args.input):
         data = load_f32(args.input, args.shape)
-    codec = CereSZ()
+    codec = CereSZ(fast=args.fast)
     with tr.span("compress", jobs=args.jobs or 1):
         result = codec.compress(
             data,
@@ -351,7 +361,7 @@ def _cmd_decompress(args) -> int:
     with tr.span("load", path=args.input):
         with open(args.input, "rb") as fh:
             stream = fh.read()
-    codec = CereSZ()
+    codec = CereSZ(fast=args.fast)
     if args.salvage:
         from repro.core.decompressor import salvage_decompress
 

@@ -67,19 +67,15 @@ def assemble_stream(
     return header.pack() + body
 
 
-def decode_stream_blocks(
+def stream_block_layout(
     stream: bytes, header: StreamHeader, offset: int
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Decode the block records of a parsed stream into residual blocks.
+    """Discover the record layout of a parsed stream: (offsets, fls).
 
     Indexed (v2) streams read the fl table and compute every record offset
     with one vectorized cumsum; v1 streams fall back to the sequential
     header walk. Both paths bound-check against the *post-header* stream
     length, so a corrupt header cannot trigger a huge allocation.
-
-    Returns ``(residuals, fls)`` — the per-block fixed lengths come out of
-    the layout discovery for free either way, and let the caller skip
-    reconstruction work for zero blocks.
 
     Checksummed (v3) streams are verified before any record is trusted:
     every corrupt CRC group raises :class:`repro.errors.ContainerError`
@@ -152,6 +148,20 @@ def decode_stream_blocks(
             header.header_width,
             start=offset,
         )
+    return offsets, fls
+
+
+def decode_stream_blocks(
+    stream: bytes, header: StreamHeader, offset: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Decode the block records of a parsed stream into residual blocks.
+
+    Layout discovery (and v3 checksum verification) happens in
+    :func:`stream_block_layout`. Returns ``(residuals, fls)`` — the
+    per-block fixed lengths come out of the layout for free and let the
+    caller skip reconstruction work for zero blocks.
+    """
+    offsets, fls = stream_block_layout(stream, header, offset)
     residuals = decode_blocks(
         stream,
         header.num_blocks,
@@ -211,6 +221,14 @@ class CereSZ:
     header_width:
         Per-block header bytes: 4 (CereSZ, wafer 32-bit message constraint)
         or 1 (the SZp container layout, used by the baseline subclasses).
+    fast:
+        Use the fused single-pass kernels (:mod:`repro.core.fastpath`) for
+        compression and 1D decompression. On by default; the reference
+        multi-stage path remains available (``fast=False``, or per call)
+        as the bit-exactness oracle, and still runs for ND-predictor
+        streams and constant fields where the fused kernels do not apply.
+        Both paths produce byte-identical streams and bit-identical
+        decodes.
     """
 
     name = "CereSZ"
@@ -221,11 +239,29 @@ class CereSZ:
         self,
         block_size: int = BLOCK_SIZE,
         header_width: int = CERESZ_HEADER_BYTES,
+        *,
+        fast: bool = True,
     ):
         self.block_size = validate_block_size(block_size)
         if header_width not in (CERESZ_HEADER_BYTES, SZP_HEADER_BYTES):
             raise FormatError(f"unsupported header width {header_width}")
         self.header_width = header_width
+        self.fast = bool(fast)
+
+    def _with_fast(self, fast: bool | None) -> "CereSZ":
+        """This codec, with ``fast`` resolved — shared by the shard paths.
+
+        Shard workers call back into ``codec.compress``/``decompress``
+        with no per-call override, so a per-call ``fast=`` must travel as
+        codec state; a shallow copy keeps the caller's codec untouched.
+        """
+        if fast is None or bool(fast) == self.fast:
+            return self
+        import copy
+
+        clone = copy.copy(self)
+        clone.fast = bool(fast)
+        return clone
 
     # -- compression ---------------------------------------------------------------
 
@@ -273,6 +309,7 @@ class CereSZ:
         metrics=None,
         checksum: bool = False,
         crc_group: int | None = None,
+        fast: bool | None = None,
     ) -> CompressionResult:
         """Compress under an absolute bound, a REL bound, or a PSNR target.
 
@@ -293,6 +330,10 @@ class CereSZ:
         ``crc_group`` blocks, and salvage decode recovers everything else.
         Constant fields ignore the flag (a 30-byte exact header has
         nothing worth checksumming).
+
+        ``fast=`` overrides the codec's fused-kernel default for this call
+        (``fast=False`` forces the reference multi-stage path); the output
+        bytes are identical either way.
         """
         if jobs is not None:
             from repro.core.parallel import compress_sharded
@@ -302,7 +343,7 @@ class CereSZ:
                 eps=eps,
                 rel=rel,
                 psnr=psnr,
-                codec=self,
+                codec=self._with_fast(fast),
                 jobs=jobs,
                 index=True if index is None else index,
                 metrics=metrics,
@@ -322,10 +363,22 @@ class CereSZ:
         if bound is None:
             return self._compress_constant(arr)
 
-        codes, eps_eff, n = self._quantize_blocks(arr, bound, out_dtype)
-        residuals = lorenzo_predict(codes)
-        fl = block_fixed_lengths(residuals)
-        body = encode_blocks(residuals, self.header_width)
+        use_fast = self.fast if fast is None else bool(fast)
+        if use_fast:
+            from repro.core.fastpath import fused_compress_blocks
+
+            fl, body, eps_eff, n = fused_compress_blocks(
+                arr,
+                bound,
+                block_size=self.block_size,
+                header_bytes=self.header_width,
+                out_dtype=out_dtype,
+            )
+        else:
+            codes, eps_eff, n = self._quantize_blocks(arr, bound, out_dtype)
+            residuals = lorenzo_predict(codes)
+            fl = block_fixed_lengths(residuals)
+            body = encode_blocks(residuals, self.header_width)
         # The header carries the *effective* bound the codes were quantized
         # against (slightly inside the requested one, see
         # :func:`repro.core.quantize.effective_error_bound`) — it is what
@@ -385,7 +438,12 @@ class CereSZ:
     # -- decompression --------------------------------------------------------------
 
     def decompress(
-        self, stream: bytes, *, jobs: int | None = None, metrics=None
+        self,
+        stream: bytes,
+        *,
+        jobs: int | None = None,
+        metrics=None,
+        fast: bool | None = None,
     ) -> np.ndarray:
         """Reconstruct the float32 field (original shape restored).
 
@@ -393,13 +451,16 @@ class CereSZ:
         instance also decodes :class:`repro.core.nd_variant.CereSZND`
         streams. Shard containers (written with ``compress(jobs=...)``)
         are recognized by magic and decoded shard-parallel; ``jobs=``
-        sizes that pool.
+        sizes that pool. ``fast=`` overrides the codec's fused-kernel
+        default for this call; 1D-predictor streams decode through the
+        fused kernel when on, ND streams always take the reference path.
         """
         from repro.core.parallel import decompress_sharded, is_sharded
 
         if is_sharded(stream):
             return decompress_sharded(
-                stream, codec=self, jobs=jobs, metrics=metrics
+                stream, codec=self._with_fast(fast), jobs=jobs,
+                metrics=metrics,
             )
         header, offset = StreamHeader.unpack(stream)
         out_dtype = np.float64 if header.dtype == "f8" else np.float32
@@ -412,6 +473,15 @@ class CereSZ:
                     f"does not fit in memory"
                 ) from exc
         n = header.num_elements
+        use_fast = self.fast if fast is None else bool(fast)
+        if use_fast and header.predictor != "nd":
+            from repro.core.fastpath import fused_decompress_blocks
+
+            offsets, fls = stream_block_layout(stream, header, offset)
+            values = fused_decompress_blocks(
+                stream, header, offsets, fls, out_dtype=out_dtype
+            )
+            return values.reshape(header.shape)
         residuals, fls = decode_stream_blocks(stream, header, offset)
         if header.predictor == "nd":
             from repro.core.lorenzo import lorenzo_reconstruct_nd

@@ -175,7 +175,12 @@ def salvage_decompress(
 
     Returns ``(reconstruction, SalvageReport)``. Intact blocks come back
     bit-exact; blocks in corrupt CRC groups are filled (``fill="zero"`` or
-    ``"previous"``, which extends the last intact value forward). Only a
+    ``"previous"``, which extends the last intact value forward). A corrupt
+    *leading* region has no intact predecessor to extend, so under
+    ``fill="previous"`` it falls back to zero fill — per shard, since CSZX
+    shards are independent streams with no cross-shard carry. The fill each
+    contiguous lost region actually received is recorded in
+    :attr:`SalvageReport.fill_regions`. Only a
     stream whose outermost header or shard table is destroyed still raises
     (:class:`FormatError` / :class:`ContainerError`): with no trustworthy
     geometry there is nothing to salvage *into*.
@@ -270,6 +275,7 @@ def _salvage_plain(
         residuals[intact] = decoded
 
     values = np.zeros(nb * L, dtype=out_dtype)
+    fill_regions: list[tuple[int, int, str]] = []
     if header.predictor == "nd":
         from repro.core.lorenzo import lorenzo_reconstruct_nd
 
@@ -283,19 +289,43 @@ def _salvage_plain(
                 "nd predictor: reconstruction may drift after the first "
                 "lost block (global prefix dependency)"
             )
+            # Lost nd blocks reconstruct from zero residuals; there is no
+            # meaningful "previous" carry under a global-prefix predictor.
+            fill_regions = [
+                (a, b, "zero") for a, b in _lost_runs(np.nonzero(~valid)[0])
+            ]
+            if fill == "previous":
+                notes.append(
+                    "nd predictor: 'previous' fill not applicable, lost "
+                    "regions reconstructed from zero residuals"
+                )
     else:
         if intact.size:
             codes = np.cumsum(residuals[intact], axis=1, dtype=np.int64)
             values.reshape(-1, L)[intact] = dequantize(
                 codes, header.eps, dtype=out_dtype
             )
-        if fill == "previous" and intact.size and intact.size < nb:
-            lost = np.nonzero(~valid)[0]
-            prev = np.searchsorted(intact, lost) - 1
-            blocks = values.reshape(-1, L)
-            for b, p in zip(lost.tolist(), prev.tolist()):
+        lost = np.nonzero(~valid)[0]
+        blocks = values.reshape(-1, L)
+        for start, stop in _lost_runs(lost):
+            effective = "zero"
+            if fill == "previous":
+                # The nearest intact predecessor is shared by the whole
+                # contiguous run (no intact block sits inside it).
+                p = int(np.searchsorted(intact, start)) - 1
                 if p >= 0:
-                    blocks[b] = blocks[intact[p], -1]
+                    blocks[start:stop] = blocks[intact[p], -1]
+                    effective = "previous"
+                else:
+                    # Defined fallback: a corrupt *leading* run has no
+                    # intact predecessor to carry forward, so it is
+                    # explicitly zero-filled (the buffer is already
+                    # zeroed) rather than left to incidental behavior.
+                    notes.append(
+                        f"leading corrupt region [0, {stop}): no intact "
+                        f"predecessor, zero-filled"
+                    )
+            fill_regions.append((start, stop, effective))
 
     values = values[:n]
     elem_mask = np.zeros(nb * L, dtype=bool)
@@ -309,10 +339,21 @@ def _salvage_plain(
         elements_lost=int(n - np.count_nonzero(elem_mask)),
         lost_block_indices=tuple(lost_blocks.tolist()),
         fill=fill,
+        fill_regions=tuple(fill_regions),
         eps=header.eps,
         notes=tuple(notes),
     )
     return values.reshape(header.shape), elem_mask, report
+
+
+def _lost_runs(lost: np.ndarray) -> list[tuple[int, int]]:
+    """Contiguous runs of lost block indices as half-open ``(start, stop)``."""
+    if lost.size == 0:
+        return []
+    breaks = np.nonzero(np.diff(lost) > 1)[0]
+    starts = lost[np.concatenate(([0], breaks + 1))]
+    stops = lost[np.concatenate((breaks, [lost.size - 1]))] + 1
+    return [(int(a), int(b)) for a, b in zip(starts, stops)]
 
 
 def _checksummed_salvage_layout(
@@ -447,6 +488,7 @@ def _salvage_sharded(
     intact = np.zeros(n, dtype=bool)
     shards_lost: list[int] = []
     lost_blocks: list[int] = []
+    fill_regions: list[tuple[int, int, str]] = []
     blocks_lost = 0
     total_blocks = 0
     elements_lost = 0
@@ -483,6 +525,14 @@ def _salvage_sharded(
                 lost_blocks.extend(
                     block_base + b for b in sub.lost_block_indices
                 )
+                # Shards are independent streams: a corrupt leading group
+                # of *any* shard has no intact predecessor within its own
+                # stream and zero-fills, which the sub-report's effective
+                # fill already records — only the block numbering shifts.
+                fill_regions.extend(
+                    (block_base + a, block_base + b, eff)
+                    for a, b, eff in sub.fill_regions
+                )
                 if sub.blocks_lost:
                     notes.append(
                         f"shard {i}: lost {sub.blocks_lost}/"
@@ -495,6 +545,9 @@ def _salvage_sharded(
                 lost_blocks.extend(
                     range(block_base, block_base + shard_blocks)
                 )
+                fill_regions.append(
+                    (block_base, block_base + shard_blocks, "zero")
+                )
                 notes.append(f"shard {i} unrecoverable: {exc}")
         block_base += shard_blocks
         lo_elem = hi_elem
@@ -506,6 +559,7 @@ def _salvage_sharded(
         lost_block_indices=tuple(lost_blocks),
         shards_lost=tuple(shards_lost),
         fill=fill,
+        fill_regions=tuple(fill_regions),
         eps=table.eps,
         notes=tuple(notes),
     )

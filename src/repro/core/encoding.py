@@ -48,22 +48,42 @@ from repro.errors import CompressionError, FormatError
 #: the quantizer's MAX_QUANT_BITS guard keeps us far away from this anyway.
 _MAX_FL = 63
 
+#: Power-of-two table driving the exact bit-length computation: for a
+#: uint64 magnitude m >= 1, the number of table entries <= m is exactly
+#: ``m.bit_length()`` (and 0 for m == 0, since no power is <= 0).
+_POW2 = np.uint64(1) << np.arange(64, dtype=np.uint64)
+
+
+def exact_bit_lengths(mags: np.ndarray) -> np.ndarray:
+    """Exact integer bit length of each uint64 magnitude, vectorized.
+
+    ``floor(log2(float64(m))) + 1`` is wrong at the float64 rounding edge:
+    ``log2(2**k - 1)`` rounds up to exactly ``k`` once ``k >= 49`` (and all
+    integers at or above ``2**53`` lose bits in the cast), misreporting the
+    fixed length by one. A binary search against the power-of-two table is
+    exact over the full uint64 range and still one vectorized call.
+    """
+    mags = np.asarray(mags, dtype=np.uint64)
+    return np.searchsorted(_POW2, mags, side="right").astype(np.int64)
+
 
 def block_fixed_lengths(residuals: np.ndarray) -> np.ndarray:
     """The per-block fixed length: effective bits of the max |residual|.
 
     Returns an int64 array of shape ``(num_blocks,)``; zero blocks get 0.
+    Exact for every int64 residual: magnitudes are compared as uint64 (so
+    even ``|int64 min| = 2**63`` reports 64 bits and is rejected downstream
+    rather than silently encoding as a zero block).
     """
     arr = _as_blocks(residuals)
-    mags = np.abs(arr)
-    maxima = mags.max(axis=1) if arr.size else np.zeros(0, dtype=np.int64)
-    fl = np.zeros(arr.shape[0], dtype=np.int64)
-    nz = maxima > 0
-    if np.any(nz):
-        # float64 log2 is exact for integers below 2**53 (guaranteed by the
-        # quantizer's overflow guard), so floor(log2(m)) + 1 == bit_length(m).
-        fl[nz] = np.floor(np.log2(maxima[nz].astype(np.float64))).astype(np.int64) + 1
-    return fl
+    # abs(int64 min) wraps to itself; the uint64 view reads that bit
+    # pattern as the true magnitude 2**63, and every other magnitude
+    # unchanged — no value range is silently misreported.
+    mags = np.abs(arr).view(np.uint64)
+    maxima = (
+        mags.max(axis=1) if arr.size else np.zeros(arr.shape[0], dtype=np.uint64)
+    )
+    return exact_bit_lengths(maxima)
 
 
 def record_sizes(
@@ -137,12 +157,111 @@ def index_record_offsets(
     return ends - sizes
 
 
+def pack_records(
+    mags: np.ndarray,
+    negs: np.ndarray,
+    fl: np.ndarray,
+    header_bytes: int = CERESZ_HEADER_BYTES,
+) -> np.ndarray:
+    """Pack prepared sign/magnitude blocks into fixed-length record bytes.
+
+    The optimized packing core of the fused fast path
+    (``core.fastpath``). It emits records byte-identical to
+    :func:`encode_blocks`, but the two deliberately do *not* share the
+    bit-shuffle implementation: ``encode_blocks`` stays the readable
+    shift-and-mask reference that serves as the independent oracle, while
+    this core routes the shuffle through uint8 byte lanes and
+    ``unpackbits``/``packbits`` (an order of magnitude less memory
+    traffic). The equivalence is enforced by the property suite in
+    ``tests/core/test_fastpath.py``.
+
+    ``mags`` is the ``(num_blocks, L)`` uint64 magnitude array, ``negs``
+    the matching sign mask (bool or uint8), ``fl`` the per-block fixed
+    lengths. Returns the packed uint8 record array (records laid out back
+    to back).
+    """
+    mags = np.ascontiguousarray(mags, dtype=np.uint64)
+    fl = np.asarray(fl, dtype=np.int64)
+    _check_header_bytes(header_bytes)
+    num_blocks, block_size = mags.shape
+    if block_size % 8:
+        raise CompressionError("block size must be a multiple of 8")
+    if header_bytes == SZP_HEADER_BYTES and int(fl.max(initial=0)) > 0xFF:
+        raise FormatError("fixed length does not fit the 1-byte SZp header")
+    if int(fl.max(initial=0)) > _MAX_FL:
+        raise FormatError(f"fixed length exceeds {_MAX_FL} bits")
+    if int(fl.min(initial=0)) < 0:
+        raise FormatError("negative fixed length")
+
+    sizes = record_sizes(fl, block_size, header_bytes)
+    offsets = np.zeros(num_blocks + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    out = np.zeros(int(offsets[-1]), dtype=np.uint8)
+
+    # Headers (vectorized little-endian write).
+    for byte in range(header_bytes):
+        out[offsets[:-1] + byte] = (fl >> (8 * byte)).astype(np.uint8)
+
+    sign_bytes = block_size // 8
+
+    negs = np.ascontiguousarray(negs)
+    # Little-endian byte lanes of each magnitude: lane b of element j is
+    # bits 8b..8b+7 — the raw material of the bit-shuffle.
+    lanes = mags.astype("<u8", copy=False).view(np.uint8).reshape(
+        num_blocks, block_size, 8
+    )
+
+    # ``bincount`` beats ``unique`` here (no sort), and zero blocks — the
+    # majority on well-compressed fields — never touch the sign/payload
+    # machinery at all: their records are header-only.
+    present = np.nonzero(np.bincount(fl, minlength=_MAX_FL + 1))[0]
+    for f in present:
+        f = int(f)
+        if f == 0:
+            continue
+        idx = np.nonzero(fl == f)[0]
+        g = len(idx)
+        # Sign bytes for this group only (element j -> bit j%8 of sign
+        # byte j//8). Packing per group instead of once over every block
+        # skips the zero blocks entirely.
+        signs = np.packbits(
+            np.ascontiguousarray(negs[idx]).reshape(g, sign_bytes, 8),
+            axis=-1,
+            bitorder="little",
+        ).reshape(g, sign_bytes)
+        # Bit-shuffle: byte group k carries bit k of all elements (Fig 8).
+        # Unpack only the lanes that hold the low f bits, transpose so the
+        # bit-plane axis leads, and re-pack along elements — this moves
+        # ~f*L bits per block instead of the 64*f*L a shift-mask over
+        # uint64 magnitudes would stream.
+        nlanes = (f + 7) // 8
+        bits = np.unpackbits(
+            lanes[idx, :, :nlanes], axis=-1, bitorder="little"
+        )  # (g, L, nlanes*8): bit j of element, little-endian
+        planes = np.ascontiguousarray(bits.transpose(0, 2, 1)[:, :f, :])
+        payload = np.packbits(
+            planes.reshape(g, f, sign_bytes, 8), axis=-1, bitorder="little"
+        ).reshape(g, f * sign_bytes)
+
+        body = np.concatenate([signs, payload], axis=1)
+        # Column-wise scatter: the loop is bounded by the record length
+        # (<= 256 iterations at block size 32), not the block count.
+        starts = offsets[idx] + header_bytes
+        for col in range(body.shape[1]):
+            out[starts + col] = body[:, col]
+
+    return out
+
+
 def encode_blocks(
     residuals: np.ndarray, header_bytes: int = CERESZ_HEADER_BYTES
 ) -> bytes:
     """Fixed-length-encode a ``(num_blocks, L)`` residual array.
 
     ``header_bytes`` selects the CereSZ (4) or SZp (1) header width.
+    This is the reference encoder — a direct shift-and-mask transcription
+    of the paper's bit-shuffle, kept independent of the fast path's
+    :func:`pack_records` so each can serve as the other's oracle.
     """
     arr = _as_blocks(residuals)
     _check_header_bytes(header_bytes)
@@ -164,7 +283,7 @@ def encode_blocks(
     for byte in range(header_bytes):
         out[offsets[:-1] + byte] = (fl >> (8 * byte)).astype(np.uint8)
 
-    mags = np.abs(arr).astype(np.uint64)
+    mags = np.abs(arr).view(np.uint64)
     negs = (arr < 0).astype(np.uint8)
     sign_bytes = block_size // 8
 
@@ -256,6 +375,7 @@ def decode_blocks(
     *,
     offsets: np.ndarray | None = None,
     fls: np.ndarray | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Decode a fixed-length-encoded stream back to int64 residuals.
 
@@ -263,6 +383,10 @@ def decode_blocks(
     sequential header walk of :func:`scan_record_offsets`. Callers holding
     a container-v2 index pass both (from :func:`unpack_block_index` and
     :func:`index_record_offsets`) and skip the walk entirely.
+
+    ``out`` accepts a preallocated ``(num_blocks, block_size)`` int64
+    buffer (the fused decoder reuses one scratch chunk across the whole
+    stream); rows of zero blocks are cleared, so stale contents are safe.
     """
     buf = _as_u8(stream)
     if offsets is None or fls is None:
@@ -284,7 +408,17 @@ def decode_blocks(
             int(offsets.min()) < 0 or int(ends.max()) > buf.size
         ):
             raise FormatError("block index points outside the stream")
-    out = np.zeros((num_blocks, block_size), dtype=np.int64)
+    if out is None:
+        out = np.zeros((num_blocks, block_size), dtype=np.int64)
+    else:
+        if out.shape != (num_blocks, block_size) or out.dtype != np.int64:
+            raise FormatError(
+                f"decode buffer must be int64 {(num_blocks, block_size)}, "
+                f"got {out.dtype} {out.shape}"
+            )
+        zero_rows = fls == 0
+        if zero_rows.any():
+            out[zero_rows] = 0
     sign_bytes = block_size // 8
 
     for f in np.unique(fls):

@@ -89,9 +89,22 @@ def effective_error_bound(
     arr = np.asarray(data, dtype=np.float64)
     if arr.size == 0:
         return eps
+    return effective_bound_from_peak(float(np.max(np.abs(arr))), eps, dtype)
+
+
+def effective_bound_from_peak(
+    peak_abs: float, eps: float, dtype=np.float32
+) -> float:
+    """:func:`effective_error_bound` given a precomputed ``max |value|``.
+
+    The fused fast path computes the peak magnitude with min/max reductions
+    (no ``|data|`` temporary) and must land on the *same* ``eps_eff`` the
+    reference stores in its headers, so both derive it here.
+    """
+    eps = validate_error_bound(eps)
     # The 1e-6 headroom keeps the ulp estimate valid even when the cast of
     # ``peak`` itself rounds down across a binade boundary.
-    peak = (float(np.max(np.abs(arr))) + eps) * (1.0 + 1e-6)
+    peak = (float(peak_abs) + eps) * (1.0 + 1e-6)
     margin = 0.5 * float(np.spacing(np.asarray(peak, dtype=dtype)))
     eps_eff = eps - margin
     if eps_eff <= 0:
@@ -170,10 +183,13 @@ def relative_to_absolute(data: np.ndarray, rel: float) -> float:
     rel = float(rel)
     if not np.isfinite(rel) or rel <= 0:
         raise ErrorBoundError(f"relative bound must be finite and > 0: {rel}")
-    arr = np.asarray(data, dtype=np.float64)
+    arr = np.asarray(data)
     if arr.size == 0:
         raise ErrorBoundError("cannot derive a REL bound from empty data")
-    vrange = float(np.max(arr) - np.min(arr))
+    # max/min commute with the (monotonic) cast to float64, so reducing on
+    # the native dtype gives the same vrange bit-for-bit without copying
+    # the whole array to float64 first.
+    vrange = float(np.float64(np.max(arr)) - np.float64(np.min(arr)))
     if vrange == 0.0:
         raise ErrorBoundError(
             "data has zero value range; REL bound undefined (constant field)"

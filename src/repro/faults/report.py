@@ -193,6 +193,13 @@ class SalvageReport:
     lost_block_indices: tuple[int, ...] = ()
     shards_lost: tuple[int, ...] = ()
     fill: str = "zero"  # "zero" | "previous"
+    #: The fill *actually applied* per contiguous lost region, as
+    #: ``(first_block, stop_block, effective_fill)`` half-open spans.
+    #: Under ``fill="previous"`` a corrupt leading region has no intact
+    #: predecessor and falls back to zero fill — the effective fill is
+    #: what tells the consumer which regions hold carried-forward values
+    #: and which hold zeros.
+    fill_regions: tuple[tuple[int, int, str], ...] = ()
     eps: float = 0.0
     #: Error-bound audit over the *intact* region (None when no original
     #: array was supplied to compare against).
@@ -221,6 +228,16 @@ class SalvageReport:
             lines.append(
                 "  blocks lost: "
                 + ", ".join(str(i) for i in shown)
+                + (f" … +{more} more" if more > 0 else "")
+            )
+        if self.fill_regions:
+            shown = ", ".join(
+                f"[{a}, {b})={eff}" for a, b, eff in self.fill_regions[:8]
+            )
+            more = len(self.fill_regions) - 8
+            lines.append(
+                "  fill regions: "
+                + shown
                 + (f" … +{more} more" if more > 0 else "")
             )
         if self.bound is not None:

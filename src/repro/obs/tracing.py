@@ -86,21 +86,36 @@ class Tracer:
             raise ValueError(f"sample_every must be >= 1, got {sample_every}")
         self.level = level
         self.sample_every = sample_every
+        # Hot-path predicates, resolved once: span() and pe_event() run per
+        # task in the simulator inner loop, where a string compare per call
+        # is measurable on small runs.
+        self._off = level == "off"
+        self._timeline = level == "timeline"
         self.spans: list[SpanRecord] = []
-        self.pe_events: list[PEEvent] = []
         self._depth = 0
-        #: Per-PE task counters driving the deterministic sampling stride.
-        self._seen: dict[tuple[int, int], int] = {}
+        # Timeline state is lazy: spans-level tracers (the common case, and
+        # one per row-partition worker) never allocate the per-PE event list
+        # or the sampling counters.
+        self._pe_events: list[PEEvent] | None = None
+        self._seen: dict[tuple[int, int], int] | None = None
 
     # -- predicates ------------------------------------------------------------
 
     @property
     def enabled(self) -> bool:
-        return self.level != "off"
+        return not self._off
 
     @property
     def records_timeline(self) -> bool:
-        return self.level == "timeline"
+        return self._timeline
+
+    @property
+    def pe_events(self) -> list[PEEvent]:
+        """Recorded timeline events (allocated on first touch)."""
+        events = self._pe_events
+        if events is None:
+            events = self._pe_events = []
+        return events
 
     # -- recording -------------------------------------------------------------
 
@@ -112,7 +127,7 @@ class Tracer:
         an exception inside the body still yields a span with the correct
         duration and depth, and the nesting counter is always restored.
         """
-        if self.level == "off":
+        if self._off:
             yield self
             return
         depth = self._depth
@@ -141,11 +156,14 @@ class Tracer:
         2Nth, ... — deterministic, so two runs of the same plan sample the
         same events and partition merges reproduce the serial capture.
         """
-        if self.level != "timeline":
+        if not self._timeline:
             return
+        counters = self._seen
+        if counters is None:
+            counters = self._seen = {}
         key = (row, col)
-        seen = self._seen.get(key, 0)
-        self._seen[key] = seen + 1
+        seen = counters.get(key, 0)
+        counters[key] = seen + 1
         if seen % self.sample_every:
             return
         self.pe_events.append(
@@ -168,8 +186,11 @@ class Tracer:
         for those rows). Host spans keep their wall-clock timings and are
         re-tagged with ``tid`` so exports show one track per worker.
         """
-        keep = set(rows)
-        self.pe_events.extend(e for e in part.pe_events if e.row in keep)
+        if part._pe_events:
+            keep = set(rows)
+            self.pe_events.extend(
+                e for e in part._pe_events if e.row in keep
+            )
         self.spans.extend(replace(s, tid=tid) for s in part.spans)
 
     def span_totals(self) -> dict[str, tuple[int, float]]:

@@ -14,6 +14,7 @@ from repro.core.encoding import (
     encode_blocks,
     index_record_offsets,
     pack_block_index,
+    pack_records,
     record_sizes,
     scan_record_offsets,
     unpack_block_index,
@@ -43,6 +44,32 @@ class TestFixedLengths:
     def test_per_block_independence(self):
         blocks = np.array([[1] * 8, [255] * 8, [0] * 8], dtype=np.int64)
         assert block_fixed_lengths(blocks).tolist() == [1, 8, 0]
+
+    def test_float64_log2_boundaries(self):
+        """Regression: the old float64-log2 width scan rounded across
+        binades — ``log2(2**k - 1)`` for k >= 49 evaluates to exactly
+        ``k`` in float64, inflating the width by one bit. The exact
+        integer bit-length scan must hold at every boundary up to and
+        beyond the 2**53 float64 integer precision cliff."""
+        for k in range(45, 63):
+            lo = np.array([[2**k - 1] + [0] * 7], dtype=np.int64)
+            assert block_fixed_lengths(lo)[0] == k, k
+            if k < 62:
+                hi = np.array([[2**k] + [0] * 7], dtype=np.int64)
+                assert block_fixed_lengths(hi)[0] == k + 1, k
+        cliff = np.array([[2**53 + 1] + [0] * 7], dtype=np.int64)
+        assert block_fixed_lengths(cliff)[0] == 54
+        imax = np.array([[2**63 - 1] + [0] * 7], dtype=np.int64)
+        assert block_fixed_lengths(imax)[0] == 63
+
+    def test_int64_min_rejected_not_wrapped(self):
+        """Regression: |int64 min| wraps to itself under int64 abs; the
+        width scan must report 64 bits (via the uint64 view) and the
+        encoder must refuse the block rather than emit a wrapped record."""
+        blocks = np.array([[-(2**63)] + [0] * 7], dtype=np.int64)
+        assert block_fixed_lengths(blocks)[0] == 64
+        with pytest.raises(FormatError):
+            encode_blocks(blocks)
 
     @given(
         hnp.arrays(
@@ -220,6 +247,37 @@ class TestScanAndErrors:
         stream = b"\xde\xad" + encode_blocks(residuals)
         out = decode_blocks(stream, 1, 8, start=2)
         assert np.array_equal(out, residuals)
+
+
+class TestPackRecords:
+    """The fused path's packing core against the encode_blocks oracle."""
+
+    def test_matches_encode_blocks_mixed_lengths(self):
+        rng = np.random.default_rng(11)
+        residuals = rng.integers(-(2**20), 2**20, size=(16, 32), dtype=np.int64)
+        residuals[3] = 0  # zero block in the middle
+        residuals[15] = 0  # and at the tail
+        mags = np.abs(residuals).astype(np.uint64)
+        negs = residuals < 0
+        fl = block_fixed_lengths(residuals)
+        packed = pack_records(mags, negs, fl)
+        assert packed.tobytes() == encode_blocks(residuals)
+
+    def test_negative_fixed_length_rejected(self):
+        with pytest.raises(FormatError, match="negative fixed length"):
+            pack_records(
+                np.zeros((1, 8), dtype=np.uint64),
+                np.zeros((1, 8), dtype=bool),
+                np.array([-1], dtype=np.int64),
+            )
+
+    def test_overwide_fixed_length_rejected(self):
+        with pytest.raises(FormatError, match="exceeds 63"):
+            pack_records(
+                np.zeros((1, 8), dtype=np.uint64),
+                np.zeros((1, 8), dtype=bool),
+                np.array([64], dtype=np.int64),
+            )
 
 
 class TestBlockIndex:

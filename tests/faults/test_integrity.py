@@ -321,3 +321,113 @@ class TestShardedIntegrity:
             read_shard_table(bad)
         table = read_shard_container(bad)  # tolerant view still parses
         assert not table.meta_ok
+
+
+class TestFillRegions:
+    """SalvageReport.fill_regions: which fill each lost region received.
+
+    The contract under ``fill="previous"``: a corrupt *leading* group has
+    no intact predecessor, so it falls back to zero fill (per shard —
+    CSZX shards are independent streams), and the report records the
+    effective fill of every contiguous lost region.
+    """
+
+    def _corrupt_group(self, stream: bytes, group: int) -> bytes:
+        _, layout = _layout(stream)
+        return _flip(stream, int(layout.group_offsets[group]) + 3)
+
+    def test_leading_group_zero_filled_under_previous(self):
+        codec = CereSZ()
+        data = _field()
+        res = codec.compress(data, eps=EPS, checksum=True, crc_group=4)
+        bad = self._corrupt_group(res.stream, 0)
+        values, report = salvage_decompress(bad, fill="previous")
+        assert report.fill == "previous"
+        regions = [r for r in report.fill_regions]
+        assert regions and regions[0][0] == 0
+        start, stop, effective = regions[0]
+        assert effective == "zero"
+        L = codec.block_size
+        assert not values.reshape(-1)[: stop * L].any()
+        assert any("no intact predecessor" in n for n in report.notes)
+
+    def test_middle_group_records_previous(self):
+        codec = CereSZ()
+        data = _field()
+        res = codec.compress(data, eps=EPS, checksum=True, crc_group=4)
+        baseline = codec.decompress(res.stream).reshape(-1)
+        bad = self._corrupt_group(res.stream, 2)
+        values, report = salvage_decompress(bad, fill="previous")
+        (start, stop, effective) = report.fill_regions[0]
+        assert effective == "previous"
+        L = codec.block_size
+        assert np.all(
+            values.reshape(-1)[start * L : stop * L] == baseline[start * L - 1]
+        )
+
+    def test_zero_fill_mode_records_zero(self):
+        res = CereSZ().compress(_field(), eps=EPS, checksum=True, crc_group=4)
+        bad = self._corrupt_group(res.stream, 2)
+        _, report = salvage_decompress(bad, fill="zero")
+        assert report.fill_regions
+        assert all(eff == "zero" for _, _, eff in report.fill_regions)
+
+    def test_regions_cover_exactly_the_lost_blocks(self):
+        res = CereSZ().compress(_field(), eps=EPS, checksum=True, crc_group=4)
+        bad = self._corrupt_group(res.stream, 1)
+        _, report = salvage_decompress(bad, fill="previous")
+        covered = [
+            b for start, stop, _ in report.fill_regions
+            for b in range(start, stop)
+        ]
+        assert covered == list(report.lost_block_indices)
+
+    def test_sharded_leading_group_is_shard_local(self):
+        """Shard 2's leading group has no predecessor *within its own
+        stream*: zero-filled even though shard 1 decoded fine."""
+        data = _field(8192, seed=9)
+        res = compress_sharded(
+            data, eps=EPS, jobs=2, shard_elements=2048, checksum=True,
+            crc_group=4,
+        )
+        table = read_shard_container(res.stream)
+        lo, hi = table.spans[2]
+        shard = res.stream[lo:hi]
+        _, layout = _layout(shard)
+        bad = (
+            res.stream[:lo]
+            + _flip(shard, int(layout.group_offsets[0]) + 3)
+            + res.stream[hi:]
+        )
+        values, report = salvage_decompress(bad, fill="previous")
+        assert report.fill_regions
+        L = CereSZ().block_size
+        shard_base_block = 2 * 2048 // L
+        start, stop, effective = report.fill_regions[0]
+        assert start == shard_base_block
+        assert effective == "zero"
+        assert not values[start * L : stop * L].any()
+
+    def test_unrecoverable_shard_is_one_zero_region(self):
+        data = _field(8192, seed=9)
+        res = compress_sharded(
+            data, eps=EPS, jobs=2, shard_elements=2048, checksum=True,
+        )
+        table = read_shard_container(res.stream)
+        lo, _ = table.spans[1]
+        buf = bytearray(res.stream)
+        buf[lo : lo + 16] = b"\x00" * 16
+        _, report = salvage_decompress(bytes(buf), fill="previous")
+        L = CereSZ().block_size
+        bpshard = 2048 // L
+        assert (bpshard, 2 * bpshard, "zero") in report.fill_regions
+
+    def test_report_round_trips_regions(self):
+        res = CereSZ().compress(_field(), eps=EPS, checksum=True, crc_group=4)
+        bad = self._corrupt_group(res.stream, 0)
+        _, report = salvage_decompress(bad, fill="previous")
+        import json
+
+        payload = json.loads(report.to_json())
+        assert payload["fill_regions"]
+        assert "fill regions" in report.describe()

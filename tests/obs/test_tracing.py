@@ -168,3 +168,53 @@ class TestMisc:
         assert back.sample_every == 2
         assert [e.name for e in back.pe_events] == ["task"]
         assert [s.name for s in back.spans] == ["s"]
+
+
+class TestLazyAllocation:
+    """Small-run fixed costs: spans-level tracers must not allocate
+    timeline state, and the cached level predicates must agree with the
+    level string (regression for the 18% obs overhead at rows=4)."""
+
+    def test_spans_tracer_allocates_no_timeline_state(self):
+        t = Tracer(level="spans")
+        with t.span("work"):
+            pass
+        t.pe_event(0, 0, 0, "recv", 1)  # dropped: not timeline level
+        assert t._pe_events is None
+        assert t._seen is None
+
+    def test_off_tracer_allocates_no_timeline_state(self):
+        t = Tracer(level="off")
+        with t.span("work"):
+            pass
+        assert t._pe_events is None
+
+    def test_pe_events_property_still_reads_as_list(self):
+        t = Tracer(level="spans")
+        assert t.pe_events == []
+        t2 = Tracer(level="timeline")
+        t2.pe_event(0, 0, 0, "recv", 1)
+        assert len(t2.pe_events) == 1
+
+    def test_cached_predicates_match_level(self):
+        for level in ("off", "spans", "timeline"):
+            t = Tracer(level=level)
+            assert t.enabled == (level != "off")
+            assert t.records_timeline == (level == "timeline")
+
+    def test_merge_partition_with_lazy_parts(self):
+        main = Tracer(level="timeline")
+        part = Tracer(level="timeline")
+        part.pe_event(0, 0, 0, "recv", 1)
+        lazy = Tracer(level="timeline")  # never touched: stays unallocated
+        main.merge_partition((0, 1, 2, 3), part)
+        main.merge_partition((0, 1, 2, 3), lazy)
+        assert len(main.pe_events) == 1
+
+    def test_tracer_still_picklable_when_lazy(self):
+        import pickle
+
+        t = Tracer(level="spans")
+        clone = pickle.loads(pickle.dumps(t))
+        assert clone._pe_events is None
+        assert clone.enabled
