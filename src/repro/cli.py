@@ -3,10 +3,10 @@
 Subcommands::
 
     ceresz compress   IN.f32 OUT.csz  --rel 1e-3 | --eps 0.01 | --psnr 80
-                      [--jobs N] [--no-index] [--checksum] [--no-fast]
-                      [--trace T.json] [--metrics]
-    ceresz decompress IN.csz  OUT.f32 [--jobs N] [--salvage [--fill F]]
+                      [--predictor P] [--jobs N] [--no-index] [--checksum]
                       [--no-fast] [--trace T.json] [--metrics]
+    ceresz decompress IN.csz  OUT.f32 [--jobs N] [--salvage [--fill F]]
+                      [--predictor P] [--no-fast] [--trace T.json] [--metrics]
     ceresz verify     IN.csz [--json OUT.json]     # checksum walk, no decode
     ceresz extract    IN.csz OUT.f32 --start A --stop B   # random access
     ceresz info       IN.csz                       # stream header dump
@@ -36,6 +36,7 @@ import sys
 import numpy as np
 
 from repro import CereSZ, __version__
+from repro.core.predictors import predictor_names
 from repro.datasets import generate_field, get_dataset, load_f32, save_f32
 from repro.metrics.errorbound import max_abs_error
 
@@ -94,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the reference multi-stage kernels instead of the fused "
         "fast path (identical bytes, mainly for debugging/benchmarks)",
     )
+    p.add_argument(
+        "--predictor", choices=predictor_names(), default="lorenzo1d",
+        help="prediction stage (default: lorenzo1d, the paper's "
+        "wafer-mappable choice; others are registry extensions — see "
+        "DESIGN.md)",
+    )
     _add_obs_flags(p)
 
     p = sub.add_parser("decompress", help="decompress a .csz stream")
@@ -116,6 +123,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fast", dest="fast", action="store_false",
         help="use the reference multi-stage decode instead of the fused "
         "fast path (identical output, mainly for debugging/benchmarks)",
+    )
+    p.add_argument(
+        "--predictor", choices=predictor_names(),
+        help="assert the stream was written with this predictor (decode "
+        "always dispatches on the header; this flag just fails fast on a "
+        "mismatch)",
     )
     _add_obs_flags(p)
 
@@ -210,6 +223,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=("rows", "pipeline", "multi"), default="multi"
     )
     p.add_argument("--pipeline-length", type=int, default=1)
+    p.add_argument(
+        "--predictor", choices=predictor_names(), default="lorenzo1d",
+        help="block-local predictor to lower onto the mesh (whole-array "
+        "predictors are rejected with their locality contract)",
+    )
     p.add_argument("--rel", type=float, default=1e-3)
     p.add_argument(
         "--limit-blocks", type=int, default=64,
@@ -267,6 +285,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--strategy", choices=("rows", "pipeline", "multi"), default="multi"
     )
     p.add_argument("--pipeline-length", type=int, default=1)
+    p.add_argument(
+        "--predictor", choices=predictor_names(), default="lorenzo1d",
+        help="block-local predictor to place in the plan (whole-array "
+        "predictors are rejected with their locality contract)",
+    )
     p.add_argument("--rel", type=float, default=1e-3)
     p.add_argument(
         "--limit-blocks", type=int, default=64,
@@ -329,7 +352,7 @@ def _cmd_compress(args) -> int:
     tr = tracer or NULL_TRACER
     with tr.span("load", path=args.input):
         data = load_f32(args.input, args.shape)
-    codec = CereSZ(fast=args.fast)
+    codec = CereSZ(fast=args.fast, predictor=args.predictor)
     with tr.span("compress", jobs=args.jobs or 1):
         result = codec.compress(
             data,
@@ -362,6 +385,17 @@ def _cmd_decompress(args) -> int:
         with open(args.input, "rb") as fh:
             stream = fh.read()
     codec = CereSZ(fast=args.fast)
+    if args.predictor:
+        from repro.core.parallel import is_sharded
+        from repro.errors import FormatError
+
+        if not is_sharded(stream):
+            written = codec.describe_stream(stream).predictor
+            if written != args.predictor:
+                raise FormatError(
+                    f"stream was written with predictor {written!r}, "
+                    f"not {args.predictor!r}"
+                )
     if args.salvage:
         from repro.core.decompressor import salvage_decompress
 
@@ -429,6 +463,7 @@ def _cmd_info(args) -> int:
         kind = " (indexed)"
     print(f"container:    v{header.version}{kind}")
     print(f"shape:        {'x'.join(str(d) for d in header.shape)}")
+    print(f"predictor:    {header.predictor}")
     print(f"block size:   {header.block_size}")
     print(f"header width: {header.header_width} B/block")
     print(f"eps (eff.):   {header.eps:g}")
@@ -750,6 +785,7 @@ def _cmd_simulate(args) -> int:
         sample_every=args.sample_every,
         collect_metrics=args.metrics or bool(args.trace),
         faults=faults,
+        predictor=args.predictor,
     )
     try:
         if args.profile:
@@ -789,7 +825,7 @@ def _cmd_simulate(args) -> int:
         f"{report.events_processed} events, {report.tasks_run} tasks, "
         f"imbalance {report.trace.load_imbalance():.2f}"
     )
-    reference = CereSZ().compress(data, rel=args.rel)
+    reference = CereSZ(predictor=args.predictor).compress(data, rel=args.rel)
     print(
         "stream matches reference: "
         f"{result.stream == reference.stream}"
@@ -826,6 +862,7 @@ def _cmd_plan(args) -> int:
         cols=args.cols,
         strategy=args.strategy,
         pipeline_length=args.pipeline_length,
+        predictor=args.predictor,
     )
     plan = sim.plan_for(data, rel=args.rel)
     plan.validate()

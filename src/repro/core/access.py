@@ -25,7 +25,7 @@ from repro.core.encoding import (
     unpack_block_index,
 )
 from repro.core.format import StreamHeader
-from repro.core.lorenzo import lorenzo_reconstruct
+from repro.core.predictors import get_predictor
 from repro.core.quantize import dequantize
 
 
@@ -59,15 +59,19 @@ def decompress_range(
 ) -> np.ndarray:
     """Reconstruct elements ``[start, stop)`` of the flattened field.
 
-    Works only for blocked-1D streams (the CereSZ default): the N-D
-    predictor needs the whole array for its prefix sums, which is exactly
-    the random-access property the paper's block-local design buys.
+    Works for any stream written with a *block-local* predictor (the
+    CereSZ default and any registry entry with that locality contract):
+    whole-array predictors need the full array for their global inverse,
+    which is exactly the random-access property the paper's block-local
+    design buys.
     """
     header, offset = StreamHeader.unpack(stream)
-    if header.predictor != "blocked1d":
+    pred = get_predictor(header.predictor)
+    if not pred.block_local:
         raise CompressionError(
-            "random access requires the block-local 1-D predictor; "
-            "ND-predicted streams must be decompressed whole"
+            f"random access requires a block-local predictor; this stream "
+            f"was written with {pred.name!r} (locality {pred.locality!r}) "
+            f"and must be decompressed whole"
         )
     n = header.num_elements
     if not (0 <= start <= stop <= n):
@@ -99,7 +103,7 @@ def decompress_range(
         offsets=offsets[first_block : last_block + 1],
         fls=fls[first_block : last_block + 1],
     )
-    codes = lorenzo_reconstruct(residuals)
+    codes = pred.reconstruct_blocks(residuals)
     values = dequantize(codes.reshape(-1), header.eps, dtype=out_dtype)
     lo = start - first_block * L
     hi = stop - first_block * L

@@ -41,7 +41,7 @@ from repro.core.encoding import (
     unpack_block_index,
 )
 from repro.core.format import StreamHeader, make_header
-from repro.core.lorenzo import lorenzo_predict, lorenzo_reconstruct
+from repro.core.predictors import DEFAULT_PREDICTOR, Predictor, get_predictor
 from repro.core.quantize import (
     dequantize,
     prequantize_verified,
@@ -223,12 +223,18 @@ class CereSZ:
         or 1 (the SZp container layout, used by the baseline subclasses).
     fast:
         Use the fused single-pass kernels (:mod:`repro.core.fastpath`) for
-        compression and 1D decompression. On by default; the reference
-        multi-stage path remains available (``fast=False``, or per call)
-        as the bit-exactness oracle, and still runs for ND-predictor
-        streams and constant fields where the fused kernels do not apply.
-        Both paths produce byte-identical streams and bit-identical
-        decodes.
+        compression and block-local decompression. On by default; the
+        reference multi-stage path remains available (``fast=False``, or
+        per call) as the bit-exactness oracle. Whole-array predictors run
+        a split pipeline: reference prediction over the full array, then
+        the fused block encoder over the residuals. Both paths produce
+        byte-identical streams and bit-identical decodes.
+    predictor:
+        Registry name of the prediction stage (see
+        :mod:`repro.core.predictors`); the paper's block-local
+        ``lorenzo1d`` by default. Block-local predictors keep every
+        capability (fast path, sharding, random access, WSE lowering);
+        whole-array predictors trade those for ratio and stay host-only.
     """
 
     name = "CereSZ"
@@ -241,27 +247,42 @@ class CereSZ:
         header_width: int = CERESZ_HEADER_BYTES,
         *,
         fast: bool = True,
+        predictor: str | Predictor = DEFAULT_PREDICTOR,
     ):
         self.block_size = validate_block_size(block_size)
         if header_width not in (CERESZ_HEADER_BYTES, SZP_HEADER_BYTES):
             raise FormatError(f"unsupported header width {header_width}")
         self.header_width = header_width
         self.fast = bool(fast)
+        self.predictor = get_predictor(predictor)
 
-    def _with_fast(self, fast: bool | None) -> "CereSZ":
-        """This codec, with ``fast`` resolved — shared by the shard paths.
+    def _with_options(
+        self,
+        *,
+        fast: bool | None = None,
+        predictor: str | Predictor | None = None,
+    ) -> "CereSZ":
+        """This codec, with per-call overrides resolved into codec state.
 
         Shard workers call back into ``codec.compress``/``decompress``
-        with no per-call override, so a per-call ``fast=`` must travel as
-        codec state; a shallow copy keeps the caller's codec untouched.
+        with no per-call override, so per-call ``fast=``/``predictor=``
+        must travel as codec state; a shallow copy keeps the caller's
+        codec untouched.
         """
-        if fast is None or bool(fast) == self.fast:
+        pred = self.predictor if predictor is None else get_predictor(predictor)
+        fast = self.fast if fast is None else bool(fast)
+        if fast == self.fast and pred is self.predictor:
             return self
         import copy
 
         clone = copy.copy(self)
-        clone.fast = bool(fast)
+        clone.fast = fast
+        clone.predictor = pred
         return clone
+
+    def _with_fast(self, fast: bool | None) -> "CereSZ":
+        """Backwards-compatible alias for :meth:`_with_options`."""
+        return self._with_options(fast=fast)
 
     # -- compression ---------------------------------------------------------------
 
@@ -310,6 +331,7 @@ class CereSZ:
         checksum: bool = False,
         crc_group: int | None = None,
         fast: bool | None = None,
+        predictor: str | Predictor | None = None,
     ) -> CompressionResult:
         """Compress under an absolute bound, a REL bound, or a PSNR target.
 
@@ -333,7 +355,10 @@ class CereSZ:
 
         ``fast=`` overrides the codec's fused-kernel default for this call
         (``fast=False`` forces the reference multi-stage path); the output
-        bytes are identical either way.
+        bytes are identical either way. ``predictor=`` overrides the
+        codec's prediction stage for this call (a registry name from
+        :mod:`repro.core.predictors`); the choice is recorded in the
+        stream header, so decompression needs no matching argument.
         """
         if jobs is not None:
             from repro.core.parallel import compress_sharded
@@ -343,13 +368,16 @@ class CereSZ:
                 eps=eps,
                 rel=rel,
                 psnr=psnr,
-                codec=self._with_fast(fast),
+                codec=self._with_options(fast=fast, predictor=predictor),
                 jobs=jobs,
                 index=True if index is None else index,
                 metrics=metrics,
                 checksum=checksum,
                 crc_group=crc_group,
             )
+        pred = (
+            self.predictor if predictor is None else get_predictor(predictor)
+        )
         index = True if checksum else bool(index)
         arr = np.asarray(data)
         if arr.size == 0:
@@ -364,7 +392,7 @@ class CereSZ:
             return self._compress_constant(arr)
 
         use_fast = self.fast if fast is None else bool(fast)
-        if use_fast:
+        if pred.block_local and use_fast:
             from repro.core.fastpath import fused_compress_blocks
 
             fl, body, eps_eff, n = fused_compress_blocks(
@@ -373,12 +401,30 @@ class CereSZ:
                 block_size=self.block_size,
                 header_bytes=self.header_width,
                 out_dtype=out_dtype,
+                predictor=pred,
             )
-        else:
+        elif pred.block_local:
             codes, eps_eff, n = self._quantize_blocks(arr, bound, out_dtype)
-            residuals = lorenzo_predict(codes)
+            residuals = pred.predict_blocks(codes)
             fl = block_fixed_lengths(residuals)
             body = encode_blocks(residuals, self.header_width)
+        else:
+            # Whole-array predictor: predict once over the full N-D code
+            # array, then feed the residuals to the block-local encoder —
+            # fused when ``fast`` is on (the predict-then-fused-encode
+            # split), reference otherwise. Either way the bytes match.
+            codes, eps_eff = prequantize_verified(arr, bound, dtype=out_dtype)
+            residuals_nd = pred.predict(codes)
+            residuals, n = partition_blocks(residuals_nd, self.block_size)
+            if use_fast:
+                from repro.core.fastpath import fused_encode_blocks
+
+                fl, body = fused_encode_blocks(
+                    residuals, header_bytes=self.header_width
+                )
+            else:
+                fl = block_fixed_lengths(residuals)
+                body = encode_blocks(residuals, self.header_width)
         # The header carries the *effective* bound the codes were quantized
         # against (slightly inside the requested one, see
         # :func:`repro.core.quantize.effective_error_bound`) — it is what
@@ -390,6 +436,7 @@ class CereSZ:
             eps_eff,
             header_width=self.header_width,
             block_size=self.block_size,
+            predictor=pred.name,
             dtype="f8" if out_dtype == np.float64 else "f4",
             indexed=index,
             checksum=checksum,
@@ -447,19 +494,21 @@ class CereSZ:
     ) -> np.ndarray:
         """Reconstruct the float32 field (original shape restored).
 
-        Dispatches on the stream's predictor flag, so a plain ``CereSZ``
-        instance also decodes :class:`repro.core.nd_variant.CereSZND`
-        streams. Shard containers (written with ``compress(jobs=...)``)
+        Dispatches on the stream header's predictor field, so a plain
+        ``CereSZ`` instance decodes streams written with *any* registered
+        predictor — the codec's own ``predictor=`` setting never affects
+        decoding. Shard containers (written with ``compress(jobs=...)``)
         are recognized by magic and decoded shard-parallel; ``jobs=``
         sizes that pool. ``fast=`` overrides the codec's fused-kernel
-        default for this call; 1D-predictor streams decode through the
-        fused kernel when on, ND streams always take the reference path.
+        default for this call; block-local-predictor streams decode
+        through the fused kernel when on, whole-array streams always take
+        the reference path.
         """
         from repro.core.parallel import decompress_sharded, is_sharded
 
         if is_sharded(stream):
             return decompress_sharded(
-                stream, codec=self._with_fast(fast), jobs=jobs,
+                stream, codec=self._with_options(fast=fast), jobs=jobs,
                 metrics=metrics,
             )
         header, offset = StreamHeader.unpack(stream)
@@ -473,21 +522,21 @@ class CereSZ:
                     f"does not fit in memory"
                 ) from exc
         n = header.num_elements
+        pred = get_predictor(header.predictor)
         use_fast = self.fast if fast is None else bool(fast)
-        if use_fast and header.predictor != "nd":
+        if use_fast and pred.block_local:
             from repro.core.fastpath import fused_decompress_blocks
 
             offsets, fls = stream_block_layout(stream, header, offset)
             values = fused_decompress_blocks(
-                stream, header, offsets, fls, out_dtype=out_dtype
+                stream, header, offsets, fls, out_dtype=out_dtype,
+                predictor=pred,
             )
             return values.reshape(header.shape)
         residuals, fls = decode_stream_blocks(stream, header, offset)
-        if header.predictor == "nd":
-            from repro.core.lorenzo import lorenzo_reconstruct_nd
-
+        if not pred.block_local:
             flat = merge_blocks(residuals, n)
-            codes = lorenzo_reconstruct_nd(flat.reshape(header.shape))
+            codes = pred.reconstruct(flat.reshape(header.shape))
             return dequantize(codes, header.eps, dtype=out_dtype).reshape(
                 header.shape
             )
@@ -495,17 +544,18 @@ class CereSZ:
         nz = np.nonzero(fls)[0]
         if nz.size < header.num_blocks // 2:
             # Mostly-zero streams (smooth fields under a realistic bound):
-            # a zero block reconstructs to exact 0.0, so prefix-sum and
-            # dequantize only the blocks that carry payload.
+            # a zero block reconstructs to exact 0.0 under every (linear)
+            # block-local predictor, so invert and dequantize only the
+            # blocks that carry payload.
             values = np.zeros(header.num_blocks * L, dtype=out_dtype)
             if nz.size:
-                codes = np.cumsum(residuals[nz], axis=1, dtype=np.int64)
+                codes = pred.reconstruct_blocks(residuals[nz])
                 values.reshape(-1, L)[nz] = dequantize(
                     codes, header.eps, dtype=out_dtype
                 )
             values = values[:n]
         else:
-            codes = lorenzo_reconstruct(residuals)
+            codes = pred.reconstruct_blocks(residuals)
             flat = merge_blocks(codes, n)
             values = dequantize(flat, header.eps, dtype=out_dtype)
         return values.reshape(header.shape)

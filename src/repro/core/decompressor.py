@@ -37,6 +37,7 @@ from repro.core.integrity import (
     read_checksum_layout,
     verify_groups,
 )
+from repro.core.predictors import get_predictor
 from repro.core.quantize import dequantize
 from repro.errors import ContainerError, FormatError
 from repro.faults.report import IntegrityReport, SalvageReport
@@ -276,32 +277,34 @@ def _salvage_plain(
 
     values = np.zeros(nb * L, dtype=out_dtype)
     fill_regions: list[tuple[int, int, str]] = []
-    if header.predictor == "nd":
-        from repro.core.lorenzo import lorenzo_reconstruct_nd
-
+    pred = get_predictor(header.predictor)
+    if not pred.block_local:
         flat = residuals.reshape(-1)[:n]
-        codes = lorenzo_reconstruct_nd(flat.reshape(header.shape))
+        codes = pred.reconstruct(flat.reshape(header.shape))
         values[:n] = dequantize(
             codes, header.eps, dtype=out_dtype
         ).reshape(-1)
         if intact.size < nb:
             notes.append(
-                "nd predictor: reconstruction may drift after the first "
-                "lost block (global prefix dependency)"
+                f"{pred.name} predictor is whole-array: reconstruction "
+                f"may drift after the first lost block (global "
+                f"dependency)"
             )
-            # Lost nd blocks reconstruct from zero residuals; there is no
-            # meaningful "previous" carry under a global-prefix predictor.
+            # Lost whole-array blocks reconstruct from zero residuals;
+            # there is no meaningful "previous" carry under a global
+            # dependency.
             fill_regions = [
                 (a, b, "zero") for a, b in _lost_runs(np.nonzero(~valid)[0])
             ]
             if fill == "previous":
                 notes.append(
-                    "nd predictor: 'previous' fill not applicable, lost "
-                    "regions reconstructed from zero residuals"
+                    f"{pred.name} predictor: 'previous' fill not "
+                    f"applicable, lost regions reconstructed from zero "
+                    f"residuals"
                 )
     else:
         if intact.size:
-            codes = np.cumsum(residuals[intact], axis=1, dtype=np.int64)
+            codes = pred.reconstruct_blocks(residuals[intact])
             values.reshape(-1, L)[intact] = dequantize(
                 codes, header.eps, dtype=out_dtype
             )

@@ -76,6 +76,62 @@ CHUNK_ELEMS = 1 << 18
 _MAX_FL = 63
 
 
+def _resolve_block_local(predictor):
+    """Default and validate the fused kernels' predictor argument."""
+    from repro.core.predictors import LORENZO_1D, get_predictor
+
+    pred = LORENZO_1D if predictor is None else get_predictor(predictor)
+    if not pred.block_local:
+        raise CompressionError(
+            f"predictor {pred.name!r} declares locality {pred.locality!r}; "
+            "the fused kernels require a block-local predictor — predict "
+            "first, then use fused_encode_blocks on the residuals"
+        )
+    return pred
+
+
+def fused_encode_blocks(
+    residuals: np.ndarray,
+    *,
+    header_bytes: int = CERESZ_HEADER_BYTES,
+    chunk_elems: int = CHUNK_ELEMS,
+) -> tuple[np.ndarray, bytes]:
+    """Chunked sign split + bit-length scan + bit-shuffle over residuals.
+
+    The encode half of :func:`fused_compress_blocks`, for pipelines whose
+    prediction already happened elsewhere — whole-array predictors run
+    their global transform on the full code array, then feed the
+    partitioned residual blocks here so they stop paying the reference
+    encoder's whole-field temporaries. Returns ``(fixed_lengths, body)``,
+    byte-identical to :func:`repro.core.encoding.encode_blocks`.
+    """
+    arr = np.asarray(residuals)
+    if arr.ndim != 2:
+        raise CompressionError(
+            f"fused_encode_blocks expects a (blocks, block_size) array, "
+            f"got shape {arr.shape}"
+        )
+    num_blocks, L = arr.shape
+    bpc = max(int(chunk_elems) // max(L, 1), 1)
+    mags_buf = np.empty((bpc, L), dtype=np.int64)
+    negs = np.empty((bpc, L), dtype=bool)
+    fl_all = np.empty(num_blocks, dtype=np.int64)
+    parts: list[bytes] = []
+    for b0 in range(0, num_blocks, bpc):
+        b1 = min(b0 + bpc, num_blocks)
+        cb = b1 - b0
+        r2 = mags_buf[:cb]
+        np.copyto(r2, arr[b0:b1])
+        ng = negs[:cb]
+        np.less(r2, 0, out=ng)
+        np.abs(r2, out=r2)
+        mags = r2.view(np.uint64)
+        fl = exact_bit_lengths(mags.max(axis=1))
+        fl_all[b0:b1] = fl
+        parts.append(pack_records(mags, ng, fl, header_bytes).tobytes())
+    return fl_all, b"".join(parts)
+
+
 def fused_compress_blocks(
     data: np.ndarray,
     eps: float,
@@ -84,13 +140,23 @@ def fused_compress_blocks(
     header_bytes: int = CERESZ_HEADER_BYTES,
     out_dtype=np.float32,
     chunk_elems: int = CHUNK_ELEMS,
+    predictor=None,
 ) -> tuple[np.ndarray, bytes, float, int]:
     """Quantize + predict + encode ``data`` in one fused pass.
+
+    ``predictor`` is any *block-local* predictor from
+    :mod:`repro.core.predictors` (default: the paper's ``lorenzo1d``);
+    its per-block transform runs on the cache-resident chunk exactly
+    where the inlined Lorenzo difference used to. Whole-array predictors
+    cannot fuse with quantization (their transform needs the full code
+    array) and are rejected — the codec routes them through
+    :func:`fused_encode_blocks` instead.
 
     Returns ``(fixed_lengths, body, eps_eff, num_elements)`` — exactly the
     quantities the reference pipeline produces, byte- and value-identical,
     ready for :func:`repro.core.compressor.assemble_stream`.
     """
+    predictor = _resolve_block_local(predictor)
     eps = validate_error_bound(eps)
     flat = np.asarray(data).reshape(-1)
     n = int(flat.size)
@@ -162,11 +228,11 @@ def fused_compress_blocks(
         c = codes[:ce]
         np.copyto(c, w, casting="unsafe")
 
-        # Block-local 1D Lorenzo: residual 0 is the code itself.
+        # Block-local prediction (1D Lorenzo by default): each row of the
+        # chunk transforms independently into the residual scratch.
         c2 = c.reshape(cb, L)
         r2 = res[:ce].reshape(cb, L)
-        r2[:, 0] = c2[:, 0]
-        np.subtract(c2[:, 1:], c2[:, :-1], out=r2[:, 1:])
+        predictor.predict_blocks(c2, out=r2)
 
         # Sign split + exact per-block bit lengths, then the packing core.
         ng = negs[:cb]
@@ -188,15 +254,19 @@ def fused_decompress_blocks(
     *,
     out_dtype=np.float32,
     chunk_elems: int = CHUNK_ELEMS,
+    predictor=None,
 ) -> np.ndarray:
-    """Decode + reconstruct + dequantize a 1D-predictor stream, fused.
+    """Decode + reconstruct + dequantize a block-local stream, fused.
 
     ``offsets``/``fls`` come from the container's layout discovery
     (:func:`repro.core.compressor.stream_block_layout`); checksummed
-    streams are verified there before this runs. Returns the flat
+    streams are verified there before this runs. ``predictor`` must be
+    block-local (default ``lorenzo1d``) and should match the stream
+    header's predictor field — the caller dispatches. Returns the flat
     ``(num_elements,)`` value array, bit-identical to the reference
     decode.
     """
+    predictor = _resolve_block_local(predictor)
     nb = int(header.num_blocks)
     L = int(header.block_size)
     n = int(header.num_elements)
@@ -239,7 +309,7 @@ def fused_decompress_blocks(
                 fls=f_c[nz],
                 out=res[:k],
             )
-            np.cumsum(res[:k], axis=1, out=res[:k])
+            predictor.reconstruct_blocks(res[:k], out=res[:k])
             np.multiply(res[:k], two_eps, out=q[:k])
             v2[b0 + nz] = q[:k]
     return values[:n]

@@ -6,6 +6,8 @@ per-block records of :mod:`repro.core.encoding`::
     [ magic "CSZ1" ][ version ][ header_width ][ block_size u16 ]
     [ ndim u8 ][ dims u64 * ndim ][ eps f64 ][ flags u8 ]
     ( [ constant value f64 ]  when flags & CONSTANT )
+    ( [ crc_group u16 ]  when flags & CHECKSUM, version 3 )
+    ( [ predictor tag u8 ]  when flags & PREDICTOR_ID )
     ( [ fl table: u8 * num_blocks ]  when flags & INDEXED, version 2 )
     [ block records ... ]
 
@@ -37,7 +39,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import BLOCK_SIZE, CERESZ_HEADER_BYTES
-from repro.errors import FormatError
+from repro.core.predictors import get_predictor, predictor_from_tag
+from repro.errors import CompressionError, FormatError
 
 CERESZ_MAGIC = b"CSZ1"
 FORMAT_VERSION = 1
@@ -63,9 +66,11 @@ SUPPORTED_VERSIONS = (
 DEFAULT_CRC_GROUP = 64
 
 FLAG_CONSTANT = 0x01
-#: Residuals come from the N-D Lorenzo predictor over the full array
-#: (the paper's "higher dimensional Lorenzo" extension) instead of the
-#: default block-local 1-D difference.
+#: Legacy 1-bit predictor flag: residuals come from the N-D Lorenzo
+#: predictor over the full array (the paper's "higher dimensional
+#: Lorenzo" extension) instead of the default block-local 1-D
+#: difference. Kept so pre-registry ``nd`` streams decode unchanged;
+#: every other non-default predictor uses :data:`FLAG_PREDICTOR_ID`.
 FLAG_ND_PREDICTOR = 0x02
 #: The reconstructed field is float64 (the stream was built from a float64
 #: input; SDRBench distributes several datasets in double precision).
@@ -76,12 +81,19 @@ FLAG_INDEXED = 0x08
 #: CRC32C integrity metadata follows the fl table (container v3; implies
 #: FLAG_INDEXED).
 FLAG_CHECKSUM = 0x10
+#: The header carries an explicit predictor-tag byte (after the
+#: crc_group field, when present). The registry's tag space replaces the
+#: single legacy nd bit; the two default-able predictors keep their
+#: pre-registry encodings (``lorenzo1d`` -> no bits, ``nd`` ->
+#: FLAG_ND_PREDICTOR) so existing streams stay byte-identical.
+FLAG_PREDICTOR_ID = 0x20
 
 _FIXED = struct.Struct("<4sBBHB")  # magic, version, header_width, block, ndim
 _EPS_FLAGS = struct.Struct("<dB")
 _DIM = struct.Struct("<Q")
 _CONST = struct.Struct("<d")
 _CRC_GROUP = struct.Struct("<H")  # blocks per CRC group (v3 only)
+_PREDICTOR = struct.Struct("<B")  # predictor tag (FLAG_PREDICTOR_ID only)
 
 
 @dataclass(frozen=True)
@@ -93,7 +105,8 @@ class StreamHeader:
     shape: tuple[int, ...]
     eps: float
     constant: float | None = None
-    predictor: str = "blocked1d"  # or "nd"
+    #: Canonical registry name (see :mod:`repro.core.predictors`).
+    predictor: str = "lorenzo1d"
     dtype: str = "f4"  # "f4" or "f8": reconstruction precision
     indexed: bool = False
     version: int = FORMAT_VERSION
@@ -171,10 +184,16 @@ class StreamHeader:
         ]
         parts.extend(_DIM.pack(d) for d in self.shape)
         flags = FLAG_CONSTANT if self.constant is not None else 0
-        if self.predictor == "nd":
+        try:
+            pred = get_predictor(self.predictor)
+        except CompressionError as exc:
+            raise FormatError(str(exc)) from None
+        predictor_tag: int | None = None
+        if pred.name == "nd":
             flags |= FLAG_ND_PREDICTOR
-        elif self.predictor != "blocked1d":
-            raise FormatError(f"unknown predictor {self.predictor!r}")
+        elif pred.name != "lorenzo1d":
+            flags |= FLAG_PREDICTOR_ID
+            predictor_tag = pred.tag
         if self.dtype == "f8":
             flags |= FLAG_F64
         elif self.dtype != "f4":
@@ -188,6 +207,8 @@ class StreamHeader:
             parts.append(_CONST.pack(self.constant))
         if self.checksum:
             parts.append(_CRC_GROUP.pack(self.crc_group))
+        if predictor_tag is not None:
+            parts.append(_PREDICTOR.pack(predictor_tag))
         return b"".join(parts)
 
     @classmethod
@@ -250,13 +271,40 @@ class StreamHeader:
             pos += _CRC_GROUP.size
             if crc_group < 1:
                 raise FormatError(f"corrupt crc_group {crc_group}")
+        if flags & FLAG_PREDICTOR_ID and flags & FLAG_ND_PREDICTOR:
+            raise FormatError(
+                "both the legacy nd flag and the predictor-id flag are set"
+            )
+        if flags & FLAG_PREDICTOR_ID:
+            chunk = bytes(stream[pos : pos + _PREDICTOR.size])
+            if len(chunk) < _PREDICTOR.size:
+                raise FormatError("stream truncated in predictor tag")
+            tag = _PREDICTOR.unpack(chunk)[0]
+            pos += _PREDICTOR.size
+            try:
+                pred = predictor_from_tag(tag)
+            except CompressionError:
+                raise FormatError(
+                    f"unknown predictor tag {tag}; the stream needs a "
+                    "newer decoder"
+                ) from None
+            if pred.name in ("lorenzo1d", "nd"):
+                raise FormatError(
+                    f"predictor {pred.name!r} must use its legacy flag "
+                    "encoding, not an explicit tag"
+                )
+            predictor = pred.name
+        elif flags & FLAG_ND_PREDICTOR:
+            predictor = "nd"
+        else:
+            predictor = "lorenzo1d"
         header = cls(
             header_width=header_width,
             block_size=block_size,
             shape=tuple(int(d) for d in dims),
             eps=eps,
             constant=constant,
-            predictor="nd" if flags & FLAG_ND_PREDICTOR else "blocked1d",
+            predictor=predictor,
             dtype="f8" if flags & FLAG_F64 else "f4",
             indexed=indexed,
             version=version,
@@ -273,7 +321,7 @@ def make_header(
     header_width: int = CERESZ_HEADER_BYTES,
     block_size: int = BLOCK_SIZE,
     constant: float | None = None,
-    predictor: str = "blocked1d",
+    predictor: str = "lorenzo1d",
     dtype: str = "f4",
     indexed: bool = False,
     checksum: bool = False,
@@ -281,6 +329,10 @@ def make_header(
 ) -> StreamHeader:
     """Convenience constructor used by the compressors."""
     arr_shape = tuple(int(d) for d in np.atleast_1d(np.asarray(shape)).tolist())
+    try:
+        predictor = get_predictor(predictor).name
+    except CompressionError as exc:
+        raise FormatError(str(exc)) from None
     if checksum:
         indexed = True
         version = FORMAT_VERSION_CHECKSUM

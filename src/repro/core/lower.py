@@ -75,6 +75,7 @@ from repro.core.plan import (
     node_buffers,
 )
 from repro.config import CERESZ_HEADER_BYTES
+from repro.core.predictors import get_predictor
 from repro.core.stages import compression_substages, decompression_substages
 from repro.errors import ScheduleError
 from repro.wse.color import Color, ColorAllocator
@@ -278,9 +279,17 @@ def _make_fast_compress(
     differences are mechanical: costs are precomputed at lowering time
     instead of re-derived per block, and all ``fl`` bit planes are packed
     in one vectorized call instead of ``fl`` separate ones.
+
+    Prediction dispatches through the plan's registered block-local
+    predictor (``plan.predictor``); the default ``lorenzo1d`` performs the
+    exact first-difference arithmetic the stepped path's ``lorenzo``
+    sub-stage does. Other predictors keep the ``lorenzo`` cost entry: the
+    cycle model prices "the prediction sub-stage", and every block-local
+    predictor is the same O(block) pass.
     """
     block_size = plan.block_size
     eps = plan.eps
+    pred = get_predictor(plan.predictor)
     fixed_costs = (
         ("multiplication", model.multiplication.cycles(block_size)),
         ("addition", model.addition.cycles(block_size)),
@@ -308,8 +317,7 @@ def _make_fast_compress(
 
     def compress(ctx: TaskContext) -> bytes:
         codes = np.floor(ctx.buffer("inbox") / (2.0 * eps) + 0.5)
-        residuals = codes.copy()
-        residuals[1:] -= codes[:-1]
+        residuals = pred.predict_blocks(codes[None, :])[0]
         signs = np.packbits(
             (residuals < 0).reshape(-1, 8), axis=-1, bitorder="little"
         )
@@ -398,7 +406,11 @@ def _lower_compute(
     c_go = cmap[node.go]
     my = list(node.blocks)
     stages = compression_substages(64, block_size, model)  # superset plan
-    fast = _make_fast_compress(plan, model, nc) if fast_kernels else None
+    # The stepped sub-stage machine models the paper's 1-D Lorenzo
+    # pipeline; any other block-local predictor always runs through the
+    # fused kernel, which dispatches on plan.predictor.
+    use_fast = fast_kernels or plan.predictor != "lorenzo1d"
+    fast = _make_fast_compress(plan, model, nc) if use_fast else None
     progress = {"next": 0}
 
     def recv(ctx: TaskContext) -> None:
@@ -495,7 +507,10 @@ def _lower_relay(
 
     if node.group is None:
         stages = compression_substages(64, block_size, model)
-        fast = _make_fast_compress(plan, model, nc) if fast_kernels else None
+        # Same rule as _lower_compute: the stepped machine is the 1-D
+        # Lorenzo model; other predictors take the fused kernel.
+        use_fast = fast_kernels or plan.predictor != "lorenzo1d"
+        fast = _make_fast_compress(plan, model, nc) if use_fast else None
 
         def consume(ctx: TaskContext) -> None:
             idx = my[box["done"]]

@@ -1,107 +1,56 @@
-"""CereSZ-ND: the higher-dimensional Lorenzo variant.
+"""CereSZ-ND: the higher-dimensional Lorenzo variant (thin alias).
 
 The paper (Section 3, step 2) notes that CereSZ *can* support
 multi-dimensional Lorenzo prediction — which aggregates more spatial
 information and improves the ratio — but ships the 1-D block-local form
 because it needs only the preceding point and keeps memory access
-coalesced. This module implements the extension: the same container and
-fixed-length block encoding, with residuals produced by the N-D Lorenzo
-operator over the whole array.
+coalesced. This variant is now just the base codec with the registered
+``nd`` whole-array predictor selected (see :mod:`repro.core.predictors`);
+the former copy-paste ``compress`` override is gone, so CereSZ-ND gains
+everything the base class has — the fused encode split, psnr/checksum
+modes, and jobs-invariant sharding (whole-array predictors predict once,
+then the shard engine parallelizes the block encode).
 
 What changes and what does not:
 
 * *Ratio*: on multi-dimensional fields the N-D residuals are narrower and
   blocks no longer carry an absolute "leader" value, so many more blocks
   hit the zero-block fast path — ratios rise toward the 32x cap.
-* *Mapping*: decompression now needs the N-D prefix-sum reconstruction
-  over the full array, which is **not** block-local — this variant cannot
+* *Mapping*: decompression needs the N-D prefix-sum reconstruction over
+  the full array, which is **not** block-local — this predictor cannot
   run block-parallel on the wafer without inter-PE communication. That is
-  precisely the trade the paper declines; CereSZ-ND is a host-side
-  extension, and its existence documents the cost of the wafer's
-  constraint.
+  precisely the trade the paper declines (the ``whole_array`` locality
+  contract); CereSZ-ND is a host-side extension, and its existence
+  documents the cost of the wafer's constraint.
 
-Streams are tagged with the ND-predictor flag so either compressor's
-``decompress`` reconstructs correctly.
+Streams carry the predictor in the container header, so either
+compressor's ``decompress`` reconstructs correctly.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.config import BLOCK_SIZE, CERESZ_HEADER_BYTES
-from repro.errors import CompressionError
-from repro.core.blocks import partition_blocks
-from repro.core.compressor import CereSZ, CompressionResult, assemble_stream
-from repro.core.encoding import block_fixed_lengths, encode_blocks
-from repro.core.format import make_header
-from repro.core.lorenzo import lorenzo_predict_nd
-from repro.core.quantize import prequantize_verified
+from repro.core.compressor import CereSZ
 
 
 class CereSZND(CereSZ):
-    """CereSZ with full-array N-D Lorenzo prediction (host-side extension)."""
+    """CereSZ with full-array N-D Lorenzo prediction (host-side extension).
+
+    Equivalent to ``CereSZ(predictor="nd")``; kept as a named class for
+    the benchmark tables and backwards compatibility.
+    """
 
     name = "CereSZ-ND"
     device = "CS-2"
 
-    def compress(
+    def __init__(
         self,
-        data: np.ndarray,
+        block_size: int = BLOCK_SIZE,
+        header_width: int = CERESZ_HEADER_BYTES,
         *,
-        eps: float | None = None,
-        rel: float | None = None,
-        index: bool | None = None,
-        jobs: int | None = None,
-    ) -> CompressionResult:
-        if jobs is not None:
-            from repro.core.parallel import compress_sharded
-
-            # Shards are flat slices, so each shard's "N-D" prediction
-            # degenerates to 1-D over its slice — self-consistent, but a
-            # different stream than whole-array prediction.
-            return compress_sharded(
-                data,
-                eps=eps,
-                rel=rel,
-                codec=self,
-                jobs=jobs,
-                index=True if index is None else index,
-            )
-        index = bool(index)
-        arr = np.asarray(data)
-        if arr.size == 0:
-            raise CompressionError("cannot compress an empty array")
-        if not np.issubdtype(arr.dtype, np.floating):
-            raise CompressionError(
-                f"CereSZ-ND compresses floating-point fields, got {arr.dtype}"
-            )
-        bound = self.resolve_error_bound(arr, eps, rel)
-        out_dtype = np.float64 if arr.dtype == np.float64 else np.float32
-        if bound is None:
-            return self._compress_constant(arr)
-
-        codes, eps_eff = prequantize_verified(arr, bound, dtype=out_dtype)
-        residuals_nd = lorenzo_predict_nd(codes.reshape(arr.shape))
-        blocks, n = partition_blocks(residuals_nd, self.block_size)
-        fl = block_fixed_lengths(blocks)
-        body = encode_blocks(blocks, self.header_width)
-        header = make_header(
-            arr.shape,
-            eps_eff,
-            header_width=self.header_width,
-            block_size=self.block_size,
-            predictor="nd",
-            dtype="f8" if out_dtype == np.float64 else "f4",
-            indexed=index,
+        fast: bool = True,
+        predictor: str = "nd",
+    ):
+        super().__init__(
+            block_size, header_width, fast=fast, predictor=predictor
         )
-        return CompressionResult(
-            stream=assemble_stream(header, fl, body),
-            eps=bound,
-            original_bytes=n * arr.dtype.itemsize,
-            shape=tuple(arr.shape),
-            fixed_lengths=fl,
-            zero_block_fraction=float(np.mean(fl == 0)) if fl.size else 0.0,
-        )
-
-    # decompress is inherited: the base CereSZ dispatches on the stream's
-    # predictor flag (and handles indexed v2 and sharded containers).

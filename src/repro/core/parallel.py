@@ -30,6 +30,14 @@ recomputed per shard would drift with each shard's local value range and
 break the global guarantee — then every shard is compressed under the
 resulting absolute bound.
 
+Whole-array predictors (``whole_array`` locality in
+:mod:`repro.core.predictors`) take a different route entirely: their
+prediction cannot be cut at shard boundaries without changing the math,
+so the engine predicts once over the full array and parallelizes only
+the block-local residual *encode*, emitting one plain CSZ1 stream that
+is byte-identical for every ``jobs=`` value (see
+:func:`_compress_predicted_sharded`).
+
 Workers run in threads: the hot kernels are NumPy calls that release the
 GIL, and threads avoid pickling multi-megabyte streams across process
 boundaries.
@@ -285,6 +293,109 @@ def _compress_shard_worker(args):
     )
 
 
+def _encode_range_worker(args):
+    """Module-level (hence process-picklable) residual-range encode."""
+    blocks, header_bytes, fast = args
+    if fast:
+        from repro.core.fastpath import fused_encode_blocks
+
+        return fused_encode_blocks(blocks, header_bytes=header_bytes)
+    from repro.core.encoding import block_fixed_lengths, encode_blocks
+
+    return block_fixed_lengths(blocks), encode_blocks(blocks, header_bytes)
+
+
+def _compress_predicted_sharded(
+    arr: np.ndarray,
+    bound: float,
+    codec,
+    jobs: int,
+    shard_elements: int,
+    index: bool,
+    metrics,
+    checksum: bool,
+    crc_group: int | None,
+    timeout: float | None,
+    retries: int,
+    processes: bool,
+):
+    """Whole-array predictors: predict once, shard only the block encode.
+
+    A whole-array predictor's transform spans the full field, so cutting
+    the *data* into shards would silently change what gets predicted (the
+    old ``CereSZND.compress(jobs=...)`` bug: each shard degenerated to
+    1-D prediction over its slice and the stream differed from serial).
+    Instead, quantization and prediction run once over the whole array —
+    both are vectorized single passes — and the pool parallelizes the
+    expensive part that *is* block-local: sign split, bit-length scan,
+    and bit-shuffle over ranges of residual blocks. The output is one
+    plain CSZ1 stream, byte-identical for every ``jobs=`` value and to
+    the serial ``compress()`` under the same container options.
+    """
+    from repro.core.blocks import partition_blocks
+    from repro.core.compressor import CompressionResult, assemble_stream
+    from repro.core.format import DEFAULT_CRC_GROUP, make_header
+    from repro.core.quantize import prequantize_verified
+
+    out_dtype = np.float64 if arr.dtype == np.float64 else np.float32
+    codes, eps_eff = prequantize_verified(arr, bound, dtype=out_dtype)
+    residuals_nd = codec.predictor.predict(codes)
+    blocks, n = partition_blocks(residuals_nd, codec.block_size)
+    num_blocks = int(blocks.shape[0])
+    shard_blocks = max(shard_elements // codec.block_size, 1)
+    ranges = [
+        (b0, min(b0 + shard_blocks, num_blocks))
+        for b0 in range(0, num_blocks, shard_blocks)
+    ]
+    work = [
+        (blocks[b0:b1], codec.header_width, codec.fast) for b0, b1 in ranges
+    ]
+    if timeout is not None or retries > 0 or processes:
+        results, _ = run_pool_resilient(
+            _encode_range_worker, work, jobs,
+            processes=processes, timeout=timeout, retries=retries,
+            metrics=metrics,
+        )
+    else:
+        results = run_pool(_encode_range_worker, work, jobs)
+    fl = (
+        np.concatenate([r[0] for r in results])
+        if results
+        else np.zeros(0, dtype=np.int64)
+    )
+    body = b"".join(r[1] for r in results)
+    header = make_header(
+        arr.shape,
+        eps_eff,
+        header_width=codec.header_width,
+        block_size=codec.block_size,
+        predictor=codec.predictor.name,
+        dtype="f8" if out_dtype == np.float64 else "f4",
+        indexed=index,
+        checksum=checksum,
+        crc_group=DEFAULT_CRC_GROUP if crc_group is None else int(crc_group),
+    )
+    stream = assemble_stream(header, fl, body)
+    if metrics is not None:
+        metrics.counter(
+            "host.shards", "super-shards compressed by the shard engine"
+        ).inc(len(ranges), direction="compress")
+        metrics.counter("host.bytes_in", "bytes entering the host codec").inc(
+            arr.size * arr.dtype.itemsize, direction="compress"
+        )
+        metrics.counter("host.bytes_out", "bytes leaving the host codec").inc(
+            len(stream), direction="compress"
+        )
+    return CompressionResult(
+        stream=stream,
+        eps=bound,
+        original_bytes=n * arr.dtype.itemsize,
+        shape=tuple(arr.shape),
+        fixed_lengths=fl,
+        zero_block_fraction=float(np.mean(fl == 0)) if fl.size else 0.0,
+    )
+
+
 def _decompress_shard_worker(args):
     """Module-level (hence process-picklable) shard decompression."""
     codec, payload = args
@@ -355,6 +466,13 @@ def compress_sharded(
         )
     # Align shards to block boundaries so the shard cut never splits a block.
     shard_elements -= shard_elements % codec.block_size
+
+    pred = getattr(codec, "predictor", None)
+    if pred is not None and not pred.block_local:
+        return _compress_predicted_sharded(
+            arr, bound, codec, resolve_jobs(jobs), shard_elements, index,
+            metrics, checksum, crc_group, timeout, retries, processes,
+        )
 
     flat = arr.reshape(-1)
     bounds = _shard_bounds(flat.size, shard_elements)

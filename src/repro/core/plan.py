@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.config import BLOCK_SIZE, PE_NUM_COLORS
 from repro.core.mapping_decompress import records_to_words
+from repro.core.predictors import Predictor, get_predictor
 from repro.core.schedule import StageDistribution
 from repro.core.stages import SubStage
 from repro.errors import CompressionError, ScheduleError
@@ -50,6 +51,51 @@ from repro.errors import CompressionError, ScheduleError
 MAX_RECORD_FL = 63
 
 _DTYPE_BYTES = {"float64": 8, "int64": 8}
+
+
+def wafer_predictor(predictor: str | Predictor) -> Predictor:
+    """Resolve a predictor for wafer lowering; block-local only.
+
+    The wafer mapping assigns whole blocks to PEs with no inter-PE data
+    dependencies — exactly the ``block_local`` locality contract of
+    :mod:`repro.core.predictors`. Whole-array predictors need the full
+    field for their global inverse (the trade paper Section 3 declines),
+    so they cannot be placed on the mesh and are rejected here with the
+    contract spelled out.
+    """
+    try:
+        pred = get_predictor(predictor)
+    except CompressionError as exc:
+        raise ScheduleError(str(exc)) from exc
+    if not pred.block_local:
+        raise ScheduleError(
+            f"predictor {pred.name!r} declares locality {pred.locality!r}; "
+            f"the wafer mapping requires 'block_local' prediction — "
+            f"whole-array reconstruction needs inter-PE communication, "
+            f"which is the trade the paper's block design declines "
+            f"(Section 3). Decompress/compress such streams on the host."
+        )
+    return pred
+
+
+def _staged_predictor(predictor: str | Predictor) -> Predictor:
+    """Like :func:`wafer_predictor`, plus the staged-pipeline restriction.
+
+    The Algorithm-1 sub-stage decomposition (``compression_substages``)
+    models the paper's 1-D Lorenzo pipeline stage for stage; other
+    block-local predictors run whole-block on one PE (``rows`` / ``multi``
+    strategies) but have no sub-stage split to distribute.
+    """
+    pred = wafer_predictor(predictor)
+    if pred.name != "lorenzo1d":
+        raise ScheduleError(
+            f"staged pipelines distribute the paper's 1-D Lorenzo "
+            f"sub-stages (Algorithm 1) and support only the 'lorenzo1d' "
+            f"predictor; {pred.name!r} is block-local and maps onto the "
+            f"whole-block strategies ('rows', 'multi' with "
+            f"pipeline_length=1) instead"
+        )
+    return pred
 
 
 # --- typed edges -----------------------------------------------------------------------
@@ -255,11 +301,17 @@ class MappingPlan:
     #: it deliberately covers only its own rows' blocks, so validation
     #: skips the whole-field block-coverage check.
     partial: bool = False
+    #: Registered block-local predictor the lowered kernels apply between
+    #: quantization and encoding (compression direction). Whole-array
+    #: predictors never reach a plan — constructors reject them via
+    #: :func:`wafer_predictor`.
+    predictor: str = "lorenzo1d"
 
     # -- validation ---------------------------------------------------------------
 
     def validate(self) -> None:
         """Plan-level checks that catch mapping bugs before any simulation."""
+        wafer_predictor(self.predictor)
         if len(self.colors) > PE_NUM_COLORS:
             raise ScheduleError(
                 f"plan needs {len(self.colors)} colors, hardware has "
@@ -336,6 +388,7 @@ class MappingPlan:
             "mesh": [self.rows, self.cols],
             "block_size": self.block_size,
             "num_blocks": self.num_blocks,
+            "predictor": self.predictor,
             "state_len": self.state_len,
             "colors": list(self.colors),
             "routes": [
@@ -355,7 +408,7 @@ class MappingPlan:
             f"mapping plan: strategy={self.strategy} "
             f"direction={self.direction} mesh={self.rows}x{self.cols}",
             f"blocks: {self.num_blocks} x {self.block_size} values "
-            f"(eps {self.eps:g})",
+            f"(eps {self.eps:g}, predictor {self.predictor})",
             f"colors: {used}/{budget} [{', '.join(self.colors)}]",
             f"routes: {len(self.routes)}   feeds: {len(self.feeds)}"
             + (f"   state_len: {self.state_len}" if self.state_len else ""),
@@ -552,6 +605,7 @@ def split_rows(plan: MappingPlan, parts: int) -> list[MappingPlan]:
                 feeds=tuple(f for f in plan.feeds if f.row in rowset),
                 state_len=plan.state_len,
                 partial=True,
+                predictor=plan.predictor,
             )
         )
     return subs
@@ -576,9 +630,15 @@ def _pipeline_state_len(block_size: int, distribution: StageDistribution) -> int
 
 
 def plan_row_parallel(
-    blocks: np.ndarray, eps: float, *, rows: int, cols: int
+    blocks: np.ndarray,
+    eps: float,
+    *,
+    rows: int,
+    cols: int,
+    predictor: str = "lorenzo1d",
 ) -> MappingPlan:
     """Fig 6 left: the whole algorithm on the first PE of each row."""
+    pred = wafer_predictor(predictor)
     num_blocks, block_size = blocks.shape
     routes: list[RouteSpec] = []
     nodes: list[Node] = []
@@ -604,6 +664,7 @@ def plan_row_parallel(
         routes=tuple(routes),
         nodes=tuple(nodes),
         feeds=feeds,
+        predictor=pred.name,
     )
 
 
@@ -614,8 +675,10 @@ def plan_pipeline(
     *,
     rows: int,
     cols: int,
+    predictor: str = "lorenzo1d",
 ) -> MappingPlan:
     """Fig 6 middle: one Algorithm-1 pipeline per row, state flowing east."""
+    pred = _staged_predictor(predictor)
     num_blocks, block_size = blocks.shape
     pl = distribution.length
     if pl > cols:
@@ -669,6 +732,7 @@ def plan_pipeline(
         nodes=tuple(nodes),
         feeds=feeds,
         state_len=state_len,
+        predictor=pred.name,
     )
 
 
@@ -679,8 +743,10 @@ def plan_multi_pipeline(
     rows: int,
     cols: int,
     pipeline_length: int = 1,
+    predictor: str = "lorenzo1d",
 ) -> MappingPlan:
     """Fig 9: every PE of a row relays then compresses whole blocks."""
+    pred = wafer_predictor(predictor)
     if pipeline_length != 1:
         raise ScheduleError(
             "the multi-pipeline builder models pipeline_length=1 (the "
@@ -750,6 +816,7 @@ def plan_multi_pipeline(
         routes=tuple(routes),
         nodes=tuple(nodes),
         feeds=tuple(feeds),
+        predictor=pred.name,
     )
 
 
@@ -760,8 +827,10 @@ def plan_staged_multi_pipeline(
     *,
     rows: int,
     cols: int,
+    predictor: str = "lorenzo1d",
 ) -> MappingPlan:
     """Fig 6 right in full generality: P staged pipelines per row."""
+    pred = _staged_predictor(predictor)
     num_blocks, block_size = blocks.shape
     pl = distribution.length
     if pl > cols:
@@ -876,6 +945,7 @@ def plan_staged_multi_pipeline(
         nodes=tuple(nodes),
         feeds=tuple(feeds),
         state_len=state_len,
+        predictor=pred.name,
     )
 
 

@@ -31,6 +31,7 @@ from repro.core.plan import (
     plan_row_parallel,
     plan_row_parallel_decompress,
     plan_staged_multi_pipeline,
+    wafer_predictor,
 )
 from repro.core.quantize import prequantize_verified
 from repro.core.schedule import distribute_substages, estimate_fixed_length
@@ -84,6 +85,7 @@ class WSECereSZ:
         sample_every: int = 1,
         collect_metrics: bool = False,
         faults=None,
+        predictor: str = "lorenzo1d",
     ):
         if strategy not in STRATEGIES:
             raise ScheduleError(
@@ -126,7 +128,10 @@ class WSECereSZ:
         #: structured ``report``; clean completion under injection means
         #: the mapping absorbed the fault.
         self.faults = faults
-        self._reference = CereSZ(block_size=block_size)
+        #: Block-local predictor the lowered kernels apply (whole-array
+        #: predictors are rejected here, before any plan is built).
+        self.predictor = wafer_predictor(predictor).name
+        self._reference = CereSZ(block_size=block_size, predictor=self.predictor)
 
     def _observers(self) -> tuple[Tracer | None, MetricsRegistry | None]:
         tracer = (
@@ -179,6 +184,7 @@ class WSECereSZ:
             eps_eff,
             header_width=self._reference.header_width,
             block_size=self.block_size,
+            predictor=self.predictor,
         )
         stream = header.pack() + body
         result = CompressionResult(
@@ -221,6 +227,12 @@ class WSECereSZ:
         if header.header_width != 4:
             raise CompressionError(
                 "wafer decompression handles the CereSZ 4-byte-header format"
+            )
+        if header.predictor != "lorenzo1d":
+            raise CompressionError(
+                f"wafer decompression models the 1-D Lorenzo inverse; this "
+                f"stream was written with predictor {header.predictor!r} — "
+                f"decode it on the host with decompress()"
             )
         if header.checksum:
             # Verify on the host, then skip the integrity tables: the
@@ -315,7 +327,11 @@ class WSECereSZ:
     ) -> MappingPlan:
         if self.strategy == "rows":
             return plan_row_parallel(
-                raw_blocks, eps_eff, rows=self.rows, cols=self.cols
+                raw_blocks,
+                eps_eff,
+                rows=self.rows,
+                cols=self.cols,
+                predictor=self.predictor,
             )
         if self.strategy == "pipeline":
             return plan_pipeline(
@@ -324,6 +340,7 @@ class WSECereSZ:
                 self._distribution(raw_blocks, eps_eff),
                 rows=self.rows,
                 cols=self.cols,
+                predictor=self.predictor,
             )
         if self.pipeline_length == 1:
             return plan_multi_pipeline(
@@ -332,6 +349,7 @@ class WSECereSZ:
                 rows=self.rows,
                 cols=self.cols,
                 pipeline_length=1,
+                predictor=self.predictor,
             )
         # Fig 6 right in full generality: several staged pipelines per row.
         return plan_staged_multi_pipeline(
@@ -340,6 +358,7 @@ class WSECereSZ:
             self._distribution(raw_blocks, eps_eff),
             rows=self.rows,
             cols=self.cols,
+            predictor=self.predictor,
         )
 
     def _distribution(self, raw_blocks: np.ndarray, eps_eff: float):

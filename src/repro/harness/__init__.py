@@ -14,6 +14,7 @@ from repro.harness.tables import (
     table3_encoding_breakdown,
     table4_datasets,
     table5_compression_ratio,
+    table5_predictor_comparison,
 )
 from repro.harness.figures import (
     fig7_row_scaling,
@@ -39,6 +40,7 @@ __all__ = [
     "table3_encoding_breakdown",
     "table4_datasets",
     "table5_compression_ratio",
+    "table5_predictor_comparison",
     "fig7_row_scaling",
     "fig10_relay_and_execution",
     "fig11_compression_throughput",

@@ -228,3 +228,59 @@ def table5_compression_ratio(
                     )
                 )
     return rows
+
+
+#: Datasets for the predictor-comparison mode: the 2-D dataset and the
+#: smooth 3-D ones, where multi-dimensional prediction is expected to pay
+#: (NYX is deliberately included as the counterexample the sweep prints —
+#: its fields are rough enough that 1-D Lorenzo wins).
+TABLE5_PREDICTOR_DATASETS = ("CESM-ATM", "Hurricane", "QMCPack", "RTM", "NYX")
+
+
+def table5_predictor_comparison(
+    *,
+    predictors: tuple[str, ...] | None = None,
+    datasets=TABLE5_PREDICTOR_DATASETS,
+    rel_bounds=(1e-3,),
+    field_limit: int | None = 1,
+    seed: int = 0,
+) -> list[RatioRow]:
+    """Table 5, predictor mode: CereSZ with each registered predictor.
+
+    Same measurement loop as :func:`table5_compression_ratio`, but the
+    compressor axis is the predictor registry — every stream is a real
+    CereSZ container whose header carries the predictor tag. Rows are
+    labelled ``CereSZ[<predictor>]``.
+    """
+    from repro.core.compressor import CereSZ
+    from repro.core.predictors import predictor_names
+
+    if predictors is None:
+        predictors = predictor_names()
+    rows = []
+    for dataset in datasets:
+        limit = (
+            DEFAULT_FIELD_LIMITS.get(dataset)
+            if field_limit == -1
+            else field_limit
+        )
+        fields = list(iter_fields(dataset, limit=limit, seed=seed))
+        for pred in predictors:
+            codec = CereSZ(predictor=pred)
+            for rel in rel_bounds:
+                ratios = [
+                    codec.compress(arr, rel=rel).ratio for _, arr in fields
+                ]
+                lo, avg, hi = summarize_ratios(ratios)
+                rows.append(
+                    RatioRow(
+                        compressor=f"CereSZ[{pred}]",
+                        dataset=dataset,
+                        rel=rel,
+                        min=lo,
+                        avg=avg,
+                        max=hi,
+                        num_fields=len(fields),
+                    )
+                )
+    return rows
