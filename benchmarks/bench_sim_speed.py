@@ -47,9 +47,13 @@ from repro.core.plan import (  # noqa: E402
     plan_multi_pipeline,
     plan_pipeline,
     plan_row_parallel,
+    tile_rows,
 )
 from repro.core.schedule import distribute_substages  # noqa: E402
-from repro.core.simulate import simulate_plan  # noqa: E402
+from repro.core.simulate import (  # noqa: E402
+    simulate_plan,
+    simulate_replicated,
+)
 from repro.core.stages import compression_substages  # noqa: E402
 from repro.obs.metrics import MetricsRegistry  # noqa: E402
 from repro.obs.tracing import Tracer  # noqa: E402
@@ -218,6 +222,105 @@ def run_config(
     return out
 
 
+def run_hybrid_config(
+    strategy: str, rows: int, cols: int, per_row: int, repeats: int
+) -> dict:
+    """Event vs hybrid on a row-homogeneous workload (one partition class).
+
+    Hybrid simulation is exact for ANY workload; row-homogeneous data is
+    where it shines (one representative row simulated, ``rows - 1``
+    synthesized), so that is what the speed figure measures. Bytes and
+    makespans are asserted identical before any number is reported.
+    """
+    row_blocks = make_blocks(per_row, seed=11)
+    blocks = tile_rows(
+        row_blocks, rows, strategy,
+        cols=cols if strategy == "multi" else None,
+    )
+    plan_event = build_plan(strategy, rows, cols, blocks)
+    plan_hybrid = build_plan(strategy, rows, cols, blocks)
+    wall_event, run_event = best_of(
+        repeats, lambda: simulate_plan(plan_event)
+    )
+    wall_hybrid, run_hybrid = best_of(
+        repeats, lambda: simulate_plan(plan_hybrid, mode="hybrid")
+    )
+    num_blocks = blocks.shape[0]
+    if run_event.outputs.stream(num_blocks) != run_hybrid.outputs.stream(
+        num_blocks
+    ):
+        raise AssertionError(
+            f"hybrid {strategy} {rows}x{cols}: bytes diverge from event"
+        )
+    if (
+        run_event.report.makespan_cycles
+        != run_hybrid.report.makespan_cycles
+    ):
+        raise AssertionError(
+            f"hybrid {strategy} {rows}x{cols}: makespan diverges "
+            f"({run_event.report.makespan_cycles} vs "
+            f"{run_hybrid.report.makespan_cycles})"
+        )
+    if run_hybrid.mode != "hybrid" or len(run_hybrid.row_classes) != 1:
+        raise AssertionError(
+            f"hybrid {strategy} {rows}x{cols}: expected one partition "
+            f"class, got mode={run_hybrid.mode} "
+            f"classes={run_hybrid.row_classes}"
+        )
+    return {
+        "strategy": strategy,
+        "rows": rows,
+        "cols": cols,
+        "num_blocks": num_blocks,
+        "event_wall_s": wall_event,
+        "hybrid_wall_s": wall_hybrid,
+        "speedup_hybrid": wall_event / wall_hybrid if wall_hybrid else 0.0,
+        "makespan_cycles": run_event.report.makespan_cycles,
+        "row_classes": len(run_hybrid.row_classes),
+    }
+
+
+#: The full-wafer Fig 14 point: one 994-column multi-pipeline row
+#: template replicated across all 750 rows.
+WAFER_ROWS, WAFER_COLS = 750, 994
+
+
+def run_wafer_point() -> dict:
+    """Time the full 750x994 wafer via the replication fast path.
+
+    The full plan (~745k PEs) is never materialized: the 1-row template
+    is event-simulated once and composed 750 times. Reports wall time,
+    makespan, and the Eq. 4 cross-check gap.
+    """
+    from repro.perf.model import hybrid_model_gap
+    from repro.perf.wafer import measure_workload
+
+    row_blocks = make_blocks(WAFER_COLS, seed=13)
+    t0 = time.perf_counter()
+    template = plan_multi_pipeline(
+        row_blocks, EPS, rows=1, cols=WAFER_COLS
+    )
+    run = simulate_replicated(template, WAFER_ROWS)
+    wall = time.perf_counter() - t0
+    workload = measure_workload(row_blocks.reshape(-1), EPS)
+    makespan = run.report.makespan_cycles
+    return {
+        "rows": WAFER_ROWS,
+        "cols": WAFER_COLS,
+        "num_blocks": WAFER_ROWS * WAFER_COLS,
+        "wall_s": wall,
+        "makespan_cycles": makespan,
+        "events": run.report.events_processed,
+        "model_gap": hybrid_model_gap(
+            makespan,
+            num_blocks=WAFER_ROWS * WAFER_COLS,
+            rows=WAFER_ROWS,
+            total_cols=WAFER_COLS,
+            block_cycles=workload.mean_cycles("compress"),
+        ),
+    }
+
+
 def render(configs: list[dict], jobs: int) -> str:
     lines = [
         "WSE simulator speed: legacy vs optimized engine vs row-parallel",
@@ -248,6 +351,41 @@ def render(configs: list[dict], jobs: int) -> str:
         " registry — 'obs %' is its wall-time overhead; parallel:",
         " optimized + row partitions across processes. All modes produce",
         " identical bytes, makespans, and counters.)",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def render_hybrid(hybrid_configs: list[dict], wafer: dict | None) -> str:
+    lines = [
+        "Hybrid (hierarchical) vs full event simulation, row-homogeneous "
+        "workloads",
+        "",
+        f"{'config':<20} {'blocks':>6} {'event s':>9} {'hybrid s':>9} "
+        f"{'hyb x':>6} {'classes':>8}",
+    ]
+    for c in hybrid_configs:
+        label = f"{c['strategy']} {c['rows']}x{c['cols']}"
+        lines.append(
+            f"{label:<20} {c['num_blocks']:>6} "
+            f"{c['event_wall_s']:>9.4f} "
+            f"{c['hybrid_wall_s']:>9.4f} "
+            f"{c['speedup_hybrid']:>6.2f} "
+            f"{c['row_classes']:>8}"
+        )
+    if wafer is not None:
+        lines += [
+            "",
+            f"full wafer {wafer['rows']}x{wafer['cols']} "
+            f"({wafer['num_blocks']} blocks, replication fast path): "
+            f"{wafer['wall_s']:.1f} s wall, "
+            f"{wafer['makespan_cycles']:.0f} cycles, "
+            f"Eq.4 gap {wafer['model_gap']:+.3f}",
+        ]
+    lines += [
+        "",
+        "(hybrid: one representative row event-simulated per partition",
+        " class, member rows composed analytically; bytes and makespans",
+        " asserted identical to the event runs above.)",
     ]
     return "\n".join(lines) + "\n"
 
@@ -283,6 +421,15 @@ def main(argv=None) -> int:
         "benchmark config exceeds this fraction (acceptance bar: 0.05)",
     )
     parser.add_argument(
+        "--wafer-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="also time the full 750x994 wafer Fig 14 point through the "
+        "hybrid replication fast path and fail if it takes longer than "
+        "this many seconds wall clock",
+    )
+    parser.add_argument(
         "--json-out",
         default=os.path.normpath(
             os.path.join(
@@ -312,7 +459,20 @@ def main(argv=None) -> int:
                 )
             )
 
+    # Hybrid smoke rides along in every run (including --quick / CI):
+    # row-homogeneous workloads on the small mesh, every strategy,
+    # asserting event/hybrid byte and makespan equality.
+    hybrid_configs = []
+    for strategy in ("rows", "pipeline", "multi"):
+        _, rows, cols, per_row = meshes[0]
+        use_cols = 1 if strategy == "rows" else cols
+        hybrid_configs.append(
+            run_hybrid_config(strategy, rows, use_cols, per_row, repeats)
+        )
+    wafer = run_wafer_point() if args.wafer_budget is not None else None
+
     report = render(configs, args.jobs)
+    report += "\n" + render_hybrid(hybrid_configs, wafer)
     print(report, end="")
 
     fig7 = max(
@@ -333,6 +493,9 @@ def main(argv=None) -> int:
         "max_obs_overhead_config": (
             f"{worst_obs['strategy']} {worst_obs['rows']}x{worst_obs['cols']}"
         ),
+        "hybrid_configs": hybrid_configs,
+        "wafer": wafer,
+        "wafer_budget_s": args.wafer_budget,
     }
     with open(args.json_out, "w") as fh:
         json.dump(payload, fh, indent=2)
@@ -371,6 +534,13 @@ def main(argv=None) -> int:
                 failed = True
         if failed:
             return 1
+    if wafer is not None and wafer["wall_s"] > args.wafer_budget:
+        print(
+            f"FAIL: full-wafer point took {wafer['wall_s']:.1f} s, over "
+            f"the {args.wafer_budget:.1f} s budget",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

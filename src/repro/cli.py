@@ -20,8 +20,10 @@ Subcommands::
     ceresz validate                                # calibration + model audit
     ceresz reproduce  [--out DIR] [--quick]        # everything + REPORT.md
     ceresz simulate   IN.f32 --rows R --cols C --strategy multi
-                      [--jobs N] [--profile] [--trace T.json] [--metrics]
-                      [--trace-level L] [--sample-every N]  # alias: sim
+                      [--mode {event,hybrid}] [--tile-rows]
+                      [--jobs N|auto] [--profile] [--trace T.json]
+                      [--metrics] [--trace-level L] [--sample-every N]
+                      # alias: sim
     ceresz trace      T.json [--top N]    # summarize a saved trace
 
 Tables and figures print in the same layout the benchmarks log; the
@@ -39,6 +41,13 @@ from repro import CereSZ, __version__
 from repro.core.predictors import predictor_names
 from repro.datasets import generate_field, get_dataset, load_f32, save_f32
 from repro.metrics.errorbound import max_abs_error
+
+
+def _jobs_arg(value: str):
+    """``--jobs`` accepts a worker count or ``auto`` (size to the host)."""
+    if value == "auto":
+        return value
+    return int(value)
 
 
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
@@ -234,8 +243,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate only the first N blocks (event-level sim is slow)",
     )
     p.add_argument(
-        "--jobs", type=int, default=1,
-        help="row-parallel worker processes (results identical for any N)",
+        "--mode", choices=("event", "hybrid"), default="event",
+        help="'event' simulates every PE; 'hybrid' event-simulates one "
+        "representative per homogeneous row class and replicates the "
+        "rest analytically (cycle-exact, orders of magnitude faster at "
+        "wafer scale)",
+    )
+    p.add_argument(
+        "--tile-rows", action="store_true",
+        help="treat the input as ONE row's data and replicate it across "
+        "all --rows rows (the wafer-scale fast path: the full plan is "
+        "never materialized)",
+    )
+    p.add_argument(
+        "--jobs", type=_jobs_arg, default=1, metavar="N|auto",
+        help="row-parallel worker processes, or 'auto' to size to the "
+        "host (results identical for any value)",
     )
     p.add_argument(
         "--profile", action="store_true",
@@ -781,23 +804,29 @@ def _cmd_simulate(args) -> int:
         strategy=args.strategy,
         pipeline_length=args.pipeline_length,
         jobs=args.jobs,
+        mode=args.mode,
         trace_level=trace_level,
         sample_every=args.sample_every,
         collect_metrics=args.metrics or bool(args.trace),
         faults=faults,
         predictor=args.predictor,
     )
+    compress_kwargs = {"rel": args.rel}
+    if args.tile_rows:
+        compress_kwargs["tile_rows"] = True
     try:
         if args.profile:
             import cProfile
             import pstats
 
             profiler = cProfile.Profile()
-            result = profiler.runcall(sim.compress, data, rel=args.rel)
+            result = profiler.runcall(
+                sim.compress, data, **compress_kwargs
+            )
             stats = pstats.Stats(profiler, stream=sys.stdout)
             stats.sort_stats("cumulative").print_stats(25)
         else:
-            result = sim.compress(data, rel=args.rel)
+            result = sim.compress(data, **compress_kwargs)
     except DeadlockError as exc:
         print(f"simulation stalled: {exc}")
         if exc.report is not None:
@@ -819,13 +848,32 @@ def _cmd_simulate(args) -> int:
             fh.write(survived.to_json())
         print(f"fault report (clean survival) -> {args.fault_report}")
     report = result.report
+    n_simulated = n * args.rows if args.tile_rows else n
     print(
-        f"simulated {n} values on {args.rows}x{args.cols} mesh "
+        f"simulated {n_simulated} values on {args.rows}x{args.cols} mesh "
         f"({args.strategy}): makespan {report.makespan_cycles:.0f} cycles, "
         f"{report.events_processed} events, {report.tasks_run} tasks, "
         f"imbalance {report.trace.load_imbalance():.2f}"
     )
-    reference = CereSZ(predictor=args.predictor).compress(data, rel=args.rel)
+    if result.mode == "hybrid":
+        total_rows = sum(size for _, size in result.row_classes)
+        simulated = len(result.row_classes)
+        print(
+            f"hybrid: {simulated} row class(es), "
+            f"{simulated} representative row(s) event-simulated, "
+            f"{total_rows - simulated} synthesized"
+        )
+    if args.tile_rows:
+        # The tiled stream equals the reference compressing the row data
+        # repeated across every row (truncated to whole blocks, as the
+        # wafer path does).
+        n_row = (data.size // BLOCK_SIZE) * BLOCK_SIZE
+        reference_field = np.tile(data[:n_row], args.rows)
+    else:
+        reference_field = data
+    reference = CereSZ(predictor=args.predictor).compress(
+        reference_field, rel=args.rel
+    )
     print(
         "stream matches reference: "
         f"{result.stream == reference.stream}"

@@ -35,14 +35,15 @@ snapshot that the golden tests pin down.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dataclass_field
+import hashlib
+from dataclasses import dataclass, field as dataclass_field, replace
 
 import numpy as np
 
 from repro.config import BLOCK_SIZE, PE_NUM_COLORS
 from repro.core.mapping_decompress import records_to_words
 from repro.core.predictors import Predictor, get_predictor
-from repro.core.schedule import StageDistribution
+from repro.core.schedule import StageDistribution, counted_relay_schedule
 from repro.core.stages import SubStage
 from repro.errors import CompressionError, ScheduleError
 
@@ -611,6 +612,339 @@ def split_rows(plan: MappingPlan, parts: int) -> list[MappingPlan]:
     return subs
 
 
+# --- partition classes (hierarchical simulation) ---------------------------------------
+
+
+def _group_key(group: tuple[SubStage, ...] | None):
+    return None if group is None else tuple((s.name, s.cycles) for s in group)
+
+
+def _ordinal(omap: dict[int, int], idx: int | None) -> int | None:
+    """Map a block index to its first-appearance ordinal within one row."""
+    if idx is None:
+        return None
+    out = omap.get(idx)
+    if out is None:
+        out = omap[idx] = len(omap)
+    return out
+
+
+def _node_identity(node: Node, omap: dict[int, int]) -> str:
+    """Canonical per-row serialization of a node, block ids as ordinals.
+
+    Two rows whose node sequences serialize identically run the same task
+    graph up to a renaming of block indices and a vertical translation —
+    the two transformations the engine's timing is invariant under.
+    """
+    if isinstance(node, IngestNode):
+        return repr(("ingest", node.col, node.color))
+    if isinstance(node, EgressNode):
+        return repr(("egress", node.col))
+    if isinstance(node, ComputeNode):
+        return repr(
+            (
+                "compute",
+                node.col,
+                node.recv,
+                node.go,
+                tuple(_ordinal(omap, b) for b in node.blocks),
+            )
+        )
+    if isinstance(node, RelayNode):
+        return repr(
+            (
+                "relay",
+                node.col,
+                node.recv,
+                node.send,
+                node.go,
+                node.out,
+                tuple((p, _ordinal(omap, own)) for p, own in node.schedule),
+                tuple(_ordinal(omap, b) for b in node.blocks),
+                _group_key(node.group),
+            )
+        )
+    if isinstance(node, StageNode):
+        return repr(
+            (
+                "stage",
+                node.col,
+                node.recv,
+                node.go,
+                node.send,
+                node.first,
+                node.relay,
+                tuple(_ordinal(omap, b) for b in node.blocks),
+                _group_key(node.group),
+            )
+        )
+    if isinstance(node, HeaderNode):
+        return repr(
+            (
+                "header",
+                node.col,
+                node.recv,
+                node.hdr,
+                node.body,
+                node.send,
+                tuple(_ordinal(omap, b) for b in node.blocks),
+                _group_key(node.group),
+            )
+        )
+    raise ScheduleError(f"unknown node kind {type(node).__name__}")
+
+
+def row_fingerprints(plan: MappingPlan) -> tuple[str, ...]:
+    """Per-row structural+data fingerprint for partition-class detection.
+
+    The hash covers, per row: the plan scalars shared by every row
+    (strategy, direction, cols, block size, eps, predictor, state extent,
+    color order), the row's routes in install order, its nodes in plan
+    order with block indices replaced by first-appearance ordinals, and
+    its feeds in injection order including the payload bytes. Rows with
+    equal fingerprints are isomorphic under block-index renaming plus
+    vertical translation, so one event-driven simulation of a
+    representative reproduces every member row cycle for cycle.
+    """
+    header = repr(
+        (
+            plan.strategy,
+            plan.direction,
+            plan.cols,
+            plan.block_size,
+            float(plan.eps),
+            plan.predictor,
+            plan.state_len,
+            plan.colors,
+        )
+    ).encode()
+    hashers = [
+        hashlib.blake2b(header, digest_size=16) for _ in range(plan.rows)
+    ]
+    for route in plan.routes:
+        hashers[route.row].update(
+            repr(
+                ("R", route.col, route.color, route.inputs, route.output)
+            ).encode()
+        )
+    ordinals: list[dict[int, int]] = [{} for _ in range(plan.rows)]
+    for node in plan.nodes:
+        hashers[node.row].update(
+            _node_identity(node, ordinals[node.row]).encode()
+        )
+    for feed in plan.feeds:
+        h = hashers[feed.row]
+        h.update(
+            repr(
+                ("F", feed.col, feed.color, feed.data.dtype.str,
+                 feed.data.shape)
+            ).encode()
+        )
+        h.update(feed.data.tobytes())
+    return tuple(h.hexdigest() for h in hashers)
+
+
+def partition_classes(plan: MappingPlan) -> list[tuple[int, tuple[int, ...]]]:
+    """Group rows into equivalence classes by fingerprint.
+
+    Returns ``[(representative_row, member_rows), ...]`` ordered by first
+    appearance; the representative is the lowest member row. Heterogeneous
+    rows (ragged tails, uneven block counts, distinct data) land in
+    singleton classes and are event-simulated individually.
+    """
+    fps = row_fingerprints(plan)
+    groups: dict[str, list[int]] = {}
+    for row, fp in enumerate(fps):
+        groups.setdefault(fp, []).append(row)
+    return [(members[0], tuple(members)) for members in groups.values()]
+
+
+def row_emit_sequences(plan: MappingPlan) -> list[tuple[int, ...]]:
+    """Per-row block indices in emit order (plan node order).
+
+    Isomorphic rows emit the same *number* of blocks in the same
+    structural positions, so position ``i`` of a member row's sequence
+    corresponds to position ``i`` of its representative's — the mapping
+    hybrid composition uses to relabel the representative's records.
+    """
+    seqs: list[list[int]] = [[] for _ in range(plan.rows)]
+    for node in plan.nodes:
+        if _emits(node):
+            seqs[node.row].extend(node.blocks)
+    return [tuple(s) for s in seqs]
+
+
+def row_subplan(plan: MappingPlan, row: int) -> MappingPlan:
+    """Rebase one row of a row-partitionable plan onto a 1 x cols mesh.
+
+    Engine timing depends on column distance and per-(row, col) feed
+    clocks only, so translating a row to row 0 of a single-row mesh
+    simulates identically while the fabric shrinks from rows x cols PEs
+    to cols PEs — the step that makes a wafer-scale representative cheap.
+    Block indices are kept verbatim (they are inert labels for timing),
+    so the sub-plan is ``partial`` like a :func:`split_rows` shard.
+    """
+    if not row_partitionable(plan):
+        raise ScheduleError(
+            f"plan with strategy {plan.strategy!r} routes across rows and "
+            f"cannot be row-rebased"
+        )
+    if not (0 <= row < plan.rows):
+        raise ScheduleError(f"row {row} outside 0..{plan.rows - 1}")
+    return MappingPlan(
+        strategy=plan.strategy,
+        direction=plan.direction,
+        rows=1,
+        cols=plan.cols,
+        block_size=plan.block_size,
+        num_blocks=plan.num_blocks,
+        eps=plan.eps,
+        colors=plan.colors,
+        routes=tuple(
+            replace(r, row=0) for r in plan.routes if r.row == row
+        ),
+        nodes=tuple(replace(n, row=0) for n in plan.nodes if n.row == row),
+        feeds=tuple(
+            Feed(0, f.col, f.color, f.data)
+            for f in plan.feeds
+            if f.row == row
+        ),
+        state_len=plan.state_len,
+        partial=True,
+        predictor=plan.predictor,
+    )
+
+
+def _shift_node(node: Node, drow: int, dblock: int) -> Node:
+    if isinstance(node, IngestNode):
+        return IngestNode(node.row + drow, node.col, node.color)
+    if isinstance(node, EgressNode):
+        return EgressNode(node.row + drow, node.col)
+    if isinstance(node, ComputeNode):
+        return replace(
+            node,
+            row=node.row + drow,
+            blocks=tuple(b + dblock for b in node.blocks),
+        )
+    if isinstance(node, RelayNode):
+        return replace(
+            node,
+            row=node.row + drow,
+            blocks=tuple(b + dblock for b in node.blocks),
+            schedule=tuple(
+                (p, None if own is None else own + dblock)
+                for p, own in node.schedule
+            ),
+        )
+    if isinstance(node, (StageNode, HeaderNode)):
+        return replace(
+            node,
+            row=node.row + drow,
+            blocks=tuple(b + dblock for b in node.blocks),
+        )
+    raise ScheduleError(f"unknown node kind {type(node).__name__}")
+
+
+def replicate_rows(template: MappingPlan, copies: int) -> MappingPlan:
+    """Tile a row-partitionable template ``copies`` times down the mesh.
+
+    Copy ``k`` occupies rows ``[k * template.rows, (k+1) * template.rows)``
+    and emits block indices shifted by ``k * template.num_blocks`` — every
+    row's blocks are contiguous per copy, so the composed stream equals the
+    template's stream tiled ``copies`` times and matches the host
+    compressor run on the row data tiled ``copies`` times. Feed arrays are
+    shared between copies (the engine never mutates an in-flight payload),
+    which keeps a 750-row wafer plan's feed memory at one row's worth.
+    """
+    if copies < 1:
+        raise ScheduleError(f"copies must be >= 1, got {copies}")
+    if template.partial:
+        raise ScheduleError("cannot replicate a partial sub-plan")
+    if not row_partitionable(template):
+        raise ScheduleError(
+            f"template with strategy {template.strategy!r} routes across "
+            f"rows and cannot be replicated"
+        )
+    routes: list[RouteSpec] = []
+    nodes: list[Node] = []
+    feeds: list[Feed] = []
+    for k in range(copies):
+        if k == 0:
+            routes.extend(template.routes)
+            nodes.extend(template.nodes)
+            feeds.extend(template.feeds)
+            continue
+        drow = k * template.rows
+        dblock = k * template.num_blocks
+        routes.extend(replace(r, row=r.row + drow) for r in template.routes)
+        nodes.extend(_shift_node(n, drow, dblock) for n in template.nodes)
+        feeds.extend(
+            Feed(f.row + drow, f.col, f.color, f.data)
+            for f in template.feeds
+        )
+    return MappingPlan(
+        strategy=template.strategy,
+        direction=template.direction,
+        rows=template.rows * copies,
+        cols=template.cols,
+        block_size=template.block_size,
+        num_blocks=template.num_blocks * copies,
+        eps=template.eps,
+        colors=template.colors,
+        routes=tuple(routes),
+        nodes=tuple(nodes),
+        feeds=tuple(feeds),
+        state_len=template.state_len,
+        predictor=template.predictor,
+    )
+
+
+def tile_rows(
+    row_blocks: np.ndarray,
+    rows: int,
+    strategy: str,
+    *,
+    cols: int | None = None,
+    pipelines: int | None = None,
+) -> np.ndarray:
+    """Arrange one row's blocks into a ``rows``-homogeneous full field.
+
+    The plan constructors interleave block indices across rows (``rows`` /
+    ``pipeline``: block ``i`` goes to row ``i % rows``; ``multi`` /
+    ``staged``: round-major then row-major). This helper places copies of
+    ``row_blocks`` so that every row of the resulting plan carries
+    identical data — the workload shape under which the whole mesh
+    collapses to a single partition class.
+    """
+    row_blocks = np.asarray(row_blocks)
+    if row_blocks.ndim != 2:
+        raise ScheduleError("row_blocks must be a (num_blocks, size) array")
+    if strategy in ("rows", "pipeline"):
+        return np.repeat(row_blocks, rows, axis=0)
+    if strategy == "multi":
+        slots = cols
+    elif strategy == "staged":
+        slots = pipelines
+    else:
+        raise ScheduleError(f"unknown strategy {strategy!r}")
+    if slots is None:
+        raise ScheduleError(
+            f"strategy {strategy!r} needs its per-round slot count "
+            f"(cols= for 'multi', pipelines= for 'staged')"
+        )
+    n = row_blocks.shape[0]
+    if n % slots:
+        raise ScheduleError(
+            f"{n} row blocks do not fill whole rounds of {slots} slots; "
+            f"pad or truncate to a multiple of {slots} for homogeneous rows"
+        )
+    chunks = [
+        np.tile(row_blocks[i:i + slots], (rows, 1))
+        for i in range(0, n, slots)
+    ]
+    return np.concatenate(chunks, axis=0)
+
+
 # --- compression plan constructors -----------------------------------------------------
 
 
@@ -755,11 +1089,6 @@ def plan_multi_pipeline(
         )
     num_blocks, block_size = blocks.shape
 
-    def block_for(row: int, rnd: int, col: int) -> int | None:
-        base = rnd * rows * cols + row * cols
-        idx = base + (cols - 1 - col)
-        return idx if idx < num_blocks else None
-
     rounds = -(-num_blocks // (rows * cols))
     routes: list[RouteSpec] = []
     nodes: list[Node] = []
@@ -771,25 +1100,14 @@ def plan_multi_pipeline(
             if col + 1 < cols:
                 routes.append(RouteSpec(row, col, send, ("ramp",), "east"))
         nodes.append(IngestNode(row, 0, "relay0"))
+        bases = tuple(
+            rnd * rows * cols + row * cols for rnd in range(rounds)
+        )
         for col in range(cols):
             recv = f"relay{col % 2}"
             send = f"relay{(col + 1) % 2}"
-            my = tuple(
-                block_for(row, rnd, col)
-                for rnd in range(rounds)
-                if block_for(row, rnd, col) is not None
-            )
-            schedule = tuple(
-                (
-                    sum(
-                        1
-                        for c in range(col + 1, cols)
-                        if block_for(row, rnd, c) is not None
-                    ),
-                    block_for(row, rnd, col),
-                )
-                for rnd in range(rounds)
-            )
+            schedule = counted_relay_schedule(col, cols, bases, num_blocks)
+            my = tuple(own for _, own in schedule if own is not None)
             nodes.append(
                 RelayNode(row, col, recv, send, "compute", schedule, my)
             )
@@ -797,10 +1115,11 @@ def plan_multi_pipeline(
     feeds: list[Feed] = []
     for rnd in range(rounds):
         for row in range(rows):
-            for col in range(cols - 1, -1, -1):
-                idx = block_for(row, rnd, col)
-                if idx is None:
-                    continue
+            # Columns are served east-first, so block indices in one row
+            # round are injected in ascending order: base, base+1, ...
+            base = rnd * rows * cols + row * cols
+            avail = min(max(num_blocks - base, 0), cols)
+            for idx in range(base, base + avail):
                 feeds.append(
                     Feed(row, 0, "relay0", blocks[idx].astype(np.float32))
                 )
@@ -841,11 +1160,6 @@ def plan_staged_multi_pipeline(
     if num_pipelines < 1:
         raise ScheduleError("mesh too narrow for one pipeline")
 
-    def block_for(row: int, rnd: int, q: int) -> int | None:
-        base = rnd * rows * num_pipelines + row * num_pipelines
-        idx = base + (num_pipelines - 1 - q)
-        return idx if idx < num_blocks else None
-
     rounds = -(-num_blocks // (rows * num_pipelines))
     state_len = _pipeline_state_len(block_size, distribution)
     used_cols = num_pipelines * pl
@@ -859,24 +1173,16 @@ def plan_staged_multi_pipeline(
             if col + 1 < used_cols:
                 routes.append(RouteSpec(row, col, send_raw, ("ramp",), "east"))
         nodes.append(IngestNode(row, 0, "raw0"))
+        bases = tuple(
+            rnd * rows * num_pipelines + row * num_pipelines
+            for rnd in range(rounds)
+        )
         for q in range(num_pipelines):
             head = q * pl
-            my = tuple(
-                block_for(row, rnd, q)
-                for rnd in range(rounds)
-                if block_for(row, rnd, q) is not None
+            schedule = counted_relay_schedule(
+                q, num_pipelines, bases, num_blocks
             )
-            schedule = tuple(
-                (
-                    sum(
-                        1
-                        for q2 in range(q + 1, num_pipelines)
-                        if block_for(row, rnd, q2) is not None
-                    ),
-                    block_for(row, rnd, q),
-                )
-                for rnd in range(rounds)
-            )
+            my = tuple(own for _, own in schedule if own is not None)
             total_passing = sum(p for p, _ in schedule)
             for j in range(pl):
                 col = head + j
@@ -925,10 +1231,9 @@ def plan_staged_multi_pipeline(
     feeds: list[Feed] = []
     for rnd in range(rounds):
         for row in range(rows):
-            for q in range(num_pipelines - 1, -1, -1):
-                idx = block_for(row, rnd, q)
-                if idx is None:
-                    continue
+            base = rnd * rows * num_pipelines + row * num_pipelines
+            avail = min(max(num_blocks - base, 0), num_pipelines)
+            for idx in range(base, base + avail):
                 feeds.append(
                     Feed(row, 0, "raw0", blocks[idx].astype(np.float32))
                 )

@@ -108,6 +108,38 @@ def distribute_substages(
     return StageDistribution(groups=tuple(groups))
 
 
+def counted_relay_schedule(
+    position: int,
+    slots: int,
+    round_bases: "list[int] | tuple[int, ...]",
+    total_blocks: int,
+) -> tuple[tuple[int, int | None], ...]:
+    """Closed-form Fig 9 counted-relay schedule for one relay position.
+
+    A row round with block-index base ``b`` carries blocks
+    ``b + (slots - 1 - p)`` for every position ``p`` whose index is still in
+    range — i.e. the easternmost ``avail`` positions, where
+    ``avail = clamp(total_blocks - b, 0, slots)``. From that, position
+    ``position`` passes ``min(slots - 1 - position, avail)`` blocks east
+    before (possibly) consuming its own. This replaces the O(slots)
+    membership scan per schedule entry in the plan builders with two
+    min/max expressions; the schedules are identical entry for entry
+    (pinned by the golden snapshot tests), which is what makes full-wafer
+    plan construction O(cols) per PE instead of O(cols^2).
+    """
+    if not (0 <= position < slots):
+        raise ScheduleError(
+            f"relay position {position} outside 0..{slots - 1}"
+        )
+    entries: list[tuple[int, int | None]] = []
+    own_idx = slots - 1 - position
+    for base in round_bases:
+        avail = min(max(total_blocks - base, 0), slots)
+        own = base + own_idx if own_idx < avail else None
+        entries.append((min(slots - 1 - position, avail), own))
+    return tuple(entries)
+
+
 def max_feasible_pipeline_length(stages: list[SubStage]) -> int:
     """``floor(C / t1)``: beyond this, the longest stage is the bottleneck."""
     if not stages:

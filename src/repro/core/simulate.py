@@ -46,20 +46,24 @@ engine and N.
 
 from __future__ import annotations
 
+import os
 import pickle
 from contextlib import nullcontext
 from dataclasses import dataclass
 
 from repro.core.lower import lower_plan
-from repro.errors import DeadlockError, ReproError, WorkerError
+from repro.errors import DeadlockError, ReproError, ScheduleError, WorkerError
 from repro.faults.plan import FaultPlan
 from repro.core.mapping import ProgramOutputs
 from repro.core.mapping_decompress import DecompressOutputs
-from repro.core.parallel import run_pool
+from repro.core.parallel import run_pool, run_pool_resilient
 from repro.core.plan import (
     MappingPlan,
+    partition_classes,
     row_chunks,
+    row_emit_sequences,
     row_partitionable,
+    row_subplan,
     split_rows,
 )
 from repro.obs.metrics import (
@@ -76,6 +80,17 @@ from repro.wse.fabric import Fabric
 from repro.wse.trace import TraceRecorder
 
 
+#: Simulation modes :func:`simulate_plan` accepts. ``"event"`` runs the
+#: discrete-event engine over every PE; ``"hybrid"`` event-simulates one
+#: representative row per partition class and replicates the result.
+SIM_MODES = ("event", "hybrid")
+
+#: Minimum rows a row-parallel worker must own before ``jobs="auto"``
+#: spends a process spawn on it (pool setup costs tens of milliseconds;
+#: a one-row shard of a small mesh simulates faster than that).
+_AUTO_MIN_ROWS_PER_WORKER = 2
+
+
 @dataclass(frozen=True)
 class SimulatedRun:
     """Outputs plus the simulation report for one executed plan."""
@@ -87,6 +102,14 @@ class SimulatedRun:
     #: result consumers don't have to carry them separately.
     tracer: Tracer | None = None
     metrics: MetricsRegistry | None = None
+    #: Mode that actually executed: a ``mode="hybrid"`` request falls back
+    #: to ``"event"`` when the plan is single-row, routes across rows, or
+    #: carries fault injections (faults target specific rows, which breaks
+    #: the rows-are-interchangeable premise of replication).
+    mode: str = "event"
+    #: For hybrid runs: ``(representative_row, class_size)`` per partition
+    #: class, in first-appearance order. Empty for event-mode runs.
+    row_classes: tuple[tuple[int, int], ...] = ()
 
 
 def _span(tracer: Tracer | None, name: str, **args):
@@ -185,11 +208,28 @@ def _partition_worker(
     return ("ok", outputs, report, tracer, snapshot)
 
 
+def _auto_jobs(plan: MappingPlan) -> int:
+    """The ``jobs="auto"`` heuristic, keyed on the useful partition count.
+
+    Row-parallel workers pay a process spawn each; a worker is only worth
+    that when it owns at least :data:`_AUTO_MIN_ROWS_PER_WORKER` rows. So
+    auto resolves to ``min(cpu_count, rows // 2)`` for partitionable
+    multi-row plans and to 1 (in-process) everywhere else — in particular
+    on single-CPU hosts and for the small meshes where
+    BENCH_sim_speed.json showed the pool costing more than it saved.
+    """
+    cpus = os.cpu_count() or 1
+    if cpus <= 1 or plan.rows <= 1 or not row_partitionable(plan):
+        return 1
+    return max(1, min(cpus, plan.rows // _AUTO_MIN_ROWS_PER_WORKER))
+
+
 def simulate_plan(
     plan: MappingPlan,
     *,
     model: CycleModel = PAPER_CYCLE_MODEL,
-    jobs: int = 1,
+    jobs: int | str = 1,
+    mode: str = "event",
     optimize: bool = True,
     fast_kernels: bool = True,
     tracer: Tracer | None = None,
@@ -199,9 +239,25 @@ def simulate_plan(
     """Execute ``plan`` and return its outputs and simulation report.
 
     ``jobs`` is the maximum number of worker processes for row-parallel
-    simulation; it never changes results, only wall time. ``optimize`` and
+    simulation; it never changes results, only wall time. Pass
+    ``jobs="auto"`` to let :func:`_auto_jobs` pick a worker count from the
+    CPU count and the plan's useful partition count (1 whenever the pool
+    would cost more than it saves). ``optimize`` and
     ``fast_kernels`` select the engine/kernel fast paths (both default on;
     the benchmark harness disables them to measure the difference).
+
+    ``mode`` selects how the mesh is covered. ``"event"`` (default) runs
+    the discrete-event engine over every PE. ``"hybrid"`` fingerprints the
+    plan's rows (:func:`repro.core.plan.partition_classes`), event-
+    simulates one representative row per equivalence class on a rebased
+    1 x cols mesh, and composes the full result by replication — exact,
+    not approximate, because equal fingerprints mean isomorphic task
+    graphs and the engine's timing is invariant under row translation.
+    Heterogeneous rows (ragged tails, uneven block counts) form singleton
+    classes and are event-simulated individually, fanned out over the
+    resilient process pool when ``jobs > 1``. Hybrid falls back to event
+    mode for single-row or non-partitionable plans and whenever ``faults``
+    are present; the returned :attr:`SimulatedRun.mode` records what ran.
 
     ``tracer``/``metrics`` opt the run into observability capture (see the
     module docstring for how the row-parallel path merges them). Both are
@@ -217,9 +273,29 @@ def simulate_plan(
     shard id and rows are prefixed to the message and reports from all
     failed partitions are merged.
     """
-    jobs = int(jobs)
+    if mode not in SIM_MODES:
+        raise ValueError(f"mode must be one of {SIM_MODES}, got {mode!r}")
+    if jobs == "auto":
+        jobs = _auto_jobs(plan)
+    else:
+        jobs = int(jobs)
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if (
+        mode == "hybrid"
+        and faults is None
+        and plan.rows > 1
+        and row_partitionable(plan)
+    ):
+        return _simulate_hybrid(
+            plan,
+            model=model,
+            jobs=jobs,
+            optimize=optimize,
+            fast_kernels=fast_kernels,
+            tracer=tracer,
+            metrics=metrics,
+        )
     if jobs > 1 and plan.rows > 1 and row_partitionable(plan):
         subs = split_rows(plan, jobs)
         if len(subs) > 1:
@@ -376,4 +452,254 @@ def _merge(
         partitions=len(results),
         tracer=tracer,
         metrics=metrics,
+    )
+
+
+# --- hybrid (hierarchical) simulation --------------------------------------------------
+
+
+def _trace_cfg(tracer: Tracer | None) -> tuple[str, int] | None:
+    if tracer is not None and tracer.enabled:
+        return (tracer.level, tracer.sample_every)
+    return None
+
+
+def _simulate_hybrid(
+    plan: MappingPlan,
+    *,
+    model: CycleModel,
+    jobs: int,
+    optimize: bool,
+    fast_kernels: bool,
+    tracer: Tracer | None,
+    metrics: MetricsRegistry | None,
+) -> SimulatedRun:
+    """Event-simulate one representative per row class, replicate the rest.
+
+    Each representative runs on a rebased ``1 x cols`` mesh
+    (:func:`repro.core.plan.row_subplan`), so the event-driven cost is
+    proportional to the number of *distinct* rows, not the mesh height —
+    a homogeneous 750-row wafer costs one row plus composition. Classes
+    fan out over the resilient process pool when ``jobs > 1``; simulation
+    failures keep their structured error path (same handling as the
+    row-parallel shards), pool infrastructure failures are retried.
+    """
+    classes = partition_classes(plan)
+    emit_seqs = row_emit_sequences(plan)
+    cfg = _trace_cfg(tracer)
+    items = [
+        (row_subplan(plan, rep), model, optimize, fast_kernels, cfg,
+         metrics is not None, None)
+        for rep, _ in classes
+    ]
+    with _span(
+        tracer, "simulate.hybrid", classes=len(classes), rows=plan.rows
+    ):
+        if jobs > 1 and len(items) > 1:
+            results, _ = run_pool_resilient(
+                _partition_worker, items, jobs, processes=True
+            )
+        else:
+            results = [_partition_worker(item) for item in items]
+        _raise_partition_failures(
+            results, [members for _, members in classes], metrics
+        )
+        return _compose_hybrid(
+            plan, classes, emit_seqs, [r[1:] for r in results], tracer,
+            metrics,
+        )
+
+
+def _replica_records(plan, outputs, rep_seq, rep_outputs):
+    """Emit-ordered record values of one representative, plus the stores."""
+    if plan.direction == "compress":
+        rep_records = rep_outputs.records
+        store = outputs.records
+    else:
+        rep_records = rep_outputs.blocks
+        store = outputs.blocks
+    if set(rep_records) != set(rep_seq):
+        raise ScheduleError(
+            "hybrid composition: representative emitted blocks "
+            "disagree with the plan's emit sequence (internal invariant)"
+        )
+    return [rep_records[idx] for idx in rep_seq], store
+
+
+def _compose_hybrid(
+    plan: MappingPlan,
+    classes: list[tuple[int, tuple[int, ...]]],
+    emit_seqs: list[tuple[int, ...]],
+    results: list,
+    tracer: Tracer | None,
+    metrics: MetricsRegistry | None,
+) -> SimulatedRun:
+    """Compose a full-mesh result from per-class representative runs.
+
+    Everything scales exactly: records map position-for-position through
+    the emit sequences, traces/counters are the representative's with the
+    row coordinate rewritten (folded in row-major order, matching the
+    serial run's recording loop), events/tasks multiply by class size,
+    the makespan is the max over classes (replication cannot change a
+    row's finish time), and metric counters/histograms scale linearly
+    while gauges are replication-invariant. The known inexactness is the
+    same as for row-parallel runs: ``sim.engine.queue_depth.max`` (heap
+    depth depends on how rows share one event heap) and the *ordering* of
+    sampled timeline events (multiset-equal to the serial capture).
+    """
+    outputs: ProgramOutputs | DecompressOutputs
+    outputs = (
+        ProgramOutputs() if plan.direction == "compress"
+        else DecompressOutputs()
+    )
+    class_of: dict[int, int] = {}
+    for ci, (_, members) in enumerate(classes):
+        for row in members:
+            class_of[row] = ci
+    for ci, (rep, members) in enumerate(classes):
+        rep_vals, store = _replica_records(
+            plan, outputs, emit_seqs[rep], results[ci][0]
+        )
+        for member in members:
+            seq = emit_seqs[member]
+            if len(seq) != len(rep_vals):
+                raise ScheduleError(
+                    "hybrid composition: member row emit count diverges "
+                    "from its representative (internal invariant)"
+                )
+            for idx, val in zip(seq, rep_vals):
+                store[idx] = val
+    trace = TraceRecorder()
+    for row in range(plan.rows):
+        trace.merge_replica(results[class_of[row]][1].trace, row)
+    trace.events_processed = sum(
+        len(members) * results[ci][1].trace.events_processed
+        for ci, (_, members) in enumerate(classes)
+    )
+    if tracer is not None:
+        for ci, (_, members) in enumerate(classes):
+            part_tracer = results[ci][2]
+            if part_tracer is None:
+                continue
+            for j, member in enumerate(members):
+                tracer.merge_replica(
+                    part_tracer, member, spans=(j == 0), tid=ci + 1
+                )
+    if metrics is not None:
+        for ci, (_, members) in enumerate(classes):
+            snap = results[ci][3]
+            if snap:
+                metrics.merge_scaled(snap, len(members))
+        # Trace-derived metrics come from the composed recorder, exactly
+        # as the row-parallel merge does it.
+        collect_trace_metrics(metrics, trace)
+    report = SimulationReport(
+        makespan_cycles=max(r[1].makespan_cycles for r in results),
+        events_processed=trace.events_processed,
+        tasks_run=sum(
+            len(members) * results[ci][1].tasks_run
+            for ci, (_, members) in enumerate(classes)
+        ),
+        trace=trace,
+    )
+    return SimulatedRun(
+        outputs=outputs,
+        report=report,
+        partitions=len(classes),
+        tracer=tracer,
+        metrics=metrics,
+        mode="hybrid",
+        row_classes=tuple(
+            (rep, len(members)) for rep, members in classes
+        ),
+    )
+
+
+def simulate_replicated(
+    template: MappingPlan,
+    copies: int,
+    *,
+    model: CycleModel = PAPER_CYCLE_MODEL,
+    optimize: bool = True,
+    fast_kernels: bool = True,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> SimulatedRun:
+    """Simulate ``replicate_rows(template, copies)`` without building it.
+
+    The wafer-scale fast path: a full 750 x 994 plan is ~4.5 M IR objects
+    before the first event fires, which alone would eat the wall-time
+    budget. This entry point event-simulates the template once and
+    composes the ``copies``-fold result directly — copy ``k`` occupies
+    rows ``[k*R, (k+1)*R)`` with block indices shifted by
+    ``k * template.num_blocks``, exactly the layout
+    :func:`repro.core.plan.replicate_rows` materializes (the equivalence
+    is asserted at small scale by the hybrid test suite). Composition
+    semantics match :func:`simulate_plan(mode="hybrid")
+    <simulate_plan>`; the composed stream equals the template's stream
+    tiled ``copies`` times.
+    """
+    if copies < 1:
+        raise ValueError(f"copies must be >= 1, got {copies}")
+    if template.partial:
+        raise ScheduleError("cannot replicate a partial sub-plan")
+    if not row_partitionable(template):
+        raise ScheduleError(
+            f"template with strategy {template.strategy!r} routes across "
+            f"rows and cannot be replicated"
+        )
+    with _span(
+        tracer, "simulate.replicated", copies=copies, rows=template.rows
+    ):
+        result = _partition_worker(
+            (template, model, optimize, fast_kernels, _trace_cfg(tracer),
+             metrics is not None, None)
+        )
+        _raise_partition_failures(
+            [result], [tuple(range(template.rows))], metrics
+        )
+        _, rep_outputs, rep_report, part_tracer, snap = result
+        outputs: ProgramOutputs | DecompressOutputs
+        outputs = (
+            ProgramOutputs() if template.direction == "compress"
+            else DecompressOutputs()
+        )
+        if template.direction == "compress":
+            rep_records, store = rep_outputs.records, outputs.records
+        else:
+            rep_records, store = rep_outputs.blocks, outputs.blocks
+        num = template.num_blocks
+        for k in range(copies):
+            shift = k * num
+            for idx, val in rep_records.items():
+                store[idx + shift] = val
+        trace = TraceRecorder()
+        for k in range(copies):
+            trace.merge_replica(rep_report.trace, k * template.rows)
+        trace.events_processed = copies * rep_report.trace.events_processed
+        if tracer is not None and part_tracer is not None:
+            for k in range(copies):
+                tracer.merge_replica(
+                    part_tracer, k * template.rows, spans=(k == 0), tid=1
+                )
+        if metrics is not None:
+            if snap:
+                metrics.merge_scaled(snap, copies)
+            collect_trace_metrics(metrics, trace)
+        report = SimulationReport(
+            makespan_cycles=rep_report.makespan_cycles,
+            events_processed=trace.events_processed,
+            tasks_run=copies * rep_report.tasks_run,
+            trace=trace,
+        )
+    return SimulatedRun(
+        outputs=outputs,
+        report=report,
+        partitions=1,
+        tracer=tracer,
+        metrics=metrics,
+        mode="hybrid",
+        row_classes=tuple(
+            (row, copies) for row in range(template.rows)
+        ),
     )

@@ -31,11 +31,12 @@ from repro.core.plan import (
     plan_row_parallel,
     plan_row_parallel_decompress,
     plan_staged_multi_pipeline,
+    replicate_rows,
     wafer_predictor,
 )
 from repro.core.quantize import prequantize_verified
 from repro.core.schedule import distribute_substages, estimate_fixed_length
-from repro.core.simulate import simulate_plan
+from repro.core.simulate import SIM_MODES, simulate_plan, simulate_replicated
 from repro.core.stages import compression_substages, decompression_substages
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import TRACE_LEVELS, Tracer
@@ -55,6 +56,11 @@ class WSECompressionResult:
     #: built with ``trace_level`` / ``collect_metrics``).
     tracer: Tracer | None = None
     metrics: MetricsRegistry | None = None
+    #: Simulation mode that actually ran ("event" or "hybrid") and, for
+    #: hybrid runs, the ``(representative_row, class_size)`` partition
+    #: classes the mesh collapsed to.
+    mode: str = "event"
+    row_classes: tuple[tuple[int, int], ...] = ()
 
     @property
     def stream(self) -> bytes:
@@ -80,7 +86,8 @@ class WSECereSZ:
         pipeline_length: int = 1,
         block_size: int = BLOCK_SIZE,
         model: CycleModel = PAPER_CYCLE_MODEL,
-        jobs: int = 1,
+        jobs: int | str = 1,
+        mode: str = "event",
         trace_level: str = "off",
         sample_every: int = 1,
         collect_metrics: bool = False,
@@ -104,15 +111,25 @@ class WSECereSZ:
             raise ScheduleError(
                 f"pipeline length {pipeline_length} exceeds {cols} columns"
             )
+        if mode not in SIM_MODES:
+            raise ValueError(
+                f"mode must be one of {SIM_MODES}, got {mode!r}"
+            )
         self.rows = rows
         self.cols = cols
         self.strategy = strategy
         self.pipeline_length = pipeline_length
         self.block_size = block_size
         self.model = model
-        #: Worker-process budget for row-parallel simulation; results are
-        #: identical for any value (see repro.core.simulate).
-        self.jobs = int(jobs)
+        #: Worker-process budget for row-parallel simulation ("auto" lets
+        #: the simulator pick); results are identical for any value (see
+        #: repro.core.simulate).
+        self.jobs = jobs if jobs == "auto" else int(jobs)
+        #: Simulation mode: "event" covers every PE with the discrete-event
+        #: engine; "hybrid" event-simulates one representative row per
+        #: partition class and replicates (cycle-exact; see
+        #: repro.core.simulate).
+        self.mode = mode
         #: Observability knobs: each run builds a fresh Tracer/registry so
         #: captures never bleed between runs; the latest pair is kept on
         #: ``last_tracer`` / ``last_metrics`` (decompress_on_wafer has no
@@ -150,9 +167,22 @@ class WSECereSZ:
         *,
         eps: float | None = None,
         rel: float | None = None,
+        tile_rows: bool = False,
     ) -> WSECompressionResult:
-        """Compress on the simulated mesh; stream matches the reference."""
+        """Compress on the simulated mesh; stream matches the reference.
+
+        With ``tile_rows=True``, ``data`` is treated as *one row's* input
+        (truncated to whole blocks) and replicated across all ``rows`` —
+        the homogeneous wafer-scale workload. The simulator then runs one
+        row's template and composes the full mesh without materializing
+        it (:func:`repro.core.simulate.simulate_replicated`), so a full
+        750 x 994 run costs one row plus composition; the stream equals
+        the reference compressor run on the tiled field
+        ``np.tile(row_values, rows)``.
+        """
         arr = np.asarray(data)
+        if tile_rows:
+            return self._compress_tiled(arr, eps, rel)
         bound = self._reference.resolve_error_bound(arr, eps, rel)
         if bound is None:
             raise CompressionError(
@@ -173,7 +203,7 @@ class WSECereSZ:
         else:
             plan = self._compress_plan(raw_blocks, eps_eff)
         run = simulate_plan(
-            plan, model=self.model, jobs=self.jobs,
+            plan, model=self.model, jobs=self.jobs, mode=self.mode,
             tracer=tracer, metrics=metrics, faults=self.faults,
         )
         outputs, report = run.outputs, run.report
@@ -196,7 +226,71 @@ class WSECereSZ:
             zero_block_fraction=0.0,
         )
         return WSECompressionResult(
-            result=result, report=report, tracer=tracer, metrics=metrics
+            result=result, report=report, tracer=tracer, metrics=metrics,
+            mode=run.mode, row_classes=run.row_classes,
+        )
+
+    def _compress_tiled(
+        self, arr: np.ndarray, eps: float | None, rel: float | None
+    ) -> WSECompressionResult:
+        flat = arr.reshape(-1)
+        n_row = (flat.size // self.block_size) * self.block_size
+        if n_row == 0:
+            raise CompressionError(
+                f"tiled compression needs at least one whole "
+                f"{self.block_size}-value block of row data, got "
+                f"{flat.size} values"
+            )
+        row_values = flat[:n_row]
+        bound = self._reference.resolve_error_bound(row_values, eps, rel)
+        if bound is None:
+            raise CompressionError(
+                "constant fields bypass the wafer (stored exactly by the "
+                "host); use the reference CereSZ for them"
+            )
+        tracer, metrics = self._observers()
+        _, eps_eff = prequantize_verified(row_values, bound)
+        raw_blocks, _ = partition_blocks(
+            row_values.astype(np.float64), self.block_size
+        )
+        if tracer is not None:
+            with tracer.span("plan", strategy=self.strategy, tiled=True):
+                template = self._compress_plan(raw_blocks, eps_eff, rows=1)
+        else:
+            template = self._compress_plan(raw_blocks, eps_eff, rows=1)
+        if self.faults is not None:
+            # Faults target specific rows, which replication cannot
+            # honor; materialize the full plan and event-simulate it.
+            run = simulate_plan(
+                replicate_rows(template, self.rows),
+                model=self.model, jobs=self.jobs,
+                tracer=tracer, metrics=metrics, faults=self.faults,
+            )
+        else:
+            run = simulate_replicated(
+                template, self.rows, model=self.model,
+                tracer=tracer, metrics=metrics,
+            )
+        total_blocks = raw_blocks.shape[0] * self.rows
+        body = run.outputs.stream(total_blocks)
+        header = make_header(
+            (self.rows * n_row,),
+            eps_eff,
+            header_width=self._reference.header_width,
+            block_size=self.block_size,
+            predictor=self.predictor,
+        )
+        result = CompressionResult(
+            stream=header.pack() + body,
+            eps=bound,
+            original_bytes=self.rows * n_row * 4,
+            shape=(self.rows * n_row,),
+            fixed_lengths=np.zeros(0, dtype=np.int64),
+            zero_block_fraction=0.0,
+        )
+        return WSECompressionResult(
+            result=result, report=run.report, tracer=tracer,
+            metrics=metrics, mode=run.mode, row_classes=run.row_classes,
         )
 
     def decompress(self, stream: bytes) -> np.ndarray:
@@ -286,7 +380,7 @@ class WSECereSZ:
                 block_size=header.block_size,
             )
         run = simulate_plan(
-            plan, model=self.model, jobs=self.jobs,
+            plan, model=self.model, jobs=self.jobs, mode=self.mode,
             tracer=tracer, metrics=metrics, faults=self.faults,
         )
         outputs, report = run.outputs, run.report
@@ -323,13 +417,15 @@ class WSECereSZ:
     # -- internals ------------------------------------------------------------------
 
     def _compress_plan(
-        self, raw_blocks: np.ndarray, eps_eff: float
+        self, raw_blocks: np.ndarray, eps_eff: float,
+        rows: int | None = None,
     ) -> MappingPlan:
+        rows = self.rows if rows is None else rows
         if self.strategy == "rows":
             return plan_row_parallel(
                 raw_blocks,
                 eps_eff,
-                rows=self.rows,
+                rows=rows,
                 cols=self.cols,
                 predictor=self.predictor,
             )
@@ -338,7 +434,7 @@ class WSECereSZ:
                 raw_blocks,
                 eps_eff,
                 self._distribution(raw_blocks, eps_eff),
-                rows=self.rows,
+                rows=rows,
                 cols=self.cols,
                 predictor=self.predictor,
             )
@@ -346,7 +442,7 @@ class WSECereSZ:
             return plan_multi_pipeline(
                 raw_blocks,
                 eps_eff,
-                rows=self.rows,
+                rows=rows,
                 cols=self.cols,
                 pipeline_length=1,
                 predictor=self.predictor,
@@ -356,7 +452,7 @@ class WSECereSZ:
             raw_blocks,
             eps_eff,
             self._distribution(raw_blocks, eps_eff),
-            rows=self.rows,
+            rows=rows,
             cols=self.cols,
             predictor=self.predictor,
         )

@@ -341,6 +341,83 @@ def fig14_wse_sizes(
     return points
 
 
+@dataclass(frozen=True)
+class SimulatedWSESizePoint:
+    """One Fig 14 mesh size measured on the hybrid simulator."""
+
+    dataset: str
+    rows: int
+    cols: int
+    throughput_gbs: float
+    makespan_cycles: float
+    model_gap: float  # (simulated - Eq.4 prediction) / prediction
+    row_classes: int
+    wall_seconds: float
+
+
+def fig14_wse_sizes_simulated(
+    *,
+    dataset: str = "CESM-ATM",
+    sizes=(16, 32, 64, 128, 256, 512, (WSE_USABLE_ROWS, WSE_USABLE_COLS)),
+    rel: float = 1e-4,
+    seed: int = 0,
+) -> list[SimulatedWSESizePoint]:
+    """Fig 14 measured, not modelled: hybrid simulation at every size.
+
+    The analytic :func:`fig14_wse_sizes` drives Eqs 2-4 with workload
+    statistics; this variant *runs* each mesh on the hybrid simulator —
+    one representative row event-simulated per homogeneous class, the
+    rest replicated exactly — which is what makes the full 750x994 wafer
+    point reachable in seconds. Each mesh compresses ``cols`` blocks of
+    dataset values per row, tiled across all rows (the workload shape Fig
+    14 sweeps), and reports the cross-check gap against the Eq. 4
+    prediction for the same workload.
+    """
+    import time
+
+    from repro.perf.model import hybrid_model_gap
+
+    field = generate_field(dataset, 0, seed=seed).reshape(-1)
+    points = []
+    for size in sizes:
+        rows, cols = (size, size) if isinstance(size, int) else size
+        n_row = cols * BLOCK_SIZE
+        # One row's worth of blocks, recycling the field if it is short.
+        reps = -(-n_row // field.size)
+        row_values = np.tile(field, reps)[:n_row]
+        sim = WSECereSZ(
+            rows=rows, cols=cols, strategy="multi", mode="hybrid"
+        )
+        t0 = time.perf_counter()
+        result = sim.compress(row_values, rel=rel, tile_rows=True)
+        wall = time.perf_counter() - t0
+        trace = result.report.trace
+        eps = relative_to_absolute(row_values, rel)
+        workload = measure_workload(row_values, eps)
+        points.append(
+            SimulatedWSESizePoint(
+                dataset=dataset,
+                rows=rows,
+                cols=cols,
+                throughput_gbs=trace.throughput_bytes_per_s(
+                    result.result.original_bytes
+                )
+                / 1e9,
+                makespan_cycles=trace.makespan_cycles,
+                model_gap=hybrid_model_gap(
+                    trace.makespan_cycles,
+                    num_blocks=rows * cols,
+                    rows=rows,
+                    total_cols=cols,
+                    block_cycles=workload.mean_cycles("compress"),
+                ),
+                row_classes=len(result.row_classes),
+                wall_seconds=wall,
+            )
+        )
+    return points
+
+
 # --- Fig 15 -----------------------------------------------------------------------------
 
 

@@ -221,6 +221,17 @@ class MetricsRegistry:
             else:
                 raise ValueError(f"unknown metric kind {kind!r}")
 
+    def merge_scaled(self, snapshot: dict, factor: int) -> None:
+        """Fold ``factor`` identical copies of a worker snapshot in.
+
+        Used by hybrid (replicated-row) simulation: a representative
+        partition's counters and histogram populations occur once per
+        member row, so they scale linearly with the class size; gauges are
+        per-run maxima and identical across copies, so they merge
+        unscaled. Equivalent to calling :meth:`merge` ``factor`` times.
+        """
+        self.merge(scale_snapshot(snapshot, factor))
+
     def counter_totals(self) -> dict[str, float]:
         """``{name: summed value}`` over counters only — the exactly
         merge-invariant subset (used by the parallel-equivalence tests)."""
@@ -246,6 +257,42 @@ class MetricsRegistry:
                 else:
                     lines.append(f"{metric.name}{label}: {cell:g}")
         return "\n".join(lines)
+
+
+def scale_snapshot(snapshot: dict, factor: int) -> dict:
+    """A snapshot equal to merging ``factor`` copies of ``snapshot``.
+
+    Counters and histogram populations (count, sum, per-bucket counts)
+    scale by ``factor``; gauges and histogram min/max are maxima/extrema
+    and are invariant under replication. The input is not mutated.
+    """
+    if factor < 1:
+        raise ValueError(f"scale factor must be >= 1, got {factor}")
+    out: dict = {}
+    for name, entry in snapshot.items():
+        kind = entry["kind"]
+        scaled = dict(entry)
+        if kind == "counter":
+            scaled["values"] = {
+                key: value * factor for key, value in entry["values"].items()
+            }
+        elif kind == "gauge":
+            scaled["values"] = dict(entry["values"])
+        elif kind == "histogram":
+            cells: dict = {}
+            for key, cell in entry["values"].items():
+                copy = dict(cell)
+                copy["count"] = cell["count"] * factor
+                copy["sum"] = cell["sum"] * factor
+                copy["bucket_counts"] = [
+                    b * factor for b in cell["bucket_counts"]
+                ]
+                cells[key] = copy
+            scaled["values"] = cells
+        else:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        out[name] = scaled
+    return out
 
 
 # -- run collectors ------------------------------------------------------------

@@ -193,6 +193,39 @@ class Tracer:
             )
         self.spans.extend(replace(s, tid=tid) for s in part.spans)
 
+    def merge_replica(
+        self,
+        part: "Tracer",
+        row_offset: int,
+        *,
+        spans: bool = False,
+        tid: int = 0,
+    ) -> None:
+        """Fold one replicated copy of a representative's tracer in.
+
+        Hybrid simulation synthesizes member rows from one representative
+        run: timeline events are the representative's with the row
+        coordinate translated by ``row_offset``. The per-PE sampling
+        stride is deterministic and isomorphic rows run identical task
+        streams, so the translated events are exactly what a serial run
+        would have sampled at that row. Host spans are wall-clock and
+        happened once per class, not once per row — they fold in only when
+        ``spans=True`` (the first copy of a class), re-tagged with ``tid``.
+        """
+        if part._pe_events:
+            self.pe_events.extend(
+                PEEvent(
+                    row=e.row + row_offset,
+                    col=e.col,
+                    name=e.name,
+                    start_cycles=e.start_cycles,
+                    dur_cycles=e.dur_cycles,
+                )
+                for e in part._pe_events
+            )
+        if spans:
+            self.spans.extend(replace(s, tid=tid) for s in part.spans)
+
     def span_totals(self) -> dict[str, tuple[int, float]]:
         """``{span name: (count, total microseconds)}`` over all tracks."""
         totals: dict[str, tuple[int, float]] = {}

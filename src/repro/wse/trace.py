@@ -189,6 +189,51 @@ class TraceRecorder:
         )
         self.events_processed += part.events_processed
 
+    def merge_replica(
+        self, part: "TraceRecorder", row_offset: int
+    ) -> None:
+        """Fold one replicated copy of a representative's recorder in.
+
+        Hybrid simulation runs one representative partition (rebased to
+        row 0) per equivalence class and synthesizes the member rows from
+        it: each copy's traces and counters are the representative's with
+        the row coordinate translated by ``row_offset`` (labels rewritten
+        to match what serial lowering would have produced at that row).
+        Callers fold copies in target-row order so the sequences match the
+        serial run's row-major recording. ``events_processed`` is *not*
+        touched here — replication multiplies it, so the composer sets the
+        class-weighted total once.
+
+        Replica counters share the representative's ``stage_cycles`` dict:
+        aggregation only reads it after a run, and sharing keeps wafer-
+        scale composition (hundreds of thousands of counters) cheap.
+        """
+        for t in part.traces:
+            self.traces.append(
+                PETrace(
+                    row=t.row + row_offset,
+                    col=t.col,
+                    compute_cycles=t.compute_cycles,
+                    relay_cycles=t.relay_cycles,
+                    tasks_run=t.tasks_run,
+                    finished_at=t.finished_at,
+                )
+            )
+        for nc in part.node_counters:
+            row = nc.row + row_offset
+            self.node_counters.append(
+                NodeCounters(
+                    label=f"{nc.kind}@({row},{nc.col})",
+                    kind=nc.kind,
+                    row=row,
+                    col=nc.col,
+                    blocks_relayed=nc.blocks_relayed,
+                    wavelets_sent=nc.wavelets_sent,
+                    blocks_emitted=nc.blocks_emitted,
+                    stage_cycles=nc.stage_cycles,
+                )
+            )
+
     def busiest_pe(self) -> PETrace:
         if not self.traces:
             raise ValueError("no traces recorded")
