@@ -1,0 +1,61 @@
+"""Shared plumbing for the benchmark scripts: ledger emission and logs.
+
+Every headline bench writes its payload JSON as before (the perf
+trajectory the repo commits) and, with ``--ledger``, *also* appends one
+provenance-stamped RunRecord whose ``values`` are the payload's headline
+metrics — extracted by the same :func:`repro.obs.regress.headline_values`
+adapter ``ceresz report`` uses to load committed baselines, so the two
+sides of every comparison agree on names by construction.
+
+Status lines go through :mod:`repro.obs.log` (machine-parseable
+``key=value`` records on stderr) instead of bare prints; the human
+results table stays on stdout untouched.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
+)
+
+from repro.obs.ledger import emit  # noqa: E402
+from repro.obs.log import get_logger  # noqa: E402
+from repro.obs.regress import headline_values  # noqa: E402
+
+__all__ = ["add_ledger_flag", "emit_bench_record", "get_logger"]
+
+
+def add_ledger_flag(parser) -> None:
+    parser.add_argument(
+        "--ledger", nargs="?", const=True, default=None, metavar="PATH",
+        help="append this run's headline metrics to the run ledger "
+        "(default path .ceresz/ledger.jsonl, or $CERESZ_LEDGER; "
+        "`ceresz report --gate` analyzes it)",
+    )
+
+
+def emit_bench_record(
+    ledger, payload: dict, *, config: dict, wall_s: float,
+    artifacts: dict | None = None,
+):
+    """One RunRecord for a finished bench run; no-op when ledger is off."""
+    if ledger is None:
+        return None
+    record = emit(
+        ledger,
+        "bench",
+        payload["benchmark"],
+        config,
+        timings={"wall_s": wall_s},
+        values=headline_values(payload),
+        artifacts=dict(artifacts or {}),
+    )
+    get_logger(f"bench.{payload['benchmark']}").info(
+        "ledger_appended",
+        fingerprint=record.fingerprint,
+        metrics=len(record.values),
+    )
+    return record

@@ -55,8 +55,18 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
 )
 
+try:  # script mode: the benchmarks dir itself is sys.path[0]
+    from _benchlib import add_ledger_flag, emit_bench_record, get_logger
+except ImportError:  # collected as part of the benchmarks package
+    from benchmarks._benchlib import (
+        add_ledger_flag,
+        emit_bench_record,
+        get_logger,
+    )
 from repro import CereSZ  # noqa: E402
 from repro.datasets import generate_field  # noqa: E402
+
+LOG = get_logger("bench.host_throughput")
 
 REL = 1e-3
 PROFILES = {"smooth": "RTM", "turbulent": "HACC"}
@@ -300,14 +310,17 @@ def main(argv=None) -> int:
         ),
         help="results file (ignored with --quick)",
     )
+    add_ledger_flag(parser)
     args = parser.parse_args(argv)
 
     n = 1 << 20 if args.quick else args.elements
     repeats = 1 if args.quick else args.repeats
+    t0 = time.perf_counter()
     results = {
         profile: run_profile(profile, n, repeats, args.jobs)
         for profile in PROFILES
     }
+    wall_s = time.perf_counter() - t0
     report = render(results, n, args.jobs)
     print(report, end="")
 
@@ -325,35 +338,50 @@ def main(argv=None) -> int:
     with open(args.json_out, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
-    print(f"wrote {args.json_out}")
+    LOG.info("wrote", path=args.json_out)
 
     if not args.quick:
         os.makedirs(os.path.dirname(args.out), exist_ok=True)
         with open(args.out, "w") as fh:
             fh.write(report)
-        print(f"wrote {args.out}")
+        LOG.info("wrote", path=args.out)
+
+    emit_bench_record(
+        args.ledger,
+        payload,
+        config={
+            "bench": "host_throughput",
+            "elements": n,
+            "rel": REL,
+            "jobs": args.jobs,
+            "repeats": repeats,
+            "quick": args.quick,
+        },
+        wall_s=wall_s,
+        artifacts={"json": args.json_out},
+    )
 
     smooth = results["smooth"][1]
     if (
         args.min_speedup is not None
         and smooth["v2_over_v1_decode_speedup"] < args.min_speedup
     ):
-        print(
-            f"FAIL: decode speedup "
-            f"{smooth['v2_over_v1_decode_speedup']:.1f}x below required "
-            f"{args.min_speedup}x",
-            file=sys.stderr,
+        LOG.error(
+            "gate_failed",
+            metric="v2_over_v1_decode_speedup",
+            value=smooth["v2_over_v1_decode_speedup"],
+            required=args.min_speedup,
         )
         return 1
     if (
         args.min_fused_speedup is not None
         and smooth["fused_compress_speedup"] < args.min_fused_speedup
     ):
-        print(
-            f"FAIL: fused compress speedup "
-            f"{smooth['fused_compress_speedup']:.2f}x below required "
-            f"{args.min_fused_speedup}x",
-            file=sys.stderr,
+        LOG.error(
+            "gate_failed",
+            metric="fused_compress_speedup",
+            value=smooth["fused_compress_speedup"],
+            required=args.min_fused_speedup,
         )
         return 1
     return 0

@@ -26,6 +26,11 @@ if __package__ in (None, ""):  # script mode: repo root + src onto sys.path
 
 import numpy as np  # noqa: E402
 
+from benchmarks._benchlib import (  # noqa: E402
+    add_ledger_flag,
+    emit_bench_record,
+    get_logger,
+)
 from benchmarks.conftest import run_once  # noqa: E402
 from repro.baselines.base import get_compressor  # noqa: E402
 from repro.core.compressor import CereSZ  # noqa: E402
@@ -34,6 +39,8 @@ from repro.datasets import generate_field  # noqa: E402
 from repro.harness import format_table  # noqa: E402
 from repro.metrics.errorbound import max_abs_error  # noqa: E402
 from repro.metrics.ratedistortion import rate_distortion_curve  # noqa: E402
+
+LOG = get_logger("bench.rate_distortion")
 
 BOUNDS = (1e-2, 1e-3, 1e-4)
 CODECS = ("CereSZ", "cuSZp", "cuSZ", "SZ")
@@ -184,6 +191,7 @@ def test_predictor_rate_distortion(benchmark, record_result):
 def main(argv=None) -> int:
     import argparse
     import json
+    import time
 
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -210,28 +218,45 @@ def main(argv=None) -> int:
         ),
         help="results file (ignored with --quick)",
     )
+    add_ledger_flag(parser)
     args = parser.parse_args(argv)
 
+    t0 = time.perf_counter()
     rows = predictor_comparison(quick=args.quick)
+    wall_s = time.perf_counter() - t0
     report = _predictor_table(rows)
     print(report)
     _check_predictor_rows(rows)
     print("predictor ordering assertions hold")
 
+    payload = {
+        "benchmark": "rate_distortion_predictors",
+        "quick": args.quick,
+        "rows": rows,
+    }
     with open(args.json_out, "w") as fh:
-        json.dump(
-            {"benchmark": "rate_distortion_predictors",
-             "quick": args.quick, "rows": rows},
-            fh, indent=2,
-        )
+        json.dump(payload, fh, indent=2)
         fh.write("\n")
-    print(f"wrote {args.json_out}")
+    LOG.info("wrote", path=args.json_out)
+    emit_bench_record(
+        args.ledger,
+        payload,
+        config={
+            "bench": "rate_distortion_predictors",
+            "bounds": list(
+                PREDICTOR_BOUNDS[:1] if args.quick else PREDICTOR_BOUNDS
+            ),
+            "quick": args.quick,
+        },
+        wall_s=wall_s,
+        artifacts={"json": args.json_out},
+    )
 
     if not args.quick:
         os.makedirs(os.path.dirname(args.out), exist_ok=True)
         with open(args.out, "w") as fh:
             fh.write(report + "\n")
-        print(f"wrote {args.out}")
+        LOG.info("wrote", path=args.out)
     return 0
 
 

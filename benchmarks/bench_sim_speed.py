@@ -43,6 +43,14 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(__file__), os.pardir, "src")
 )
 
+try:  # script mode: the benchmarks dir itself is sys.path[0]
+    from _benchlib import add_ledger_flag, emit_bench_record, get_logger
+except ImportError:  # collected as part of the benchmarks package
+    from benchmarks._benchlib import (
+        add_ledger_flag,
+        emit_bench_record,
+        get_logger,
+    )
 from repro.core.plan import (  # noqa: E402
     plan_multi_pipeline,
     plan_pipeline,
@@ -57,6 +65,8 @@ from repro.core.simulate import (  # noqa: E402
 from repro.core.stages import compression_substages  # noqa: E402
 from repro.obs.metrics import MetricsRegistry  # noqa: E402
 from repro.obs.tracing import Tracer  # noqa: E402
+
+LOG = get_logger("bench.sim_speed")
 
 BLOCK_SIZE = 32
 EPS = 1e-3
@@ -445,10 +455,12 @@ def main(argv=None) -> int:
         ),
         help="results table (skipped with --quick)",
     )
+    add_ledger_flag(parser)
     args = parser.parse_args(argv)
 
     meshes = MESHES[:1] if args.quick else MESHES
     repeats = 1 if args.quick else args.repeats
+    bench_t0 = time.perf_counter()
     configs = []
     for strategy in ("rows", "pipeline", "multi"):
         for _, rows, cols, per_row in meshes:
@@ -470,6 +482,7 @@ def main(argv=None) -> int:
             run_hybrid_config(strategy, rows, use_cols, per_row, repeats)
         )
     wafer = run_wafer_point() if args.wafer_budget is not None else None
+    wall_s = time.perf_counter() - bench_t0
 
     report = render(configs, args.jobs)
     report += "\n" + render_hybrid(hybrid_configs, wafer)
@@ -500,22 +513,38 @@ def main(argv=None) -> int:
     with open(args.json_out, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
-    print(f"wrote {args.json_out}")
+    LOG.info("wrote", path=args.json_out)
+    emit_bench_record(
+        args.ledger,
+        payload,
+        config={
+            "bench": "sim_speed",
+            "block_size": BLOCK_SIZE,
+            "eps": EPS,
+            "jobs": args.jobs,
+            "repeats": repeats,
+            "quick": args.quick,
+            "wafer": args.wafer_budget is not None,
+        },
+        wall_s=wall_s,
+        artifacts={"json": args.json_out},
+    )
 
     if not args.quick:
         os.makedirs(os.path.dirname(args.out), exist_ok=True)
         with open(args.out, "w") as fh:
             fh.write(report)
-        print(f"wrote {args.out}")
+        LOG.info("wrote", path=args.out)
 
     if (
         args.min_speedup is not None
         and fig7["speedup_optimized"] < args.min_speedup
     ):
-        print(
-            f"FAIL: fig7 rows speedup {fig7['speedup_optimized']:.2f}x "
-            f"below required {args.min_speedup}x",
-            file=sys.stderr,
+        LOG.error(
+            "gate_failed",
+            metric="fig7_rows_speedup",
+            value=round(fig7["speedup_optimized"], 2),
+            required=args.min_speedup,
         )
         return 1
     if args.max_obs_overhead is not None:
@@ -525,20 +554,22 @@ def main(argv=None) -> int:
         failed = False
         for c in configs:
             if c["obs_overhead"] > args.max_obs_overhead:
-                print(
-                    f"FAIL: {c['strategy']} {c['rows']}x{c['cols']} "
-                    f"observability overhead {100 * c['obs_overhead']:.1f}% "
-                    f"exceeds {100 * args.max_obs_overhead:.1f}%",
-                    file=sys.stderr,
+                LOG.error(
+                    "gate_failed",
+                    metric="obs_overhead",
+                    config=f"{c['strategy']} {c['rows']}x{c['cols']}",
+                    value=round(c["obs_overhead"], 4),
+                    required=args.max_obs_overhead,
                 )
                 failed = True
         if failed:
             return 1
     if wafer is not None and wafer["wall_s"] > args.wafer_budget:
-        print(
-            f"FAIL: full-wafer point took {wafer['wall_s']:.1f} s, over "
-            f"the {args.wafer_budget:.1f} s budget",
-            file=sys.stderr,
+        LOG.error(
+            "gate_failed",
+            metric="wafer_wall_s",
+            value=round(wafer["wall_s"], 1),
+            required=args.wafer_budget,
         )
         return 1
     return 0

@@ -5,8 +5,10 @@ Subcommands::
     ceresz compress   IN.f32 OUT.csz  --rel 1e-3 | --eps 0.01 | --psnr 80
                       [--predictor P] [--jobs N] [--no-index] [--checksum]
                       [--no-fast] [--trace T.json] [--metrics]
+                      [--ledger [PATH]]
     ceresz decompress IN.csz  OUT.f32 [--jobs N] [--salvage [--fill F]]
                       [--predictor P] [--no-fast] [--trace T.json] [--metrics]
+                      [--ledger [PATH]]
     ceresz verify     IN.csz [--json OUT.json]     # checksum walk, no decode
     ceresz extract    IN.csz OUT.f32 --start A --stop B   # random access
     ceresz info       IN.csz                       # stream header dump
@@ -23,8 +25,12 @@ Subcommands::
                       [--mode {event,hybrid}] [--tile-rows]
                       [--jobs N|auto] [--profile] [--trace T.json]
                       [--metrics] [--trace-level L] [--sample-every N]
+                      [--ledger [PATH]] [--progress]
                       # alias: sim
     ceresz trace      T.json [--top N]    # summarize a saved trace
+    ceresz report     [--ledger PATH] [--baseline BENCH.json ...]
+                      [--kind K] [--gate] [--verbose]
+                      # regression report over the run ledger
 
 Tables and figures print in the same layout the benchmarks log; the
 compress path is the production-style usage.
@@ -59,6 +65,12 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--metrics", action="store_true",
         help="print the run's metrics registry when done",
+    )
+    p.add_argument(
+        "--ledger", nargs="?", const=True, default=None, metavar="PATH",
+        help="append a provenance-stamped RunRecord to the run ledger "
+        "(default path .ceresz/ledger.jsonl, or $CERESZ_LEDGER; "
+        "`ceresz report` analyzes it)",
     )
 
 
@@ -265,6 +277,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run under cProfile and print the top 25 functions by "
         "cumulative time",
     )
+    p.add_argument(
+        "--progress", action="store_true",
+        help="emit periodic rows-done/ETA lines during long hybrid "
+        "compositions (structured key=value records on stderr)",
+    )
     _add_obs_flags(p)
     p.add_argument(
         "--trace-level", choices=("off", "spans", "timeline"),
@@ -295,6 +312,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--top", type=int, default=10,
         help="rows per ranking (spans, PEs, hotspots)",
+    )
+
+    p = sub.add_parser(
+        "report",
+        help="cross-run regression report over the run ledger",
+    )
+    p.add_argument(
+        "--ledger", nargs="?", const=True, default=True, metavar="PATH",
+        help="ledger to analyze (default .ceresz/ledger.jsonl, or "
+        "$CERESZ_LEDGER)",
+    )
+    p.add_argument(
+        "--baseline", action="append", default=[], metavar="BENCH.json",
+        help="committed baseline file(s) to compare the newest matching "
+        "bench record against (repeatable)",
+    )
+    p.add_argument(
+        "--kind", choices=("compress", "decompress", "sim", "bench"),
+        help="restrict to records of one kind",
+    )
+    p.add_argument(
+        "--gate", action="store_true",
+        help="exit nonzero when any comparison flags a regression (CI)",
+    )
+    p.add_argument(
+        "--verbose", action="store_true",
+        help="print every compared metric, not just regressions",
     )
 
     p = sub.add_parser(
@@ -355,12 +399,14 @@ def _host_observers(args):
     return tracer, metrics
 
 
-def _finish_observers(args, tracer, metrics, *, recorder=None) -> None:
+def _finish_observers(
+    args, tracer, metrics, *, recorder=None, run_info=None
+) -> None:
     from repro.obs import build_chrome_trace, write_chrome_trace
 
     if args.trace:
         trace = build_chrome_trace(
-            tracer, recorder=recorder, metrics=metrics
+            tracer, recorder=recorder, metrics=metrics, run_info=run_info
         )
         write_chrome_trace(args.trace, trace)
         print(f"trace -> {args.trace} ({len(trace['traceEvents'])} events)")
@@ -386,6 +432,7 @@ def _cmd_compress(args) -> int:
             jobs=args.jobs,
             metrics=metrics,
             checksum=args.checksum,
+            ledger=args.ledger,
         )
     with tr.span("write", path=args.output):
         with open(args.output, "wb") as fh:
@@ -429,7 +476,9 @@ def _cmd_decompress(args) -> int:
         print(report.describe())
     else:
         with tr.span("decompress", jobs=args.jobs or 1):
-            field = codec.decompress(stream, jobs=args.jobs, metrics=metrics)
+            field = codec.decompress(
+                stream, jobs=args.jobs, metrics=metrics, ledger=args.ledger
+            )
     with tr.span("write", path=args.output):
         save_f32(args.output, field)
     print(f"{args.input}: reconstructed {field.size} values -> {args.output}")
@@ -810,6 +859,8 @@ def _cmd_simulate(args) -> int:
         collect_metrics=args.metrics or bool(args.trace),
         faults=faults,
         predictor=args.predictor,
+        ledger=args.ledger,
+        progress=args.progress,
     )
     compress_kwargs = {"rel": args.rel}
     if args.tile_rows:
@@ -879,7 +930,13 @@ def _cmd_simulate(args) -> int:
         f"{result.stream == reference.stream}"
     )
     _finish_observers(
-        args, result.tracer, result.metrics, recorder=report.trace
+        args, result.tracer, result.metrics, recorder=report.trace,
+        run_info={
+            "mode": result.mode,
+            "row_classes": [
+                [rep, size] for rep, size in (result.row_classes or ())
+            ],
+        },
     )
     return 0
 
@@ -895,6 +952,21 @@ def _cmd_trace(args) -> int:
     trace = load_chrome_trace(args.input)
     print(f"{args.input}: {len(trace['traceEvents'])} events")
     print(summarize_trace(trace, top=args.top))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.regress import run_report
+
+    text, ok = run_report(
+        args.ledger,
+        baselines=args.baseline,
+        kind=args.kind,
+        verbose=args.verbose,
+    )
+    print(text)
+    if args.gate and not ok:
+        return 1
     return 0
 
 

@@ -332,6 +332,7 @@ class CereSZ:
         crc_group: int | None = None,
         fast: bool | None = None,
         predictor: str | Predictor | None = None,
+        ledger=None,
     ) -> CompressionResult:
         """Compress under an absolute bound, a REL bound, or a PSNR target.
 
@@ -359,7 +360,89 @@ class CereSZ:
         codec's prediction stage for this call (a registry name from
         :mod:`repro.core.predictors`); the choice is recorded in the
         stream header, so decompression needs no matching argument.
+
+        ``ledger=`` opts into the run ledger: a path, ``True`` (default
+        path), or a :class:`repro.obs.ledger.Ledger` appends one
+        provenance-stamped RunRecord (resolved knobs, environment, wall
+        time, ratio) per call. ``None`` (the default) costs one branch.
         """
+        if ledger is not None:
+            return self._compress_ledgered(
+                data,
+                eps=eps, rel=rel, psnr=psnr, index=index, jobs=jobs,
+                metrics=metrics, checksum=checksum, crc_group=crc_group,
+                fast=fast, predictor=predictor, ledger=ledger,
+            )
+        return self._compress_impl(
+            data,
+            eps=eps, rel=rel, psnr=psnr, index=index, jobs=jobs,
+            metrics=metrics, checksum=checksum, crc_group=crc_group,
+            fast=fast, predictor=predictor,
+        )
+
+    def _compress_ledgered(self, data, *, ledger, metrics, **kw):
+        """Timed compress + RunRecord append (the ``ledger=`` slow path)."""
+        import time as _time
+
+        from repro.obs import ledger as _ledger_mod
+
+        t0 = _time.perf_counter()
+        result = self._compress_impl(data, metrics=metrics, **kw)
+        wall = _time.perf_counter() - t0
+        pred = (
+            self.predictor
+            if kw.get("predictor") is None
+            else get_predictor(kw["predictor"])
+        )
+        config = {
+            "op": "compress",
+            "eps": kw.get("eps"),
+            "rel": kw.get("rel"),
+            "psnr": kw.get("psnr"),
+            "index": kw.get("index"),
+            "jobs": kw.get("jobs"),
+            "checksum": bool(kw.get("checksum")),
+            "crc_group": kw.get("crc_group"),
+            "fast": self.fast if kw.get("fast") is None else bool(kw["fast"]),
+            "predictor": pred.name,
+            "block_size": self.block_size,
+            "header_width": self.header_width,
+            "shape": list(np.asarray(data).shape),
+        }
+        ratio = (
+            result.original_bytes / len(result.stream)
+            if len(result.stream)
+            else 0.0
+        )
+        _ledger_mod.emit(
+            ledger,
+            "compress",
+            "ceresz.compress",
+            config,
+            timings={"wall_s": wall},
+            values={
+                "compression_ratio": float(ratio),
+                "compressed_bytes": float(len(result.stream)),
+            },
+            metrics=metrics,
+        )
+        return result
+
+    def _compress_impl(
+        self,
+        data: np.ndarray,
+        *,
+        eps: float | None = None,
+        rel: float | None = None,
+        psnr: float | None = None,
+        index: bool | None = None,
+        jobs: int | None = None,
+        metrics=None,
+        checksum: bool = False,
+        crc_group: int | None = None,
+        fast: bool | None = None,
+        predictor: str | Predictor | None = None,
+    ) -> CompressionResult:
         if jobs is not None:
             from repro.core.parallel import compress_sharded
 
@@ -491,6 +574,7 @@ class CereSZ:
         jobs: int | None = None,
         metrics=None,
         fast: bool | None = None,
+        ledger=None,
     ) -> np.ndarray:
         """Reconstruct the float32 field (original shape restored).
 
@@ -502,8 +586,53 @@ class CereSZ:
         sizes that pool. ``fast=`` overrides the codec's fused-kernel
         default for this call; block-local-predictor streams decode
         through the fused kernel when on, whole-array streams always take
-        the reference path.
+        the reference path. ``ledger=`` appends one RunRecord per call
+        (see :meth:`compress`); ``None`` costs one branch.
         """
+        if ledger is not None:
+            return self._decompress_ledgered(
+                stream, jobs=jobs, metrics=metrics, fast=fast, ledger=ledger
+            )
+        return self._decompress_impl(
+            stream, jobs=jobs, metrics=metrics, fast=fast
+        )
+
+    def _decompress_ledgered(self, stream, *, jobs, metrics, fast, ledger):
+        """Timed decompress + RunRecord append (the ``ledger=`` slow path)."""
+        import time as _time
+
+        from repro.obs import ledger as _ledger_mod
+
+        t0 = _time.perf_counter()
+        values = self._decompress_impl(
+            stream, jobs=jobs, metrics=metrics, fast=fast
+        )
+        wall = _time.perf_counter() - t0
+        config = {
+            "op": "decompress",
+            "jobs": jobs,
+            "fast": self.fast if fast is None else bool(fast),
+            "stream_bytes": len(stream),
+        }
+        _ledger_mod.emit(
+            ledger,
+            "decompress",
+            "ceresz.decompress",
+            config,
+            timings={"wall_s": wall},
+            values={"output_bytes": float(values.nbytes)},
+            metrics=metrics,
+        )
+        return values
+
+    def _decompress_impl(
+        self,
+        stream: bytes,
+        *,
+        jobs: int | None = None,
+        metrics=None,
+        fast: bool | None = None,
+    ) -> np.ndarray:
         from repro.core.parallel import decompress_sharded, is_sharded
 
         if is_sharded(stream):

@@ -235,6 +235,8 @@ def simulate_plan(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     faults: FaultPlan | None = None,
+    ledger=None,
+    progress=None,
 ) -> SimulatedRun:
     """Execute ``plan`` and return its outputs and simulation report.
 
@@ -272,7 +274,59 @@ def simulate_plan(
     :class:`repro.faults.FaultReport`; with ``jobs > 1`` the originating
     shard id and rows are prefixed to the message and reports from all
     failed partitions are merged.
+
+    ``ledger=`` opts the run into the run ledger (a path, ``True``, or a
+    :class:`repro.obs.ledger.Ledger`): one provenance-stamped RunRecord
+    with the resolved plan knobs, wall time, makespan, and the metrics
+    snapshot. ``progress=`` (a :class:`repro.obs.log.ProgressReporter`
+    or ``True``) emits periodic rows-done/ETA lines during hybrid
+    composition — the only phase long enough to need them. Both default
+    off at the cost of one branch each.
     """
+    if ledger is not None:
+        import time as _time
+
+        from repro.obs import ledger as _ledger_mod
+
+        t0 = _time.perf_counter()
+        run = simulate_plan(
+            plan, model=model, jobs=jobs, mode=mode, optimize=optimize,
+            fast_kernels=fast_kernels, tracer=tracer, metrics=metrics,
+            faults=faults, progress=progress,
+        )
+        wall = _time.perf_counter() - t0
+        _ledger_mod.emit(
+            ledger,
+            "sim",
+            "simulate_plan",
+            {
+                "op": "sim",
+                "strategy": plan.strategy,
+                "rows": plan.rows,
+                "cols": plan.cols,
+                "num_blocks": plan.num_blocks,
+                "direction": plan.direction,
+                "mode": mode,
+                "jobs": jobs,
+                "optimize": bool(optimize),
+                "fast_kernels": bool(fast_kernels),
+                "faults": faults is not None,
+            },
+            timings={
+                "wall_s": wall,
+                "makespan_cycles": float(run.report.makespan_cycles),
+            },
+            values={
+                "sim_events": float(run.report.events_processed),
+                "sim_tasks": float(run.report.tasks_run),
+            },
+            metrics=metrics,
+        )
+        return run
+    if progress is True:
+        from repro.obs.log import ProgressReporter
+
+        progress = ProgressReporter(plan.rows, label="rows")
     if mode not in SIM_MODES:
         raise ValueError(f"mode must be one of {SIM_MODES}, got {mode!r}")
     if jobs == "auto":
@@ -295,6 +349,7 @@ def simulate_plan(
             fast_kernels=fast_kernels,
             tracer=tracer,
             metrics=metrics,
+            progress=progress,
         )
     if jobs > 1 and plan.rows > 1 and row_partitionable(plan):
         subs = split_rows(plan, jobs)
@@ -473,6 +528,7 @@ def _simulate_hybrid(
     fast_kernels: bool,
     tracer: Tracer | None,
     metrics: MetricsRegistry | None,
+    progress=None,
 ) -> SimulatedRun:
     """Event-simulate one representative per row class, replicate the rest.
 
@@ -506,7 +562,7 @@ def _simulate_hybrid(
         )
         return _compose_hybrid(
             plan, classes, emit_seqs, [r[1:] for r in results], tracer,
-            metrics,
+            metrics, progress=progress,
         )
 
 
@@ -533,6 +589,7 @@ def _compose_hybrid(
     results: list,
     tracer: Tracer | None,
     metrics: MetricsRegistry | None,
+    progress=None,
 ) -> SimulatedRun:
     """Compose a full-mesh result from per-class representative runs.
 
@@ -572,6 +629,8 @@ def _compose_hybrid(
     trace = TraceRecorder()
     for row in range(plan.rows):
         trace.merge_replica(results[class_of[row]][1].trace, row)
+        if progress is not None:
+            progress.update(row + 1, phase="compose")
     trace.events_processed = sum(
         len(members) * results[ci][1].trace.events_processed
         for ci, (_, members) in enumerate(classes)
@@ -624,6 +683,7 @@ def simulate_replicated(
     fast_kernels: bool = True,
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
+    progress=None,
 ) -> SimulatedRun:
     """Simulate ``replicate_rows(template, copies)`` without building it.
 
@@ -641,6 +701,10 @@ def simulate_replicated(
     """
     if copies < 1:
         raise ValueError(f"copies must be >= 1, got {copies}")
+    if progress is True:
+        from repro.obs.log import ProgressReporter
+
+        progress = ProgressReporter(copies, label="copies")
     if template.partial:
         raise ScheduleError("cannot replicate a partial sub-plan")
     if not row_partitionable(template):
@@ -676,6 +740,8 @@ def simulate_replicated(
         trace = TraceRecorder()
         for k in range(copies):
             trace.merge_replica(rep_report.trace, k * template.rows)
+            if progress is not None:
+                progress.update(k + 1, phase="compose")
         trace.events_processed = copies * rep_report.trace.events_processed
         if tracer is not None and part_tracer is not None:
             for k in range(copies):

@@ -14,6 +14,7 @@ simulations are used to validate at small scale.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -93,6 +94,8 @@ class WSECereSZ:
         collect_metrics: bool = False,
         faults=None,
         predictor: str = "lorenzo1d",
+        ledger=None,
+        progress: bool = False,
     ):
         if strategy not in STRATEGIES:
             raise ScheduleError(
@@ -148,6 +151,12 @@ class WSECereSZ:
         #: Block-local predictor the lowered kernels apply (whole-array
         #: predictors are rejected here, before any plan is built).
         self.predictor = wafer_predictor(predictor).name
+        #: Run-ledger destination (None off, True default path, or a path/
+        #: Ledger): every compress/decompress_on_wafer appends one
+        #: provenance-stamped RunRecord. ``progress=True`` emits periodic
+        #: rows-done/ETA lines during hybrid composition.
+        self.ledger = ledger
+        self.progress = bool(progress)
         self._reference = CereSZ(block_size=block_size, predictor=self.predictor)
 
     def _observers(self) -> tuple[Tracer | None, MetricsRegistry | None]:
@@ -160,6 +169,45 @@ class WSECereSZ:
         self.last_tracer = tracer
         self.last_metrics = metrics
         return tracer, metrics
+
+    @property
+    def _progress(self):
+        # simulate_plan/simulate_replicated normalize True into a fresh
+        # per-run ProgressReporter sized to the composition loop.
+        return True if self.progress else None
+
+    def _emit_ledger(
+        self, op, *, wall_s, run, metrics, config_extra=None, values=None
+    ) -> None:
+        """Append one RunRecord for a finished wafer run (ledger on only)."""
+        from repro.obs import ledger as _ledger_mod
+
+        config = {
+            "op": op,
+            "strategy": self.strategy,
+            "rows": self.rows,
+            "cols": self.cols,
+            "pipeline_length": self.pipeline_length,
+            "block_size": self.block_size,
+            "mode": self.mode,
+            "jobs": self.jobs,
+            "predictor": self.predictor,
+            "faults": self.faults is not None,
+        }
+        if config_extra:
+            config.update(config_extra)
+        _ledger_mod.emit(
+            self.ledger,
+            "sim",
+            f"wse.{op}",
+            config,
+            timings={
+                "wall_s": wall_s,
+                "makespan_cycles": float(run.report.makespan_cycles),
+            },
+            values=dict(values or {}),
+            metrics=metrics,
+        )
 
     def compress(
         self,
@@ -190,6 +238,7 @@ class WSECereSZ:
                 "host); use the reference CereSZ for them"
             )
         tracer, metrics = self._observers()
+        t0 = time.perf_counter() if self.ledger is not None else 0.0
         # Quantize on the host only to learn eps_eff; the wafer kernels
         # redo the arithmetic from the raw floats.
         _, eps_eff = prequantize_verified(arr, bound)
@@ -205,6 +254,7 @@ class WSECereSZ:
         run = simulate_plan(
             plan, model=self.model, jobs=self.jobs, mode=self.mode,
             tracer=tracer, metrics=metrics, faults=self.faults,
+            progress=self._progress,
         )
         outputs, report = run.outputs, run.report
 
@@ -225,6 +275,19 @@ class WSECereSZ:
             fixed_lengths=np.zeros(0, dtype=np.int64),
             zero_block_fraction=0.0,
         )
+        if self.ledger is not None:
+            self._emit_ledger(
+                "compress",
+                wall_s=time.perf_counter() - t0,
+                run=run,
+                metrics=metrics,
+                config_extra={"eps": bound, "shape": list(arr.shape)},
+                values={
+                    "compression_ratio": result.original_bytes
+                    / len(result.stream),
+                    "compressed_bytes": float(len(result.stream)),
+                },
+            )
         return WSECompressionResult(
             result=result, report=report, tracer=tracer, metrics=metrics,
             mode=run.mode, row_classes=run.row_classes,
@@ -249,6 +312,7 @@ class WSECereSZ:
                 "host); use the reference CereSZ for them"
             )
         tracer, metrics = self._observers()
+        t0 = time.perf_counter() if self.ledger is not None else 0.0
         _, eps_eff = prequantize_verified(row_values, bound)
         raw_blocks, _ = partition_blocks(
             row_values.astype(np.float64), self.block_size
@@ -265,11 +329,12 @@ class WSECereSZ:
                 replicate_rows(template, self.rows),
                 model=self.model, jobs=self.jobs,
                 tracer=tracer, metrics=metrics, faults=self.faults,
+                progress=self._progress,
             )
         else:
             run = simulate_replicated(
                 template, self.rows, model=self.model,
-                tracer=tracer, metrics=metrics,
+                tracer=tracer, metrics=metrics, progress=self._progress,
             )
         total_blocks = raw_blocks.shape[0] * self.rows
         body = run.outputs.stream(total_blocks)
@@ -288,6 +353,23 @@ class WSECereSZ:
             fixed_lengths=np.zeros(0, dtype=np.int64),
             zero_block_fraction=0.0,
         )
+        if self.ledger is not None:
+            self._emit_ledger(
+                "compress",
+                wall_s=time.perf_counter() - t0,
+                run=run,
+                metrics=metrics,
+                config_extra={
+                    "eps": bound,
+                    "shape": [self.rows * n_row],
+                    "tile_rows": True,
+                },
+                values={
+                    "compression_ratio": result.original_bytes
+                    / len(result.stream),
+                    "compressed_bytes": float(len(result.stream)),
+                },
+            )
         return WSECompressionResult(
             result=result, report=run.report, tracer=tracer,
             metrics=metrics, mode=run.mode, row_classes=run.row_classes,
@@ -313,6 +395,7 @@ class WSECereSZ:
         from repro.core.mapping_decompress import records_to_words
 
         tracer, metrics = self._observers()
+        t0 = time.perf_counter() if self.ledger is not None else 0.0
         header, offset = StreamHeader.unpack(stream)
         if header.constant is not None:
             raise CompressionError(
@@ -382,10 +465,23 @@ class WSECereSZ:
         run = simulate_plan(
             plan, model=self.model, jobs=self.jobs, mode=self.mode,
             tracer=tracer, metrics=metrics, faults=self.faults,
+            progress=self._progress,
         )
         outputs, report = run.outputs, run.report
         blocks = outputs.assemble(header.num_blocks, header.block_size)
         flat = blocks.reshape(-1)[: header.num_elements]
+        if self.ledger is not None:
+            self._emit_ledger(
+                "decompress",
+                wall_s=time.perf_counter() - t0,
+                run=run,
+                metrics=metrics,
+                config_extra={
+                    "eps": header.eps,
+                    "num_blocks": header.num_blocks,
+                },
+                values={"output_bytes": float(flat.nbytes)},
+            )
         return flat.reshape(header.shape), report
 
     def plan_for(

@@ -111,6 +111,10 @@ class ErrorBoundError(ReproError):
     """An invalid error bound was supplied (non-positive or non-finite)."""
 
 
+class LedgerError(ReproError):
+    """A run-ledger file is malformed or from an incompatible schema."""
+
+
 class DatasetError(ReproError):
     """A dataset name or field is unknown, or generation parameters are bad."""
 

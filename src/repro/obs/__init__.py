@@ -9,7 +9,14 @@ Three layers, one per module:
   raw counters into a registry;
 * :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto /
   ``chrome://tracing``), fabric occupancy and relay-congestion heatmaps,
-  and the offline summarizer behind ``ceresz trace``.
+  and the offline summarizer behind ``ceresz trace``;
+* :mod:`repro.obs.ledger` — provenance-stamped RunRecords appended to a
+  JSON-lines run ledger (config fingerprint, environment capture,
+  metrics snapshot, timings);
+* :mod:`repro.obs.regress` — statistics and the ``ceresz report --gate``
+  regression engine over the ledger;
+* :mod:`repro.obs.log` — structured ``key=value`` logging and the
+  off-by-default live progress reporter for long wafer runs.
 """
 
 from repro.obs.export import (
@@ -22,6 +29,20 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.ledger import (
+    SCHEMA_VERSION,
+    Ledger,
+    RunRecord,
+    capture_environment,
+    config_fingerprint,
+    make_record,
+    resolve_ledger,
+)
+from repro.obs.log import (
+    ProgressReporter,
+    StructLogger,
+    get_logger,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -31,6 +52,13 @@ from repro.obs.metrics import (
     collect_fabric_metrics,
     collect_run_metrics,
     collect_trace_metrics,
+)
+from repro.obs.regress import (
+    headline_values,
+    load_baseline,
+    metric_policy,
+    run_report,
+    summarize,
 )
 from repro.obs.tracing import (
     NULL_TRACER,
@@ -42,23 +70,38 @@ from repro.obs.tracing import (
 
 __all__ = [
     "NULL_TRACER",
+    "SCHEMA_VERSION",
     "TRACE_LEVELS",
     "Counter",
     "Gauge",
     "Histogram",
+    "Ledger",
     "MetricsRegistry",
     "PEEvent",
+    "ProgressReporter",
+    "RunRecord",
     "SpanRecord",
+    "StructLogger",
     "Tracer",
     "build_chrome_trace",
+    "capture_environment",
+    "config_fingerprint",
     "collect_engine_metrics",
     "collect_fabric_metrics",
     "collect_run_metrics",
     "collect_trace_metrics",
+    "get_logger",
+    "headline_values",
+    "load_baseline",
     "load_chrome_trace",
+    "make_record",
+    "metric_policy",
     "occupancy_heatmap",
     "relay_heatmap",
     "render_heatmap",
+    "resolve_ledger",
+    "run_report",
+    "summarize",
     "summarize_trace",
     "validate_chrome_trace",
     "write_chrome_trace",

@@ -92,14 +92,19 @@ def build_chrome_trace(
     *,
     recorder=None,
     metrics: MetricsRegistry | None = None,
+    run_info: dict | None = None,
 ) -> dict:
     """Assemble the Chrome trace-event object for one run.
 
     ``tracer`` supplies the events (host spans and, at
     ``trace_level="timeline"``, per-PE task events); ``recorder`` (a
     ``TraceRecorder``) supplies the occupancy/congestion heatmaps;
-    ``metrics`` embeds its snapshot. All three are optional — an
-    off-level tracer still yields a valid (metadata-only) trace.
+    ``metrics`` embeds its snapshot. ``run_info`` rides along in
+    ``otherData["run"]`` — notably the simulation ``mode`` and hybrid
+    ``row_classes``, which the summarizer needs to label composed
+    timelines correctly (a hybrid trace's spans cover only the
+    representative rows). All are optional — an off-level tracer still
+    yields a valid (metadata-only) trace.
     """
     events: list[dict] = []
 
@@ -170,6 +175,8 @@ def build_chrome_trace(
         other["relay_heatmap"] = relay_heatmap(recorder)
     if metrics is not None:
         other["metrics"] = metrics.snapshot()
+    if run_info:
+        other["run"] = dict(run_info)
 
     return {
         "traceEvents": events,
@@ -197,9 +204,14 @@ def validate_chrome_trace(trace: dict) -> None:
 
     Raises ``ValueError`` on the first violation: missing/ill-typed
     required keys, a complete event without a non-negative ``dur``,
-    negative timestamps, or per-track timestamps that go backwards
-    (viewers tolerate unsorted input; we promise sorted so diffs and
-    streaming consumers can rely on it).
+    negative timestamps, per-track timestamps that go backwards, or
+    duplicate complete events on one ``(pid, tid, ts)`` slot. A
+    duplicate is either an identical repeat (same name and ``dur`` — a
+    replica merge double-counting a track, the bug this check exists to
+    catch) or two events of nonzero duration launched from the same
+    instant (a PE executes serially; overlap means double-booking).
+    Zero-duration markers (``recv``) legitimately coincide with the
+    start of the task they trigger and are exempt.
     """
     if not isinstance(trace, dict):
         raise ValueError("trace must be a JSON object")
@@ -207,6 +219,10 @@ def validate_chrome_trace(trace: dict) -> None:
     if not isinstance(events, list):
         raise ValueError("trace.traceEvents must be a list")
     last_ts: dict[tuple[int, int], float] = {}
+    # Complete events sharing the current ts of their track, as
+    # (name, dur) pairs — per-track ts monotonicity makes equal-ts
+    # events contiguous in track order, so one slot per track suffices.
+    slot: dict[tuple[int, int], list[tuple[str, float]]] = {}
     for i, event in enumerate(events):
         if not isinstance(event, dict):
             raise ValueError(f"event {i} is not an object")
@@ -224,10 +240,29 @@ def validate_chrome_trace(trace: dict) -> None:
                     f"event {i} is complete (ph=X) without a valid dur"
                 )
             track = (event["pid"], event["tid"])
-            if ts < last_ts.get(track, 0.0):
+            prev = last_ts.get(track)
+            if prev is not None and ts < prev:
                 raise ValueError(
                     f"event {i} breaks per-track ts monotonicity"
                 )
+            if prev == ts:
+                where = (
+                    f"(pid, tid, ts)=({event['pid']}, {event['tid']}, {ts})"
+                )
+                for name, other_dur in slot[track]:
+                    if name == event["name"] and other_dur == dur:
+                        raise ValueError(
+                            f"event {i} duplicates {where}: identical "
+                            f"complete event repeated on one track slot"
+                        )
+                    if dur > 0 and other_dur > 0:
+                        raise ValueError(
+                            f"event {i} duplicates {where}: two complete "
+                            f"events of nonzero duration on one track slot"
+                        )
+                slot[track].append((event["name"], dur))
+            else:
+                slot[track] = [(event["name"], dur)]
             last_ts[track] = ts
         elif ph != "M":
             raise ValueError(
@@ -268,6 +303,24 @@ def summarize_trace(trace: dict, *, top: int = 10) -> str:
             f"trace level: {other['trace_level']} "
             f"(sample_every={other.get('sample_every', 1)})"
         )
+    run = other.get("run") or {}
+    mode = run.get("mode")
+    if mode == "hybrid":
+        classes = [tuple(c) for c in run.get("row_classes") or []]
+        total_rows = sum(size for _, size in classes)
+        lines.append(
+            f"run mode: hybrid — {len(classes)} row class(es) covering "
+            f"{total_rows} row(s); timelines below are composed from "
+            f"replicated representatives, spans cover representatives only"
+        )
+        sized = sorted(classes, key=lambda rc: -rc[1])[:top]
+        lines.append(
+            "  class sizes: "
+            + ", ".join(f"row {rep} x{size}" for rep, size in sized)
+            + (" …" if len(classes) > top else "")
+        )
+    elif mode:
+        lines.append(f"run mode: {mode}")
 
     lines.append(f"top spans (by total wall time, top {top}):")
     ranked = sorted(span_totals.items(), key=lambda kv: -kv[1][1])[:top]

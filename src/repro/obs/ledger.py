@@ -1,0 +1,295 @@
+"""The run ledger: provenance-stamped records of every measured run.
+
+Per-run tracing and metrics (:mod:`repro.obs.tracing`,
+:mod:`repro.obs.metrics`) answer "what happened inside this run"; nothing
+answered "how does this run compare to last Tuesday's, and was it even
+the same code?". Every benchmark overwrote its predecessor's JSON and
+regressions were caught only by hand-tuned floor flags. The ledger is the
+memory across runs: an append-only JSON-lines file where each line is one
+:class:`RunRecord` —
+
+* a **config fingerprint**: blake2b over the resolved knobs (predictor,
+  eps, block size, strategy, mode, jobs, fast path, ...), so runs group
+  by what was actually executed, not by how the caller spelled it;
+* an **environment capture**: git SHA, python/numpy versions, CPU count,
+  hostname, platform — which code and which machine produced the number;
+* the full **MetricsRegistry snapshot** when one was collected;
+* **timings** (wall seconds, simulated makespan cycles) and named scalar
+  **values** (ratios, speedups, throughputs) — the regression engine's
+  raw material;
+* **artifact pointers** (trace JSON paths, bench result files).
+
+Emission is strictly opt-in: every integration point takes
+``ledger=None`` and the entire feature costs one ``is None`` test when
+off. Pass a path, a :class:`Ledger`, or ``True`` (the default
+``.ceresz/ledger.jsonl``, overridable via ``CERESZ_LEDGER``).
+
+The file format is one compact JSON object per line, each carrying
+``schema``; :meth:`Ledger.records` refuses records from a *newer* schema
+(forward-incompatible) and malformed lines, naming the line number.
+:mod:`repro.obs.regress` consumes these records to compute cross-run
+statistics and the CI gate.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import platform
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import LedgerError
+
+#: Version of the RunRecord schema this module writes. Bump on any change
+#: that an old reader would misinterpret; readers accept same-or-older.
+SCHEMA_VERSION = 1
+
+#: Default ledger location (relative to the working directory), and the
+#: environment variable that overrides it.
+DEFAULT_LEDGER_PATH = os.path.join(".ceresz", "ledger.jsonl")
+LEDGER_ENV = "CERESZ_LEDGER"
+
+#: Record kinds the emitters use. Free-form strings are accepted (the
+#: ledger is a substrate, not a registry), but sticking to these keeps
+#: ``ceresz report`` groupings meaningful.
+RECORD_KINDS = ("compress", "decompress", "sim", "bench")
+
+
+def canonical_json(obj) -> str:
+    """Deterministic serialization: sorted keys, no whitespace.
+
+    The fingerprint hashes this, so two configs that differ only in key
+    order or float spelling (``1e-3`` vs ``0.001`` parse to the same
+    float) fingerprint identically.
+    """
+    return json.dumps(
+        obj, sort_keys=True, separators=(",", ":"), default=str
+    )
+
+
+def config_fingerprint(config: dict) -> str:
+    """blake2b (128-bit, hex) over the canonical form of ``config``."""
+    digest = hashlib.blake2b(
+        canonical_json(config).encode("utf-8"), digest_size=16
+    )
+    return digest.hexdigest()
+
+
+@functools.lru_cache(maxsize=1)
+def _git_sha() -> str:
+    """HEAD commit of the working directory's repo, or ``unknown``.
+
+    Cached for the process lifetime: the SHA cannot change under a
+    running process that matters here, and ledger emission must not pay
+    a subprocess per record.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+@functools.lru_cache(maxsize=1)
+def capture_environment() -> dict:
+    """Who/what produced this record: code version, interpreter, machine."""
+    import numpy
+
+    return {
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "platform": sys.platform,
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+        "hostname": socket.gethostname(),
+    }
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One ledger line: a provenance-stamped measurement of one run."""
+
+    kind: str
+    name: str
+    config: dict
+    fingerprint: str
+    env: dict
+    timings: dict = field(default_factory=dict)
+    values: dict = field(default_factory=dict)
+    metrics: dict | None = None
+    artifacts: dict = field(default_factory=dict)
+    timestamp: float = 0.0
+    schema: int = SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        """Rebuild a record, enforcing the schema-version contract."""
+        if not isinstance(data, dict):
+            raise LedgerError(f"ledger record is not an object: {data!r}")
+        schema = data.get("schema")
+        if not isinstance(schema, int):
+            raise LedgerError(
+                "ledger record carries no integer 'schema' field"
+            )
+        if schema > SCHEMA_VERSION:
+            raise LedgerError(
+                f"ledger record has schema {schema}, newer than this "
+                f"reader's {SCHEMA_VERSION}; upgrade to read it"
+            )
+        known = {
+            "kind", "name", "config", "fingerprint", "env", "timings",
+            "values", "metrics", "artifacts", "timestamp", "schema",
+        }
+        missing = {"kind", "name", "config", "fingerprint", "env"} - set(data)
+        if missing:
+            raise LedgerError(
+                f"ledger record missing field(s) {sorted(missing)}"
+            )
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+    @classmethod
+    def from_json(cls, line: str) -> "RunRecord":
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise LedgerError(f"malformed ledger line: {exc}") from exc
+        return cls.from_dict(data)
+
+
+def make_record(
+    kind: str,
+    name: str,
+    config: dict,
+    *,
+    timings: dict | None = None,
+    values: dict | None = None,
+    metrics=None,
+    artifacts: dict | None = None,
+    env: dict | None = None,
+    timestamp: float | None = None,
+) -> RunRecord:
+    """Assemble a :class:`RunRecord` with fingerprint and environment.
+
+    ``metrics`` accepts a raw snapshot dict or anything with a
+    ``snapshot()`` method (a ``MetricsRegistry``). ``env``/``timestamp``
+    overrides exist for tests that need byte-stable records.
+    """
+    if metrics is not None and hasattr(metrics, "snapshot"):
+        metrics = metrics.snapshot()
+    return RunRecord(
+        kind=kind,
+        name=name,
+        config=dict(config),
+        fingerprint=config_fingerprint(config),
+        env=dict(capture_environment()) if env is None else dict(env),
+        timings=dict(timings or {}),
+        values=dict(values or {}),
+        metrics=metrics,
+        artifacts=dict(artifacts or {}),
+        timestamp=time.time() if timestamp is None else float(timestamp),
+    )
+
+
+class Ledger:
+    """Append-only JSON-lines store of :class:`RunRecord` rows."""
+
+    def __init__(self, path: str | os.PathLike | None = None):
+        if path is None:
+            path = os.environ.get(LEDGER_ENV) or DEFAULT_LEDGER_PATH
+        self.path = os.fspath(path)
+
+    def append(self, record: RunRecord) -> RunRecord:
+        """Write one record as one line (creating parent dirs as needed)."""
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(record.to_json())
+            fh.write("\n")
+        return record
+
+    def records(self) -> list[RunRecord]:
+        """All records, in append order; raises on schema/parse trouble."""
+        if not os.path.exists(self.path):
+            return []
+        out: list[RunRecord] = []
+        with open(self.path, encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(RunRecord.from_json(line))
+                except LedgerError as exc:
+                    raise LedgerError(
+                        f"{self.path}:{lineno}: {exc}"
+                    ) from None
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+
+def resolve_ledger(ledger) -> Ledger | None:
+    """Normalize the ``ledger=`` argument every emitter accepts.
+
+    ``None``/``False`` disable emission; ``True`` selects the default
+    path; a string/path opens that file; a :class:`Ledger` passes
+    through. This is the only call on the ``ledger=None`` hot path, and
+    it is a single ``is None`` test there.
+    """
+    if ledger is None or ledger is False:
+        return None
+    if isinstance(ledger, Ledger):
+        return ledger
+    if ledger is True:
+        return Ledger()
+    return Ledger(ledger)
+
+
+def emit(
+    ledger,
+    kind: str,
+    name: str,
+    config: dict,
+    *,
+    timings: dict | None = None,
+    values: dict | None = None,
+    metrics=None,
+    artifacts: dict | None = None,
+) -> RunRecord | None:
+    """Build and append one record, or do nothing when ``ledger`` is off."""
+    led = resolve_ledger(ledger)
+    if led is None:
+        return None
+    record = make_record(
+        kind,
+        name,
+        config,
+        timings=timings,
+        values=values,
+        metrics=metrics,
+        artifacts=artifacts,
+    )
+    return led.append(record)

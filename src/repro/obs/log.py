@@ -1,0 +1,185 @@
+"""Structured logging and live progress for benches, CLI, and long runs.
+
+Benches and the CLI historically reported status with bare ``print``
+calls — fine for a human, useless for the run ledger's consumers (CI log
+scrapers, the regression observatory, anyone grepping a 400-line bench
+log for "which JSON did this run write"). This module replaces those
+prints with leveled, machine-parseable ``key=value`` lines::
+
+    ts=1754649600.123 level=info logger=bench.host event=wrote path=BENCH_host_throughput.json
+
+Two deliberate non-goals keep it small: no handlers/formatters hierarchy
+(one stream, one format) and no integration with :mod:`logging` (the
+stdlib module's per-call overhead and global config are exactly what the
+<1 % observability budget forbids on hot paths — these loggers are for
+*reporting* paths only).
+
+Parsing contract: one record per line; fields are space-separated
+``key=value`` tokens; values containing whitespace, ``"``, or ``=`` are
+JSON-quoted, so ``shlex.split`` or a ``key=("[^"]*"|\\S+)`` regex
+recovers them. ``ts``/``level``/``logger``/``event`` always lead, in
+that order.
+
+:class:`ProgressReporter` builds on the same format: a rate-limited
+rows-done/ETA line for long hybrid-wafer runs (750-row compositions take
+tens of seconds), driven from the simulator's composition loops. It is
+**off by default** everywhere — ``ceresz sim --progress`` opts in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+#: Severity order; a logger emits records at or above its level.
+LOG_LEVELS = ("debug", "info", "warn", "error")
+
+_LEVEL_RANK = {name: i for i, name in enumerate(LOG_LEVELS)}
+
+#: Environment override for the default level of every new logger.
+LEVEL_ENV = "CERESZ_LOG_LEVEL"
+
+
+def _needs_quoting(text: str) -> bool:
+    if text == "":
+        return True
+    return any(ch.isspace() or ch in '"=' for ch in text)
+
+
+def format_value(value) -> str:
+    """One ``key=value`` token's value: compact, unambiguous, parseable."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, int):
+        return str(value)
+    text = str(value)
+    if _needs_quoting(text):
+        return json.dumps(text)
+    return text
+
+
+def format_record(level: str, logger: str, event: str, fields: dict) -> str:
+    """The full log line (no trailing newline)."""
+    parts = [
+        f"ts={time.time():.3f}",
+        f"level={level}",
+        f"logger={format_value(logger)}",
+        f"event={format_value(event)}",
+    ]
+    parts.extend(f"{key}={format_value(val)}" for key, val in fields.items())
+    return " ".join(parts)
+
+
+class StructLogger:
+    """Leveled ``key=value`` line logger bound to one name and stream."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        level: str | None = None,
+        stream=None,
+    ):
+        if level is None:
+            level = os.environ.get(LEVEL_ENV, "info")
+        if level not in _LEVEL_RANK:
+            raise ValueError(
+                f"log level must be one of {LOG_LEVELS}, got {level!r}"
+            )
+        self.name = name
+        self.level = level
+        self._rank = _LEVEL_RANK[level]
+        #: Resolved lazily so pytest's capsys / CLI redirections see the
+        #: stream that is current at emit time, not at construction.
+        self._stream = stream
+
+    def log(self, level: str, event: str, **fields) -> None:
+        rank = _LEVEL_RANK.get(level)
+        if rank is None:
+            raise ValueError(
+                f"log level must be one of {LOG_LEVELS}, got {level!r}"
+            )
+        if rank < self._rank:
+            return
+        stream = self._stream if self._stream is not None else sys.stderr
+        print(format_record(level, self.name, event, fields), file=stream)
+
+    def debug(self, event: str, **fields) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.log("info", event, **fields)
+
+    def warn(self, event: str, **fields) -> None:
+        self.log("warn", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.log("error", event, **fields)
+
+
+_LOGGERS: dict[str, StructLogger] = {}
+
+
+def get_logger(name: str) -> StructLogger:
+    """The process-wide logger for ``name`` (created on first use)."""
+    logger = _LOGGERS.get(name)
+    if logger is None:
+        logger = _LOGGERS[name] = StructLogger(name)
+    return logger
+
+
+class ProgressReporter:
+    """Rate-limited rows-done/ETA lines for long composition loops.
+
+    The simulator's hybrid/replicated paths call :meth:`update` once per
+    composed row; this class turns that firehose into one ``event=progress``
+    line every ``interval_s`` seconds (plus a final line at completion)
+    with percent done, instantaneous rate, and a linear-extrapolation ETA.
+    A ``None`` reporter is the off switch — call sites guard with
+    ``if progress is not None``, so the default-off cost is one branch.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        label: str = "rows",
+        interval_s: float = 2.0,
+        logger: StructLogger | None = None,
+        clock=time.perf_counter,
+    ):
+        if total < 1:
+            raise ValueError(f"progress total must be >= 1, got {total}")
+        self.total = int(total)
+        self.label = label
+        self.interval_s = float(interval_s)
+        self._logger = logger if logger is not None else get_logger("progress")
+        self._clock = clock
+        self._start = clock()
+        self._last_emit = -float("inf")
+        self.emitted = 0
+
+    def update(self, done: int, **fields) -> None:
+        now = self._clock()
+        final = done >= self.total
+        if not final and now - self._last_emit < self.interval_s:
+            return
+        self._last_emit = now
+        elapsed = now - self._start
+        rate = done / elapsed if elapsed > 0 else 0.0
+        eta = (self.total - done) / rate if rate > 0 else 0.0
+        self.emitted += 1
+        self._logger.info(
+            "progress",
+            label=self.label,
+            done=int(done),
+            total=self.total,
+            pct=100.0 * done / self.total,
+            elapsed_s=elapsed,
+            eta_s=eta,
+            **fields,
+        )

@@ -177,6 +177,61 @@ class TestValidator:
                 ]}
             )
 
+    def test_rejects_identical_repeat_on_one_slot(self):
+        # The replica-merge double-count bug: the same complete event
+        # lands twice on one (pid, tid, ts) slot.
+        events = [
+            {"name": "compute", "ph": "X", "ts": 10, "dur": 5,
+             "pid": 1, "tid": 2},
+            {"name": "compute", "ph": "X", "ts": 10, "dur": 5,
+             "pid": 1, "tid": 2},
+        ]
+        with pytest.raises(ValueError, match="identical complete event"):
+            validate_chrome_trace({"traceEvents": events})
+
+    def test_rejects_two_nonzero_durations_on_one_slot(self):
+        # A PE executes serially: two spans launched from the same
+        # instant on one track is double-booking even when they differ.
+        events = [
+            {"name": "compute", "ph": "X", "ts": 10, "dur": 5,
+             "pid": 1, "tid": 2},
+            {"name": "send", "ph": "X", "ts": 10, "dur": 3,
+             "pid": 1, "tid": 2},
+        ]
+        with pytest.raises(ValueError, match="nonzero duration"):
+            validate_chrome_trace({"traceEvents": events})
+
+    def test_accepts_zero_dur_marker_at_task_start(self):
+        # The legitimate simulator pattern: a zero-duration recv marker
+        # coincides with the start of the compute span it triggered.
+        events = [
+            {"name": "recv", "ph": "X", "ts": 10, "dur": 0,
+             "pid": 1, "tid": 2},
+            {"name": "compute", "ph": "X", "ts": 10, "dur": 24,
+             "pid": 1, "tid": 2},
+        ]
+        validate_chrome_trace({"traceEvents": events})
+
+    def test_rejects_identical_zero_dur_repeat(self):
+        # Even zero-duration markers may not repeat identically.
+        events = [
+            {"name": "recv", "ph": "X", "ts": 10, "dur": 0,
+             "pid": 1, "tid": 2},
+            {"name": "recv", "ph": "X", "ts": 10, "dur": 0,
+             "pid": 1, "tid": 2},
+        ]
+        with pytest.raises(ValueError, match="identical complete event"):
+            validate_chrome_trace({"traceEvents": events})
+
+    def test_duplicate_slot_on_other_track_is_fine(self):
+        events = [
+            {"name": "compute", "ph": "X", "ts": 10, "dur": 5,
+             "pid": 1, "tid": 2},
+            {"name": "compute", "ph": "X", "ts": 10, "dur": 5,
+             "pid": 1, "tid": 3},
+        ]
+        validate_chrome_trace({"traceEvents": events})
+
 
 class TestRoundTrip:
     def test_write_validates_and_loads_back(self, tmp_path):

@@ -1,0 +1,201 @@
+"""Run ledger: records, fingerprints, schema contract, opt-in emission."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import CereSZ
+from repro.errors import LedgerError
+from repro.obs.ledger import (
+    SCHEMA_VERSION,
+    Ledger,
+    RunRecord,
+    canonical_json,
+    capture_environment,
+    config_fingerprint,
+    emit,
+    make_record,
+    resolve_ledger,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestFingerprint:
+    def test_key_order_is_irrelevant(self):
+        a = {"eps": 1e-3, "predictor": "lorenzo1d", "jobs": 1}
+        b = {"jobs": 1, "predictor": "lorenzo1d", "eps": 1e-3}
+        assert config_fingerprint(a) == config_fingerprint(b)
+
+    def test_float_spelling_is_irrelevant(self):
+        assert config_fingerprint({"eps": 1e-3}) == config_fingerprint(
+            {"eps": 0.001}
+        )
+
+    def test_value_changes_change_the_fingerprint(self):
+        base = config_fingerprint({"eps": 1e-3, "jobs": 1})
+        assert config_fingerprint({"eps": 1e-4, "jobs": 1}) != base
+        assert config_fingerprint({"eps": 1e-3, "jobs": 4}) != base
+
+    def test_nested_dicts_are_canonicalized(self):
+        a = canonical_json({"b": {"y": 2, "x": 1}, "a": 0})
+        assert a == '{"a":0,"b":{"x":1,"y":2}}'
+
+
+class TestEnvironment:
+    def test_capture_has_the_provenance_fields(self):
+        env = capture_environment()
+        for key in (
+            "git_sha", "python", "numpy", "platform",
+            "machine", "cpu_count", "hostname",
+        ):
+            assert key in env, key
+        assert env["cpu_count"] >= 1
+
+
+class TestRunRecord:
+    def _record(self):
+        return make_record(
+            "bench",
+            "demo",
+            {"eps": 1e-3},
+            timings={"wall_s": 0.25},
+            values={"ratio": 10.0},
+            env={"git_sha": "deadbeef"},
+            timestamp=1234.5,
+        )
+
+    def test_round_trips_through_json(self):
+        rec = self._record()
+        back = RunRecord.from_json(rec.to_json())
+        assert back == rec
+        assert back.to_json() == rec.to_json()
+
+    def test_schema_version_is_stamped(self):
+        assert self._record().schema == SCHEMA_VERSION
+
+    def test_rejects_newer_schema(self):
+        data = json.loads(self._record().to_json())
+        data["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(LedgerError, match="newer than this reader"):
+            RunRecord.from_dict(data)
+
+    def test_accepts_same_or_older_schema(self):
+        data = json.loads(self._record().to_json())
+        RunRecord.from_dict(dict(data, schema=SCHEMA_VERSION))
+
+    def test_rejects_missing_schema(self):
+        data = json.loads(self._record().to_json())
+        del data["schema"]
+        with pytest.raises(LedgerError, match="schema"):
+            RunRecord.from_dict(data)
+
+    def test_rejects_missing_required_fields(self):
+        data = json.loads(self._record().to_json())
+        del data["fingerprint"]
+        with pytest.raises(LedgerError, match="fingerprint"):
+            RunRecord.from_dict(data)
+
+    def test_unknown_fields_are_ignored(self):
+        # An older reader meeting a same-version record with extra keys
+        # (an additive change that did not bump the schema) must not die.
+        data = json.loads(self._record().to_json())
+        data["novel_field"] = {"anything": 1}
+        rec = RunRecord.from_dict(data)
+        assert rec.name == "demo"
+
+    def test_metrics_registry_is_snapshotted(self):
+        reg = MetricsRegistry()
+        reg.counter("test.counter").inc(3)
+        rec = make_record("sim", "x", {}, metrics=reg)
+        assert rec.metrics == reg.snapshot()
+
+
+class TestLedgerFile:
+    def test_append_then_read_back(self, tmp_path):
+        led = Ledger(tmp_path / "led.jsonl")
+        r1 = make_record("bench", "a", {"k": 1}, values={"v": 1.0})
+        r2 = make_record("bench", "a", {"k": 1}, values={"v": 2.0})
+        led.append(r1)
+        led.append(r2)
+        assert led.records() == [r1, r2]
+        assert len(led) == 2
+
+    def test_append_creates_parent_dirs(self, tmp_path):
+        led = Ledger(tmp_path / "deep" / "down" / "led.jsonl")
+        led.append(make_record("bench", "a", {}))
+        assert len(led.records()) == 1
+
+    def test_missing_file_reads_as_empty(self, tmp_path):
+        assert Ledger(tmp_path / "nope.jsonl").records() == []
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "led.jsonl"
+        led = Ledger(path)
+        led.append(make_record("bench", "a", {}))
+        with open(path, "a") as fh:
+            fh.write("\n\n")
+        led.append(make_record("bench", "b", {}))
+        assert [r.name for r in led.records()] == ["a", "b"]
+
+    def test_parse_error_names_path_and_line(self, tmp_path):
+        path = tmp_path / "led.jsonl"
+        led = Ledger(path)
+        led.append(make_record("bench", "a", {}))
+        with open(path, "a") as fh:
+            fh.write("{not json\n")
+        with pytest.raises(LedgerError, match=r"led\.jsonl:2"):
+            led.records()
+
+    def test_env_var_overrides_default_path(self, tmp_path, monkeypatch):
+        target = tmp_path / "from_env.jsonl"
+        monkeypatch.setenv("CERESZ_LEDGER", str(target))
+        assert Ledger().path == str(target)
+
+
+class TestResolveLedger:
+    def test_none_and_false_disable(self):
+        assert resolve_ledger(None) is None
+        assert resolve_ledger(False) is None
+
+    def test_true_selects_default_path(self, monkeypatch):
+        monkeypatch.delenv("CERESZ_LEDGER", raising=False)
+        led = resolve_ledger(True)
+        assert led is not None and led.path.endswith("ledger.jsonl")
+
+    def test_path_and_instance_pass_through(self, tmp_path):
+        led = resolve_ledger(tmp_path / "x.jsonl")
+        assert isinstance(led, Ledger)
+        assert resolve_ledger(led) is led
+
+    def test_emit_is_a_noop_when_off(self):
+        assert emit(None, "bench", "x", {}) is None
+
+
+class TestCompressorIntegration:
+    def test_compress_decompress_emit_records(self, tmp_path):
+        path = tmp_path / "led.jsonl"
+        rng = np.random.default_rng(3)
+        data = rng.normal(size=2048).astype(np.float32)
+        codec = CereSZ()
+        result = codec.compress(data, eps=1e-3, ledger=path)
+        back = codec.decompress(result.stream, ledger=path)
+        np.testing.assert_allclose(back, data, atol=1e-3)
+        records = Ledger(path).records()
+        assert [r.kind for r in records] == ["compress", "decompress"]
+        comp, decomp = records
+        assert comp.name == "ceresz.compress"
+        assert comp.config["eps"] == 1e-3
+        assert comp.values["compression_ratio"] == pytest.approx(result.ratio)
+        assert comp.timings["wall_s"] > 0
+        assert decomp.values["output_bytes"] == float(back.nbytes)
+
+    def test_ledger_does_not_change_the_stream(self, tmp_path):
+        rng = np.random.default_rng(4)
+        data = rng.normal(size=1024).astype(np.float32)
+        codec = CereSZ()
+        plain = codec.compress(data, eps=1e-3)
+        ledgered = codec.compress(
+            data, eps=1e-3, ledger=tmp_path / "led.jsonl"
+        )
+        assert plain.stream == ledgered.stream

@@ -1,0 +1,85 @@
+"""MetricsRegistry snapshots are deterministic across execution modes.
+
+The ledger stores full metrics snapshots; cross-run comparison is only
+meaningful if the snapshot is a function of the workload, not of how the
+simulator happened to execute it. Two equivalences are pinned here:
+
+* serial vs row-parallel (``jobs=4``) — identical snapshots except the
+  documented ``sim.engine.queue_depth.max`` gauge, whose event-heap
+  depth depends on partition interleaving (see ``simulate_plan``'s
+  docstring);
+* full event vs hybrid simulation on a row-homogeneous workload — the
+  hybrid path synthesizes member-row metrics analytically and must land
+  on the same totals. The same gauge is exempt for the same reason: the
+  hybrid engine only event-simulates the representative row, so its
+  heap never holds the other rows' events.
+
+"Byte-identical" is asserted on the canonical (sorted, compact) JSON
+serialization — the same form the ledger writes.
+"""
+
+import numpy as np
+
+from repro.core.plan import plan_row_parallel, tile_rows
+from repro.core.simulate import simulate_plan
+from repro.obs.ledger import canonical_json
+from repro.obs.metrics import MetricsRegistry
+
+#: Heap depth is concurrency-dependent by design; everything else must
+#: match exactly across jobs counts.
+QUEUE_DEPTH = "sim.engine.queue_depth.max"
+
+
+def _blocks(rows=4, per_row=8, seed=5):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(rows * per_row, 32)).cumsum(axis=1)
+
+
+def _homogeneous_blocks(rows=4, per_row=8, seed=6):
+    rng = np.random.default_rng(seed)
+    row = rng.normal(size=(per_row, 32)).cumsum(axis=1)
+    return tile_rows(row, rows, "rows")
+
+
+def _snapshot(plan_blocks, **kw):
+    plan = plan_row_parallel(plan_blocks, 1e-3, rows=4, cols=1)
+    reg = MetricsRegistry()
+    simulate_plan(plan, metrics=reg, **kw)
+    return reg.snapshot()
+
+
+def _without(snapshot: dict, name: str) -> dict:
+    return {k: v for k, v in snapshot.items() if k != name}
+
+
+class TestSerialVsParallel:
+    def test_snapshots_byte_identical_modulo_queue_depth(self):
+        blocks = _blocks()
+        serial = _snapshot(blocks, jobs=1)
+        parallel = _snapshot(blocks, jobs=4)
+        assert canonical_json(_without(serial, QUEUE_DEPTH)) == (
+            canonical_json(_without(parallel, QUEUE_DEPTH))
+        )
+
+    def test_serial_reruns_fully_identical(self):
+        blocks = _blocks()
+        assert canonical_json(_snapshot(blocks, jobs=1)) == (
+            canonical_json(_snapshot(blocks, jobs=1))
+        )
+
+
+class TestEventVsHybrid:
+    def test_snapshots_byte_identical_modulo_queue_depth(self):
+        blocks = _homogeneous_blocks()
+        event = _snapshot(blocks, mode="event")
+        hybrid = _snapshot(blocks, mode="hybrid")
+        assert canonical_json(_without(event, QUEUE_DEPTH)) == (
+            canonical_json(_without(hybrid, QUEUE_DEPTH))
+        )
+
+    def test_snapshot_is_sorted_in_canonical_form(self):
+        snap = _snapshot(_blocks())
+        text = canonical_json(snap)
+        assert text == canonical_json(
+            {k: snap[k] for k in sorted(snap, reverse=True)}
+        )

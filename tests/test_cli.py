@@ -333,3 +333,49 @@ class TestContainerFlags:
         out1 = load_f32(tmp_path / "out_1.f32")
         assert np.max(np.abs(out0 - a)) <= 0.1
         assert np.max(np.abs(out1 - b)) <= 0.1
+
+
+class TestLedgerAndReport:
+    def test_compress_simulate_emit_and_report_reads(
+        self, tmp_path, field_file, capsys
+    ):
+        from repro.obs.ledger import Ledger
+
+        path, _ = field_file
+        csz = tmp_path / "out.csz"
+        led = tmp_path / "ledger.jsonl"
+        assert main([
+            "compress", str(path), str(csz), "--rel", "1e-3",
+            "--ledger", str(led),
+        ]) == 0
+        assert main([
+            "simulate", str(path), "--rows", "2", "--cols", "2",
+            "--strategy", "multi", "--ledger", str(led),
+        ]) == 0
+        kinds = [r.kind for r in Ledger(led).records()]
+        assert kinds == ["compress", "sim"]
+        capsys.readouterr()
+        assert main(["report", "--ledger", str(led)]) == 0
+        out = capsys.readouterr().out
+        assert "2 record(s)" in out
+        assert "gate: PASS" in out
+
+    def test_report_gate_fails_on_injected_slowdown(
+        self, tmp_path, capsys
+    ):
+        from repro.obs.ledger import Ledger, make_record
+
+        led = Ledger(tmp_path / "ledger.jsonl")
+        for speedup in (4.0, 4.1, 3.9, 2.0):  # last run: 2x slower
+            led.append(make_record(
+                "bench", "demo", {"bench": "demo"},
+                values={"demo.fused_compress_speedup": speedup},
+            ))
+        assert main(["report", "--ledger", led.path]) == 0
+        assert "gate: FAIL" in capsys.readouterr().out
+        assert main(["report", "--ledger", led.path, "--gate"]) == 1
+
+    def test_report_empty_ledger_passes_gate(self, tmp_path, capsys):
+        led = tmp_path / "none.jsonl"
+        assert main(["report", "--ledger", str(led), "--gate"]) == 0
+        assert "no records" in capsys.readouterr().out
