@@ -162,6 +162,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", metavar="OUT.json",
         help="also write the IntegrityReport as JSON",
     )
+    p.add_argument(
+        "--ledger", nargs="?", const=True, default=None, metavar="PATH",
+        help="append the verification outcome to the run ledger "
+        "(default .ceresz/ledger.jsonl, or $CERESZ_LEDGER)",
+    )
 
     p = sub.add_parser("info", help="describe a compressed stream")
     p.add_argument("input")
@@ -294,15 +299,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--inject-faults", metavar="SPEC",
-        help="deterministic fault plan, e.g. "
-        "'seed:7;halt:1,0@50' or 'seed:3;random:4,4,halts=1,drops=2' "
-        "(see repro.faults.parse_fault_spec)",
+        help="deterministic fault plan: ';'-separated segments "
+        "'seed:S', 'halt:R,C@CYCLE', 'drop:R,C,COLOR#NTH', "
+        "'dup:R,C,COLOR#NTH', 'flip:R,C,BUFFER,BIT@CYCLE', "
+        "'link:R,C,DIR', or 'random:<seed>,<n>' which draws N faults "
+        "over the whole --rows x --cols mesh from FaultPlan.random "
+        "(e.g. 'random:7,4'); coordinates are validated against the "
+        "mesh at parse time (see repro.faults.parse_fault_spec)",
     )
     p.add_argument(
         "--fault-report", metavar="OUT.json",
         help="write the structured FaultReport JSON when the injected "
         "faults stall the run (also written on clean survival, as an "
         "empty report)",
+    )
+    p.add_argument(
+        "--on-fault", choices=("raise", "repair", "fallback"),
+        default="raise",
+        help="stall handling: 'raise' fails the run (default); 'repair' "
+        "remaps condemned rows onto spares or a shrunk replan and "
+        "retries; 'fallback' routes their blocks through the host fast "
+        "path immediately",
+    )
+    p.add_argument(
+        "--max-repairs", type=int, default=2,
+        help="bound on wafer-side repair attempts before degrading to "
+        "the host fallback (default 2)",
+    )
+    p.add_argument(
+        "--spare-rows", type=int, default=0,
+        help="grow the mesh by N idle spare rows for repairs to remap "
+        "condemned rows onto (default 0)",
+    )
+    p.add_argument(
+        "--repair-report", metavar="OUT.json",
+        help="write the structured RepairReport JSON after a "
+        "self-healing run (only with --on-fault repair/fallback)",
     )
 
     p = sub.add_parser(
@@ -471,7 +503,8 @@ def _cmd_decompress(args) -> int:
 
         with tr.span("salvage", fill=args.fill):
             field, report = salvage_decompress(
-                stream, codec=codec, fill=args.fill, metrics=metrics
+                stream, codec=codec, fill=args.fill, metrics=metrics,
+                ledger=args.ledger,
             )
         print(report.describe())
     else:
@@ -491,7 +524,7 @@ def _cmd_verify(args) -> int:
 
     with open(args.input, "rb") as fh:
         stream = fh.read()
-    report = verify_stream(stream)
+    report = verify_stream(stream, ledger=args.ledger)
     print(report.describe())
     if args.json:
         with open(args.json, "w") as fh:
@@ -833,7 +866,7 @@ def _cmd_reproduce(args) -> int:
 def _cmd_simulate(args) -> int:
     from repro.config import BLOCK_SIZE
     from repro.core.wse_compressor import WSECereSZ
-    from repro.errors import DeadlockError
+    from repro.errors import DeadlockError, RepairError
 
     data = load_f32(args.input)
     n = min(data.size, args.limit_blocks * BLOCK_SIZE)
@@ -845,7 +878,13 @@ def _cmd_simulate(args) -> int:
     if args.inject_faults:
         from repro.faults import parse_fault_spec
 
-        faults = parse_fault_spec(args.inject_faults)
+        # The mesh the faults will actually land on includes the spare
+        # rows, and supplying it both validates every coordinate at parse
+        # time and enables the 'random:<seed>,<n>' grammar.
+        faults = parse_fault_spec(
+            args.inject_faults,
+            mesh=(args.rows + args.spare_rows, args.cols),
+        )
         print(f"injecting: {faults.describe()}")
     sim = WSECereSZ(
         rows=args.rows,
@@ -858,6 +897,9 @@ def _cmd_simulate(args) -> int:
         sample_every=args.sample_every,
         collect_metrics=args.metrics or bool(args.trace),
         faults=faults,
+        on_fault=args.on_fault,
+        max_repairs=args.max_repairs,
+        spare_rows=args.spare_rows,
         predictor=args.predictor,
         ledger=args.ledger,
         progress=args.progress,
@@ -891,6 +933,28 @@ def _cmd_simulate(args) -> int:
         # far the run got before it wedged.
         _finish_observers(args, sim.last_tracer, sim.last_metrics)
         return 2
+    except RepairError as exc:
+        print(f"self-healing exhausted: {exc}")
+        if exc.fault_report is not None:
+            print(exc.fault_report.describe())
+            if args.fault_report:
+                with open(args.fault_report, "w") as fh:
+                    fh.write(exc.fault_report.to_json())
+                print(f"fault report -> {args.fault_report}")
+        if exc.repair_report is not None:
+            print(exc.repair_report.describe())
+            if args.repair_report:
+                with open(args.repair_report, "w") as fh:
+                    fh.write(exc.repair_report.to_json())
+                print(f"repair report -> {args.repair_report}")
+        _finish_observers(args, sim.last_tracer, sim.last_metrics)
+        return 2
+    if result.repair is not None:
+        print(result.repair.describe())
+        if args.repair_report:
+            with open(args.repair_report, "w") as fh:
+                fh.write(result.repair.to_json())
+            print(f"repair report -> {args.repair_report}")
     if args.fault_report:
         from repro.faults import FaultReport
 

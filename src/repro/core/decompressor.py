@@ -48,15 +48,45 @@ _MAX_FL = 63
 # -- verification (no payload decode) ---------------------------------------
 
 
-def verify_stream(stream: bytes) -> IntegrityReport:
+def verify_stream(stream: bytes, *, ledger=None) -> IntegrityReport:
     """Walk a container's checksums; report without decoding payloads.
 
     Raises :class:`FormatError` only when the outermost header is
     unparseable (nothing to report *about*); every verifiable-but-corrupt
     condition comes back in the report instead.
+
+    ``ledger=`` appends one provenance-stamped RunRecord with the
+    verification outcome (a path, ``True`` for the default ledger, or a
+    :class:`repro.obs.ledger.Ledger`).
     """
     from repro.core.parallel import is_sharded, read_shard_container
 
+    if ledger is not None:
+        import time as _time
+
+        from repro.obs import ledger as _ledger_mod
+
+        t0 = _time.perf_counter()
+        report = verify_stream(stream)
+        _ledger_mod.emit(
+            ledger,
+            "verify",
+            "verify_stream",
+            {
+                "op": "verify",
+                "kind": report.kind,
+                "checksummed": report.checksummed,
+                "stream_bytes": len(stream),
+            },
+            timings={"wall_s": _time.perf_counter() - t0},
+            values={
+                "verify.ok": float(report.ok),
+                "verify.total_blocks": float(report.total_blocks),
+                "verify.corrupt_blocks": float(len(report.corrupt_blocks)),
+                "verify.corrupt_groups": float(len(report.corrupt_groups)),
+            },
+        )
+        return report
     if is_sharded(stream):
         table = read_shard_container(stream)
         shards = []
@@ -171,6 +201,7 @@ def salvage_decompress(
     fill: str = "zero",
     original: np.ndarray | None = None,
     metrics=None,
+    ledger=None,
 ) -> tuple[np.ndarray, SalvageReport]:
     """Decode what verifies, fill what doesn't; never raise on bad bytes.
 
@@ -190,10 +221,40 @@ def salvage_decompress(
     bound over the intact region — :attr:`SalvageReport.bound` then says
     whether the lossy guarantee still holds everywhere that was recovered.
     ``metrics=`` records ``salvage.blocks_lost`` / ``salvage.shards_lost``
-    counters.
+    counters. ``ledger=`` appends one RunRecord with the salvage outcome.
     """
     from repro.core.parallel import is_sharded
 
+    if ledger is not None:
+        import time as _time
+
+        from repro.obs import ledger as _ledger_mod
+
+        t0 = _time.perf_counter()
+        values, report = salvage_decompress(
+            stream, codec=codec, fill=fill, original=original,
+            metrics=metrics,
+        )
+        _ledger_mod.emit(
+            ledger,
+            "salvage",
+            "salvage_decompress",
+            {
+                "op": "salvage",
+                "fill": fill,
+                "stream_bytes": len(stream),
+                "audited": original is not None,
+            },
+            timings={"wall_s": _time.perf_counter() - t0},
+            values={
+                "salvage.total_blocks": float(report.total_blocks),
+                "salvage.blocks_lost": float(report.blocks_lost),
+                "salvage.elements_lost": float(report.elements_lost),
+                "salvage.shards_lost": float(len(report.shards_lost)),
+            },
+            metrics=metrics,
+        )
+        return values, report
     if fill not in ("zero", "previous"):
         raise FormatError(f"fill must be 'zero' or 'previous', got {fill!r}")
     if is_sharded(stream):

@@ -340,6 +340,51 @@ def _make_fast_compress(
     return compress
 
 
+def host_block_records(
+    raw_blocks,
+    eps: float,
+    indices,
+    *,
+    predictor: str = "lorenzo1d",
+    header_bytes: int = CERESZ_HEADER_BYTES,
+) -> dict[int, bytes]:
+    """Wafer-identical compressed records computed on the host.
+
+    The degraded-mode fallback's encoder: given the raw (zero-padded)
+    blocks a plan's feeds were built from, produce the exact record bytes
+    the fused wafer kernel (:func:`_make_fast_compress`) would have
+    emitted for ``indices`` — including the feed's float32 wire cast
+    (ingest sends ``float32`` wavelets into ``float64`` buffers, which is
+    lossy for raw float64 data and therefore part of the byte contract).
+    Keyed by block index, so the result merges straight into
+    :attr:`repro.core.mapping.ProgramOutputs.records`.
+    """
+    pred = get_predictor(predictor)
+    out: dict[int, bytes] = {}
+    for idx in indices:
+        vals = np.asarray(raw_blocks[int(idx)], dtype=np.float64)
+        vals = vals.astype(np.float32).astype(np.float64)
+        codes = np.floor(vals / (2.0 * eps) + 0.5)
+        residuals = pred.predict_blocks(codes[None, :])[0]
+        signs = np.packbits(
+            (residuals < 0).reshape(-1, 8), axis=-1, bitorder="little"
+        )
+        mags = np.abs(residuals)
+        fl = int(mags.max()).bit_length()
+        header = fl.to_bytes(header_bytes, "little")
+        if fl == 0:
+            out[int(idx)] = header
+            continue
+        imags = mags.astype(np.int64)
+        ks = np.arange(fl, dtype=np.int64)
+        bits = ((imags[None, :] >> ks[:, None]) & 1).astype(np.uint8)
+        planes = np.packbits(
+            bits.reshape(fl, -1, 8), axis=-1, bitorder="little"
+        )
+        out[int(idx)] = header + signs.tobytes() + planes.tobytes()
+    return out
+
+
 def _make_run_group(
     group,
     out_color: Color | None,

@@ -815,6 +815,22 @@ def row_subplan(plan: MappingPlan, row: int) -> MappingPlan:
     )
 
 
+def expand_mesh(plan: MappingPlan, spare_rows: int) -> MappingPlan:
+    """Grow the plan's mesh by ``spare_rows`` idle rows below the placement.
+
+    Placement, routes, and feeds are untouched — the extra rows carry no
+    nodes and cost the event engine nothing. They exist as repair
+    capacity: the self-healing loop (:mod:`repro.faults.repair`) evacuates
+    a faulted row onto one of them by row remapping, the way real
+    wafer-scale parts keep spare rows to route around defective PEs.
+    """
+    if spare_rows < 0:
+        raise ScheduleError(f"spare_rows must be >= 0, got {spare_rows}")
+    if spare_rows == 0:
+        return plan
+    return replace(plan, rows=plan.rows + spare_rows)
+
+
 def _shift_node(node: Node, drow: int, dblock: int) -> Node:
     if isinstance(node, IngestNode):
         return IngestNode(node.row + drow, node.col, node.color)

@@ -49,10 +49,16 @@ from __future__ import annotations
 import os
 import pickle
 from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.lower import lower_plan
-from repro.errors import DeadlockError, ReproError, ScheduleError, WorkerError
+from repro.errors import (
+    DeadlockError,
+    RepairError,
+    ReproError,
+    ScheduleError,
+    WorkerError,
+)
 from repro.faults.plan import FaultPlan
 from repro.core.mapping import ProgramOutputs
 from repro.core.mapping_decompress import DecompressOutputs
@@ -71,6 +77,7 @@ from repro.obs.metrics import (
     collect_engine_metrics,
     collect_fabric_metrics,
     collect_fault_metrics,
+    collect_repair_metrics,
     collect_trace_metrics,
 )
 from repro.obs.tracing import Tracer
@@ -110,6 +117,10 @@ class SimulatedRun:
     #: For hybrid runs: ``(representative_row, class_size)`` per partition
     #: class, in first-appearance order. Empty for event-mode runs.
     row_classes: tuple[tuple[int, int], ...] = ()
+    #: Structured record of the self-healing retry loop's decisions
+    #: (:class:`repro.faults.repair.RepairReport`), or None when the run
+    #: executed without fault recovery.
+    repair: object | None = None
 
 
 def _span(tracer: Tracer | None, name: str, **args):
@@ -235,6 +246,11 @@ def simulate_plan(
     tracer: Tracer | None = None,
     metrics: MetricsRegistry | None = None,
     faults: FaultPlan | None = None,
+    on_fault: str = "raise",
+    max_repairs: int = 2,
+    replan=None,
+    verify=None,
+    host_fallback=None,
     ledger=None,
     progress=None,
 ) -> SimulatedRun:
@@ -275,6 +291,12 @@ def simulate_plan(
     shard id and rows are prefixed to the message and reports from all
     failed partitions are merged.
 
+    ``on_fault`` selects what happens to that stall: ``"raise"`` (default)
+    propagates the :class:`DeadlockError`; ``"repair"`` and ``"fallback"``
+    delegate to :func:`simulate_with_repair`, the bounded self-healing
+    retry loop (``max_repairs``, ``replan``, ``verify`` and
+    ``host_fallback`` parameterize it — see its docstring).
+
     ``ledger=`` opts the run into the run ledger (a path, ``True``, or a
     :class:`repro.obs.ledger.Ledger`): one provenance-stamped RunRecord
     with the resolved plan knobs, wall time, makespan, and the metrics
@@ -283,6 +305,19 @@ def simulate_plan(
     composition — the only phase long enough to need them. Both default
     off at the cost of one branch each.
     """
+    if on_fault not in ("raise", "repair", "fallback"):
+        raise ValueError(
+            f"on_fault must be 'raise', 'repair' or 'fallback', "
+            f"got {on_fault!r}"
+        )
+    if faults is not None and on_fault != "raise":
+        return simulate_with_repair(
+            plan, faults=faults, on_fault=on_fault, max_repairs=max_repairs,
+            replan=replan, verify=verify, host_fallback=host_fallback,
+            model=model, jobs=jobs, mode=mode, optimize=optimize,
+            fast_kernels=fast_kernels, tracer=tracer, metrics=metrics,
+            ledger=ledger, progress=progress,
+        )
     if ledger is not None:
         import time as _time
 
@@ -400,6 +435,258 @@ def simulate_plan(
     return SimulatedRun(
         outputs=outputs, report=report, tracer=tracer, metrics=metrics
     )
+
+
+def simulate_with_repair(
+    plan: MappingPlan,
+    *,
+    faults: FaultPlan,
+    on_fault: str = "repair",
+    max_repairs: int = 2,
+    replan=None,
+    verify=None,
+    host_fallback=None,
+    model: CycleModel = PAPER_CYCLE_MODEL,
+    jobs: int | str = 1,
+    mode: str = "event",
+    optimize: bool = True,
+    fast_kernels: bool = True,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    ledger=None,
+    progress=None,
+) -> SimulatedRun:
+    """Run ``plan`` under ``faults``, repairing the mapping until it works.
+
+    The self-healing orchestrator: each round simulates the current plan
+    and, when the run stalls (:class:`DeadlockError`) or completes but
+    fails ``verify`` (silent corruption — SRAM flips), classifies the
+    fault plan against the current mapping
+    (:func:`repro.faults.repair.classify_faults`), condemns the harmful
+    rows, and rewrites the plan:
+
+    1. **remap** — condemned rows move onto idle spare rows of the same
+       mesh (:func:`repro.faults.repair.remap_rows`) when enough exist;
+    2. **shrink** — with no spares left, ``replan(n_good)`` builds a
+       rebalanced plan over the surviving row count, which is then placed
+       onto the surviving physical rows (the mesh keeps its original
+       height so fault coordinates stay valid);
+    3. **fallback** — when wafer-side repair is impossible (or after
+       ``max_repairs`` failed attempts, or immediately with
+       ``on_fault="fallback"``), the condemned rows are dropped from the
+       plan (:func:`repro.faults.repair.drop_rows`) and their block
+       indices are handed to ``host_fallback(blocks) -> dict[int, bytes]``
+       — the degraded mode where the host fast path carries the work the
+       wafer cannot.
+
+    Row evacuation is byte-safe (records are keyed by block index, not by
+    emitting PE), so a successful repair reproduces the fault-free stream
+    byte for byte; pass ``verify=`` (``SimulatedRun -> bool``) to have
+    that checked and recorded. When every avenue is exhausted the loop
+    raises :class:`~repro.errors.RepairError` carrying both the last
+    :class:`~repro.faults.FaultReport` and the partial
+    :class:`~repro.faults.repair.RepairReport`.
+
+    The returned :class:`SimulatedRun` carries the final
+    :attr:`~SimulatedRun.repair` report. Every decision derives from the
+    fault plan and mapping plans alone — never from engine state — so the
+    RepairReport is identical for ``jobs=1`` and ``jobs=N``.
+    """
+    from repro.faults.repair import (
+        RepairReport,
+        RowRepair,
+        classify_faults,
+        drop_rows,
+        remap_rows,
+        row_blocks,
+        spare_rows,
+        used_rows,
+    )
+
+    if on_fault not in ("repair", "fallback"):
+        raise ValueError(
+            f"on_fault must be 'repair' or 'fallback', got {on_fault!r}"
+        )
+    if max_repairs < 0:
+        raise ValueError(f"max_repairs must be >= 0, got {max_repairs}")
+
+    tolerated = classify_faults(faults, plan).tolerated
+    current = plan
+    all_bad: set[int] = set()
+    repairs: list = []
+    spare_used: list[int] = []
+    fallback_blocks: set[int] = set()
+    host_records: dict[int, bytes] = {}
+    attempts = 0
+    fallback_mode = on_fault == "fallback"
+    last_fault_report = None
+
+    def _partial_report(outcome: str) -> "RepairReport":
+        return RepairReport(
+            outcome=outcome,
+            attempts=attempts,
+            unusable_rows=tuple(sorted(all_bad)),
+            spare_rows_used=tuple(sorted(spare_used)),
+            repairs=tuple(repairs),
+            tolerated=tolerated,
+            fallback_blocks=tuple(sorted(fallback_blocks)),
+            seed=faults.seed,
+        )
+
+    def _fail(message: str):
+        raise RepairError(
+            message,
+            fault_report=last_fault_report,
+            repair_report=_partial_report("exhausted"),
+        )
+
+    def _emit_attempt(action: str, bad_rows) -> None:
+        if ledger is None:
+            return
+        from repro.obs import ledger as _ledger_mod
+
+        _ledger_mod.emit(
+            ledger,
+            "sim",
+            "sim.repair",
+            {
+                "op": "repair",
+                "attempt": attempts,
+                "action": action,
+                "bad_rows": sorted(int(r) for r in bad_rows),
+                "on_fault": on_fault,
+                "max_repairs": max_repairs,
+                "fault_seed": faults.seed,
+            },
+            values={"repair.bad_rows": float(len(bad_rows))},
+        )
+
+    # Each round either succeeds or condemns at least one fresh row, so
+    # the loop is bounded by the mesh height; the +2 covers the initial
+    # run and one final post-repair run.
+    for _ in range(plan.rows + 2):
+        try:
+            run = simulate_plan(
+                current, model=model, jobs=jobs, mode=mode,
+                optimize=optimize, fast_kernels=fast_kernels, tracer=tracer,
+                metrics=metrics, faults=faults, ledger=ledger,
+                progress=progress,
+            )
+        except DeadlockError as exc:
+            last_fault_report = exc.report
+            run = None
+            ok = False
+        else:
+            if host_records:
+                run.outputs.records.update(host_records)
+            ok = bool(verify(run)) if verify is not None else True
+        if ok:
+            outcome = "clean"
+            if any(r.action == "fallback" for r in repairs):
+                outcome = "fallback"
+            elif repairs:
+                outcome = "repaired"
+            report = RepairReport(
+                outcome=outcome,
+                attempts=attempts,
+                unusable_rows=tuple(sorted(all_bad)),
+                spare_rows_used=tuple(sorted(spare_used)),
+                repairs=tuple(repairs),
+                tolerated=tolerated,
+                fallback_blocks=tuple(sorted(fallback_blocks)),
+                verified=(True if verify is not None else None),
+                seed=faults.seed,
+            )
+            if metrics is not None:
+                collect_repair_metrics(metrics, report)
+            return replace(run, repair=report)
+
+        # The run stalled (or verified corrupt): condemn the rows the
+        # fault plan harms under the *current* mapping and rewrite.
+        attempts += 1
+        cls = classify_faults(faults, current)
+        bad_now = set(cls.unusable_rows) - all_bad
+        if not bad_now:
+            _fail(
+                "run failed but no harmful fault maps to a repairable "
+                "row (classification found nothing new to evacuate)"
+            )
+        all_bad |= bad_now
+        blocks_by_row = {r: row_blocks(current, {r}) for r in bad_now}
+
+        repaired = False
+        if not fallback_mode and attempts <= max_repairs:
+            avail = [s for s in spare_rows(current) if s not in all_bad]
+            if len(avail) >= len(bad_now):
+                mapping = dict(zip(sorted(bad_now), avail))
+                for src, dst in sorted(mapping.items()):
+                    repairs.append(
+                        RowRepair(
+                            row=src, action="remap", target_row=dst,
+                            blocks=blocks_by_row[src],
+                            reason=cls.row_reason(src),
+                        )
+                    )
+                    spare_used.append(dst)
+                current = remap_rows(current, mapping)
+                _emit_attempt("remap", bad_now)
+                repaired = True
+            elif replan is not None:
+                usable = [r for r in range(plan.rows) if r not in all_bad]
+                if usable:
+                    fresh = replan(len(usable))
+                    fresh_used = used_rows(fresh)
+                    if len(fresh_used) > len(usable):
+                        _fail(
+                            f"replan({len(usable)}) produced a plan using "
+                            f"{len(fresh_used)} rows — more than survive"
+                        )
+                    mapping = {
+                        src: usable[i] for i, src in enumerate(fresh_used)
+                    }
+                    current = remap_rows(fresh, mapping, rows=plan.rows)
+                    for r in sorted(bad_now):
+                        repairs.append(
+                            RowRepair(
+                                row=r, action="shrink", target_row=None,
+                                blocks=blocks_by_row[r],
+                                reason=cls.row_reason(r),
+                            )
+                        )
+                    _emit_attempt("shrink", bad_now)
+                    repaired = True
+        if repaired:
+            continue
+
+        # Degraded mode: drop the condemned rows from the wafer and let
+        # the host fast path carry their blocks.
+        if host_fallback is None or plan.direction != "compress":
+            why = (
+                f"wafer repair exhausted after {attempts - 1} attempt(s) "
+                f"(max_repairs={max_repairs})"
+                if attempts > max_repairs and not fallback_mode
+                else "no spare rows and no replan available"
+            )
+            if fallback_mode:
+                why = "fallback requested"
+            _fail(
+                f"cannot recover rows {sorted(bad_now)}: {why} and no "
+                f"host fallback was provided"
+            )
+        blocks = row_blocks(current, bad_now)
+        for r in sorted(bad_now):
+            repairs.append(
+                RowRepair(
+                    row=r, action="fallback", target_row=None,
+                    blocks=blocks_by_row[r], reason=cls.row_reason(r),
+                )
+            )
+        host_records.update(host_fallback(blocks))
+        fallback_blocks.update(int(b) for b in blocks)
+        current = drop_rows(current, bad_now)
+        _emit_attempt("fallback", bad_now)
+
+    _fail("repair loop did not converge (internal invariant)")
 
 
 def _raise_partition_failures(results, chunks, metrics) -> None:

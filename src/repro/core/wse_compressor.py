@@ -24,8 +24,10 @@ from repro.errors import CompressionError, ScheduleError
 from repro.core.blocks import partition_blocks
 from repro.core.compressor import CereSZ, CompressionResult
 from repro.core.format import make_header
+from repro.core.lower import host_block_records
 from repro.core.plan import (
     MappingPlan,
+    expand_mesh,
     plan_multi_pipeline,
     plan_pipeline,
     plan_pipeline_decompress,
@@ -62,6 +64,9 @@ class WSECompressionResult:
     #: classes the mesh collapsed to.
     mode: str = "event"
     row_classes: tuple[tuple[int, int], ...] = ()
+    #: Self-healing outcome (:class:`repro.faults.repair.RepairReport`),
+    #: or None when the run needed no fault recovery.
+    repair: object | None = None
 
     @property
     def stream(self) -> bytes:
@@ -93,6 +98,9 @@ class WSECereSZ:
         sample_every: int = 1,
         collect_metrics: bool = False,
         faults=None,
+        on_fault: str = "raise",
+        max_repairs: int = 2,
+        spare_rows: int = 0,
         predictor: str = "lorenzo1d",
         ledger=None,
         progress: bool = False,
@@ -148,6 +156,28 @@ class WSECereSZ:
         #: structured ``report``; clean completion under injection means
         #: the mapping absorbed the fault.
         self.faults = faults
+        if on_fault not in ("raise", "repair", "fallback"):
+            raise ValueError(
+                f"on_fault must be 'raise', 'repair' or 'fallback', got "
+                f"{on_fault!r}"
+            )
+        if int(spare_rows) < 0:
+            raise ScheduleError(
+                f"spare_rows must be >= 0, got {spare_rows}"
+            )
+        #: Self-healing knobs: ``on_fault`` selects stall handling
+        #: ("raise" propagates DeadlockError; "repair" runs the bounded
+        #: plan-repair loop; "fallback" routes condemned rows' blocks
+        #: through the host fast path immediately), ``max_repairs`` bounds
+        #: wafer-side repair attempts, and ``spare_rows`` grows the mesh
+        #: by that many idle rows for remapping to land on.
+        self.on_fault = on_fault
+        self.max_repairs = int(max_repairs)
+        self.spare_rows = int(spare_rows)
+        if faults is not None:
+            # Fail at construction, naming the offending fault — not as a
+            # stall (or silent no-op) deep inside a simulated run.
+            faults.validate_mesh(rows + self.spare_rows, cols)
         #: Block-local predictor the lowered kernels apply (whole-array
         #: predictors are rejected here, before any plan is built).
         self.predictor = wafer_predictor(predictor).name
@@ -176,6 +206,15 @@ class WSECereSZ:
         # per-run ProgressReporter sized to the composition loop.
         return True if self.progress else None
 
+    @property
+    def _repair_ledger(self):
+        # Thread the run ledger into the self-healing retry loop so each
+        # repair attempt leaves a provenance record; plain runs keep their
+        # single codec-level record.
+        if self.faults is not None and self.on_fault != "raise":
+            return self.ledger
+        return None
+
     def _emit_ledger(
         self, op, *, wall_s, run, metrics, config_extra=None, values=None
     ) -> None:
@@ -193,7 +232,18 @@ class WSECereSZ:
             "jobs": self.jobs,
             "predictor": self.predictor,
             "faults": self.faults is not None,
+            "on_fault": self.on_fault,
+            "spare_rows": self.spare_rows,
         }
+        repair = getattr(run, "repair", None)
+        if repair is not None:
+            config["repair_outcome"] = repair.outcome
+            values = dict(values or {})
+            values["repair.attempts"] = float(repair.attempts)
+            values["repair.rows"] = float(repair.repaired_rows)
+            values["repair.fallback_blocks"] = float(
+                len(repair.fallback_blocks)
+            )
         if config_extra:
             config.update(config_extra)
         _ledger_mod.emit(
@@ -251,9 +301,15 @@ class WSECereSZ:
                 plan = self._compress_plan(raw_blocks, eps_eff)
         else:
             plan = self._compress_plan(raw_blocks, eps_eff)
+        plan = expand_mesh(plan, self.spare_rows)
         run = simulate_plan(
             plan, model=self.model, jobs=self.jobs, mode=self.mode,
             tracer=tracer, metrics=metrics, faults=self.faults,
+            on_fault=self.on_fault, max_repairs=self.max_repairs,
+            replan=lambda n: self._compress_plan(raw_blocks, eps_eff, rows=n),
+            verify=self._make_verify(raw_blocks, eps_eff),
+            host_fallback=self._make_host_fallback(raw_blocks, eps_eff),
+            ledger=self._repair_ledger,
             progress=self._progress,
         )
         outputs, report = run.outputs, run.report
@@ -290,8 +346,71 @@ class WSECereSZ:
             )
         return WSECompressionResult(
             result=result, report=report, tracer=tracer, metrics=metrics,
-            mode=run.mode, row_classes=run.row_classes,
+            mode=run.mode, row_classes=run.row_classes, repair=run.repair,
         )
+
+    def _make_verify(self, raw_blocks: np.ndarray, eps_eff: float):
+        """Byte-identity check against a fault-free host reference.
+
+        The reference body is the host replay of the wafer kernel
+        (:func:`repro.core.lower.host_block_records`) over every block —
+        computed lazily, once, only if the repair loop actually needs to
+        verify a completed run (SRAM flips corrupt output *without*
+        stalling, so completion alone proves nothing).
+        """
+        nblocks = raw_blocks.shape[0]
+        cache: list[bytes] = []
+
+        def verify(run) -> bool:
+            if not cache:
+                cache.append(
+                    b"".join(
+                        host_block_records(
+                            raw_blocks, eps_eff, range(nblocks),
+                            predictor=self.predictor,
+                        ).values()
+                    )
+                )
+            return run.outputs.stream(nblocks) == cache[0]
+
+        return verify
+
+    def _make_host_fallback(self, raw_blocks: np.ndarray, eps_eff: float):
+        """Degraded-mode encoder: condemned rows' blocks, host-encoded.
+
+        Every record is audited against the error bound before it is
+        accepted — the fallback must meet the same ``eps`` contract the
+        wafer path proves by stream equality.
+        """
+
+        def host_fallback(blocks) -> dict[int, bytes]:
+            records = host_block_records(
+                raw_blocks, eps_eff, blocks, predictor=self.predictor,
+            )
+            self._audit_bound(raw_blocks, eps_eff, blocks)
+            return records
+
+        return host_fallback
+
+    @staticmethod
+    def _audit_bound(raw_blocks: np.ndarray, eps_eff: float, blocks) -> None:
+        """Assert the quantized reconstruction honors ``eps_eff``.
+
+        Same arithmetic the decompressor will apply (codes * 2*eps on the
+        float32-cast input), checked block by block so a violation names
+        the offending block index.
+        """
+        for idx in blocks:
+            vals = np.asarray(
+                raw_blocks[int(idx)], dtype=np.float64
+            ).astype(np.float32).astype(np.float64)
+            codes = np.floor(vals / (2.0 * eps_eff) + 0.5)
+            err = float(np.abs(vals - codes * (2.0 * eps_eff)).max())
+            if err > eps_eff * (1.0 + 1e-12):
+                raise CompressionError(
+                    f"host-fallback block {int(idx)} violates the error "
+                    f"bound: max error {err:.3e} > eps {eps_eff:.3e}"
+                )
 
     def _compress_tiled(
         self, arr: np.ndarray, eps: float | None, rel: float | None
@@ -325,10 +444,29 @@ class WSECereSZ:
         if self.faults is not None:
             # Faults target specific rows, which replication cannot
             # honor; materialize the full plan and event-simulate it.
+            num = raw_blocks.shape[0]
+
+            def _tiled_fallback(blocks) -> dict[int, bytes]:
+                # Global block b is row b // num running the template's
+                # block b % num — encode the template block, key globally.
+                recs = host_block_records(
+                    raw_blocks, eps_eff,
+                    sorted({int(b) % num for b in blocks}),
+                    predictor=self.predictor,
+                )
+                self._audit_bound(
+                    raw_blocks, eps_eff, sorted({int(b) % num for b in blocks})
+                )
+                return {int(b): recs[int(b) % num] for b in blocks}
+
             run = simulate_plan(
-                replicate_rows(template, self.rows),
+                expand_mesh(replicate_rows(template, self.rows),
+                            self.spare_rows),
                 model=self.model, jobs=self.jobs,
                 tracer=tracer, metrics=metrics, faults=self.faults,
+                on_fault=self.on_fault, max_repairs=self.max_repairs,
+                host_fallback=_tiled_fallback,
+                ledger=self._repair_ledger,
                 progress=self._progress,
             )
         else:
@@ -373,6 +511,7 @@ class WSECereSZ:
         return WSECompressionResult(
             result=result, report=run.report, tracer=tracer,
             metrics=metrics, mode=run.mode, row_classes=run.row_classes,
+            repair=run.repair,
         )
 
     def decompress(self, stream: bytes) -> np.ndarray:
@@ -463,8 +602,11 @@ class WSECereSZ:
                 block_size=header.block_size,
             )
         run = simulate_plan(
-            plan, model=self.model, jobs=self.jobs, mode=self.mode,
+            expand_mesh(plan, self.spare_rows),
+            model=self.model, jobs=self.jobs, mode=self.mode,
             tracer=tracer, metrics=metrics, faults=self.faults,
+            on_fault=self.on_fault, max_repairs=self.max_repairs,
+            ledger=self._repair_ledger,
             progress=self._progress,
         )
         outputs, report = run.outputs, run.report

@@ -160,6 +160,34 @@ class DeadlockError(FabricError):
         )
 
 
+class RepairError(FabricError):
+    """The fault-repair loop could not bring a stalled run to completion.
+
+    Raised when ``on_fault="repair"`` exhausts its ``max_repairs`` budget,
+    finds no spare rows and no way to shrink, or keeps failing on rows it
+    already evacuated. Carries the last stall's
+    :class:`repro.faults.FaultReport` and the
+    :class:`repro.faults.RepairReport` of everything that was attempted,
+    so post-mortems need no message parsing.
+    """
+
+    def __init__(self, message: str = "", *, fault_report=None,
+                 repair_report=None):
+        super().__init__(message)
+        self.fault_report = fault_report
+        self.repair_report = repair_report
+
+    def __reduce__(self):
+        return (
+            self.__class__,
+            (self.args[0] if self.args else "",),
+            {
+                "fault_report": self.fault_report,
+                "repair_report": self.repair_report,
+            },
+        )
+
+
 class TaskError(FabricError):
     """A simulated task misbehaved (double-bind, unknown activation, ...)."""
 

@@ -18,6 +18,17 @@ from repro.faults.plan import (
     WaveletDup,
     parse_fault_spec,
 )
+from repro.faults.repair import (
+    FaultClassification,
+    RepairReport,
+    RowRepair,
+    classify_faults,
+    drop_rows,
+    remap_rows,
+    row_blocks,
+    spare_rows,
+    used_rows,
+)
 from repro.faults.report import (
     FaultReport,
     InjectedFault,
@@ -29,6 +40,7 @@ from repro.faults.report import (
 
 __all__ = [
     "FAULT_KINDS",
+    "FaultClassification",
     "FaultInjector",
     "FaultPlan",
     "FaultReport",
@@ -36,6 +48,8 @@ __all__ = [
     "IntegrityReport",
     "LinkDown",
     "PEHalt",
+    "RepairReport",
+    "RowRepair",
     "SalvageReport",
     "ShardFailure",
     "SramBitFlip",
@@ -43,8 +57,14 @@ __all__ = [
     "WaveletDrop",
     "WaveletDup",
     "build_fault_report",
+    "classify_faults",
     "crc32c",
     "crc32c_combine",
     "crc32c_many",
+    "drop_rows",
     "parse_fault_spec",
+    "remap_rows",
+    "row_blocks",
+    "spare_rows",
+    "used_rows",
 ]

@@ -54,25 +54,22 @@ class FaultInjector:
     # -- engine wiring ----------------------------------------------------------
 
     def install(self, engine) -> None:
-        """Arm timed faults and dead links on ``engine``'s fabric."""
-        from repro.errors import ReproError
+        """Arm timed faults and dead links on ``engine``'s fabric.
+
+        Coordinates and link directions are validated against the fabric's
+        mesh shape first (:meth:`FaultPlan.validate_mesh`), so a fault
+        plan aimed at the wrong mesh fails structurally — naming the
+        offending fault — before anything is armed.
+        """
         from repro.wse.wavelet import Direction
 
         fabric = engine.fabric
+        self.plan.validate_mesh(fabric.rows, fabric.cols)
         for f in self.plan.faults:
-            if not (0 <= f.row < fabric.rows and 0 <= f.col < fabric.cols):
-                raise ReproError(
-                    f"fault targets PE({f.row},{f.col}) outside the "
-                    f"{fabric.rows}x{fabric.cols} mesh"
-                )
             if f.kind in ("halt", "flip"):
                 engine.schedule_fault(f, float(f.at_cycle))
             elif f.kind == "link":
-                name = _DIRECTION_NAMES.get(f.direction.upper())
-                if name is None:
-                    raise ReproError(
-                        f"bad link direction {f.direction!r} (use N/S/E/W)"
-                    )
+                name = _DIRECTION_NAMES[f.direction.upper()]
                 fabric.break_link(f.row, f.col, Direction(name))
 
     # -- hooks called by the engine ---------------------------------------------

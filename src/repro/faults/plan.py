@@ -106,6 +106,31 @@ class FaultPlan:
             if f.kind not in FAULT_KINDS:
                 raise ReproError(f"unknown fault kind {f.kind!r}")
 
+    def validate_mesh(self, rows: int, cols: int) -> "FaultPlan":
+        """Check every fault's coordinates against a ``rows x cols`` mesh.
+
+        Raises a structured :class:`~repro.errors.ReproError` naming the
+        offending fault — at plan-installation time, not as a late
+        ``KeyError`` (or silent no-op) deep inside the engine. Link
+        directions are validated here too, for the same reason. Returns
+        ``self`` so call sites can chain.
+        """
+        for f in self.faults:
+            if not (0 <= f.row < rows and 0 <= f.col < cols):
+                raise ReproError(
+                    f"fault targets PE({f.row},{f.col}) outside the "
+                    f"{rows}x{cols} mesh: {_describe_fault(f)}"
+                )
+            if f.kind == "link" and f.direction.upper() not in (
+                "N", "S", "E", "W",
+                "NORTH", "SOUTH", "EAST", "WEST", "RAMP",
+            ):
+                raise ReproError(
+                    f"bad link direction {f.direction!r} (use N/S/E/W): "
+                    f"{_describe_fault(f)}"
+                )
+        return self
+
     def for_rows(self, rows) -> "FaultPlan":
         """The sub-plan visible to a partition owning ``rows``.
 
@@ -197,7 +222,7 @@ def _describe_fault(f: Fault) -> str:
     return f"link into PE({f.row},{f.col}) from {f.direction} down"
 
 
-def parse_fault_spec(spec: str) -> FaultPlan:
+def parse_fault_spec(spec: str, mesh: tuple[int, int] | None = None) -> FaultPlan:
     """Parse the CLI fault mini-language into a :class:`FaultPlan`.
 
     Grammar (``;``-separated, whitespace ignored)::
@@ -208,11 +233,22 @@ def parse_fault_spec(spec: str) -> FaultPlan:
         dup:R,C,COLOR#NTH
         flip:R,C,BUFFER,BIT@CYCLE
         link:R,C,DIR
-        random:R,C[,halts=H][,drops=D][,flips=F]
+        random:R,C[,halts=H][,drops=D][,flips=F]    (no mesh context)
+        random:SEED,N                               (mesh context given)
 
     Example: ``"seed:7;halt:1,2@400;drop:0,3,5#2"``.
+
+    ``mesh=(rows, cols)`` supplies the target mesh shape. With it,
+    ``random:`` segments no longer need the mesh spelled into the spec:
+    ``random:SEED,N`` draws ``N`` faults over the whole mesh from
+    :meth:`FaultPlan.random`, seeded with ``SEED`` (alternating halts and
+    drops: ``ceil(N/2)`` halts, ``floor(N/2)`` drops). The mesh also
+    validates every explicit coordinate at parse time via
+    :meth:`FaultPlan.validate_mesh`, so a typo'd PE fails here with the
+    offending fault named instead of stalling a simulation later.
     """
     seed = 0
+    seed_given = False
     faults: list[Fault] = []
     randoms: list[tuple] = []
     for raw in spec.split(";"):
@@ -224,6 +260,7 @@ def parse_fault_spec(spec: str) -> FaultPlan:
             kind = kind.strip().lower()
             if kind == "seed":
                 seed = int(rest)
+                seed_given = True
             elif kind == "halt":
                 loc, _, cyc = rest.partition("@")
                 r, c = (int(x) for x in loc.split(","))
@@ -259,11 +296,37 @@ def parse_fault_spec(spec: str) -> FaultPlan:
                 f"bad fault spec segment {part!r}: {exc}"
             ) from None
     for args in randoms:
-        rows, cols = int(args[0]), int(args[1])
-        kw = {}
-        for extra in args[2:]:
-            key, _, val = extra.partition("=")
-            kw["n_" + key.strip()] = int(val)
-        rand = FaultPlan.random(seed, rows, cols, **kw)
+        try:
+            if mesh is not None:
+                # Mesh context: random:SEED,N — the mesh shape comes from
+                # the caller, the segment carries seed and fault count.
+                if len(args) != 2 or "=" in args[0] or "=" in args[1]:
+                    raise ValueError(
+                        "with a mesh context, random takes 'SEED,N'"
+                    )
+                rseed, n = int(args[0]), int(args[1])
+                if n < 0:
+                    raise ValueError(f"fault count must be >= 0, got {n}")
+                rows, cols = int(mesh[0]), int(mesh[1])
+                rand = FaultPlan.random(
+                    rseed, rows, cols,
+                    n_halts=(n + 1) // 2, n_drops=n // 2,
+                )
+                if not seed_given:
+                    seed = rseed
+            else:
+                rows, cols = int(args[0]), int(args[1])
+                kw = {}
+                for extra in args[2:]:
+                    key, _, val = extra.partition("=")
+                    kw["n_" + key.strip()] = int(val)
+                rand = FaultPlan.random(seed, rows, cols, **kw)
+        except (ValueError, TypeError) as exc:
+            raise ReproError(
+                f"bad fault spec segment 'random:{','.join(args)}': {exc}"
+            ) from None
         faults.extend(rand.faults)
-    return FaultPlan(seed=seed, faults=tuple(faults))
+    plan = FaultPlan(seed=seed, faults=tuple(faults))
+    if mesh is not None:
+        plan.validate_mesh(int(mesh[0]), int(mesh[1]))
+    return plan

@@ -1,0 +1,306 @@
+"""Fault-aware plan repair: turn a stalled wafer run into a completed one.
+
+Real wafer-scale parts ship with defective PEs and route around them; this
+module is the planning half of that story for the simulator. Given a
+:class:`~repro.faults.plan.FaultPlan` (or the
+:class:`~repro.faults.report.FaultReport` a stall produced) and the
+:class:`~repro.core.plan.MappingPlan` it broke, it
+
+1. classifies every fault as *harmful* (it lands on a PE the plan actually
+   uses) or *tolerated* (an idle PE, or a north/south link a
+   row-partitionable plan never crosses) — :func:`classify_faults`;
+2. rewrites the plan to evacuate the harmful rows: onto idle **spare rows**
+   of the same mesh when any exist (:func:`remap_rows`), or onto a
+   shrunk-and-rebalanced replan when none do (driven by the retry loop in
+   :mod:`repro.core.simulate`, which owns the ``replan`` callback);
+3. records everything in a :class:`RepairReport` — a frozen, picklable,
+   JSON-able report in the same mold as PR 5's
+   :class:`~repro.faults.report.FaultReport`.
+
+Everything here is a pure function of the fault plan and the mapping plan,
+never of engine state: the same inputs produce the identical
+classification and report whether the mesh simulated in one process or
+was row-partitioned across four, which is what makes the
+``jobs=1 == jobs=N`` RepairReport invariance hold.
+
+Why evacuating a row is *byte*-safe: compressed records are keyed by block
+index (``ProgramOutputs.records``) and every block's bytes depend only on
+its own values — never on which PE produced it. Any repaired plan that
+still emits every block therefore reproduces the fault-free stream
+byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.errors import ScheduleError
+from repro.faults.plan import FaultPlan, _describe_fault
+
+if TYPE_CHECKING:  # imported lazily at runtime: repro.wse -> repro.faults
+    # -> repro.core.plan would otherwise be a cycle.
+    from repro.core.plan import MappingPlan
+
+#: Link directions a row-partitionable plan never routes across. Breaking
+#: such a link cannot drop a wavelet, so the fault is tolerated in place.
+_CROSS_ROW_LINKS = frozenset({"N", "S", "NORTH", "SOUTH"})
+
+
+def used_rows(plan: "MappingPlan") -> tuple[int, ...]:
+    """Mesh rows that carry at least one node, sorted ascending."""
+    return tuple(sorted({n.row for n in plan.nodes}))
+
+
+def spare_rows(plan: "MappingPlan") -> tuple[int, ...]:
+    """Idle mesh rows (no nodes placed) available as repair targets."""
+    used = {n.row for n in plan.nodes}
+    return tuple(r for r in range(plan.rows) if r not in used)
+
+
+@dataclass(frozen=True)
+class FaultClassification:
+    """What a fault plan means for one mapping plan's rows."""
+
+    #: Used rows with at least one harmful fault, sorted.
+    unusable_rows: tuple[int, ...]
+    #: Human-readable description of each harmful fault, canonical order.
+    harmful: tuple[str, ...]
+    #: Description of each fault the plan absorbs in place, canonical order.
+    tolerated: tuple[str, ...]
+    #: ``(row, description)`` for each harmful fault, canonical order —
+    #: what lets the repair loop say *why* it condemned a given row.
+    harmful_by_row: tuple[tuple[int, str], ...] = ()
+
+    def row_reason(self, row: int) -> str:
+        """The harmful fault(s) that condemned ``row``, joined."""
+        return "; ".join(d for r, d in self.harmful_by_row if r == row)
+
+
+def _plan_occupancy(plan: "MappingPlan"):
+    """PE coordinates the plan touches: node sites and routed sites."""
+    node_sites = {(n.row, n.col) for n in plan.nodes}
+    route_sites = {(r.row, r.col) for r in plan.routes}
+    return node_sites, route_sites
+
+
+def classify_faults(
+    faults: FaultPlan, plan: "MappingPlan"
+) -> FaultClassification:
+    """Split a fault plan into harmful and tolerated faults for ``plan``.
+
+    A fault is harmful when it can disturb traffic or compute the plan
+    actually places:
+
+    * ``halt``/``flip`` — harmful iff a node occupies the exact PE (a halt
+      on an idle PE fires, logs, and starves nobody);
+    * ``drop``/``dup`` — harmful iff the PE carries a node or a route
+      (deliveries are counted at receiving PEs, which the plan's routes
+      and nodes enumerate);
+    * ``link`` — a north/south link is tolerated outright for
+      row-partitionable plans (no route ever crosses a row boundary);
+      an east/west or ramp link is harmful iff the entered PE is routed.
+
+    Deterministic: depends only on the two plans, never on simulation
+    state, so every partition of the same mesh computes the same answer.
+    """
+    from repro.core.plan import row_partitionable
+
+    node_sites, route_sites = _plan_occupancy(plan)
+    row_local = row_partitionable(plan)
+    bad_rows: set[int] = set()
+    harmful: list[tuple] = []
+    tolerated: list[tuple] = []
+    for f in faults.faults:
+        site = (f.row, f.col)
+        if f.kind in ("halt", "flip"):
+            is_harmful = site in node_sites
+        elif f.kind in ("drop", "dup"):
+            is_harmful = site in node_sites or site in route_sites
+        elif f.kind == "link":
+            if row_local and f.direction.upper() in _CROSS_ROW_LINKS:
+                is_harmful = False
+            else:
+                is_harmful = site in node_sites or site in route_sites
+        else:  # pragma: no cover - FaultPlan rejects unknown kinds
+            is_harmful = True
+        key = (f.row, f.col, f.kind, _describe_fault(f))
+        if is_harmful:
+            bad_rows.add(f.row)
+            harmful.append(key)
+        else:
+            tolerated.append(key)
+    return FaultClassification(
+        unusable_rows=tuple(sorted(bad_rows)),
+        harmful=tuple(k[3] for k in sorted(harmful)),
+        tolerated=tuple(k[3] for k in sorted(tolerated)),
+        harmful_by_row=tuple((k[0], k[3]) for k in sorted(harmful)),
+    )
+
+
+def remap_rows(
+    plan: "MappingPlan", row_map: dict[int, int], *, rows: int | None = None
+) -> "MappingPlan":
+    """Rewrite a plan with row coordinates mapped through ``row_map``.
+
+    Rows absent from the map keep their placement. The mesh height stays
+    ``plan.rows`` (or ``rows=`` when given, e.g. after a shrink replan
+    whose fault coordinates must stay in-mesh); block indices are never
+    touched, which is what keeps the output stream byte-identical.
+    """
+    from repro.core.plan import Feed, MappingPlan
+
+    total = plan.rows if rows is None else int(rows)
+    targets = list(row_map.values())
+    if len(set(targets)) != len(targets):
+        raise ScheduleError(f"repair row map has colliding targets: {row_map}")
+    kept = {r for r in range(plan.rows) if r not in row_map}
+    clash = kept & {n.row for n in plan.nodes} & set(targets)
+    if clash:
+        raise ScheduleError(
+            f"repair row map targets occupied rows {sorted(clash)}"
+        )
+    for src, dst in row_map.items():
+        if not (0 <= dst < total):
+            raise ScheduleError(
+                f"repair maps row {src} to row {dst}, outside the "
+                f"{total}x{plan.cols} mesh"
+            )
+
+    def _row(r: int) -> int:
+        return row_map.get(r, r)
+
+    return MappingPlan(
+        strategy=plan.strategy,
+        direction=plan.direction,
+        rows=total,
+        cols=plan.cols,
+        block_size=plan.block_size,
+        num_blocks=plan.num_blocks,
+        eps=plan.eps,
+        colors=plan.colors,
+        routes=tuple(replace(r, row=_row(r.row)) for r in plan.routes),
+        nodes=tuple(replace(n, row=_row(n.row)) for n in plan.nodes),
+        feeds=tuple(
+            Feed(_row(f.row), f.col, f.color, f.data) for f in plan.feeds
+        ),
+        state_len=plan.state_len,
+        partial=plan.partial,
+        predictor=plan.predictor,
+    )
+
+
+def drop_rows(plan: "MappingPlan", rows: set[int]) -> "MappingPlan":
+    """A partial plan carrying everything except ``rows``' placement.
+
+    The degraded-mode fallback uses this to keep the healthy rows on the
+    wafer while their condemned neighbours' blocks go to the host: the
+    result deliberately covers only the surviving rows' blocks, so it is
+    ``partial`` like a :func:`repro.core.plan.split_rows` shard.
+    """
+    rowset = {int(r) for r in rows}
+    return replace(
+        plan,
+        routes=tuple(r for r in plan.routes if r.row not in rowset),
+        nodes=tuple(n for n in plan.nodes if n.row not in rowset),
+        feeds=tuple(f for f in plan.feeds if f.row not in rowset),
+        partial=True,
+    )
+
+
+def row_blocks(plan: "MappingPlan", rows: set[int]) -> tuple[int, ...]:
+    """Block indices emitted by nodes on ``rows``, sorted ascending."""
+    from repro.core.plan import _emits
+
+    rowset = {int(r) for r in rows}
+    out: set[int] = set()
+    for node in plan.nodes:
+        if node.row in rowset and _emits(node):
+            out.update(int(b) for b in node.blocks)
+    return tuple(sorted(out))
+
+
+# --- the report ------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RowRepair:
+    """One row-level repair action the orchestrator took."""
+
+    row: int  # the condemned row
+    action: str  # "remap" | "shrink" | "fallback"
+    target_row: int | None  # where it moved (None for fallback)
+    blocks: tuple[int, ...]  # block indices that row was responsible for
+    reason: str  # the fault(s) that condemned it
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """Structured record of a self-healing run's recovery decisions.
+
+    Frozen, plain picklable data, JSON-serializable — the same contract as
+    :class:`~repro.faults.report.FaultReport`, and derived exclusively
+    from the fault plan plus mapping plans, so it is identical for
+    ``jobs=1`` and ``jobs=N`` runs of the same workload.
+    """
+
+    #: "clean" (no repair needed), "repaired" (wafer-only recovery),
+    #: "fallback" (host carried part of the work), or "exhausted".
+    outcome: str
+    #: Repair attempts consumed (0 when the first run completed).
+    attempts: int
+    #: Every row condemned over the whole retry sequence, sorted.
+    unusable_rows: tuple[int, ...] = ()
+    #: Spare rows that absorbed remapped work, sorted.
+    spare_rows_used: tuple[int, ...] = ()
+    #: Row-level actions in the order they were taken.
+    repairs: tuple[RowRepair, ...] = ()
+    #: Faults absorbed in place (idle PEs, uncrossed links), canonical order.
+    tolerated: tuple[str, ...] = ()
+    #: Block indices the host fast path produced, sorted.
+    fallback_blocks: tuple[int, ...] = ()
+    #: Whether the final stream was verified byte-identical to a
+    #: fault-free reference (None = no verification was requested).
+    verified: bool | None = None
+    seed: int | None = None
+
+    @property
+    def repaired_rows(self) -> int:
+        """Rows brought back by wafer-side repair (the metric value)."""
+        return sum(1 for r in self.repairs if r.action in ("remap", "shrink"))
+
+    def describe(self) -> str:
+        lines = [
+            f"RepairReport: {self.outcome} after {self.attempts} repair "
+            f"attempt(s)"
+        ]
+        if self.unusable_rows:
+            lines.append(
+                "  unusable rows: "
+                + ", ".join(str(r) for r in self.unusable_rows)
+            )
+        for r in self.repairs:
+            if r.action == "remap":
+                what = f"remapped to spare row {r.target_row}"
+            elif r.action == "shrink":
+                what = "work rebalanced across surviving rows"
+            else:
+                what = f"{len(r.blocks)} block(s) to the host fast path"
+            lines.append(f"  row {r.row}: {what} — {r.reason}")
+        for t in self.tolerated:
+            lines.append(f"  tolerated: {t}")
+        if self.fallback_blocks:
+            lines.append(
+                f"  host fallback blocks: {len(self.fallback_blocks)}"
+            )
+        if self.verified is not None:
+            lines.append(
+                "  stream verified byte-identical to fault-free reference"
+                if self.verified
+                else "  stream NOT verified against fault-free reference"
+            )
+        return "\n".join(lines)
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(asdict(self), indent=indent)

@@ -50,6 +50,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     collect_engine_metrics,
     collect_fabric_metrics,
+    collect_repair_metrics,
     collect_run_metrics,
     collect_trace_metrics,
 )
@@ -88,6 +89,7 @@ __all__ = [
     "config_fingerprint",
     "collect_engine_metrics",
     "collect_fabric_metrics",
+    "collect_repair_metrics",
     "collect_run_metrics",
     "collect_trace_metrics",
     "get_logger",

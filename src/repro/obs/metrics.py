@@ -380,6 +380,21 @@ def collect_fault_metrics(registry: MetricsRegistry, injector) -> None:
     ).inc(injector.detected)
 
 
+def collect_repair_metrics(registry: MetricsRegistry, report) -> None:
+    """Publish self-healing outcomes (``faults.repaired``,
+    ``faults.fallback_blocks``). No-op without a RepairReport so callers
+    can pass ``run.repair`` unconditionally."""
+    if report is None:
+        return
+    registry.counter(
+        "faults.repaired", "rows recovered by wafer-side plan repair"
+    ).inc(report.repaired_rows)
+    registry.counter(
+        "faults.fallback_blocks",
+        "blocks carried by the host fast path in degraded mode",
+    ).inc(len(report.fallback_blocks))
+
+
 def collect_run_metrics(
     registry: MetricsRegistry, *, fabric=None, engine=None, trace=None
 ) -> None:

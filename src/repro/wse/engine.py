@@ -66,12 +66,23 @@ from repro.wse.wavelet import Direction, wavelet_count
 
 @dataclass(frozen=True)
 class SimulationReport:
-    """Result of :meth:`Engine.run`."""
+    """Result of :meth:`Engine.run`.
+
+    ``fault`` is ``None`` for a clean run. Under
+    ``run(on_stall="report")`` a detected stall hands back the structured
+    :class:`~repro.faults.report.FaultReport` here instead of raising —
+    the handoff the self-healing retry loop consumes.
+    """
 
     makespan_cycles: float
     events_processed: int
     tasks_run: int
     trace: TraceRecorder
+    fault: "object | None" = None
+
+    @property
+    def stalled(self) -> bool:
+        return self.fault is not None
 
 
 @dataclass
@@ -278,13 +289,29 @@ class Engine:
         *,
         allow_pending: bool = False,
         stop_when: Callable[[], bool] | None = None,
+        on_stall: str = "raise",
     ) -> SimulationReport:
         """Process events until quiescence (or ``stop_when`` returns True).
 
         With ``allow_pending=False`` (the default), finishing with unmatched
-        pending receives raises :class:`DeadlockError` — on the device that
-        state is a silent hang.
+        pending receives is a detected stall — on the device that state is
+        a silent hang. ``on_stall`` selects the handoff: ``"raise"`` (the
+        default) raises :class:`DeadlockError` carrying the structured
+        FaultReport; ``"report"`` returns normally with the same
+        FaultReport attached as :attr:`SimulationReport.fault`, so repair
+        orchestration can consume stalls as data instead of control flow.
         """
+        if on_stall not in ("raise", "report"):
+            raise ValueError(
+                f"on_stall must be 'raise' or 'report', got {on_stall!r}"
+            )
+
+        def _stall(message: str, reason: str) -> SimulationReport:
+            report = self._diagnose(reason)
+            if on_stall == "raise":
+                raise DeadlockError(message, report=report)
+            return self._finish(fault=report)
+
         while self._queue:
             if self._events_processed >= self.max_events:
                 message = (
@@ -294,7 +321,7 @@ class Engine:
                 pending = self._pending_summary()
                 if pending:
                     message += f"; pending: {pending}"
-                raise DeadlockError(message, report=self._diagnose("livelock"))
+                return _stall(message, "livelock")
             time, _, event = heapq.heappop(self._queue)
             self._now = max(self._now, time)
             self._events_processed += 1
@@ -304,10 +331,10 @@ class Engine:
         if not allow_pending:
             desc = self._pending_summary()
             if desc:
-                raise DeadlockError(
+                return _stall(
                     f"simulation quiesced with unmatched pending receives: "
                     f"{desc}",
-                    report=self._diagnose("deadlock"),
+                    "deadlock",
                 )
             if self.faults is not None:
                 leftovers = self.faults.quiesce_stuck(self)
@@ -317,11 +344,15 @@ class Engine:
                         f"{s.extent} undelivered"
                         for s in leftovers
                     )
-                    raise DeadlockError(
+                    return _stall(
                         f"simulation quiesced with undelivered data at "
                         f"injection-halted PEs: {locs}",
-                        report=self._diagnose("deadlock"),
+                        "deadlock",
                     )
+        return self._finish()
+
+    def _finish(self, fault=None) -> SimulationReport:
+        """Fold per-PE state into the report (clean or stalled-with-report)."""
         trace = TraceRecorder()
         tasks_run = 0
         for pe in self.fabric:
@@ -334,6 +365,7 @@ class Engine:
             events_processed=self._events_processed,
             tasks_run=tasks_run,
             trace=trace,
+            fault=fault,
         )
 
     # -- internals --------------------------------------------------------------------

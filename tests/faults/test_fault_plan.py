@@ -96,3 +96,70 @@ class TestSpecGrammar:
         assert "seed=3" in text
         assert "halt PE(1,2) at cycle 400" in text
         assert "link into PE(0,0)" in text
+
+
+class TestMeshValidation:
+    def test_validate_mesh_accepts_in_bounds(self):
+        plan = FaultPlan(seed=0, faults=(PEHalt(row=3, col=3, at_cycle=5),))
+        assert plan.validate_mesh(4, 4) is plan
+
+    def test_validate_mesh_names_offending_fault(self):
+        plan = FaultPlan(
+            seed=0,
+            faults=(
+                PEHalt(row=0, col=0, at_cycle=5),
+                WaveletDrop(row=2, col=9, color_id=1, nth=1),
+            ),
+        )
+        with pytest.raises(ReproError) as exc_info:
+            plan.validate_mesh(4, 4)
+        msg = str(exc_info.value)
+        assert "PE(2,9)" in msg
+        assert "4x4 mesh" in msg
+        assert "drop delivery #1" in msg
+
+    def test_validate_mesh_rejects_bad_link_direction(self):
+        plan = FaultPlan(
+            seed=0, faults=(LinkDown(row=0, col=0, direction="Q"),)
+        )
+        with pytest.raises(ReproError, match="link direction"):
+            plan.validate_mesh(4, 4)
+
+    def test_parse_with_mesh_validates_coordinates(self):
+        with pytest.raises(ReproError, match=r"PE\(9,0\).*4x4"):
+            parse_fault_spec("halt:9,0@10", mesh=(4, 4))
+
+    def test_parse_without_mesh_skips_validation(self):
+        plan = parse_fault_spec("halt:9,0@10")
+        assert plan.faults[0].row == 9
+
+
+class TestRandomSpecWithMesh:
+    def test_random_seed_count_grammar(self):
+        plan = parse_fault_spec("random:7,4", mesh=(6, 4))
+        assert plan.seed == 7
+        assert len(plan.faults) == 4
+        kinds = sorted(f.kind for f in plan.faults)
+        assert kinds == ["drop", "drop", "halt", "halt"]
+        for f in plan.faults:
+            assert 0 <= f.row < 6 and 0 <= f.col < 4
+
+    def test_random_is_deterministic(self):
+        a = parse_fault_spec("random:3,5", mesh=(4, 4))
+        b = parse_fault_spec("random:3,5", mesh=(4, 4))
+        assert a == b
+
+    def test_explicit_seed_wins_over_random_seed(self):
+        plan = parse_fault_spec("seed:11;random:3,2", mesh=(4, 4))
+        assert plan.seed == 11
+
+    def test_legacy_random_form_needs_no_mesh(self):
+        plan = parse_fault_spec("seed:3;random:4,4,halts=1,drops=2")
+        assert plan.seed == 3
+        assert len(plan.faults) == 3
+
+    def test_bad_random_segment_with_mesh(self):
+        with pytest.raises(ReproError, match="bad fault spec segment"):
+            parse_fault_spec("random:4,4,halts=1", mesh=(4, 4))
+        with pytest.raises(ReproError, match="bad fault spec segment"):
+            parse_fault_spec("random:7,-1", mesh=(4, 4))

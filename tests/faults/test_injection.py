@@ -125,7 +125,20 @@ class TestAbsorbedFaults:
 
 class TestValidation:
     def test_fault_outside_mesh_rejected(self):
+        # Validation now happens at construction (plan-installation time),
+        # naming the offending fault — not deep inside a simulated run.
         plan = FaultPlan(seed=0, faults=(PEHalt(row=99, col=0, at_cycle=10),))
-        codec = WSECereSZ(4, 4, strategy="rows", faults=plan)
+        with pytest.raises(ReproError, match=r"outside.*halt PE\(99,0\)"):
+            WSECereSZ(4, 4, strategy="rows", faults=plan)
+
+    def test_fault_outside_mesh_rejected_at_install(self):
+        # The injector still validates at install for engines built by
+        # hand (not through WSECereSZ).
+        from repro.faults.inject import FaultInjector
+        from repro.wse.engine import Engine
+        from repro.wse.fabric import Fabric
+
+        plan = FaultPlan(seed=0, faults=(PEHalt(row=99, col=0, at_cycle=10),))
+        injector = FaultInjector(plan)
         with pytest.raises(ReproError, match="outside"):
-            codec.compress(_field(), eps=EPS)
+            Engine(Fabric(4, 4), faults=injector)
